@@ -1,0 +1,89 @@
+//! Human-readable rendering of events and traces with universe names.
+//!
+//! `Event`/`Trace` print raw interned ids (`<o#1,o#0,m#2>`); given the
+//! universe they can be rendered the way the paper writes them:
+//! `⟨c,o,W(d0)⟩`.
+
+use crate::universe::Universe;
+use pospec_trace::{Arg, Event, Trace};
+use std::fmt;
+
+/// An [`Event`] paired with its universe for display.
+pub struct EventDisplay<'a> {
+    u: &'a Universe,
+    e: &'a Event,
+}
+
+impl fmt::Display for EventDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨{},{},{}",
+            self.u.object_name(self.e.caller),
+            self.u.object_name(self.e.callee),
+            self.u.method_name(self.e.method)
+        )?;
+        if let Arg::Data(d) = self.e.arg {
+            write!(f, "({})", self.u.data_name(d))?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A [`Trace`] paired with its universe for display.
+pub struct TraceDisplay<'a> {
+    u: &'a Universe,
+    t: &'a Trace,
+}
+
+impl fmt::Display for TraceDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.t.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, e) in self.t.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", display_event(self.u, e))?;
+        }
+        Ok(())
+    }
+}
+
+/// Render one event with names.
+pub fn display_event<'a>(u: &'a Universe, e: &'a Event) -> EventDisplay<'a> {
+    EventDisplay { u, e }
+}
+
+/// Render a trace with names.
+pub fn display_trace<'a>(u: &'a Universe, t: &'a Trace) -> TraceDisplay<'a> {
+    TraceDisplay { u, t }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseBuilder;
+
+    #[test]
+    fn events_and_traces_render_with_names() {
+        let mut b = UniverseBuilder::new();
+        let data = b.data_class("Data").unwrap();
+        let o = b.object("o").unwrap();
+        let c = b.object("c").unwrap();
+        let w = b.method_with("W", data).unwrap();
+        let ow = b.method("OW").unwrap();
+        let d = b.data_value("d0", data).unwrap();
+        let u = b.freeze();
+
+        let e1 = Event::call(c, o, ow);
+        let e2 = Event::call_with(c, o, w, d);
+        assert_eq!(display_event(&u, &e1).to_string(), "⟨c,o,OW⟩");
+        assert_eq!(display_event(&u, &e2).to_string(), "⟨c,o,W(d0)⟩");
+
+        let t = Trace::from_events(vec![e1, e2]);
+        assert_eq!(display_trace(&u, &t).to_string(), "⟨c,o,OW⟩ ⟨c,o,W(d0)⟩");
+        assert_eq!(display_trace(&u, &Trace::empty()).to_string(), "ε");
+    }
+}

@@ -1,0 +1,483 @@
+//! The granule partition of the event space.
+//!
+//! Relative to a frozen [`Universe`], each dimension of an event splits
+//! into finitely many **granules** — pairwise-disjoint, non-empty blocks
+//! whose union is the whole (infinite) dimension:
+//!
+//! * objects: one singleton granule per *declared* object, one infinite
+//!   residue granule per object class (`C ∖ named(C)`), and the infinite
+//!   anonymous environment `Obj ∖ (named ∪ ⋃classes)`;
+//! * methods: one singleton per declared method, plus the infinite residue
+//!   of undeclared methods (which the internal-event sets of Def. 3 range
+//!   over);
+//! * arguments: determined by the method granule — a declared parameterless
+//!   method has the single argument granule [`ArgGranule::None`]; a
+//!   declared method of signature `Data(C)` splits its arguments into the
+//!   named values of `C` plus the residue `C ∖ named(C)`; the undeclared-
+//!   method residue takes the opaque [`ArgGranule::AnyArg`].
+//!
+//! An [`EventGranule`] is a product of one granule per dimension, subject
+//! to well-formedness (argument compatible with method; caller ≠ callee
+//! pruning for singleton–singleton products).  Distinct well-formed event
+//! granules denote disjoint, non-empty sets of concrete events, which is
+//! what makes the Boolean algebra of [`crate::set::EventSet`] exact.
+
+use crate::universe::{MethodSig, Role, Universe};
+use pospec_trace::{Arg, ClassId, DataId, Event, MethodId, ObjectId};
+use serde::{Deserialize, Serialize};
+
+/// A block of the object-dimension partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ObjGranule {
+    /// The singleton granule of a declared object.
+    Named(ObjectId),
+    /// The infinite residue of an object class: its undeclared members.
+    ClassRest(ClassId),
+    /// The infinite anonymous environment: objects in no class, not named.
+    Anon,
+}
+
+impl ObjGranule {
+    /// Is this granule an infinite set?
+    pub fn is_infinite(self) -> bool {
+        !matches!(self, ObjGranule::Named(_))
+    }
+
+    /// The concrete inhabitants available for enumeration: the object
+    /// itself for a singleton, the declared witnesses for a residue.
+    pub fn inhabitants(self, u: &Universe) -> Vec<ObjectId> {
+        match self {
+            ObjGranule::Named(o) => vec![o],
+            ObjGranule::ClassRest(c) => u.class_witnesses(c).collect(),
+            ObjGranule::Anon => u.anon_witnesses().collect(),
+        }
+    }
+
+    /// The granule a concrete object identity inhabits.
+    pub fn of(u: &Universe, o: ObjectId) -> ObjGranule {
+        match u.object_role(o) {
+            Role::Declared => ObjGranule::Named(o),
+            Role::Witness => match u.class_of_object(o) {
+                Some(c) => ObjGranule::ClassRest(c),
+                None => ObjGranule::Anon,
+            },
+        }
+    }
+
+    /// Render with universe names.
+    pub fn display(self, u: &Universe) -> String {
+        match self {
+            ObjGranule::Named(o) => u.object_name(o).to_string(),
+            ObjGranule::ClassRest(c) => format!("{}∖named", u.class_name(c)),
+            ObjGranule::Anon => "⟨anon⟩".to_string(),
+        }
+    }
+}
+
+/// A block of the method-dimension partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MethodGranule {
+    /// The singleton granule of a declared method.
+    Named(MethodId),
+    /// The infinite residue of undeclared methods.
+    Other,
+}
+
+impl MethodGranule {
+    /// Is this granule an infinite set?
+    pub fn is_infinite(self) -> bool {
+        matches!(self, MethodGranule::Other)
+    }
+
+    /// Concrete inhabitants for enumeration.
+    pub fn inhabitants(self, u: &Universe) -> Vec<MethodId> {
+        match self {
+            MethodGranule::Named(m) => vec![m],
+            MethodGranule::Other => u.method_witnesses().collect(),
+        }
+    }
+
+    /// The granule a concrete method inhabits.
+    pub fn of(u: &Universe, m: MethodId) -> MethodGranule {
+        match u.method_role(m) {
+            Role::Declared => MethodGranule::Named(m),
+            Role::Witness => MethodGranule::Other,
+        }
+    }
+
+    /// Render with universe names.
+    pub fn display(self, u: &Universe) -> String {
+        match self {
+            MethodGranule::Named(m) => u.method_name(m).to_string(),
+            MethodGranule::Other => "⟨mtd⟩".to_string(),
+        }
+    }
+}
+
+/// A block of the argument-dimension partition (relative to a method
+/// granule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ArgGranule {
+    /// The unique empty argument of a parameterless method.
+    None,
+    /// The singleton granule of a named data value.
+    NamedData(DataId),
+    /// The infinite residue of a data class: its unnamed values.
+    DataRest(ClassId),
+    /// The opaque argument dimension of undeclared methods.
+    AnyArg,
+}
+
+impl ArgGranule {
+    /// Is this granule an infinite set?
+    pub fn is_infinite(self) -> bool {
+        matches!(self, ArgGranule::DataRest(_) | ArgGranule::AnyArg)
+    }
+
+    /// Concrete inhabitants for enumeration.  `AnyArg` enumerates as the
+    /// empty argument because the only concrete inhabitants of the
+    /// undeclared-method residue are the (parameterless) witness methods.
+    pub fn inhabitants(self, u: &Universe) -> Vec<Arg> {
+        match self {
+            ArgGranule::None => vec![Arg::None],
+            ArgGranule::NamedData(d) => vec![Arg::Data(d)],
+            ArgGranule::DataRest(c) => u.data_witnesses(c).map(Arg::Data).collect(),
+            ArgGranule::AnyArg => vec![Arg::None],
+        }
+    }
+
+    /// Render with universe names.
+    pub fn display(self, u: &Universe) -> String {
+        match self {
+            ArgGranule::None => String::new(),
+            ArgGranule::NamedData(d) => format!("({})", u.data_name(d)),
+            ArgGranule::DataRest(c) => format!("({}∖named)", u.class_name(c)),
+            ArgGranule::AnyArg => "(⋆)".to_string(),
+        }
+    }
+}
+
+/// One block of the event-space partition: a product of granules.
+///
+/// Denotes the set of concrete events `⟨a, b, m(v)⟩` with `a` in the caller
+/// granule, `b` in the callee granule, `a ≠ b`, `m` in the method granule
+/// and `v` in the argument granule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventGranule {
+    /// The caller block.
+    pub caller: ObjGranule,
+    /// The callee block.
+    pub callee: ObjGranule,
+    /// The method block.
+    pub method: MethodGranule,
+    /// The argument block.
+    pub arg: ArgGranule,
+}
+
+impl EventGranule {
+    /// Construct a granule without validity checking.
+    pub fn new(caller: ObjGranule, callee: ObjGranule, method: MethodGranule, arg: ArgGranule) -> Self {
+        EventGranule { caller, callee, method, arg }
+    }
+
+    /// The granule that a concrete event inhabits.
+    pub fn of_event(u: &Universe, e: &Event) -> EventGranule {
+        let method = MethodGranule::of(u, e.method);
+        let arg = match method {
+            MethodGranule::Other => ArgGranule::AnyArg,
+            MethodGranule::Named(m) => match (u.method_sig(m), e.arg) {
+                (MethodSig::None, _) => ArgGranule::None,
+                (MethodSig::Data(c), Arg::Data(d)) => match u.data_role(d) {
+                    Role::Declared => ArgGranule::NamedData(d),
+                    Role::Witness => ArgGranule::DataRest(c),
+                },
+                // A parameterised method used without argument: treat the
+                // missing argument as an unnamed value of its class.
+                (MethodSig::Data(c), Arg::None) => ArgGranule::DataRest(c),
+            },
+        };
+        EventGranule {
+            caller: ObjGranule::of(u, e.caller),
+            callee: ObjGranule::of(u, e.callee),
+            method,
+            arg,
+        }
+    }
+
+    /// Well-formedness: non-empty denotation and method/argument
+    /// compatibility.  Only well-formed granules may enter an
+    /// [`crate::set::EventSet`].
+    pub fn is_valid(&self, u: &Universe) -> bool {
+        // A singleton caller equal to a singleton callee denotes self-calls
+        // only, which are not observable events: empty.
+        if let (ObjGranule::Named(a), ObjGranule::Named(b)) = (self.caller, self.callee) {
+            if a == b {
+                return false;
+            }
+        }
+        match self.method {
+            MethodGranule::Other => self.arg == ArgGranule::AnyArg,
+            MethodGranule::Named(m) => match u.method_sig(m) {
+                MethodSig::None => self.arg == ArgGranule::None,
+                MethodSig::Data(c) => match self.arg {
+                    ArgGranule::NamedData(d) => u.class_of_data(d) == c,
+                    ArgGranule::DataRest(c2) => c2 == c,
+                    _ => false,
+                },
+            },
+        }
+    }
+
+    /// Is the denoted set infinite (any coordinate infinite)?
+    pub fn is_infinite(&self) -> bool {
+        self.caller.is_infinite()
+            || self.callee.is_infinite()
+            || self.method.is_infinite()
+            || self.arg.is_infinite()
+    }
+
+    /// Enumerate the concrete events of this granule realisable with the
+    /// universe's witnesses (exact for singleton granules, sampled for
+    /// infinite ones).  Self-call combinations are skipped.
+    pub fn concrete_events(&self, u: &Universe) -> Vec<Event> {
+        let callers = self.caller.inhabitants(u);
+        let callees = self.callee.inhabitants(u);
+        let methods = self.method.inhabitants(u);
+        let args = self.arg.inhabitants(u);
+        let mut out = Vec::new();
+        for &a in &callers {
+            for &b in &callees {
+                if a == b {
+                    continue;
+                }
+                for &m in &methods {
+                    for &v in &args {
+                        out.push(Event { caller: a, callee: b, method: m, arg: v });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Does the granule contain the concrete event?
+    pub fn contains(&self, u: &Universe, e: &Event) -> bool {
+        *self == EventGranule::of_event(u, e)
+    }
+
+    /// Does the granule mention (as caller or callee) the *named* object?
+    pub fn involves_named(&self, o: ObjectId) -> bool {
+        self.caller == ObjGranule::Named(o) || self.callee == ObjGranule::Named(o)
+    }
+
+    /// Render with universe names, in the paper's `⟨caller,callee,m⟩` shape.
+    pub fn display(&self, u: &Universe) -> String {
+        format!(
+            "⟨{},{},{}{}⟩",
+            self.caller.display(u),
+            self.callee.display(u),
+            self.method.display(u),
+            self.arg.display(u),
+        )
+    }
+}
+
+/// Every object granule of the universe: singletons, class residues, anon.
+pub fn all_obj_granules(u: &Universe) -> Vec<ObjGranule> {
+    let mut v: Vec<ObjGranule> = u.declared_objects().map(ObjGranule::Named).collect();
+    v.extend(u.object_classes().map(ObjGranule::ClassRest));
+    v.push(ObjGranule::Anon);
+    v
+}
+
+/// Every compatible (method, argument) granule pair of the universe.
+pub fn all_method_arg_granules(u: &Universe) -> Vec<(MethodGranule, ArgGranule)> {
+    let mut v = Vec::new();
+    for m in u.declared_methods() {
+        match u.method_sig(m) {
+            MethodSig::None => v.push((MethodGranule::Named(m), ArgGranule::None)),
+            MethodSig::Data(c) => {
+                for d in u.declared_data_in(c) {
+                    v.push((MethodGranule::Named(m), ArgGranule::NamedData(d)));
+                }
+                v.push((MethodGranule::Named(m), ArgGranule::DataRest(c)));
+            }
+        }
+    }
+    v.push((MethodGranule::Other, ArgGranule::AnyArg));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseBuilder;
+    use std::sync::Arc;
+
+    fn small_universe() -> (Arc<Universe>, ObjectId, ObjectId, ClassId, ClassId, MethodId, MethodId) {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let data = b.data_class("Data").unwrap();
+        let o = b.object("o").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let w = b.method_with("W", data).unwrap();
+        let ow = b.method("OW").unwrap();
+        b.class_witnesses(objects, 2).unwrap();
+        b.anon_witnesses(1).unwrap();
+        b.method_witnesses(1).unwrap();
+        b.data_witnesses(data, 2).unwrap();
+        (b.freeze(), o, c, objects, data, w, ow)
+    }
+
+    #[test]
+    fn declared_objects_map_to_singletons_witnesses_to_residues() {
+        let (u, o, c, objects, _, _, _) = small_universe();
+        assert_eq!(ObjGranule::of(&u, o), ObjGranule::Named(o));
+        assert_eq!(ObjGranule::of(&u, c), ObjGranule::Named(c));
+        let w = u.class_witnesses(objects).next().unwrap();
+        assert_eq!(ObjGranule::of(&u, w), ObjGranule::ClassRest(objects));
+        let a = u.anon_witnesses().next().unwrap();
+        assert_eq!(ObjGranule::of(&u, a), ObjGranule::Anon);
+    }
+
+    #[test]
+    fn granule_infinity() {
+        let (u, o, _, objects, _, _, _) = small_universe();
+        let _ = &u;
+        assert!(!ObjGranule::Named(o).is_infinite());
+        assert!(ObjGranule::ClassRest(objects).is_infinite());
+        assert!(ObjGranule::Anon.is_infinite());
+        assert!(MethodGranule::Other.is_infinite());
+        assert!(ArgGranule::AnyArg.is_infinite());
+        assert!(!ArgGranule::None.is_infinite());
+    }
+
+    #[test]
+    fn validity_rejects_selfcall_singletons_and_bad_args() {
+        let (u, o, c, objects, data, w, ow) = small_universe();
+        let g = EventGranule::new(
+            ObjGranule::Named(o),
+            ObjGranule::Named(o),
+            MethodGranule::Named(ow),
+            ArgGranule::None,
+        );
+        assert!(!g.is_valid(&u), "named self-call granule is empty");
+
+        let same_residue = EventGranule::new(
+            ObjGranule::ClassRest(objects),
+            ObjGranule::ClassRest(objects),
+            MethodGranule::Named(ow),
+            ArgGranule::None,
+        );
+        assert!(same_residue.is_valid(&u), "infinite residue self-pair is non-empty");
+
+        let wrong_arg = EventGranule::new(
+            ObjGranule::Named(c),
+            ObjGranule::Named(o),
+            MethodGranule::Named(ow),
+            ArgGranule::DataRest(data),
+        );
+        assert!(!wrong_arg.is_valid(&u), "parameterless method cannot carry data");
+
+        let good = EventGranule::new(
+            ObjGranule::Named(c),
+            ObjGranule::Named(o),
+            MethodGranule::Named(w),
+            ArgGranule::DataRest(data),
+        );
+        assert!(good.is_valid(&u));
+
+        let other_bad = EventGranule::new(
+            ObjGranule::Named(c),
+            ObjGranule::Named(o),
+            MethodGranule::Other,
+            ArgGranule::None,
+        );
+        assert!(!other_bad.is_valid(&u), "undeclared methods take AnyArg only");
+    }
+
+    #[test]
+    fn of_event_roundtrips_membership() {
+        let (u, o, c, objects, data, w, ow) = small_universe();
+        let wit = u.class_witnesses(objects).next().unwrap();
+        let dwit = u.data_witnesses(data).next().unwrap();
+        let e1 = Event::call(c, o, ow);
+        let e2 = Event::call_with(wit, o, w, dwit);
+        for e in [e1, e2] {
+            let g = EventGranule::of_event(&u, &e);
+            assert!(g.is_valid(&u));
+            assert!(g.contains(&u, &e));
+        }
+        let g1 = EventGranule::of_event(&u, &e1);
+        assert!(!g1.contains(&u, &e2));
+    }
+
+    #[test]
+    fn concrete_events_skip_self_pairs_and_respect_witnesses() {
+        let (u, o, _, objects, _, _, ow) = small_universe();
+        let g = EventGranule::new(
+            ObjGranule::ClassRest(objects),
+            ObjGranule::ClassRest(objects),
+            MethodGranule::Named(ow),
+            ArgGranule::None,
+        );
+        let evs = g.concrete_events(&u);
+        // Two class witnesses => 2*2 - 2 self pairs = 2 events.
+        assert_eq!(evs.len(), 2);
+        for e in &evs {
+            assert_ne!(e.caller, e.callee);
+        }
+        let g2 = EventGranule::new(
+            ObjGranule::Named(o),
+            ObjGranule::ClassRest(objects),
+            MethodGranule::Named(ow),
+            ArgGranule::None,
+        );
+        assert_eq!(g2.concrete_events(&u).len(), 2);
+    }
+
+    #[test]
+    fn granule_space_enumerations_cover_all_blocks() {
+        let (u, _, _, objects, data, _, _) = small_universe();
+        let objs = all_obj_granules(&u);
+        // 2 declared objects + 1 class residue + anon = 4.
+        assert_eq!(objs.len(), 4);
+        assert!(objs.contains(&ObjGranule::ClassRest(objects)));
+        assert!(objs.contains(&ObjGranule::Anon));
+
+        let mas = all_method_arg_granules(&u);
+        // W: (no named data values) 1 residue pair; OW: 1 pair; Other: 1.
+        assert_eq!(mas.len(), 3);
+        assert!(mas.contains(&(MethodGranule::Other, ArgGranule::AnyArg)));
+        assert!(mas.iter().any(|(_, a)| *a == ArgGranule::DataRest(data)));
+    }
+
+    #[test]
+    fn every_enumerated_granule_is_valid() {
+        let (u, _, _, _, _, _, _) = small_universe();
+        for caller in all_obj_granules(&u) {
+            for callee in all_obj_granules(&u) {
+                for (m, a) in all_method_arg_granules(&u) {
+                    let g = EventGranule::new(caller, callee, m, a);
+                    let both_named_same = matches!(
+                        (caller, callee),
+                        (ObjGranule::Named(x), ObjGranule::Named(y)) if x == y
+                    );
+                    assert_eq!(g.is_valid(&u), !both_named_same);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (u, o, c, _, _, _, ow) = small_universe();
+        let g = EventGranule::new(
+            ObjGranule::Named(c),
+            ObjGranule::Named(o),
+            MethodGranule::Named(ow),
+            ArgGranule::None,
+        );
+        assert_eq!(g.display(&u), "⟨c,o,OW⟩");
+    }
+}

@@ -1,0 +1,46 @@
+//! Symbolic alphabets over infinite universes of objects, methods and data.
+//!
+//! The formalism of Johnsen & Owe (2002) works with **infinite** alphabets:
+//! Def. 1 requires the alphabet of every specification to be an infinite set
+//! of events, because the communication environment of an open system is
+//! unbounded.  Internal-event sets such as `I(o₁,o₂)` (Def. 3) range over
+//! *all* methods, including methods no specification ever names ("we hide
+//! more than we can see").  A faithful executable rendition therefore needs
+//! a representation of infinite event sets on which union, difference,
+//! intersection, subset, emptiness and infinity are **exact and decidable**.
+//!
+//! This crate provides that representation:
+//!
+//! * a frozen [`Universe`] declares the named objects,
+//!   disjoint (possibly infinite) object classes, methods with signatures,
+//!   and data classes that a family of specifications may mention, plus
+//!   *witness* inhabitants of the infinite residues used for finitization;
+//! * the universe induces a finite **granule partition** of each dimension
+//!   (module [`granule`]): every named object is a singleton granule, every
+//!   infinite class contributes a residue granule "class minus its named
+//!   members", and the anonymous environment `Obj ∖ (named ∪ classes)` is
+//!   one more infinite granule — likewise for methods and data;
+//! * an [`EventSet`] is a canonical finite set of *event
+//!   granules* (caller × callee × method × argument), closed under the exact
+//!   Boolean algebra (module [`set`]);
+//! * module [`internal`] constructs the paper's derived sets: `α_o`,
+//!   `I(o,o′)`, `I(S)`, `I(S₁,S₂)` and the Def.-1 admissible alphabet of an
+//!   object set.
+//!
+//! Because distinct granules denote disjoint non-empty sets of concrete
+//! events, the granule algebra is not an approximation: it computes with
+//! exactly the sets the paper manipulates.
+
+pub mod display;
+pub mod granule;
+pub mod internal;
+pub mod pattern;
+pub mod set;
+pub mod universe;
+
+pub use display::{display_event, display_trace, EventDisplay, TraceDisplay};
+pub use granule::{ArgGranule, EventGranule, MethodGranule, ObjGranule};
+pub use internal::{admissible_alphabet, alpha_object, internal_between, internal_of_pair, internal_of_set};
+pub use pattern::{ArgSpec, EventPattern, ObjSpec};
+pub use set::EventSet;
+pub use universe::{Universe, UniverseBuilder, UniverseError};

@@ -1,0 +1,262 @@
+//! A convenient pattern layer for writing alphabets the way the paper does.
+//!
+//! Alphabets in the paper are written as comprehensions such as
+//!
+//! ```text
+//! α(Read) ≜ {⟨x, o, R(d)⟩ | x ∈ Objects ∧ d ∈ Data}
+//! ```
+//!
+//! An [`EventPattern`] captures one such comprehension; it *normalizes* to
+//! the exact granule representation ([`crate::set::EventSet`]) of the
+//! denoted set.  The pattern layer is sugar only — all reasoning happens on
+//! granule sets.
+
+use crate::granule::{all_method_arg_granules, all_obj_granules, ArgGranule, EventGranule, MethodGranule, ObjGranule};
+use crate::set::EventSet;
+use crate::universe::{MethodSig, Universe};
+use pospec_trace::{ClassId, DataId, MethodId, ObjectId};
+use std::sync::Arc;
+
+/// An object position of a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjSpec {
+    /// Exactly this object.  A witness identity denotes its whole residue
+    /// granule (single witnesses are not symbolically expressible).
+    Id(ObjectId),
+    /// Any member of the class — its named members and its residue.
+    Class(ClassId),
+    /// Any object whatsoever.
+    Any,
+}
+
+impl ObjSpec {
+    fn expand(self, u: &Universe) -> Vec<ObjGranule> {
+        match self {
+            ObjSpec::Id(o) => vec![ObjGranule::of(u, o)],
+            ObjSpec::Class(c) => {
+                let mut v: Vec<ObjGranule> =
+                    u.declared_members(c).map(ObjGranule::Named).collect();
+                v.push(ObjGranule::ClassRest(c));
+                v
+            }
+            ObjSpec::Any => all_obj_granules(u),
+        }
+    }
+}
+
+impl From<ObjectId> for ObjSpec {
+    fn from(o: ObjectId) -> Self {
+        ObjSpec::Id(o)
+    }
+}
+impl From<ClassId> for ObjSpec {
+    fn from(c: ClassId) -> Self {
+        ObjSpec::Class(c)
+    }
+}
+
+/// The argument position of a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArgSpec {
+    /// Whatever the method's signature admits: no argument for a
+    /// parameterless method, all values of the class for a parameterised
+    /// one.  This is the comprehension `d ∈ Data` of the paper.
+    #[default]
+    Auto,
+    /// Exactly this named data value.
+    Value(DataId),
+    /// No argument (only parameterless methods match).
+    None,
+}
+
+/// One alphabet comprehension `⟨caller, callee, m(arg)⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventPattern {
+    /// Caller position.
+    pub caller: ObjSpec,
+    /// Callee position.
+    pub callee: ObjSpec,
+    /// Method: `Some(m)` for a named method, `None` for "any method
+    /// whatsoever" (used when describing full object alphabets).
+    pub method: Option<MethodId>,
+    /// Argument position.
+    pub arg: ArgSpec,
+}
+
+impl EventPattern {
+    /// `⟨caller, callee, m(·)⟩` with the signature-driven argument
+    /// comprehension.
+    pub fn call(caller: impl Into<ObjSpec>, callee: impl Into<ObjSpec>, method: MethodId) -> Self {
+        EventPattern { caller: caller.into(), callee: callee.into(), method: Some(method), arg: ArgSpec::Auto }
+    }
+
+    /// `⟨caller, callee, m(d)⟩` for one specific data value.
+    pub fn call_value(
+        caller: impl Into<ObjSpec>,
+        callee: impl Into<ObjSpec>,
+        method: MethodId,
+        d: DataId,
+    ) -> Self {
+        EventPattern { caller: caller.into(), callee: callee.into(), method: Some(method), arg: ArgSpec::Value(d) }
+    }
+
+    /// `⟨caller, callee, m⟩` over **every** method (declared or not) —
+    /// the shape of the internal-event sets of Def. 3.
+    pub fn any_method(caller: impl Into<ObjSpec>, callee: impl Into<ObjSpec>) -> Self {
+        EventPattern { caller: caller.into(), callee: callee.into(), method: None, arg: ArgSpec::Auto }
+    }
+
+    fn method_arg_granules(&self, u: &Universe) -> Vec<(MethodGranule, ArgGranule)> {
+        match self.method {
+            None => all_method_arg_granules(u),
+            Some(m) => match u.method_sig(m) {
+                MethodSig::None => vec![(MethodGranule::Named(m), ArgGranule::None)],
+                MethodSig::Data(c) => match self.arg {
+                    ArgSpec::Value(d) => vec![(MethodGranule::Named(m), ArgGranule::NamedData(d))],
+                    ArgSpec::None => vec![],
+                    ArgSpec::Auto => {
+                        let mut v: Vec<(MethodGranule, ArgGranule)> = u
+                            .declared_data_in(c)
+                            .map(|d| (MethodGranule::Named(m), ArgGranule::NamedData(d)))
+                            .collect();
+                        v.push((MethodGranule::Named(m), ArgGranule::DataRest(c)));
+                        v
+                    }
+                },
+            },
+        }
+    }
+
+    /// Normalize to the exact granule set.
+    pub fn to_set(&self, u: &Arc<Universe>) -> EventSet {
+        let callers = self.caller.expand(u);
+        let callees = self.callee.expand(u);
+        let mas = self.method_arg_granules(u);
+        let mut granules = Vec::new();
+        for &cr in &callers {
+            for &ce in &callees {
+                for &(m, a) in &mas {
+                    granules.push(EventGranule::new(cr, ce, m, a));
+                }
+            }
+        }
+        EventSet::from_granules(u, granules)
+    }
+}
+
+/// Union of several patterns — the usual shape of a specification alphabet.
+pub fn patterns_to_set(u: &Arc<Universe>, patterns: &[EventPattern]) -> EventSet {
+    patterns
+        .iter()
+        .fold(EventSet::empty(u), |acc, p| acc.union(&p.to_set(u)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseBuilder;
+    use pospec_trace::Event;
+
+    struct Fix {
+        u: Arc<Universe>,
+        o: ObjectId,
+        c: ObjectId,
+        objects: ClassId,
+        data: ClassId,
+        r: MethodId,
+        ow: MethodId,
+        d1: DataId,
+    }
+
+    fn fix() -> Fix {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let data = b.data_class("Data").unwrap();
+        let o = b.object("o").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let r = b.method_with("R", data).unwrap();
+        let ow = b.method("OW").unwrap();
+        let d1 = b.data_value("d1", data).unwrap();
+        b.class_witnesses(objects, 2).unwrap();
+        b.anon_witnesses(1).unwrap();
+        b.method_witnesses(1).unwrap();
+        b.data_witnesses(data, 1).unwrap();
+        Fix { u: b.freeze(), o, c, objects, data, r, ow, d1 }
+    }
+
+    #[test]
+    fn read_alphabet_of_example_1() {
+        // α(Read) = {⟨x, o, R(d)⟩ | x ∈ Objects, d ∈ Data}.
+        let f = fix();
+        let alpha = EventPattern::call(f.objects, f.o, f.r).to_set(&f.u);
+        assert!(alpha.is_infinite());
+        let wit = f.u.class_witnesses(f.objects).next().unwrap();
+        let dwit = f.u.data_witnesses(f.data).next().unwrap();
+        assert!(alpha.contains(&Event::call_with(wit, f.o, f.r, dwit)));
+        assert!(alpha.contains(&Event::call_with(f.c, f.o, f.r, f.d1)));
+        // o never calls R in this alphabet.
+        assert!(!alpha.contains(&Event::call_with(f.o, f.c, f.r, f.d1)));
+        // OW is not in α(Read).
+        assert!(!alpha.contains(&Event::call(f.c, f.o, f.ow)));
+        // Anonymous callers are outside Objects.
+        let anon = f.u.anon_witnesses().next().unwrap();
+        assert!(!alpha.contains(&Event::call_with(anon, f.o, f.r, f.d1)));
+    }
+
+    #[test]
+    fn class_spec_includes_named_members_and_residue() {
+        let f = fix();
+        let set = EventPattern::call(f.objects, f.o, f.ow).to_set(&f.u);
+        // Granules: caller ∈ {c, Objects∖named} → two granules.
+        assert_eq!(set.granule_count(), 2);
+        assert!(set.contains(&Event::call(f.c, f.o, f.ow)));
+    }
+
+    #[test]
+    fn specific_value_pattern_is_finite() {
+        let f = fix();
+        let set = EventPattern::call_value(f.c, f.o, f.r, f.d1).to_set(&f.u);
+        assert!(!set.is_infinite());
+        assert_eq!(set.enumerate_concrete().len(), 1);
+    }
+
+    #[test]
+    fn any_method_pattern_covers_undeclared_methods() {
+        let f = fix();
+        let set = EventPattern::any_method(f.c, f.o).to_set(&f.u);
+        let fresh = f.u.method_witnesses().next().unwrap();
+        assert!(set.contains(&Event::call(f.c, f.o, fresh)));
+        assert!(set.contains(&Event::call(f.c, f.o, f.ow)));
+        assert!(set.contains(&Event::call_with(f.c, f.o, f.r, f.d1)));
+        assert!(!set.contains(&Event::call(f.o, f.c, f.ow)), "direction matters");
+    }
+
+    #[test]
+    fn arg_none_on_parameterised_method_denotes_empty() {
+        let f = fix();
+        let p = EventPattern {
+            caller: ObjSpec::Id(f.c),
+            callee: ObjSpec::Id(f.o),
+            method: Some(f.r),
+            arg: ArgSpec::None,
+        };
+        assert!(p.to_set(&f.u).is_empty());
+    }
+
+    #[test]
+    fn union_of_patterns_matches_manual_union() {
+        let f = fix();
+        let a = EventPattern::call(f.objects, f.o, f.ow);
+        let b = EventPattern::call(f.objects, f.o, f.r);
+        let joint = patterns_to_set(&f.u, &[a, b]);
+        assert!(joint.set_eq(&a.to_set(&f.u).union(&b.to_set(&f.u))));
+    }
+
+    #[test]
+    fn any_object_spec_covers_anonymous_environment() {
+        let f = fix();
+        let set = EventPattern::call(ObjSpec::Any, f.o, f.ow).to_set(&f.u);
+        let anon = f.u.anon_witnesses().next().unwrap();
+        assert!(set.contains(&Event::call(anon, f.o, f.ow)));
+    }
+}

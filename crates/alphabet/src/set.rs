@@ -1,0 +1,394 @@
+//! Exact symbolic event sets as canonical granule sets.
+//!
+//! An [`EventSet`] denotes a (usually infinite) set of concrete
+//! communication events as a finite union of [`EventGranule`]s.  Because
+//! the granules of a frozen universe partition the event space, the
+//! Boolean operations, the subset test, the emptiness test and the
+//! infinity test below are all **exact** — no approximation is involved.
+//! This is what makes the side conditions of the paper (Def. 1
+//! well-formedness, Def. 2 condition 2, Def. 10 composability, Def. 14
+//! properness) decidable in this implementation.
+
+use crate::granule::{all_method_arg_granules, all_obj_granules, EventGranule, ObjGranule};
+use crate::universe::Universe;
+use pospec_trace::{Event, EventFilter, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A symbolic set of communication events over a frozen universe.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct EventSet {
+    #[serde(skip, default = "unset_universe")]
+    universe: Arc<Universe>,
+    granules: BTreeSet<EventGranule>,
+}
+
+fn unset_universe() -> Arc<Universe> {
+    crate::universe::UniverseBuilder::new().freeze()
+}
+
+impl EventSet {
+    /// The empty set over `u`.
+    pub fn empty(u: &Arc<Universe>) -> Self {
+        EventSet { universe: Arc::clone(u), granules: BTreeSet::new() }
+    }
+
+    /// The set of **all** observable events over `u` (every well-formed
+    /// granule): the union of `α_o` over all objects, including the open
+    /// environment's events among themselves.
+    pub fn universal(u: &Arc<Universe>) -> Self {
+        let mut granules = BTreeSet::new();
+        for caller in all_obj_granules(u) {
+            for callee in all_obj_granules(u) {
+                for (m, a) in all_method_arg_granules(u) {
+                    let g = EventGranule::new(caller, callee, m, a);
+                    if g.is_valid(u) {
+                        granules.insert(g);
+                    }
+                }
+            }
+        }
+        EventSet { universe: Arc::clone(u), granules }
+    }
+
+    /// Build from granules, dropping any that are not well-formed.
+    pub fn from_granules(
+        u: &Arc<Universe>,
+        granules: impl IntoIterator<Item = EventGranule>,
+    ) -> Self {
+        let granules = granules.into_iter().filter(|g| g.is_valid(u)).collect();
+        EventSet { universe: Arc::clone(u), granules }
+    }
+
+    /// The universe this set lives over.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.universe
+    }
+
+    fn assert_same_universe(&self, other: &EventSet) {
+        assert_eq!(
+            self.universe.uid(),
+            other.universe.uid(),
+            "event sets from different universes cannot be combined"
+        );
+    }
+
+    /// Number of granules (not of events!).
+    pub fn granule_count(&self) -> usize {
+        self.granules.len()
+    }
+
+    /// Iterate over the granules.
+    pub fn granules(&self) -> impl Iterator<Item = &EventGranule> + '_ {
+        self.granules.iter()
+    }
+
+    /// Is the denoted set empty?
+    pub fn is_empty(&self) -> bool {
+        self.granules.is_empty()
+    }
+
+    /// Is the denoted set infinite?  (Def. 1 requires specification
+    /// alphabets to be infinite.)
+    pub fn is_infinite(&self) -> bool {
+        self.granules.iter().any(|g| g.is_infinite())
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &EventSet) -> EventSet {
+        self.assert_same_universe(other);
+        EventSet {
+            universe: Arc::clone(&self.universe),
+            granules: self.granules.union(&other.granules).copied().collect(),
+        }
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(&self, other: &EventSet) -> EventSet {
+        self.assert_same_universe(other);
+        EventSet {
+            universe: Arc::clone(&self.universe),
+            granules: self.granules.intersection(&other.granules).copied().collect(),
+        }
+    }
+
+    /// `self ∖ other`.
+    pub fn difference(&self, other: &EventSet) -> EventSet {
+        self.assert_same_universe(other);
+        EventSet {
+            universe: Arc::clone(&self.universe),
+            granules: self.granules.difference(&other.granules).copied().collect(),
+        }
+    }
+
+    /// The complement within the universal event set.
+    pub fn complement(&self) -> EventSet {
+        EventSet::universal(&self.universe).difference(self)
+    }
+
+    /// `self ⊆ other` — exact.
+    pub fn is_subset(&self, other: &EventSet) -> bool {
+        self.assert_same_universe(other);
+        self.granules.is_subset(&other.granules)
+    }
+
+    /// `self ∩ other = ∅` — exact.
+    pub fn is_disjoint(&self, other: &EventSet) -> bool {
+        self.assert_same_universe(other);
+        self.granules.is_disjoint(&other.granules)
+    }
+
+    /// Set equality — exact.
+    pub fn set_eq(&self, other: &EventSet) -> bool {
+        self.assert_same_universe(other);
+        self.granules == other.granules
+    }
+
+    /// Does the set contain the concrete event?
+    pub fn contains(&self, e: &Event) -> bool {
+        self.granules.contains(&EventGranule::of_event(&self.universe, e))
+    }
+
+    /// Does any granule of the set involve `o` as a *named* endpoint?
+    pub fn mentions_object(&self, o: ObjectId) -> bool {
+        self.granules.iter().any(|g| g.involves_named(o))
+    }
+
+    /// The named objects occurring as endpoints of granules in the set.
+    pub fn named_endpoints(&self) -> BTreeSet<ObjectId> {
+        let mut out = BTreeSet::new();
+        for g in &self.granules {
+            if let ObjGranule::Named(o) = g.caller {
+                out.insert(o);
+            }
+            if let ObjGranule::Named(o) = g.callee {
+                out.insert(o);
+            }
+        }
+        out
+    }
+
+    /// Enumerate the concrete events realisable with the universe's
+    /// witnesses.  Exact for finite sets; a finite sample for infinite
+    /// ones.  The result is sorted and duplicate-free.
+    pub fn enumerate_concrete(&self) -> Vec<Event> {
+        let mut out: Vec<Event> = self
+            .granules
+            .iter()
+            .flat_map(|g| g.concrete_events(&self.universe))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Keep only the granules satisfying a predicate.
+    pub fn filter_granules(&self, mut keep: impl FnMut(&EventGranule) -> bool) -> EventSet {
+        EventSet {
+            universe: Arc::clone(&self.universe),
+            granules: self.granules.iter().filter(|g| keep(g)).copied().collect(),
+        }
+    }
+
+    /// Render with universe names.
+    pub fn display(&self) -> String {
+        let items: Vec<String> = self.granules.iter().map(|g| g.display(&self.universe)).collect();
+        format!("{{{}}}", items.join(", "))
+    }
+}
+
+impl PartialEq for EventSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.universe.uid() == other.universe.uid() && self.granules == other.granules
+    }
+}
+impl Eq for EventSet {}
+
+impl fmt::Debug for EventSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EventSet{}", self.display())
+    }
+}
+
+impl EventFilter for EventSet {
+    fn contains_event(&self, e: &Event) -> bool {
+        self.contains(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::granule::{ArgGranule, MethodGranule, ObjGranule};
+    use crate::universe::UniverseBuilder;
+    use pospec_trace::MethodId;
+
+    struct Fix {
+        u: Arc<Universe>,
+        o: ObjectId,
+        c: ObjectId,
+        objects: pospec_trace::ClassId,
+        r: MethodId,
+        ow: MethodId,
+    }
+
+    fn fix() -> Fix {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let data = b.data_class("Data").unwrap();
+        let o = b.object("o").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let r = b.method_with("R", data).unwrap();
+        let ow = b.method("OW").unwrap();
+        b.class_witnesses(objects, 2).unwrap();
+        b.anon_witnesses(1).unwrap();
+        b.method_witnesses(1).unwrap();
+        b.data_witnesses(data, 1).unwrap();
+        Fix { u: b.freeze(), o, c, objects, r, ow }
+    }
+
+    fn calls_to_o(f: &Fix) -> EventSet {
+        // {⟨x, o, OW⟩ | x ∈ Objects} — including the named member c.
+        EventSet::from_granules(
+            &f.u,
+            [
+                EventGranule::new(
+                    ObjGranule::ClassRest(f.objects),
+                    ObjGranule::Named(f.o),
+                    MethodGranule::Named(f.ow),
+                    ArgGranule::None,
+                ),
+                EventGranule::new(
+                    ObjGranule::Named(f.c),
+                    ObjGranule::Named(f.o),
+                    MethodGranule::Named(f.ow),
+                    ArgGranule::None,
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn empty_and_universal() {
+        let f = fix();
+        let e = EventSet::empty(&f.u);
+        let uni = EventSet::universal(&f.u);
+        assert!(e.is_empty());
+        assert!(!uni.is_empty());
+        assert!(uni.is_infinite());
+        assert!(e.is_subset(&uni));
+        assert!(uni.complement().is_empty());
+        assert!(e.complement().set_eq(&uni));
+    }
+
+    #[test]
+    fn invalid_granules_are_pruned_on_construction() {
+        let f = fix();
+        let s = EventSet::from_granules(
+            &f.u,
+            [EventGranule::new(
+                ObjGranule::Named(f.o),
+                ObjGranule::Named(f.o),
+                MethodGranule::Named(f.ow),
+                ArgGranule::None,
+            )],
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn boolean_algebra_laws_on_concrete_sets() {
+        let f = fix();
+        let a = calls_to_o(&f);
+        let uni = EventSet::universal(&f.u);
+        let b = uni.filter_granules(|g| g.callee == ObjGranule::Named(f.o));
+        assert!(a.is_subset(&b));
+        assert!(a.intersect(&b).set_eq(&a));
+        assert!(a.union(&b).set_eq(&b));
+        assert!(a.difference(&b).is_empty());
+        assert!(!b.difference(&a).is_empty());
+        // De Morgan on granule sets.
+        assert!(a
+            .union(&b)
+            .complement()
+            .set_eq(&a.complement().intersect(&b.complement())));
+    }
+
+    #[test]
+    fn membership_follows_granules() {
+        let f = fix();
+        let s = calls_to_o(&f);
+        let wit = f.u.class_witnesses(f.objects).next().unwrap();
+        assert!(s.contains(&Event::call(wit, f.o, f.ow)));
+        assert!(s.contains(&Event::call(f.c, f.o, f.ow)));
+        // Anonymous callers are not in Objects.
+        let anon = f.u.anon_witnesses().next().unwrap();
+        assert!(!s.contains(&Event::call(anon, f.o, f.ow)));
+        // Wrong direction.
+        assert!(!s.contains(&Event::call(f.o, f.c, f.ow)));
+        // Wrong method.
+        let dwit = f.u.data_witnesses(f.u.class_by_name("Data").unwrap()).next().unwrap();
+        assert!(!s.contains(&Event::call_with(f.c, f.o, f.r, dwit)));
+    }
+
+    #[test]
+    fn infinity_detection() {
+        let f = fix();
+        let s = calls_to_o(&f);
+        assert!(s.is_infinite(), "Objects residue makes it infinite");
+        let finite = EventSet::from_granules(
+            &f.u,
+            [EventGranule::new(
+                ObjGranule::Named(f.c),
+                ObjGranule::Named(f.o),
+                MethodGranule::Named(f.ow),
+                ArgGranule::None,
+            )],
+        );
+        assert!(!finite.is_infinite());
+    }
+
+    #[test]
+    fn enumeration_uses_witnesses() {
+        let f = fix();
+        let s = calls_to_o(&f);
+        let evs = s.enumerate_concrete();
+        // 2 class witnesses + named c as callers, all calling o.
+        assert_eq!(evs.len(), 3);
+        for e in &evs {
+            assert_eq!(e.callee, f.o);
+            assert_eq!(e.method, f.ow);
+        }
+    }
+
+    #[test]
+    fn named_endpoints_and_mentions() {
+        let f = fix();
+        let s = calls_to_o(&f);
+        assert!(s.mentions_object(f.o));
+        assert!(s.mentions_object(f.c));
+        let eps = s.named_endpoints();
+        assert!(eps.contains(&f.o) && eps.contains(&f.c));
+        assert_eq!(eps.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn cross_universe_ops_panic() {
+        let f1 = fix();
+        let f2 = fix();
+        let a = EventSet::empty(&f1.u);
+        let b = EventSet::empty(&f2.u);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    fn event_filter_impl_agrees_with_contains() {
+        let f = fix();
+        let s = calls_to_o(&f);
+        let e = Event::call(f.c, f.o, f.ow);
+        assert_eq!(s.contains(&e), pospec_trace::EventFilter::contains_event(&s, &e));
+    }
+}

@@ -1,0 +1,608 @@
+//! The frozen symbol universe underlying a family of specifications.
+//!
+//! A [`Universe`] declares, once and for all, the *named* symbols a family
+//! of specifications may mention: object identities, infinite object
+//! classes (the paper's sorts like `Objects ⊆ Obj`), method names with
+//! their signatures, data classes and named data values.  The object,
+//! method and data spaces themselves remain **infinite**: beyond the
+//! declared symbols there are always "fresh" objects (the open
+//! environment), undeclared methods (ranged over by the internal-event
+//! sets of Def. 3) and further data values.
+//!
+//! Freezing matters: the granule partition of `pospec_alphabet::granule`
+//! is computed relative to the declared symbols, so all [`EventSet`](crate::set::EventSet)s
+//! built against the same frozen universe are directly
+//! comparable.  Specifications that must be *related* (refined, composed)
+//! therefore share one universe — this mirrors the paper, where all
+//! specifications implicitly live over the same `Obj`/`Mtd`/`Data` sorts.
+//!
+//! **Witnesses.**  For model checking we must exhibit concrete inhabitants
+//! of the infinite residues ("some object of `Objects` other than the named
+//! ones", "some fresh method", …).  A universe may declare *witness*
+//! symbols for this purpose.  Witnesses are deliberately excluded from the
+//! granule partition — a witness of class `C` inhabits the residue granule
+//! `C ∖ named(C)` rather than forming a singleton granule — so adding
+//! witnesses never changes the meaning of any symbolic set, only the
+//! ability to enumerate samples from it.
+
+use pospec_trace::{ClassId, DataId, MethodId, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Whether a class classifies objects or data values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassKind {
+    /// A sort of object identities (e.g. the paper's `Objects`).
+    Object,
+    /// A sort of data values (e.g. the paper's `Data`).
+    Data,
+}
+
+/// How an object (or data value / method) participates in the partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// A declared, named symbol: forms its own singleton granule.
+    Declared,
+    /// A witness inhabitant of an infinite residue granule; used only for
+    /// finitization/enumeration, invisible to the symbolic algebra.
+    Witness,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ObjectDef {
+    pub name: String,
+    pub class: Option<ClassId>,
+    pub role: Role,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ClassDef {
+    pub name: String,
+    pub kind: ClassKind,
+}
+
+/// The signature of a method: either parameterless or carrying one value
+/// of a declared data class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodSig {
+    /// No parameter (e.g. `OW`, `CW`, `OK`).
+    None,
+    /// One parameter drawn from the given data class (e.g. `W(d)`,
+    /// `d ∈ Data`).
+    Data(ClassId),
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct MethodDef {
+    pub name: String,
+    pub sig: MethodSig,
+    pub role: Role,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct DataDef {
+    pub name: String,
+    pub class: ClassId,
+    pub role: Role,
+}
+
+/// Errors raised while declaring symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UniverseError {
+    /// The name is already taken within its namespace.
+    DuplicateName(String),
+    /// A class id was used with the wrong kind (object vs data).
+    WrongClassKind { class: String, expected: ClassKind },
+    /// An unknown class id.
+    UnknownClass(ClassId),
+}
+
+impl fmt::Display for UniverseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UniverseError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            UniverseError::WrongClassKind { class, expected } => {
+                write!(f, "class `{class}` is not a {expected:?} class")
+            }
+            UniverseError::UnknownClass(c) => write!(f, "unknown class {c}"),
+        }
+    }
+}
+
+impl std::error::Error for UniverseError {}
+
+static UNIVERSE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A frozen symbol table; see the module documentation.
+///
+/// Constructed via [`UniverseBuilder`]; shared as `Arc<Universe>` by every
+/// event set and specification built over it.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Universe {
+    /// Unique identity used to reject cross-universe set operations.
+    uid: u64,
+    objects: Vec<ObjectDef>,
+    classes: Vec<ClassDef>,
+    methods: Vec<MethodDef>,
+    data: Vec<DataDef>,
+    object_names: HashMap<String, ObjectId>,
+    class_names: HashMap<String, ClassId>,
+    method_names: HashMap<String, MethodId>,
+    data_names: HashMap<String, DataId>,
+}
+
+impl Universe {
+    /// The unique identity of this universe instance.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// All declared (non-witness) object identities.
+    pub fn declared_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.role == Role::Declared)
+            .map(|(i, _)| ObjectId::from_index(i))
+    }
+
+    /// All object classes.
+    pub fn object_classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == ClassKind::Object)
+            .map(|(i, _)| ClassId::from_index(i))
+    }
+
+    /// All data classes.
+    pub fn data_classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == ClassKind::Data)
+            .map(|(i, _)| ClassId::from_index(i))
+    }
+
+    /// All declared (non-witness) method names.
+    pub fn declared_methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.methods
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.role == Role::Declared)
+            .map(|(i, _)| MethodId::from_index(i))
+    }
+
+    /// All declared data values of a class.
+    pub fn declared_data_in(&self, class: ClassId) -> impl Iterator<Item = DataId> + '_ {
+        self.data
+            .iter()
+            .enumerate()
+            .filter(move |(_, d)| d.role == Role::Declared && d.class == class)
+            .map(|(i, _)| DataId::from_index(i))
+    }
+
+    /// The declared members of an object class (witnesses excluded).
+    pub fn declared_members(&self, class: ClassId) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(move |(_, d)| d.role == Role::Declared && d.class == Some(class))
+            .map(|(i, _)| ObjectId::from_index(i))
+    }
+
+    /// The witness inhabitants of an object class residue.
+    pub fn class_witnesses(&self, class: ClassId) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(move |(_, d)| d.role == Role::Witness && d.class == Some(class))
+            .map(|(i, _)| ObjectId::from_index(i))
+    }
+
+    /// The witness inhabitants of the anonymous environment
+    /// `Obj ∖ (named ∪ classes)`.
+    pub fn anon_witnesses(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.role == Role::Witness && d.class.is_none())
+            .map(|(i, _)| ObjectId::from_index(i))
+    }
+
+    /// The witness inhabitants of the fresh-method residue.
+    pub fn method_witnesses(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.methods
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.role == Role::Witness)
+            .map(|(i, _)| MethodId::from_index(i))
+    }
+
+    /// The witness inhabitants of a data-class residue.
+    pub fn data_witnesses(&self, class: ClassId) -> impl Iterator<Item = DataId> + '_ {
+        self.data
+            .iter()
+            .enumerate()
+            .filter(move |(_, d)| d.role == Role::Witness && d.class == class)
+            .map(|(i, _)| DataId::from_index(i))
+    }
+
+    /// The class a declared or witness object belongs to, if any.
+    pub fn class_of_object(&self, o: ObjectId) -> Option<ClassId> {
+        self.objects[o.index()].class
+    }
+
+    /// The role (declared vs witness) of an object.
+    pub fn object_role(&self, o: ObjectId) -> Role {
+        self.objects[o.index()].role
+    }
+
+    /// The role of a method.
+    pub fn method_role(&self, m: MethodId) -> Role {
+        self.methods[m.index()].role
+    }
+
+    /// The role of a data value.
+    pub fn data_role(&self, d: DataId) -> Role {
+        self.data[d.index()].role
+    }
+
+    /// The class of a data value.
+    pub fn class_of_data(&self, d: DataId) -> ClassId {
+        self.data[d.index()].class
+    }
+
+    /// The signature of a method.
+    pub fn method_sig(&self, m: MethodId) -> MethodSig {
+        self.methods[m.index()].sig
+    }
+
+    /// The kind (object/data) of a class.
+    pub fn class_kind(&self, c: ClassId) -> ClassKind {
+        self.classes[c.index()].kind
+    }
+
+    /// Human-readable names.
+    pub fn object_name(&self, o: ObjectId) -> &str {
+        &self.objects[o.index()].name
+    }
+    /// The name of a method.
+    pub fn method_name(&self, m: MethodId) -> &str {
+        &self.methods[m.index()].name
+    }
+    /// The name of a class.
+    pub fn class_name(&self, c: ClassId) -> &str {
+        &self.classes[c.index()].name
+    }
+    /// The name of a data value.
+    pub fn data_name(&self, d: DataId) -> &str {
+        &self.data[d.index()].name
+    }
+
+    /// Look up a declared or witness object by name.
+    pub fn object_by_name(&self, name: &str) -> Option<ObjectId> {
+        self.object_names.get(name).copied()
+    }
+    /// Look up a method by name.
+    pub fn method_by_name(&self, name: &str) -> Option<MethodId> {
+        self.method_names.get(name).copied()
+    }
+    /// Look up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.class_names.get(name).copied()
+    }
+    /// Look up a data value by name.
+    pub fn data_by_name(&self, name: &str) -> Option<DataId> {
+        self.data_names.get(name).copied()
+    }
+
+    /// Number of object symbols (declared + witnesses).
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+    /// Number of method symbols (declared + witnesses).
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+    /// Number of data symbols (declared + witnesses).
+    pub fn data_count(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Mutable builder; [`UniverseBuilder::freeze`] yields the immutable
+/// shareable [`Universe`].
+#[derive(Debug, Default)]
+pub struct UniverseBuilder {
+    objects: Vec<ObjectDef>,
+    classes: Vec<ClassDef>,
+    methods: Vec<MethodDef>,
+    data: Vec<DataDef>,
+    object_names: HashMap<String, ObjectId>,
+    class_names: HashMap<String, ClassId>,
+    method_names: HashMap<String, MethodId>,
+    data_names: HashMap<String, DataId>,
+}
+
+impl UniverseBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fresh_object(&mut self, name: &str, class: Option<ClassId>, role: Role) -> Result<ObjectId, UniverseError> {
+        if self.object_names.contains_key(name) {
+            return Err(UniverseError::DuplicateName(name.to_string()));
+        }
+        let id = ObjectId::from_index(self.objects.len());
+        self.objects.push(ObjectDef { name: name.to_string(), class, role });
+        self.object_names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn check_class(&self, c: ClassId, expected: ClassKind) -> Result<(), UniverseError> {
+        let def = self.classes.get(c.index()).ok_or(UniverseError::UnknownClass(c))?;
+        if def.kind != expected {
+            return Err(UniverseError::WrongClassKind { class: def.name.clone(), expected });
+        }
+        Ok(())
+    }
+
+    /// Declare a named object outside all classes (like the paper's `o`,
+    /// explicitly excluded from `Objects`).
+    pub fn object(&mut self, name: &str) -> Result<ObjectId, UniverseError> {
+        self.fresh_object(name, None, Role::Declared)
+    }
+
+    /// Declare a named object as a member of an object class (like the
+    /// client `c ∈ Objects` of Example 4).
+    pub fn object_in(&mut self, name: &str, class: ClassId) -> Result<ObjectId, UniverseError> {
+        self.check_class(class, ClassKind::Object)?;
+        self.fresh_object(name, Some(class), Role::Declared)
+    }
+
+    /// Declare an infinite class of objects (a subtype of `Obj`); classes
+    /// are pairwise disjoint and exclude all objects not declared in them.
+    pub fn object_class(&mut self, name: &str) -> Result<ClassId, UniverseError> {
+        if self.class_names.contains_key(name) {
+            return Err(UniverseError::DuplicateName(name.to_string()));
+        }
+        let id = ClassId::from_index(self.classes.len());
+        self.classes.push(ClassDef { name: name.to_string(), kind: ClassKind::Object });
+        self.class_names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Declare an infinite class of data values (like the paper's `Data`).
+    pub fn data_class(&mut self, name: &str) -> Result<ClassId, UniverseError> {
+        if self.class_names.contains_key(name) {
+            return Err(UniverseError::DuplicateName(name.to_string()));
+        }
+        let id = ClassId::from_index(self.classes.len());
+        self.classes.push(ClassDef { name: name.to_string(), kind: ClassKind::Data });
+        self.class_names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Declare a named data value within a data class.
+    pub fn data_value(&mut self, name: &str, class: ClassId) -> Result<DataId, UniverseError> {
+        self.check_class(class, ClassKind::Data)?;
+        if self.data_names.contains_key(name) {
+            return Err(UniverseError::DuplicateName(name.to_string()));
+        }
+        let id = DataId::from_index(self.data.len());
+        self.data.push(DataDef { name: name.to_string(), class, role: Role::Declared });
+        self.data_names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Declare a parameterless method.
+    pub fn method(&mut self, name: &str) -> Result<MethodId, UniverseError> {
+        self.add_method(name, MethodSig::None, Role::Declared)
+    }
+
+    /// Declare a method carrying one parameter of the given data class.
+    pub fn method_with(&mut self, name: &str, class: ClassId) -> Result<MethodId, UniverseError> {
+        self.check_class(class, ClassKind::Data)?;
+        self.add_method(name, MethodSig::Data(class), Role::Declared)
+    }
+
+    fn add_method(&mut self, name: &str, sig: MethodSig, role: Role) -> Result<MethodId, UniverseError> {
+        if self.method_names.contains_key(name) {
+            return Err(UniverseError::DuplicateName(name.to_string()));
+        }
+        let id = MethodId::from_index(self.methods.len());
+        self.methods.push(MethodDef { name: name.to_string(), sig, role });
+        self.method_names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Add `n` witness objects inhabiting the residue of `class`
+    /// (`class ∖ named(class)`): concrete stand-ins for "any further
+    /// object of the class" used by finitization.
+    pub fn class_witnesses(&mut self, class: ClassId, n: usize) -> Result<Vec<ObjectId>, UniverseError> {
+        self.check_class(class, ClassKind::Object)?;
+        let base = self.classes[class.index()].name.clone();
+        (0..n)
+            .map(|i| {
+                let name = format!("{base}!w{i}");
+                self.fresh_object(&name, Some(class), Role::Witness)
+            })
+            .collect()
+    }
+
+    /// Add `n` witness objects inhabiting the anonymous environment
+    /// (`Obj ∖ (named ∪ classes)`).
+    pub fn anon_witnesses(&mut self, n: usize) -> Result<Vec<ObjectId>, UniverseError> {
+        (0..n)
+            .map(|i| {
+                let name = format!("anon!w{i}");
+                self.fresh_object(&name, None, Role::Witness)
+            })
+            .collect()
+    }
+
+    /// Add `n` witness methods inhabiting the fresh-method residue (the
+    /// undeclared methods ranged over by `I(o,o′)`).  Witness methods are
+    /// parameterless.
+    pub fn method_witnesses(&mut self, n: usize) -> Result<Vec<MethodId>, UniverseError> {
+        (0..n)
+            .map(|i| {
+                let name = format!("mtd!w{i}");
+                self.add_method(&name, MethodSig::None, Role::Witness)
+            })
+            .collect()
+    }
+
+    /// Add `n` witness data values inhabiting the residue of a data class.
+    pub fn data_witnesses(&mut self, class: ClassId, n: usize) -> Result<Vec<DataId>, UniverseError> {
+        self.check_class(class, ClassKind::Data)?;
+        let base = self.classes[class.index()].name.clone();
+        (0..n)
+            .map(|i| {
+                let name = format!("{base}!w{i}");
+                if self.data_names.contains_key(&name) {
+                    return Err(UniverseError::DuplicateName(name));
+                }
+                let id = DataId::from_index(self.data.len());
+                self.data.push(DataDef { name: name.clone(), class, role: Role::Witness });
+                self.data_names.insert(name, id);
+                Ok(id)
+            })
+            .collect()
+    }
+
+    /// Freeze the builder into an immutable shared universe.
+    pub fn freeze(self) -> Arc<Universe> {
+        Arc::new(Universe {
+            uid: UNIVERSE_COUNTER.fetch_add(1, Ordering::Relaxed),
+            objects: self.objects,
+            classes: self.classes,
+            methods: self.methods,
+            data: self.data,
+            object_names: self.object_names,
+            class_names: self.class_names,
+            method_names: self.method_names,
+            data_names: self.data_names,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_and_looks_up_symbols() {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let data = b.data_class("Data").unwrap();
+        let o = b.object("o").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let r = b.method_with("R", data).unwrap();
+        let ow = b.method("OW").unwrap();
+        let d1 = b.data_value("d1", data).unwrap();
+        let u = b.freeze();
+
+        assert_eq!(u.object_by_name("o"), Some(o));
+        assert_eq!(u.object_by_name("c"), Some(c));
+        assert_eq!(u.method_by_name("R"), Some(r));
+        assert_eq!(u.method_by_name("OW"), Some(ow));
+        assert_eq!(u.class_by_name("Objects"), Some(objects));
+        assert_eq!(u.data_by_name("d1"), Some(d1));
+        assert_eq!(u.class_of_object(o), None);
+        assert_eq!(u.class_of_object(c), Some(objects));
+        assert_eq!(u.method_sig(r), MethodSig::Data(data));
+        assert_eq!(u.method_sig(ow), MethodSig::None);
+        assert_eq!(u.object_name(o), "o");
+        assert_eq!(u.class_kind(objects), ClassKind::Object);
+        assert_eq!(u.class_kind(data), ClassKind::Data);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_per_namespace() {
+        let mut b = UniverseBuilder::new();
+        b.object("x").unwrap();
+        assert_eq!(b.object("x").unwrap_err(), UniverseError::DuplicateName("x".into()));
+        // Same name in a different namespace is fine.
+        b.method("x").unwrap();
+        b.object_class("x").unwrap();
+    }
+
+    #[test]
+    fn class_kinds_are_enforced() {
+        let mut b = UniverseBuilder::new();
+        let data = b.data_class("Data").unwrap();
+        let objs = b.object_class("Objects").unwrap();
+        assert!(matches!(
+            b.object_in("y", data),
+            Err(UniverseError::WrongClassKind { .. })
+        ));
+        assert!(matches!(
+            b.method_with("m", objs),
+            Err(UniverseError::WrongClassKind { .. })
+        ));
+        assert!(matches!(
+            b.data_value("d", objs),
+            Err(UniverseError::WrongClassKind { .. })
+        ));
+    }
+
+    #[test]
+    fn witnesses_are_segregated_from_declared_symbols() {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let _o = b.object("o").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let ws = b.class_witnesses(objects, 2).unwrap();
+        let anons = b.anon_witnesses(1).unwrap();
+        let mws = b.method_witnesses(2).unwrap();
+        let u = b.freeze();
+
+        let declared: Vec<_> = u.declared_objects().collect();
+        assert_eq!(declared.len(), 2);
+        assert!(!declared.contains(&ws[0]));
+        let members: Vec<_> = u.declared_members(objects).collect();
+        assert_eq!(members, vec![c]);
+        let class_ws: Vec<_> = u.class_witnesses(objects).collect();
+        assert_eq!(class_ws, ws);
+        let anon_ws: Vec<_> = u.anon_witnesses().collect();
+        assert_eq!(anon_ws, anons);
+        let method_ws: Vec<_> = u.method_witnesses().collect();
+        assert_eq!(method_ws, mws);
+        assert_eq!(u.object_role(ws[0]), Role::Witness);
+        assert_eq!(u.object_role(c), Role::Declared);
+    }
+
+    #[test]
+    fn universes_have_distinct_uids() {
+        let u1 = UniverseBuilder::new().freeze();
+        let u2 = UniverseBuilder::new().freeze();
+        assert_ne!(u1.uid(), u2.uid());
+    }
+
+    #[test]
+    fn data_witnesses_inhabit_their_class() {
+        let mut b = UniverseBuilder::new();
+        let data = b.data_class("Data").unwrap();
+        let named = b.data_value("d0", data).unwrap();
+        let ws = b.data_witnesses(data, 3).unwrap();
+        let u = b.freeze();
+        let declared: Vec<_> = u.declared_data_in(data).collect();
+        assert_eq!(declared, vec![named]);
+        let witnesses: Vec<_> = u.data_witnesses(data).collect();
+        assert_eq!(witnesses, ws);
+        for w in ws {
+            assert_eq!(u.class_of_data(w), data);
+            assert_eq!(u.data_role(w), Role::Witness);
+        }
+    }
+}

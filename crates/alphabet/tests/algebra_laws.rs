@@ -1,0 +1,160 @@
+//! Property-based validation of the granule algebra.
+//!
+//! The exactness claims of the crate rest on two facts: distinct granules
+//! denote disjoint non-empty sets, and every concrete event inhabits
+//! exactly one granule.  These tests probe both, plus the Boolean-algebra
+//! laws, on randomized universes and random granule subsets.
+
+use pospec_alphabet::{
+    admissible_alphabet, internal_of_pair, internal_of_set, EventSet, Universe, UniverseBuilder,
+};
+use pospec_trace::{Event, ObjectId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Build a universe with `n_objs` objects (some in the class), `n_methods`
+/// methods (some parameterised), and witnesses everywhere.
+fn universe(n_objs: usize, n_methods: usize) -> Arc<Universe> {
+    let mut b = UniverseBuilder::new();
+    let cls = b.object_class("C").unwrap();
+    let data = b.data_class("D").unwrap();
+    for i in 0..n_objs {
+        if i % 2 == 0 {
+            b.object(&format!("o{i}")).unwrap();
+        } else {
+            b.object_in(&format!("o{i}"), cls).unwrap();
+        }
+    }
+    for i in 0..n_methods {
+        if i % 2 == 0 {
+            b.method(&format!("m{i}")).unwrap();
+        } else {
+            b.method_with(&format!("m{i}"), data).unwrap();
+        }
+    }
+    b.data_value("d0", data).unwrap();
+    b.class_witnesses(cls, 2).unwrap();
+    b.anon_witnesses(2).unwrap();
+    b.method_witnesses(2).unwrap();
+    b.data_witnesses(data, 2).unwrap();
+    b.freeze()
+}
+
+/// A random subset of the universal granule set, driven by a bitmask seed.
+fn subset(u: &Arc<Universe>, mask: u64) -> EventSet {
+    let mut i = 0u64;
+    EventSet::universal(u).filter_granules(move |_| {
+        i = i.wrapping_add(1);
+        (mask >> (i % 64)) & 1 == 1
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Boolean-algebra laws on random granule subsets.
+    #[test]
+    fn boolean_laws(mask_a in any::<u64>(), mask_b in any::<u64>(), mask_c in any::<u64>()) {
+        let u = universe(3, 3);
+        let a = subset(&u, mask_a);
+        let b = subset(&u, mask_b);
+        let c = subset(&u, mask_c);
+        // Distribution.
+        prop_assert!(a.intersect(&b.union(&c)).set_eq(&a.intersect(&b).union(&a.intersect(&c))));
+        // De Morgan.
+        prop_assert!(a.union(&b).complement().set_eq(&a.complement().intersect(&b.complement())));
+        // Difference decomposition.
+        prop_assert!(a.difference(&b).union(&a.intersect(&b)).set_eq(&a));
+        // Subset is antisymmetric on sets.
+        if a.is_subset(&b) && b.is_subset(&a) {
+            prop_assert!(a.set_eq(&b));
+        }
+        // Complement involution.
+        prop_assert!(a.complement().complement().set_eq(&a));
+    }
+
+    /// Every enumerable concrete event is a member of exactly the sets
+    /// whose granules it inhabits: membership is consistent with the
+    /// Boolean structure.
+    #[test]
+    fn membership_is_boolean_consistent(mask_a in any::<u64>(), mask_b in any::<u64>()) {
+        let u = universe(3, 2);
+        let a = subset(&u, mask_a);
+        let b = subset(&u, mask_b);
+        for e in EventSet::universal(&u).enumerate_concrete().into_iter().take(300) {
+            prop_assert_eq!(a.union(&b).contains(&e), a.contains(&e) || b.contains(&e));
+            prop_assert_eq!(a.intersect(&b).contains(&e), a.contains(&e) && b.contains(&e));
+            prop_assert_eq!(a.difference(&b).contains(&e), a.contains(&e) && !b.contains(&e));
+            prop_assert_eq!(a.complement().contains(&e), !a.contains(&e));
+        }
+    }
+
+    /// Every concrete event over the universe's symbols inhabits exactly
+    /// one granule of the universal set (the partition property).
+    #[test]
+    fn universal_set_partitions_concrete_events(obj_i in 0usize..8, obj_j in 0usize..8, m_i in 0usize..5) {
+        let u = universe(3, 3);
+        let objs: Vec<ObjectId> = (0..u.object_count()).map(ObjectId::from_index).collect();
+        let methods: Vec<_> = (0..u.method_count()).map(pospec_trace::MethodId::from_index).collect();
+        let caller = objs[obj_i % objs.len()];
+        let callee = objs[obj_j % objs.len()];
+        prop_assume!(caller != callee);
+        let method = methods[m_i % methods.len()];
+        // Use an argument consistent with the signature.
+        let arg = match u.method_sig(method) {
+            pospec_alphabet::universe::MethodSig::None => pospec_trace::Arg::None,
+            pospec_alphabet::universe::MethodSig::Data(c) => {
+                pospec_trace::Arg::Data(u.data_witnesses(c).next().unwrap())
+            }
+        };
+        let e = Event::new(caller, callee, method, arg).unwrap();
+        let uni = EventSet::universal(&u);
+        let holders: Vec<_> = uni.granules().filter(|g| g.contains(&u, &e)).collect();
+        prop_assert_eq!(holders.len(), 1, "event {} must inhabit exactly one granule", e);
+        prop_assert!(uni.contains(&e));
+    }
+
+    /// `I` is monotone and symmetric; `admissible_alphabet` never contains
+    /// internal events.
+    #[test]
+    fn internal_event_laws(sel in prop::collection::vec(any::<bool>(), 3)) {
+        let u = universe(3, 2);
+        let declared: Vec<ObjectId> = u.declared_objects().collect();
+        let chosen: BTreeSet<ObjectId> = declared
+            .iter()
+            .zip(sel.iter())
+            .filter(|(_, keep)| **keep)
+            .map(|(o, _)| *o)
+            .collect();
+        let all: BTreeSet<ObjectId> = declared.iter().copied().collect();
+        let i_chosen = internal_of_set(&u, &chosen);
+        let i_all = internal_of_set(&u, &all);
+        prop_assert!(i_chosen.is_subset(&i_all), "I is monotone in the object set");
+        let adm = admissible_alphabet(&u, &chosen);
+        prop_assert!(adm.is_disjoint(&i_chosen), "admissible alphabets exclude internal events");
+        // Pairwise symmetry.
+        for &a in &declared {
+            for &b in &declared {
+                prop_assert!(internal_of_pair(&u, a, b).set_eq(&internal_of_pair(&u, b, a)));
+            }
+        }
+    }
+
+    /// Enumeration is consistent: every enumerated event is a member, and
+    /// enumeration of a union is the union of enumerations.
+    #[test]
+    fn enumeration_consistency(mask_a in any::<u64>(), mask_b in any::<u64>()) {
+        let u = universe(2, 2);
+        let a = subset(&u, mask_a);
+        let b = subset(&u, mask_b);
+        for e in a.enumerate_concrete() {
+            prop_assert!(a.contains(&e));
+        }
+        let mut manual: Vec<Event> = a.enumerate_concrete();
+        manual.extend(b.enumerate_concrete());
+        manual.sort_unstable();
+        manual.dedup();
+        prop_assert_eq!(a.union(&b).enumerate_concrete(), manual);
+    }
+}

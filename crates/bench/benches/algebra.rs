@@ -1,0 +1,150 @@
+//! PERF3 — the exact granule algebra and `prs` membership.
+//!
+//! Ablation 1 of DESIGN.md §6: the granule sets pay a normalization cost
+//! up front to make every Boolean operation and side-condition check
+//! exact; this sweep shows those operations stay microseconds-cheap as
+//! the universe grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pospec_alphabet::{internal_of_set, EventSet, UniverseBuilder};
+use pospec_bench::paper::Paper;
+use pospec_regex::{prs, CompiledRe, Re, Template, VarId};
+use pospec_trace::{Event, ObjectId, Trace};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn universe_with(n_objects: usize) -> (Arc<pospec_alphabet::Universe>, Vec<ObjectId>) {
+    let mut b = UniverseBuilder::new();
+    let env = b.object_class("Env").unwrap();
+    let objs: Vec<ObjectId> =
+        (0..n_objects).map(|i| b.object(&format!("o{i}")).unwrap()).collect();
+    for i in 0..4 {
+        b.method(&format!("m{i}")).unwrap();
+    }
+    b.class_witnesses(env, 2).unwrap();
+    b.method_witnesses(1).unwrap();
+    (b.freeze(), objs)
+}
+
+fn bench_set_operations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algebra/set-ops");
+    for n in [2usize, 4, 8, 16] {
+        let (u, objs) = universe_with(n);
+        let uni = EventSet::universal(&u);
+        let half = uni.filter_granules(|gr| {
+            matches!(gr.caller, pospec_alphabet::ObjGranule::Named(o) if o.0 % 2 == 0)
+        });
+        g.bench_with_input(BenchmarkId::new("union", n), &n, |b, _| {
+            b.iter(|| black_box(&uni).union(black_box(&half)))
+        });
+        g.bench_with_input(BenchmarkId::new("difference", n), &n, |b, _| {
+            b.iter(|| black_box(&uni).difference(black_box(&half)))
+        });
+        g.bench_with_input(BenchmarkId::new("subset", n), &n, |b, _| {
+            b.iter(|| black_box(&half).is_subset(black_box(&uni)))
+        });
+        let _ = objs;
+    }
+    g.finish();
+}
+
+fn bench_internal_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algebra/internal-of-set");
+    for n in [2usize, 4, 8, 16] {
+        let (u, objs) = universe_with(n);
+        let set: BTreeSet<ObjectId> = objs.into_iter().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| internal_of_set(black_box(&u), black_box(&set)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_prs_membership(c: &mut Criterion) {
+    let paper = Paper::new();
+    let x = VarId(0);
+    let re = Re::seq([
+        Re::lit(Template::call(x, paper.o, paper.ow)),
+        Re::lit(Template::call(x, paper.o, paper.w)).star(),
+        Re::lit(Template::call(x, paper.o, paper.cw)),
+    ])
+    .bind(x, paper.objects)
+    .star();
+    let compiled = CompiledRe::new(re.clone());
+    let mut g = c.benchmark_group("algebra/prs-membership");
+    for len in [8usize, 32, 128, 512] {
+        // A long valid trace: repeated complete sessions.
+        let session = [
+            Event::call(paper.c, paper.o, paper.ow),
+            Event::call_with(paper.c, paper.o, paper.w, paper.d0),
+            Event::call(paper.c, paper.o, paper.cw),
+        ];
+        let events: Vec<Event> =
+            session.iter().copied().cycle().take(len).collect();
+        let h = Trace::from_events(events);
+        g.bench_with_input(BenchmarkId::new("compiled", len), &len, |b, _| {
+            b.iter(|| compiled.prs(black_box(&paper.u), black_box(&h)))
+        });
+        g.bench_with_input(BenchmarkId::new("one-shot", len), &len, |b, _| {
+            b.iter(|| prs(black_box(&paper.u), black_box(&h), black_box(&re)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_membership(c: &mut Criterion) {
+    // ABL1 (DESIGN.md §6.1): granule-set membership vs. a naive
+    // pattern-list baseline — the one operation both representations
+    // support.  The granule set pays normalization once at construction;
+    // the naive set re-matches every pattern per query and cannot decide
+    // subset/difference/emptiness at all.
+    use pospec_bench::scale::{NaivePatternSet, ScaledWorld};
+    let mut g = c.benchmark_group("algebra/ablation-membership");
+    for n_methods in [4usize, 16, 64] {
+        let world = ScaledWorld::new(2, n_methods);
+        let patterns: Vec<pospec_alphabet::EventPattern> = world
+            .methods
+            .iter()
+            .map(|&m| pospec_alphabet::EventPattern::call(world.env, world.server, m))
+            .collect();
+        let granules = world.alphabet();
+        let naive = NaivePatternSet::new(&world.u, patterns);
+        let probe: Vec<Event> = granules.enumerate_concrete();
+        g.bench_with_input(BenchmarkId::new("granule", n_methods), &n_methods, |b, _| {
+            b.iter(|| probe.iter().filter(|e| granules.contains(e)).count())
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n_methods), &n_methods, |b, _| {
+            b.iter(|| probe.iter().filter(|e| naive.contains(e)).count())
+        });
+    }
+    g.finish();
+}
+
+fn bench_composition_pipeline(c: &mut Criterion) {
+    // The full compose → lift → product → erase pipeline on Example 4.
+    let paper = Paper::new();
+    let mut g = c.benchmark_group("algebra/composition");
+    g.sample_size(10);
+    g.bench_function("compose+automaton (Ex. 4)", |b| {
+        b.iter(|| {
+            let composed =
+                pospec_core::compose(&paper.write_acc(), &paper.client()).unwrap();
+            // Force the lazy automaton.
+            let ok = Event::call(paper.c, paper.o_mon, paper.ok);
+            assert!(composed.contains_trace(&Trace::from_events(vec![ok])));
+            composed
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_set_operations,
+    bench_internal_events,
+    bench_prs_membership,
+    bench_ablation_membership,
+    bench_composition_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! PERF2 — parallel vs. sequential bounded trace-space exploration.
+//!
+//! The rayon path parallelizes frontier expansion; this sweep measures
+//! the speedup on the paper's `RW` specification (an opaque-predicate
+//! trace set, the case exploration exists for).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pospec_bench::paper::Paper;
+use pospec_check::{enumerate_spec_traces, Parallelism};
+use std::hint::black_box;
+
+fn bench_exploration(c: &mut Criterion) {
+    let paper = Paper::new();
+    let rw = paper.rw();
+    let mut g = c.benchmark_group("explore/rw-members");
+    g.sample_size(10);
+    for depth in [3usize, 4, 5] {
+        g.bench_with_input(BenchmarkId::new("sequential", depth), &depth, |b, &d| {
+            b.iter(|| enumerate_spec_traces(black_box(&rw), d, Parallelism::Sequential).len())
+        });
+        g.bench_with_input(BenchmarkId::new("rayon", depth), &depth, |b, &d| {
+            b.iter(|| enumerate_spec_traces(black_box(&rw), d, Parallelism::Rayon).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_deadlock_analysis(c: &mut Criterion) {
+    let paper = Paper::new();
+    let mut g = c.benchmark_group("explore/deadlock");
+    g.sample_size(10);
+    // Re-compose inside the loop so the lazily-built composition automaton
+    // is constructed each iteration (the cost being measured).
+    g.bench_function("deadlocked-composition", |b| {
+        b.iter(|| {
+            let composed =
+                pospec_core::compose(&paper.client2(), &paper.write_acc()).unwrap();
+            assert!(pospec_core::observable_deadlock(black_box(&composed)));
+        })
+    });
+    g.bench_function("live-composition", |b| {
+        b.iter(|| {
+            let live = pospec_core::compose(&paper.client(), &paper.write_acc()).unwrap();
+            assert!(!pospec_core::observable_deadlock(black_box(&live)));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_exploration, bench_deadlock_analysis);
+criterion_main!(benches);

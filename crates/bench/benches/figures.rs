@@ -1,0 +1,99 @@
+//! One bench per reproduction row: regenerating FIG1 and EX1–EX6 from
+//! scratch (the same computations `cargo run --bin paper_report` prints).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pospec_alphabet::internal_of_pair;
+use pospec_bench::paper::Paper;
+use pospec_core::{
+    check_refinement, compose, language_equiv, observable_deadlock, observable_equiv,
+};
+use pospec_trace::Trace;
+use std::hint::black_box;
+
+const DEPTH: usize = 5;
+
+fn bench_fig1(c: &mut Criterion) {
+    let p = Paper::new();
+    c.bench_function("fig1/event-classification", |b| {
+        b.iter(|| {
+            let between = internal_of_pair(&p.u, p.o, p.c);
+            let f = p.read().alphabet().clone();
+            let g = p.write().alphabet().clone();
+            let both = f.intersect(&g).intersect(&between);
+            let neither = between.difference(&f).difference(&g);
+            assert!(neither.is_infinite());
+            (both.granule_count(), neither.granule_count())
+        })
+    });
+}
+
+fn bench_examples(c: &mut Criterion) {
+    let p = Paper::new();
+    let mut g = c.benchmark_group("examples");
+    g.sample_size(10);
+
+    g.bench_function("ex1/membership", |b| {
+        let write = p.write();
+        let session = Trace::from_events(vec![
+            p.ev(p.c, p.o, p.ow),
+            p.evd(p.c, p.o, p.w),
+            p.ev(p.c, p.o, p.cw),
+        ]);
+        b.iter(|| {
+            assert!(write.contains_trace(black_box(&session)));
+        })
+    });
+
+    g.bench_function("ex2/read2-refines-read", |b| {
+        let (read2, read) = (p.read2(), p.read());
+        b.iter(|| {
+            assert!(check_refinement(black_box(&read2), black_box(&read), DEPTH).holds());
+        })
+    });
+
+    g.bench_function("ex3/rw-vs-three-viewpoints", |b| {
+        let (rw, read, write, read2) = (p.rw(), p.read(), p.write(), p.read2());
+        b.iter(|| {
+            assert!(check_refinement(&rw, &read, DEPTH).holds());
+            assert!(check_refinement(&rw, &write, DEPTH).holds());
+            assert!(!check_refinement(&rw, &read2, DEPTH).holds());
+        })
+    });
+
+    g.bench_function("ex4/composition-ok-star", |b| {
+        b.iter(|| {
+            let composed = compose(&p.write_acc(), &p.client()).unwrap();
+            assert!(!observable_deadlock(&composed));
+            composed
+        })
+    });
+
+    g.bench_function("ex5/deadlock-by-refinement", |b| {
+        b.iter(|| {
+            let composed = compose(&p.client2(), &p.write_acc()).unwrap();
+            assert!(observable_deadlock(&composed));
+            composed
+        })
+    });
+
+    g.bench_function("ex6/trace-set-equality", |b| {
+        b.iter(|| {
+            let lhs = compose(&p.rw2(), &p.client()).unwrap();
+            let rhs = compose(&p.write_acc(), &p.client()).unwrap();
+            assert!(language_equiv(&lhs, &rhs, DEPTH));
+        })
+    });
+
+    g.bench_function("prop5/self-composition", |b| {
+        let write = p.write();
+        b.iter(|| {
+            let selfc = compose(&write, &write).unwrap();
+            assert!(observable_equiv(&selfc, &write, DEPTH));
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_examples);
+criterion_main!(benches);

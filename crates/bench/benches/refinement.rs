@@ -1,0 +1,70 @@
+//! PERF1 — scaling of the exact refinement decision procedure.
+//!
+//! Sweeps the two inputs that drive the automaton sizes: the width of the
+//! finitization (witnesses per infinite granule) and the size of the
+//! protocol (alternation blocks in the `prs` expression).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pospec_bench::scale::ScaledWorld;
+use pospec_core::check_refinement;
+use std::hint::black_box;
+
+fn bench_witness_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("refinement/witness-width");
+    g.sample_size(20);
+    for witnesses in [1usize, 2, 3, 4] {
+        let world = ScaledWorld::new(witnesses, 6);
+        let base = world.protocol(2);
+        let tight = world.tightened(2, 6);
+        g.bench_with_input(BenchmarkId::from_parameter(witnesses), &witnesses, |b, _| {
+            b.iter(|| {
+                let v = check_refinement(black_box(&tight), black_box(&base), 6);
+                assert!(v.holds());
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_protocol_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("refinement/protocol-blocks");
+    g.sample_size(20);
+    let world = ScaledWorld::new(2, 8);
+    for blocks in [1usize, 2, 3, 4] {
+        let base = world.protocol(blocks);
+        let tight = world.tightened(blocks, 6);
+        g.bench_with_input(BenchmarkId::from_parameter(blocks), &blocks, |b, _| {
+            b.iter(|| {
+                let v = check_refinement(black_box(&tight), black_box(&base), 6);
+                assert!(v.holds());
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_exact_vs_failed(c: &mut Criterion) {
+    // Failure with counterexample extraction vs. success: the failure path
+    // must also stay cheap (it is the interactive-development hot path).
+    let mut g = c.benchmark_group("refinement/verdict-path");
+    g.sample_size(20);
+    let world = ScaledWorld::new(2, 6);
+    let base = world.protocol(2);
+    let tight = world.tightened(2, 6);
+    g.bench_function("holds", |b| {
+        b.iter(|| check_refinement(black_box(&tight), black_box(&base), 6))
+    });
+    g.bench_function("fails-with-witness", |b| {
+        b.iter(|| {
+            let v = check_refinement(black_box(&base), black_box(&tight), 6);
+            assert!(!v.holds());
+            v
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_witness_width, bench_protocol_size, bench_exact_vs_failed);
+criterion_main!(benches);

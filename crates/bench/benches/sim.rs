@@ -1,0 +1,100 @@
+//! PERF4 — simulator throughput and online-monitor overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pospec_bench::paper::Paper;
+use pospec_sim::behaviors::{PassiveServer, RwClient, RwMethods};
+use pospec_sim::{DeterministicRuntime, Monitor};
+use std::hint::black_box;
+
+fn methods(p: &Paper) -> RwMethods {
+    RwMethods { or_: p.or_, r: p.r, cr: p.cr, ow: p.ow, w: p.w, cw: p.cw }
+}
+
+const EVENTS: usize = 200;
+
+fn run(p: &Paper, seed: u64) -> pospec_trace::Trace {
+    let mut rt = DeterministicRuntime::new(seed);
+    rt.add_object(Box::new(PassiveServer::new(p.o)));
+    rt.add_object(Box::new(RwClient::new(p.c, p.o, methods(p), p.d0)));
+    rt.add_object(Box::new(RwClient::new(p.env_obj(0), p.o, methods(p), p.d0)));
+    rt.run(EVENTS)
+}
+
+fn bench_runtime_throughput(c: &mut Criterion) {
+    let p = Paper::new();
+    let mut g = c.benchmark_group("sim/deterministic-runtime");
+    g.throughput(Throughput::Elements(EVENTS as u64));
+    g.sample_size(20);
+    let mut seed = 0u64;
+    g.bench_function("run-200-events", |b| {
+        b.iter(|| {
+            seed += 1;
+            run(black_box(&p), seed).len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_monitor_overhead(c: &mut Criterion) {
+    let p = Paper::new();
+    let trace = run(&p, 77);
+    let mut g = c.benchmark_group("sim/monitor");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(20);
+    g.bench_function("offline-replay (per-caller RW)", |b| {
+        b.iter(|| {
+            let mut m = Monitor::new(p.read2());
+            m.observe_trace(black_box(&trace))
+        })
+    });
+    g.bench_function("offline-replay (regular Write)", |b| {
+        b.iter(|| {
+            let mut m = Monitor::new(p.write());
+            m.observe_trace(black_box(&trace))
+        })
+    });
+    g.finish();
+}
+
+fn bench_incremental_vs_batch(c: &mut Criterion) {
+    // The RUNNER experiment: incremental NFA stepping (what Monitor uses)
+    // vs. re-running full membership on every growing prefix (the naive
+    // quadratic baseline) on a long protocol-abiding trace.
+    let p = Paper::new();
+    let write = p.write();
+    // A long well-behaved single-caller trace: repeated sessions.
+    let session = [
+        pospec_trace::Event::call(p.c, p.o, p.ow),
+        pospec_trace::Event::call_with(p.c, p.o, p.w, p.d0),
+        pospec_trace::Event::call(p.c, p.o, p.cw),
+    ];
+    let events: Vec<pospec_trace::Event> =
+        session.iter().copied().cycle().take(300).collect();
+    let mut g = c.benchmark_group("sim/runner-ablation");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.sample_size(10);
+    g.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut r = write.trace_set().runner(write.universe());
+            let mut ok = true;
+            for e in &events {
+                ok &= r.step(e);
+            }
+            assert!(ok);
+        })
+    });
+    g.bench_function("batch-recheck", |b| {
+        b.iter(|| {
+            let mut seen = Vec::new();
+            for e in &events {
+                seen.push(*e);
+                let t = pospec_trace::Trace::from_events(seen.clone());
+                assert!(write.contains_trace(&t));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime_throughput, bench_monitor_overhead, bench_incremental_vs_batch);
+criterion_main!(benches);

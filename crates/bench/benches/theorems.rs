@@ -1,0 +1,51 @@
+//! Meta-theory fuzzing throughput: instances of the paper's theorems
+//! validated per second (the cost of the PVS-substitute).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pospec_check::theorems;
+use std::hint::black_box;
+
+fn bench_theorem_instances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorems");
+    g.sample_size(10);
+    g.bench_function("property-5 ×5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let o = theorems::property_5(black_box(seed), 5);
+            assert!(o.holds());
+            o.instances
+        })
+    });
+    g.bench_function("theorem-7 ×5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let o = theorems::theorem_7(black_box(seed), 5);
+            assert!(o.holds());
+            o.instances
+        })
+    });
+    g.bench_function("theorem-16 ×5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let o = theorems::theorem_16(black_box(seed), 5);
+            assert!(o.holds());
+            o.instances
+        })
+    });
+    g.bench_function("lemma-15 ×5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let o = theorems::lemma_15(black_box(seed), 5);
+            assert!(o.holds());
+            o.instances
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_theorem_instances);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Shared fixtures for the benchmark harness, the experiment-report
+//! binary, and the integration tests.
+//!
+//! * [`paper`] — the universe and specifications of the paper's running
+//!   example (Examples 1–6);
+//! * [`scale`] — parameterized universes and specifications for the
+//!   performance sweeps (PERF1–PERF4 in EXPERIMENTS.md).
+
+pub mod paper;
+pub mod scale;

@@ -1,0 +1,296 @@
+//! The universe and specifications of the paper's Examples 1–6 (§2–§8).
+//!
+//! One frozen universe hosts the access controller `o`, the monitor `o′`
+//! (written `o_mon`), the client `c ∈ Objects`, the infinite sorts
+//! `Objects` and `Data`, and the methods `R, OR, CR, OW, W, CW, OK` — plus
+//! witnesses inhabiting every infinite granule so the finitized automaton
+//! checks can exercise the open environment.
+
+use pospec_alphabet::{EventPattern, Universe, UniverseBuilder};
+use pospec_core::{Specification, TraceSet};
+use pospec_regex::{prs, Re, Template, VarId};
+use pospec_trace::{ClassId, DataId, Event, MethodId, ObjectId, Trace};
+use std::sync::Arc;
+
+/// All the names of the running example.
+#[allow(missing_docs)]
+pub struct Paper {
+    pub u: Arc<Universe>,
+    pub o: ObjectId,
+    pub o_mon: ObjectId,
+    pub c: ObjectId,
+    pub objects: ClassId,
+    pub data: ClassId,
+    pub r: MethodId,
+    pub or_: MethodId,
+    pub cr: MethodId,
+    pub ow: MethodId,
+    pub w: MethodId,
+    pub cw: MethodId,
+    pub ok: MethodId,
+    pub d0: DataId,
+}
+
+impl Paper {
+    /// The standard fixture: two witnesses per infinite object granule.
+    pub fn new() -> Paper {
+        Paper::with_witnesses(2)
+    }
+
+    /// A fixture with `k` witnesses inhabiting the `Objects` residue
+    /// (used by the finitization-stability experiments).
+    pub fn with_witnesses(k: usize) -> Paper {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let data = b.data_class("Data").unwrap();
+        let o = b.object("o").unwrap();
+        let o_mon = b.object("o_mon").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let r = b.method_with("R", data).unwrap();
+        let or_ = b.method("OR").unwrap();
+        let cr = b.method("CR").unwrap();
+        let ow = b.method("OW").unwrap();
+        let w = b.method_with("W", data).unwrap();
+        let cw = b.method("CW").unwrap();
+        let ok = b.method("OK").unwrap();
+        let d = b.data_witnesses(data, 1).unwrap();
+        b.class_witnesses(objects, k.max(1)).unwrap();
+        b.anon_witnesses(1).unwrap();
+        b.method_witnesses(1).unwrap();
+        Paper {
+            u: b.freeze(),
+            o,
+            o_mon,
+            c,
+            objects,
+            data,
+            r,
+            or_,
+            cr,
+            ow,
+            w,
+            cw,
+            ok,
+            d0: d[0],
+        }
+    }
+
+    /// A witness member of `Objects` other than `c`.
+    pub fn env_obj(&self, i: usize) -> ObjectId {
+        self.u.class_witnesses(self.objects).nth(i).expect("witness exists")
+    }
+
+    /// Example 1, `Read`: concurrent read access, unrestricted trace set.
+    pub fn read(&self) -> Specification {
+        let alpha = EventPattern::call(self.objects, self.o, self.r).to_set(&self.u);
+        Specification::new("Read", [self.o], alpha, TraceSet::Universal).unwrap()
+    }
+
+    /// Example 1, `Write`: exclusive bracketed write sessions,
+    /// `[[⟨x,o,OW⟩ ⟨x,o,W⟩* ⟨x,o,CW⟩] • x ∈ Objects]*`.
+    pub fn write(&self) -> Specification {
+        let alpha = EventPattern::call(self.objects, self.o, self.ow)
+            .to_set(&self.u)
+            .union(&EventPattern::call(self.objects, self.o, self.w).to_set(&self.u))
+            .union(&EventPattern::call(self.objects, self.o, self.cw).to_set(&self.u));
+        let x = VarId(0);
+        let re = Re::seq([
+            Re::lit(Template::call(x, self.o, self.ow)),
+            Re::lit(Template::call(x, self.o, self.w)).star(),
+            Re::lit(Template::call(x, self.o, self.cw)),
+        ])
+        .bind(x, self.objects)
+        .star();
+        Specification::new("Write", [self.o], alpha, TraceSet::prs(re)).unwrap()
+    }
+
+    /// Example 2, `Read2`: per-caller bracketed (but concurrent) reads,
+    /// `∀x ∈ Objects : h/x prs [⟨x,o,OR⟩ ⟨x,o,R⟩* ⟨x,o,CR⟩]*`.
+    pub fn read2(&self) -> Specification {
+        let alpha = EventPattern::call(self.objects, self.o, self.or_)
+            .to_set(&self.u)
+            .union(&EventPattern::call(self.objects, self.o, self.r).to_set(&self.u))
+            .union(&EventPattern::call(self.objects, self.o, self.cr).to_set(&self.u));
+        let (u, o, or_, r, cr) = (Arc::clone(&self.u), self.o, self.or_, self.r, self.cr);
+        let ts = TraceSet::predicate("∀x: h/x prs [OR R* CR]*", move |h: &Trace| {
+            h.callers().into_iter().all(|x| {
+                let re = Re::seq([
+                    Re::lit(Template::call(x, o, or_)),
+                    Re::lit(Template::call(x, o, r)).star(),
+                    Re::lit(Template::call(x, o, cr)),
+                ])
+                .star();
+                prs(&u, &h.project_caller(x), &re)
+            })
+        });
+        Specification::new("Read2", [self.o], alpha, ts).unwrap()
+    }
+
+    /// Example 3's `P_RW1`: per caller,
+    /// `h/x prs [OW [W | R]* CW | OR R* CR]*`.
+    pub fn p_rw1(&self) -> TraceSet {
+        let (u, o) = (Arc::clone(&self.u), self.o);
+        let (or_, r, cr, ow, w, cw) = (self.or_, self.r, self.cr, self.ow, self.w, self.cw);
+        TraceSet::predicate("P_RW1", move |h: &Trace| {
+            h.callers().into_iter().all(|x| {
+                let re = Re::alt([
+                    Re::seq([
+                        Re::lit(Template::call(x, o, ow)),
+                        Re::alt([
+                            Re::lit(Template::call(x, o, w)),
+                            Re::lit(Template::call(x, o, r)),
+                        ])
+                        .star(),
+                        Re::lit(Template::call(x, o, cw)),
+                    ]),
+                    Re::seq([
+                        Re::lit(Template::call(x, o, or_)),
+                        Re::lit(Template::call(x, o, r)).star(),
+                        Re::lit(Template::call(x, o, cr)),
+                    ]),
+                ])
+                .star();
+                prs(&u, &h.project_caller(x), &re)
+            })
+        })
+    }
+
+    /// Example 3's `P_RW2`: the counting constraints
+    /// `(#OW−#CW = 0 ∨ #OR−#CR = 0) ∧ #OW−#CW ≤ 1`.
+    pub fn p_rw2(&self) -> TraceSet {
+        let (or_, cr, ow, cw) = (self.or_, self.cr, self.ow, self.cw);
+        TraceSet::predicate("P_RW2", move |h: &Trace| {
+            let open_w = h.count_method(ow) as i64 - h.count_method(cw) as i64;
+            let open_r = h.count_method(or_) as i64 - h.count_method(cr) as i64;
+            (open_w == 0 || open_r == 0) && open_w <= 1
+        })
+    }
+
+    /// Example 3, `RW`: the merged read/write controller.
+    pub fn rw(&self) -> Specification {
+        let alpha = self.write().alphabet().union(self.read2().alphabet());
+        let ts = TraceSet::conj([self.p_rw1(), self.p_rw2()]);
+        Specification::new("RW", [self.o], alpha, ts).unwrap()
+    }
+
+    /// Example 4, `WriteAcc`: `Write` with calls restricted to the client
+    /// `c` (a refinement of `Write`).
+    pub fn write_acc(&self) -> Specification {
+        let re = Re::seq([
+            Re::lit(Template::call(self.c, self.o, self.ow)),
+            Re::lit(Template::call(self.c, self.o, self.w)).star(),
+            Re::lit(Template::call(self.c, self.o, self.cw)),
+        ])
+        .star();
+        Specification::new(
+            "WriteAcc",
+            [self.o],
+            self.write().alphabet().clone(),
+            TraceSet::prs(re),
+        )
+        .unwrap()
+    }
+
+    /// Example 4, `Client`: `c` alternates a write to `o` with an `OK`
+    /// confirmation to the monitor `o′` — at an abstraction level that
+    /// ignores `OW`/`CW` entirely.
+    pub fn client(&self) -> Specification {
+        let alpha = EventPattern::call(self.c, self.objects, self.w)
+            .to_set(&self.u)
+            .union(&EventPattern::call(self.c, self.o, self.w).to_set(&self.u))
+            .union(&EventPattern::call(self.c, self.objects, self.ok).to_set(&self.u))
+            .union(&EventPattern::call(self.c, self.o_mon, self.ok).to_set(&self.u));
+        let reg = Re::seq([
+            Re::lit(Template::call(self.c, self.o, self.w)),
+            Re::lit(Template::call(self.c, self.o_mon, self.ok)),
+        ]);
+        Specification::new("Client", [self.c], alpha, TraceSet::prs(reg.star())).unwrap()
+    }
+
+    /// Example 5, `Client2`: refines `Client` by adding `OW` — but *after*
+    /// the write, in the opposite order of `WriteAcc`.
+    pub fn client2(&self) -> Specification {
+        let alpha = self
+            .client()
+            .alphabet()
+            .union(&EventPattern::call(self.c, self.o, self.ow).to_set(&self.u));
+        let reg = Re::seq([
+            Re::lit(Template::call(self.c, self.o, self.w)),
+            Re::lit(Template::call(self.c, self.o_mon, self.ok)),
+            Re::lit(Template::call(self.c, self.o, self.ow)),
+        ]);
+        Specification::new("Client2", [self.c], alpha, TraceSet::prs(reg.star())).unwrap()
+    }
+
+    /// Example 6, `RW2`: `RW` with communication restricted to the unique
+    /// client `c` (`P(h) ≜ h/c = h`).
+    ///
+    /// With a single caller, the quantified `P_RW1 ∧ P_RW2 ∧ P` collapses
+    /// to the plain regular protocol
+    /// `[⟨c,o,OW⟩ [W|R]* CW | ⟨c,o,OR⟩ R* CR]*` — used here so that
+    /// compositions of `RW2` stay on the exact automaton path.
+    /// [`Paper::rw2_predicate`] keeps the literal three-conjunct form; the
+    /// two are cross-validated in the integration tests.
+    pub fn rw2(&self) -> Specification {
+        let re = Re::alt([
+            Re::seq([
+                Re::lit(Template::call(self.c, self.o, self.ow)),
+                Re::alt([
+                    Re::lit(Template::call(self.c, self.o, self.w)),
+                    Re::lit(Template::call(self.c, self.o, self.r)),
+                ])
+                .star(),
+                Re::lit(Template::call(self.c, self.o, self.cw)),
+            ]),
+            Re::seq([
+                Re::lit(Template::call(self.c, self.o, self.or_)),
+                Re::lit(Template::call(self.c, self.o, self.r)).star(),
+                Re::lit(Template::call(self.c, self.o, self.cr)),
+            ]),
+        ])
+        .star();
+        Specification::new("RW2", [self.o], self.rw().alphabet().clone(), TraceSet::prs(re))
+            .unwrap()
+    }
+
+    /// The literal Example-6 definition of `RW2`:
+    /// `P_RW1 ∧ P_RW2 ∧ (h/c = h)` as predicates.
+    pub fn rw2_predicate(&self) -> Specification {
+        let c = self.c;
+        let only_c =
+            TraceSet::predicate("h/c = h", move |h: &Trace| h.iter().all(|e| e.caller == c));
+        let ts = TraceSet::conj([self.p_rw1(), self.p_rw2(), only_c]);
+        Specification::new("RW2ₚ", [self.o], self.rw().alphabet().clone(), ts).unwrap()
+    }
+
+    /// A `Client` variant whose alphabet *does* contain `OW` without ever
+    /// performing it — the "composition without projection" strawman the
+    /// paper discusses after Example 4 (it deadlocks against `WriteAcc`).
+    pub fn client_no_projection(&self) -> Specification {
+        let alpha = self
+            .client()
+            .alphabet()
+            .union(&EventPattern::call(self.c, self.o, self.ow).to_set(&self.u));
+        let reg = Re::seq([
+            Re::lit(Template::call(self.c, self.o, self.w)),
+            Re::lit(Template::call(self.c, self.o_mon, self.ok)),
+        ]);
+        Specification::new("ClientNoProj", [self.c], alpha, TraceSet::prs(reg.star())).unwrap()
+    }
+
+    /// Convenience: `⟨caller, callee, m⟩` event.
+    pub fn ev(&self, caller: ObjectId, callee: ObjectId, m: MethodId) -> Event {
+        Event::call(caller, callee, m)
+    }
+
+    /// Convenience: `⟨caller, callee, m(d0)⟩` event.
+    pub fn evd(&self, caller: ObjectId, callee: ObjectId, m: MethodId) -> Event {
+        Event::call_with(caller, callee, m, self.d0)
+    }
+}
+
+impl Default for Paper {
+    fn default() -> Self {
+        Paper::new()
+    }
+}

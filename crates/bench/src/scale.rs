@@ -1,0 +1,214 @@
+//! Parameterized inputs for the performance sweeps.
+//!
+//! The paper has no performance evaluation, so these sweeps characterize
+//! the *engine itself*: how the exact decision procedures scale with the
+//! size of the finitization (witness count), the size of the protocol
+//! (regex blocks), and the number of objects in the granule algebra.
+
+use pospec_alphabet::{EventPattern, EventSet, Universe, UniverseBuilder};
+use pospec_core::{Specification, TraceSet};
+use pospec_regex::{Re, Template, VarId};
+use pospec_trace::{ClassId, MethodId, ObjectId, Trace};
+use std::sync::Arc;
+
+/// A scalable world: one server, an environment class with `witnesses`
+/// inhabitants, and `n_methods` parameterless methods.
+pub struct ScaledWorld {
+    /// The frozen universe.
+    pub u: Arc<Universe>,
+    /// The server object.
+    pub server: ObjectId,
+    /// The environment class.
+    pub env: ClassId,
+    /// The declared methods.
+    pub methods: Vec<MethodId>,
+}
+
+impl ScaledWorld {
+    /// Build with the given finitization width and method count.
+    pub fn new(witnesses: usize, n_methods: usize) -> ScaledWorld {
+        let mut b = UniverseBuilder::new();
+        let env = b.object_class("Env").unwrap();
+        let server = b.object("server").unwrap();
+        let methods =
+            (0..n_methods).map(|i| b.method(&format!("m{i}")).unwrap()).collect();
+        b.class_witnesses(env, witnesses).unwrap();
+        b.method_witnesses(1).unwrap();
+        ScaledWorld { u: b.freeze(), server, env, methods }
+    }
+
+    /// The alphabet of all declared methods called on the server.
+    pub fn alphabet(&self) -> EventSet {
+        self.methods.iter().fold(EventSet::empty(&self.u), |acc, &m| {
+            acc.union(&EventPattern::call(self.env, self.server, m).to_set(&self.u))
+        })
+    }
+
+    /// A session protocol with `blocks` sequential bracketed phases:
+    /// `[m0 m1* m0 | m2 m3* m2 | …]*` with per-iteration caller binding.
+    /// Larger `blocks` ⇒ larger NFA ⇒ larger DFA.
+    pub fn protocol(&self, blocks: usize) -> Specification {
+        let x = VarId(0);
+        let alts: Vec<Re> = (0..blocks)
+            .map(|i| {
+                let open = self.methods[(2 * i) % self.methods.len()];
+                let body = self.methods[(2 * i + 1) % self.methods.len()];
+                Re::seq([
+                    Re::lit(Template::call(x, self.server, open)),
+                    Re::lit(Template::call(x, self.server, body)).star(),
+                    Re::lit(Template::call(x, self.server, open)),
+                ])
+            })
+            .collect();
+        let re = Re::alt(alts).bind(x, self.env).star();
+        Specification::new(
+            format!("Protocol{blocks}"),
+            [self.server],
+            self.alphabet(),
+            TraceSet::prs(re),
+        )
+        .unwrap()
+    }
+
+    /// A strictly tighter variant of [`ScaledWorld::protocol`] — the same
+    /// protocol with every starred body bounded by a counting predicate.
+    pub fn tightened(&self, blocks: usize, max_len: usize) -> Specification {
+        let base = self.protocol(blocks);
+        let bound =
+            TraceSet::predicate("bounded length", move |h: &Trace| h.len() <= max_len);
+        Specification::new(
+            format!("Tight{blocks}"),
+            [self.server],
+            base.alphabet().clone(),
+            TraceSet::conj([base.trace_set().clone(), bound]),
+        )
+        .unwrap()
+    }
+
+    /// A chaotic client of the server over the same alphabet restricted
+    /// to one method (for composition sweeps).
+    pub fn client_view(&self, method_idx: usize) -> Specification {
+        let m = self.methods[method_idx % self.methods.len()];
+        Specification::new(
+            format!("View{method_idx}"),
+            [self.server],
+            EventPattern::call(self.env, self.server, m).to_set(&self.u),
+            TraceSet::Universal,
+        )
+        .unwrap()
+    }
+}
+
+/// The ablation baseline of DESIGN.md §6.1: a naive pattern-list event
+/// set supporting membership only.
+///
+/// Union is concatenation; difference, subset, emptiness-of-intersection
+/// and infinity are **not computable** on this representation without
+/// enumerating events — which is exactly why the granule algebra exists.
+/// The `algebra/ablation-membership` bench compares the two on the one
+/// operation both support.
+pub struct NaivePatternSet {
+    u: Arc<Universe>,
+    patterns: Vec<pospec_alphabet::EventPattern>,
+}
+
+impl NaivePatternSet {
+    /// Build from patterns.
+    pub fn new(
+        u: &Arc<Universe>,
+        patterns: impl IntoIterator<Item = pospec_alphabet::EventPattern>,
+    ) -> Self {
+        NaivePatternSet { u: Arc::clone(u), patterns: patterns.into_iter().collect() }
+    }
+
+    fn obj_matches(&self, spec: pospec_alphabet::ObjSpec, o: pospec_trace::ObjectId) -> bool {
+        match spec {
+            pospec_alphabet::ObjSpec::Id(x) => x == o,
+            pospec_alphabet::ObjSpec::Class(c) => self.u.class_of_object(o) == Some(c),
+            pospec_alphabet::ObjSpec::Any => true,
+        }
+    }
+
+    /// Membership of a concrete event (linear in the pattern count).
+    pub fn contains(&self, e: &pospec_trace::Event) -> bool {
+        self.patterns.iter().any(|p| {
+            self.obj_matches(p.caller, e.caller)
+                && self.obj_matches(p.callee, e.callee)
+                && match p.method {
+                    None => true,
+                    Some(m) => {
+                        e.method == m
+                            && match p.arg {
+                                pospec_alphabet::ArgSpec::Auto => true,
+                                pospec_alphabet::ArgSpec::None => e.arg.is_none(),
+                                pospec_alphabet::ArgSpec::Value(d) => {
+                                    e.arg.data() == Some(d)
+                                }
+                            }
+                    }
+                }
+        })
+    }
+
+    /// Union (concatenation — duplicates retained, the naive trade-off).
+    pub fn union(&mut self, other: impl IntoIterator<Item = pospec_alphabet::EventPattern>) {
+        self.patterns.extend(other);
+    }
+
+    /// Pattern count.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Is the pattern list empty?  (Note: an *empty denotation* is not
+    /// detectable in general — another ablation point.)
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_core::check_refinement;
+
+    #[test]
+    fn scaled_world_builds_at_several_sizes() {
+        for (w, m) in [(1, 2), (2, 4), (3, 6)] {
+            let s = ScaledWorld::new(w, m);
+            assert_eq!(s.u.class_witnesses(s.env).count(), w);
+            assert_eq!(s.methods.len(), m);
+            assert!(s.alphabet().is_infinite());
+        }
+    }
+
+    #[test]
+    fn protocols_are_well_formed_and_refinable() {
+        let s = ScaledWorld::new(2, 6);
+        let p = s.protocol(2);
+        assert!(check_refinement(&p, &p, 4).holds());
+        let t = s.tightened(2, 4);
+        assert!(check_refinement(&t, &p, 4).holds(), "tightened refines base");
+    }
+
+    #[test]
+    fn naive_pattern_set_membership_agrees_with_granules() {
+        let s = ScaledWorld::new(2, 4);
+        let patterns: Vec<pospec_alphabet::EventPattern> = s
+            .methods
+            .iter()
+            .map(|&m| pospec_alphabet::EventPattern::call(s.env, s.server, m))
+            .collect();
+        let granule_set = s.alphabet();
+        let naive = NaivePatternSet::new(&s.u, patterns);
+        assert_eq!(naive.len(), 4);
+        assert!(!naive.is_empty());
+        for e in EventSet::universal(&s.u).enumerate_concrete() {
+            assert_eq!(
+                naive.contains(&e),
+                granule_set.contains(&e),
+                "membership disagreement on {e}"
+            );
+        }
+    }
+}

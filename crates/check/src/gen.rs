@@ -1,0 +1,387 @@
+//! Seeded random generation of specifications for meta-theory fuzzing.
+//!
+//! The generators are designed so that theorem *premises* are sampled
+//! densely rather than hoping random pairs happen to be refinements:
+//!
+//! * [`SpecGen::random_env_spec`] draws an alphabet of environment↔object
+//!   patterns (always infinite, always Def.-1 admissible) and a random
+//!   regular protocol over it;
+//! * [`SpecGen::abstraction_of`] produces, for a given `Γ′`, a
+//!   specification `Γ` with `Γ′ ⊑ Γ` **by construction**: a sub-alphabet
+//!   and either the unrestricted trace set or the *exact projection* of
+//!   `T(Γ′)` (computed by automaton erasure — the strongest sound
+//!   abstraction);
+//! * [`SpecGen::random_spec_with_partners`] additionally mentions named
+//!   partner objects, producing the composability and properness
+//!   interactions Theorems 16/18 are about.
+
+use pospec_alphabet::{EventPattern, EventSet, ObjGranule, Universe, UniverseBuilder};
+use pospec_core::{traceset_dfa, Specification, TraceSet};
+use pospec_regex::{Re, Template, VarId};
+use pospec_trace::{ClassId, MethodId, ObjectId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A fuzzing universe: `n` declared objects, one infinite environment
+/// class (with witnesses), `m` parameterless methods, plus method and
+/// anonymous witnesses so the "hide more than we can see" granules are
+/// inhabited.
+#[derive(Debug, Clone)]
+pub struct Arena {
+    /// The frozen universe.
+    pub u: Arc<Universe>,
+    /// The declared objects `o0 … o(n-1)`.
+    pub objs: Vec<ObjectId>,
+    /// The infinite environment class.
+    pub env: ClassId,
+    /// The declared methods `m0 … m(k-1)`.
+    pub methods: Vec<MethodId>,
+}
+
+impl Arena {
+    /// Build an arena with `n_objs` objects and `n_methods` methods.
+    pub fn new(n_objs: usize, n_methods: usize) -> Arena {
+        let mut b = UniverseBuilder::new();
+        let env = b.object_class("Env").unwrap();
+        let objs: Vec<ObjectId> =
+            (0..n_objs).map(|i| b.object(&format!("o{i}")).unwrap()).collect();
+        let methods: Vec<MethodId> =
+            (0..n_methods).map(|i| b.method(&format!("m{i}")).unwrap()).collect();
+        b.class_witnesses(env, 2).unwrap();
+        b.anon_witnesses(1).unwrap();
+        b.method_witnesses(1).unwrap();
+        Arena { u: b.freeze(), objs, env, methods }
+    }
+}
+
+/// Seeded specification generator over an [`Arena`].
+#[derive(Debug)]
+pub struct SpecGen {
+    /// The shared arena.
+    pub arena: Arena,
+    rng: SmallRng,
+    counter: u64,
+}
+
+impl SpecGen {
+    /// A generator with a deterministic seed.
+    pub fn new(arena: Arena, seed: u64) -> SpecGen {
+        SpecGen { arena, rng: SmallRng::seed_from_u64(seed), counter: 0 }
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}#{}", self.counter)
+    }
+
+    /// The environment↔object patterns available for an object set.
+    fn env_patterns(&self, objs: &[ObjectId]) -> Vec<(EventPattern, Template)> {
+        let mut v = Vec::new();
+        for &o in objs {
+            for &m in &self.arena.methods {
+                v.push((
+                    EventPattern::call(self.arena.env, o, m),
+                    Template::call(pospec_regex::TObj::Class(self.arena.env), o, m),
+                ));
+                v.push((
+                    EventPattern::call(o, self.arena.env, m),
+                    Template::call(o, pospec_regex::TObj::Class(self.arena.env), m),
+                ));
+            }
+        }
+        v
+    }
+
+    /// Partner patterns: events between the specified objects and named
+    /// partner objects (which remain in the communication environment).
+    fn partner_patterns(
+        &self,
+        objs: &[ObjectId],
+        partners: &[ObjectId],
+    ) -> Vec<(EventPattern, Template)> {
+        let mut v = Vec::new();
+        for &o in objs {
+            for &p in partners {
+                if o == p {
+                    continue;
+                }
+                for &m in &self.arena.methods {
+                    v.push((EventPattern::call(p, o, m), Template::call(p, o, m)));
+                    v.push((EventPattern::call(o, p, m), Template::call(o, p, m)));
+                }
+            }
+        }
+        v
+    }
+
+    /// A random regular expression over the given literal templates.
+    pub fn random_re(&mut self, lits: &[Template], budget: usize) -> Re {
+        if lits.is_empty() {
+            return Re::Eps;
+        }
+        if budget <= 1 {
+            let t = lits[self.rng.gen_range(0..lits.len())];
+            return Re::lit(t);
+        }
+        match self.rng.gen_range(0..10) {
+            0..=2 => {
+                let left = budget / 2;
+                Re::Seq(
+                    Box::new(self.random_re(lits, left)),
+                    Box::new(self.random_re(lits, budget - left)),
+                )
+            }
+            3..=5 => {
+                let left = budget / 2;
+                Re::Alt(
+                    Box::new(self.random_re(lits, left)),
+                    Box::new(self.random_re(lits, budget - left)),
+                )
+            }
+            6..=8 => self.random_re(lits, budget - 1).star(),
+            _ => {
+                let t = lits[self.rng.gen_range(0..lits.len())];
+                Re::lit(t)
+            }
+        }
+    }
+
+    /// A random regular protocol with an outermost star (so ε is always a
+    /// member and the language is a plausible life-cycle).
+    fn random_protocol(&mut self, lits: &[Template]) -> TraceSet {
+        if lits.is_empty() || self.rng.gen_bool(0.25) {
+            return TraceSet::Universal;
+        }
+        let budget = self.rng.gen_range(2..6);
+        let body = self.random_re(lits, budget);
+        TraceSet::prs(body.star())
+    }
+
+    /// Select a random non-empty subset of patterns; always at least one.
+    fn pick_patterns(
+        &mut self,
+        pool: &[(EventPattern, Template)],
+    ) -> Vec<(EventPattern, Template)> {
+        let mut chosen: Vec<(EventPattern, Template)> =
+            pool.iter().filter(|_| self.rng.gen_bool(0.5)).copied().collect();
+        if chosen.is_empty() {
+            chosen.push(pool[self.rng.gen_range(0..pool.len())]);
+        }
+        chosen
+    }
+
+    fn build_spec(
+        &mut self,
+        name: String,
+        objs: &[ObjectId],
+        chosen: Vec<(EventPattern, Template)>,
+    ) -> Specification {
+        let alpha = chosen.iter().fold(EventSet::empty(&self.arena.u), |acc, (p, _)| {
+            acc.union(&p.to_set(&self.arena.u))
+        });
+        let lits: Vec<Template> = chosen.iter().map(|(_, t)| *t).collect();
+        // Occasionally use a binder-based protocol over the env class.
+        let ts = if self.rng.gen_bool(0.15) && !lits.is_empty() {
+            let x = VarId(0);
+            let var_lits: Vec<Template> = lits
+                .iter()
+                .map(|t| {
+                    let mut t2 = *t;
+                    if matches!(t2.caller, pospec_regex::TObj::Class(_)) {
+                        t2.caller = pospec_regex::TObj::Var(x);
+                    }
+                    t2
+                })
+                .collect();
+            let body = self.random_re(&var_lits, 3);
+            TraceSet::prs(body.bind(x, self.arena.env).star())
+        } else {
+            self.random_protocol(&lits)
+        };
+        Specification::new(name, objs.iter().copied(), alpha, ts)
+            .expect("generated alphabets are admissible and infinite")
+    }
+
+    /// A random specification whose alphabet only touches the (infinite)
+    /// environment class: always composable with any other env-only
+    /// specification over disjoint objects.
+    pub fn random_env_spec(&mut self, objs: &[ObjectId], prefix: &str) -> Specification {
+        let pool = self.env_patterns(objs);
+        let chosen = self.pick_patterns(&pool);
+        let name = self.fresh_name(prefix);
+        self.build_spec(name, objs, chosen)
+    }
+
+    /// A random specification that may also name partner objects (kept in
+    /// its communication environment), creating composability and
+    /// properness interactions.
+    pub fn random_spec_with_partners(
+        &mut self,
+        objs: &[ObjectId],
+        partners: &[ObjectId],
+        prefix: &str,
+    ) -> Specification {
+        let env_pool = self.env_patterns(objs);
+        let mut pool = env_pool.clone();
+        pool.extend(self.partner_patterns(objs, partners));
+        let mut chosen = self.pick_patterns(&pool);
+        // Def. 1 requires an infinite alphabet: partner patterns alone are
+        // finite (named↔named), so guarantee one environment pattern.
+        let has_env = chosen
+            .iter()
+            .any(|(p, _)| env_pool.iter().any(|(q, _)| q == p));
+        if !has_env {
+            chosen.push(env_pool[self.rng.gen_range(0..env_pool.len())]);
+        }
+        let name = self.fresh_name(prefix);
+        self.build_spec(name, objs, chosen)
+    }
+
+    /// Construct an abstraction `Γ` of `spec = Γ′` such that `Γ′ ⊑ Γ`
+    /// holds by construction (Def. 2):
+    ///
+    /// * `O(Γ)` is a random non-empty subset of `O(Γ′)` (condition 1),
+    ///   shrunk only when `allow_drop_objects`;
+    /// * `α(Γ)` is a random sub-alphabet of `α(Γ′)` touching `O(Γ)` and
+    ///   kept infinite (condition 2);
+    /// * `T(Γ)` is either unrestricted or the exact projection of `T(Γ′)`
+    ///   onto `α(Γ)` (condition 3; the projection is the strongest choice).
+    pub fn abstraction_of(
+        &mut self,
+        spec: &Specification,
+        allow_drop_objects: bool,
+        pred_depth: usize,
+    ) -> Specification {
+        let u = &self.arena.u;
+        let all: Vec<ObjectId> = spec.objects().iter().copied().collect();
+        let touches = |keep: &BTreeSet<ObjectId>, g: &pospec_alphabet::EventGranule| {
+            let named = |og: ObjGranule| match og {
+                ObjGranule::Named(o) => keep.contains(&o),
+                _ => false,
+            };
+            named(g.caller) || named(g.callee)
+        };
+        // Try dropping one object; fall back to the full object set if the
+        // surviving alphabet would lose Def.-1 infiniteness.
+        let mut keep: BTreeSet<ObjectId> = all.iter().copied().collect();
+        let mut candidate = spec.alphabet().clone();
+        if allow_drop_objects && all.len() > 1 && self.rng.gen_bool(0.5) {
+            let drop_idx = self.rng.gen_range(0..all.len());
+            let smaller: BTreeSet<ObjectId> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop_idx)
+                .map(|(_, o)| *o)
+                .collect();
+            let filtered = spec.alphabet().filter_granules(|g| touches(&smaller, g));
+            if filtered.is_infinite() {
+                keep = smaller;
+                candidate = filtered;
+            }
+        }
+        // Random sub-alphabet, re-ensuring infiniteness.
+        let mut alpha_sub = candidate.filter_granules(|_| self.rng.gen_bool(0.7));
+        if !alpha_sub.is_infinite() {
+            alpha_sub = candidate.clone();
+        }
+        let ts = if self.rng.gen_bool(0.5) {
+            TraceSet::Universal
+        } else {
+            let sigma_big = Arc::new(spec.alphabet().enumerate_concrete());
+            let dfa = traceset_dfa(u, spec.trace_set(), sigma_big, pred_depth);
+            let sub = alpha_sub.clone();
+            TraceSet::Dfa(Arc::new(dfa.erase(move |e| !sub.contains(e))))
+        };
+        let name = self.fresh_name(&format!("{}↑", spec.name()));
+        Specification::new(name, keep, alpha_sub, ts)
+            .expect("abstractions of admissible alphabets stay admissible")
+    }
+
+    /// Uniform random boolean.
+    pub fn coin(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+
+    /// Uniform integer in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_core::check_refinement;
+
+    #[test]
+    fn arena_has_expected_shape() {
+        let a = Arena::new(3, 2);
+        assert_eq!(a.objs.len(), 3);
+        assert_eq!(a.methods.len(), 2);
+        assert_eq!(a.u.class_witnesses(a.env).count(), 2);
+        assert_eq!(a.u.method_witnesses().count(), 1);
+    }
+
+    #[test]
+    fn generated_specs_are_well_formed_and_deterministic() {
+        let a = Arena::new(3, 2);
+        let mut g1 = SpecGen::new(a.clone(), 42);
+        let mut g2 = SpecGen::new(a.clone(), 42);
+        for i in 0..20 {
+            let o = [a.objs[i % 3]];
+            let s1 = g1.random_env_spec(&o, "S");
+            let s2 = g2.random_env_spec(&o, "S");
+            assert!(s1.alphabet().set_eq(s2.alphabet()), "same seed, same alphabet");
+            assert!(s1.alphabet().is_infinite());
+            assert!(s1.trace_set().contains(&a.u, &pospec_trace::Trace::empty()));
+        }
+    }
+
+    #[test]
+    fn abstraction_is_a_refinement_by_construction() {
+        let a = Arena::new(3, 2);
+        let mut g = SpecGen::new(a.clone(), 7);
+        let mut checked = 0;
+        for i in 0..30 {
+            let objs = [a.objs[i % 3], a.objs[(i + 1) % 3]];
+            let spec = g.random_env_spec(&objs, "C");
+            let abs = g.abstraction_of(&spec, true, 6);
+            let v = check_refinement(&spec, &abs, 6);
+            assert!(v.holds(), "instance {i}: {v} (spec {:?} abs {:?})", spec, abs);
+            checked += 1;
+        }
+        assert_eq!(checked, 30);
+    }
+
+    #[test]
+    fn partner_specs_mention_partners() {
+        let a = Arena::new(3, 2);
+        let mut g = SpecGen::new(a.clone(), 13);
+        let mut mentioned = false;
+        for _ in 0..20 {
+            let s = g.random_spec_with_partners(&[a.objs[0]], &[a.objs[1]], "P");
+            if s.alphabet().mentions_object(a.objs[1]) {
+                mentioned = true;
+                break;
+            }
+        }
+        assert!(mentioned, "partner events should appear in some draws");
+    }
+
+    #[test]
+    fn random_re_respects_budget_shape() {
+        let a = Arena::new(2, 2);
+        let mut g = SpecGen::new(a.clone(), 5);
+        let lits = vec![Template::call(
+            pospec_regex::TObj::Class(a.env),
+            a.objs[0],
+            a.methods[0],
+        )];
+        for _ in 0..50 {
+            let re = g.random_re(&lits, 5);
+            assert!(re.size() <= 32, "regexes stay small");
+        }
+    }
+}

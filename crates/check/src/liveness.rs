@@ -1,0 +1,209 @@
+//! Quiescence analysis — a first step toward the liveness extension the
+//! paper defers to future work (§9).
+//!
+//! Safety trace sets cannot *require* progress, but the automaton view
+//! still distinguishes states that can extend from states that cannot.
+//! A reachable **quiescent** state is a history after which the
+//! specification permits no further observable event: the paper's
+//! Example-5 deadlock is the special case where already the empty history
+//! is quiescent.  This module computes:
+//!
+//! * whether the initial state is quiescent ([`QuiescenceReport::initial_quiescent`],
+//!   the `T = {ε}` deadlock criterion);
+//! * whether *some* reachable history is quiescent, with a shortest
+//!   witness ([`QuiescenceReport::witness`]) — "this development step can
+//!   paint the system into a corner";
+//! * whether the specification is **perpetual** (never quiescent): every
+//!   permitted history has a permitted extension.
+//!
+//! All over the canonical finitization; predicate backends are analysed
+//! up to their trie depth, where the trie frontier is *not* reported as
+//! quiescent (running out of depth is not running out of behaviour).
+
+use pospec_core::{traceset_dfa, Specification};
+use pospec_trace::Trace;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The result of a quiescence analysis.
+#[derive(Debug, Clone)]
+pub struct QuiescenceReport {
+    /// The empty history is already quiescent (Example 5's deadlock).
+    pub initial_quiescent: bool,
+    /// Number of reachable accepting states.
+    pub reachable_states: usize,
+    /// Number of reachable quiescent states.
+    pub quiescent_states: usize,
+    /// A shortest history leading to a quiescent state, if any.
+    pub witness: Option<Trace>,
+}
+
+impl QuiescenceReport {
+    /// Is the specification perpetual — no reachable history is a dead
+    /// end?
+    pub fn is_perpetual(&self) -> bool {
+        self.quiescent_states == 0
+    }
+}
+
+/// Analyse quiescence of a specification's trace set over the canonical
+/// finitization.
+///
+/// For predicate-backed sets the analysis is depth-bounded: histories at
+/// the trie frontier are treated as extensible (`max_len` below guards
+/// the frontier), so `witness` is reliable while `is_perpetual` is
+/// "perpetual up to the depth".
+pub fn quiescence(spec: &Specification, pred_depth: usize) -> QuiescenceReport {
+    let u = spec.universe();
+    let sigma = Arc::new(spec.alphabet().enumerate_concrete());
+    let dfa = traceset_dfa(u, spec.trace_set(), Arc::clone(&sigma), pred_depth);
+    let mut quiescent = 0usize;
+    let mut reachable = 0usize;
+    let mut witness: Option<Trace> = None;
+    let mut initial_quiescent = false;
+    let frontier_guard = if spec.trace_set().is_regular() { usize::MAX } else { pred_depth };
+    let start = dfa.start_state();
+    if !dfa.is_accepting(start) {
+        // Empty trace set: vacuously perpetual.
+        return QuiescenceReport {
+            initial_quiescent: false,
+            reachable_states: 0,
+            quiescent_states: 0,
+            witness: None,
+        };
+    }
+    // BFS over reachable *accepting* automaton states (non-accepting
+    // states are not histories of the trace set), deduplicated by state
+    // id and carrying a shortest witness word per state.
+    let mut seen = vec![false; dfa.state_count().max(1)];
+    let mut q: VecDeque<(usize, Vec<pospec_trace::Event>)> = VecDeque::new();
+    seen[start] = true;
+    q.push_back((start, Vec::new()));
+    while let Some((state, word)) = q.pop_front() {
+        reachable += 1;
+        let mut extensible = false;
+        for (sym, &e) in sigma.iter().enumerate() {
+            if let Some(next) = dfa.successor(state, sym) {
+                if dfa.is_accepting(next) {
+                    extensible = true;
+                    if !seen[next] {
+                        seen[next] = true;
+                        let mut w2 = word.clone();
+                        w2.push(e);
+                        q.push_back((next, w2));
+                    }
+                }
+            }
+        }
+        if !extensible && word.len() < frontier_guard {
+            quiescent += 1;
+            if word.is_empty() {
+                initial_quiescent = true;
+            }
+            if witness.is_none() {
+                witness = Some(Trace::from_events(word.clone()));
+            }
+        }
+    }
+    QuiescenceReport { initial_quiescent, reachable_states: reachable, quiescent_states: quiescent, witness }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_alphabet::{EventPattern, UniverseBuilder};
+    use pospec_core::TraceSet;
+    use pospec_regex::{Re, Template};
+    use pospec_trace::{MethodId, ObjectId};
+
+    struct Fix {
+        u: Arc<pospec_alphabet::Universe>,
+        o: ObjectId,
+        c: ObjectId,
+        a: MethodId,
+        b: MethodId,
+    }
+
+    fn fix() -> Fix {
+        let mut bld = UniverseBuilder::new();
+        let env = bld.object_class("Env").unwrap();
+        let o = bld.object("o").unwrap();
+        let c = bld.object_in("c", env).unwrap();
+        let a = bld.method("A").unwrap();
+        let b = bld.method("B").unwrap();
+        bld.class_witnesses(env, 1).unwrap();
+        Fix { u: bld.freeze(), o, c, a, b }
+    }
+
+    fn spec(f: &Fix, name: &str, ts: TraceSet) -> Specification {
+        let env = f.u.class_by_name("Env").unwrap();
+        let alpha = EventPattern::call(env, f.o, f.a)
+            .to_set(&f.u)
+            .union(&EventPattern::call(env, f.o, f.b).to_set(&f.u));
+        Specification::new(name, [f.o], alpha, ts).unwrap()
+    }
+
+    #[test]
+    fn starred_protocols_are_perpetual() {
+        let f = fix();
+        let re = Re::seq([
+            Re::lit(Template::call(f.c, f.o, f.a)),
+            Re::lit(Template::call(f.c, f.o, f.b)),
+        ])
+        .star();
+        let s = spec(&f, "Loop", TraceSet::prs(re));
+        let r = quiescence(&s, 6);
+        assert!(r.is_perpetual(), "{r:?}");
+        assert!(!r.initial_quiescent);
+        assert!(r.witness.is_none());
+        assert!(r.reachable_states >= 2);
+    }
+
+    #[test]
+    fn finite_protocols_reach_quiescence_with_shortest_witness() {
+        let f = fix();
+        // Exactly one A then one B, then nothing.
+        let re = Re::seq([
+            Re::lit(Template::call(f.c, f.o, f.a)),
+            Re::lit(Template::call(f.c, f.o, f.b)),
+        ]);
+        let s = spec(&f, "Once", TraceSet::prs(re));
+        let r = quiescence(&s, 6);
+        assert!(!r.is_perpetual());
+        assert!(!r.initial_quiescent);
+        let w = r.witness.expect("a dead end exists");
+        assert_eq!(w.len(), 2, "shortest dead end is the completed protocol");
+    }
+
+    #[test]
+    fn epsilon_only_sets_are_initially_quiescent() {
+        let f = fix();
+        let s = spec(&f, "EpsOnly", TraceSet::predicate("ε", |h: &Trace| h.is_empty()));
+        let r = quiescence(&s, 5);
+        assert!(r.initial_quiescent);
+        assert_eq!(r.witness.unwrap().len(), 0);
+    }
+
+    #[test]
+    fn universal_sets_are_perpetual() {
+        let f = fix();
+        let s = spec(&f, "Uni", TraceSet::Universal);
+        let r = quiescence(&s, 5);
+        assert!(r.is_perpetual());
+    }
+
+    #[test]
+    fn predicate_frontier_is_not_reported_as_quiescent() {
+        let f = fix();
+        // "At most 3 events" with depth 3: the frontier at length 3 is a
+        // genuine dead end ONLY because of the predicate, but it sits at
+        // the trie frontier, so it must not be reported.
+        let s = spec(&f, "Bounded", TraceSet::predicate("≤3", |h: &Trace| h.len() <= 3));
+        let r = quiescence(&s, 3);
+        assert!(r.is_perpetual(), "frontier misreported: {r:?}");
+        // With a deeper trie the genuine dead ends at length 3 surface.
+        let r2 = quiescence(&s, 5);
+        assert!(!r2.is_perpetual());
+        assert_eq!(r2.witness.unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Serializable experiment records backing `EXPERIMENTS.md`.
+//!
+//! Every reproduction row (FIG1, EX1–EX6, the meta-theory, PERF*) can emit
+//! an [`ExperimentRecord`]; the `paper_report` binary collects them into a
+//! JSON document and a markdown table so the paper-vs-measured comparison
+//! is regenerable from one command.
+
+use serde::{Deserialize, Serialize};
+
+/// The verdict of one reproduction row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The paper's claim was reproduced.
+    Reproduced,
+    /// The claim was reproduced with a caveat (see `details`).
+    ReproducedWithCaveat,
+    /// The claim could not be reproduced.
+    Failed,
+}
+
+/// One row of the experiment index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Row id (`EX3`, `THM16`, …) matching DESIGN.md §5.
+    pub id: String,
+    /// The paper's claim, quoted or paraphrased.
+    pub claim: String,
+    /// What the implementation measured.
+    pub measured: String,
+    /// The verdict.
+    pub outcome: Outcome,
+}
+
+impl ExperimentRecord {
+    /// A fully-reproduced row.
+    pub fn reproduced(id: &str, claim: &str, measured: impl Into<String>) -> Self {
+        ExperimentRecord {
+            id: id.to_string(),
+            claim: claim.to_string(),
+            measured: measured.into(),
+            outcome: Outcome::Reproduced,
+        }
+    }
+
+    /// Render as a markdown table row.
+    pub fn markdown_row(&self) -> String {
+        let mark = match self.outcome {
+            Outcome::Reproduced => "✓",
+            Outcome::ReproducedWithCaveat => "✓*",
+            Outcome::Failed => "✗",
+        };
+        format!("| {} | {} | {} | {} |", self.id, self.claim, self.measured, mark)
+    }
+}
+
+/// Render a full markdown table.
+pub fn markdown_table(records: &[ExperimentRecord]) -> String {
+    let mut out = String::from("| Id | Paper claim | Measured | Outcome |\n|---|---|---|---|\n");
+    for r in records {
+        out.push_str(&r.markdown_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let r = ExperimentRecord::reproduced("EX1", "Read/Write well-formed", "both validated");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, "EX1");
+        assert_eq!(back.outcome, Outcome::Reproduced);
+    }
+
+    #[test]
+    fn markdown_table_has_header_and_rows() {
+        let rs = vec![
+            ExperimentRecord::reproduced("A", "c", "m"),
+            ExperimentRecord {
+                id: "B".into(),
+                claim: "c2".into(),
+                measured: "m2".into(),
+                outcome: Outcome::Failed,
+            },
+        ];
+        let md = markdown_table(&rs);
+        assert!(md.lines().count() == 4);
+        assert!(md.contains("| A |"));
+        assert!(md.contains("✗"));
+    }
+}

@@ -1,0 +1,631 @@
+//! Executable meta-theory: the paper's properties, lemmas and theorems as
+//! machine-checked statements over randomly generated instances.
+//!
+//! This module is the substitute for the paper's PVS mechanization.  Each
+//! function samples `n` random instances of a theorem's premises (using
+//! the refinement-by-construction generators of [`crate::gen`]), decides
+//! the premises *exactly* on the granule algebra, decides the conclusion
+//! with the exact automaton machinery over the canonical finitization,
+//! and reports every violation.  The `necessity_*` probes do the
+//! opposite: they hunt for instances showing that a dropped side
+//! condition (Def.-10 composability, Def.-14 properness) genuinely breaks
+//! the corresponding theorem, demonstrating that the paper's restrictions
+//! are not vacuous.
+//!
+//! All checks are deterministic in the seed, and instances are processed
+//! in parallel with rayon.
+
+use crate::gen::{Arena, SpecGen};
+use pospec_alphabet::internal_of_set;
+use pospec_core::{
+    check_refinement, compose, compose_unchecked, is_composable, is_proper_refinement,
+    observable_equiv, traceset_dfa, Component, SemanticObject, Specification, TraceSet,
+};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Depth used for predicate tries inside the theorem checks (all generated
+/// sets are regular, so this is mostly irrelevant but keeps the API total).
+const DEPTH: usize = 8;
+
+/// The result of fuzzing one theorem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TheoremOutcome {
+    /// Which statement was checked.
+    pub name: String,
+    /// Instances on which the premises held and the conclusion was
+    /// checked.
+    pub instances: usize,
+    /// Instances discarded because the premises did not hold.
+    pub skipped: usize,
+    /// Human-readable violation descriptions (empty = theorem validated).
+    pub violations: Vec<String>,
+}
+
+impl TheoremOutcome {
+    /// Did every checked instance satisfy the conclusion?
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn fuzz(
+    name: &str,
+    seed: u64,
+    n: usize,
+    per_instance: impl Fn(u64) -> Option<Result<(), String>> + Sync,
+) -> TheoremOutcome {
+    let results: Vec<Option<Result<(), String>>> = (0..n as u64)
+        .into_par_iter()
+        .map(|i| per_instance(seed.wrapping_mul(1_000_003).wrapping_add(i)))
+        .collect();
+    let mut out = TheoremOutcome {
+        name: name.to_string(),
+        instances: 0,
+        skipped: 0,
+        violations: Vec::new(),
+    };
+    for r in results {
+        match r {
+            None => out.skipped += 1,
+            Some(Ok(())) => out.instances += 1,
+            Some(Err(v)) => {
+                out.instances += 1;
+                out.violations.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Property 5: `Γ‖Γ = Γ` for interface specifications.
+pub fn property_5(seed: u64, n: usize) -> TheoremOutcome {
+    fuzz("Property 5 (Γ‖Γ = Γ)", seed, n, |s| {
+        let arena = Arena::new(3, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let o = arena.objs[g.below(3)];
+        let partner = arena.objs[(g.below(2) + 1) % 3];
+        let gamma = if g.coin() {
+            g.random_env_spec(&[o], "G")
+        } else {
+            g.random_spec_with_partners(&[o], &[partner], "G")
+        };
+        let selfc = match compose(&gamma, &gamma) {
+            Ok(c) => c,
+            Err(e) => return Some(Err(format!("self-composition rejected: {e}"))),
+        };
+        if selfc.objects() != gamma.objects() {
+            return Some(Err(format!("{}: object sets differ", gamma.name())));
+        }
+        if !selfc.alphabet().set_eq(gamma.alphabet()) {
+            return Some(Err(format!("{}: alphabets differ", gamma.name())));
+        }
+        if !observable_equiv(&selfc, &gamma, DEPTH) {
+            return Some(Err(format!("{}: trace sets differ", gamma.name())));
+        }
+        Some(Ok(()))
+    })
+}
+
+/// Lemma 6: for interface specifications `Γ₁, Γ₂` of the same object,
+/// `Γ₁‖Γ₂` refines both, and any common refinement `∆` refines `Γ₁‖Γ₂`
+/// (weakest common refinement).
+pub fn lemma_6(seed: u64, n: usize) -> TheoremOutcome {
+    fuzz("Lemma 6 (weakest common refinement)", seed, n, |s| {
+        let arena = Arena::new(3, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let o = arena.objs[g.below(3)];
+        let g1 = g.random_env_spec(&[o], "G1");
+        let g2 = g.random_env_spec(&[o], "G2");
+        let joint = match compose(&g1, &g2) {
+            Ok(c) => c,
+            Err(e) => return Some(Err(format!("composition rejected: {e}"))),
+        };
+        // Clause 1.
+        for (gi, label) in [(&g1, "Γ₁"), (&g2, "Γ₂")] {
+            let v = check_refinement(&joint, gi, DEPTH);
+            if !v.holds() {
+                return Some(Err(format!("Γ₁‖Γ₂ ⋢ {label}: {v}")));
+            }
+        }
+        // Clause 2: build a ∆ refining both by construction.
+        let u = &arena.u;
+        let alpha_delta = g1.alphabet().union(g2.alphabet());
+        let sigma = Arc::new(alpha_delta.enumerate_concrete());
+        let d1 = traceset_dfa(u, g1.trace_set(), Arc::new(g1.alphabet().enumerate_concrete()), DEPTH)
+            .lift_to(Arc::clone(&sigma));
+        let d2 = traceset_dfa(u, g2.trace_set(), Arc::new(g2.alphabet().enumerate_concrete()), DEPTH)
+            .lift_to(Arc::clone(&sigma));
+        let delta = Specification::new(
+            "Δ",
+            [o],
+            alpha_delta,
+            TraceSet::Dfa(Arc::new(d1.intersect(&d2))),
+        )
+        .expect("Δ is well-formed");
+        for (gi, label) in [(&g1, "Γ₁"), (&g2, "Γ₂")] {
+            if !check_refinement(&delta, gi, DEPTH).holds() {
+                return Some(Err(format!("constructed Δ ⋢ {label} (generator bug)")));
+            }
+        }
+        let v = check_refinement(&delta, &joint, DEPTH);
+        if !v.holds() {
+            return Some(Err(format!("common refinement Δ ⋢ Γ₁‖Γ₂: {v}")));
+        }
+        Some(Ok(()))
+    })
+}
+
+/// Theorem 7: for interface specifications, `Γ′ ⊑ Γ ⇒ Γ′‖∆ ⊑ Γ‖∆`.
+pub fn theorem_7(seed: u64, n: usize) -> TheoremOutcome {
+    fuzz("Theorem 7 (compositional refinement, interface)", seed, n, |s| {
+        let arena = Arena::new(3, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let o1 = arena.objs[0];
+        let o2 = arena.objs[1];
+        let gamma_c = if g.coin() {
+            g.random_env_spec(&[o1], "Γ′")
+        } else {
+            g.random_spec_with_partners(&[o1], &[o2], "Γ′")
+        };
+        let gamma_a = g.abstraction_of(&gamma_c, false, DEPTH);
+        debug_assert!(check_refinement(&gamma_c, &gamma_a, DEPTH).holds());
+        let delta = if g.coin() {
+            g.random_env_spec(&[o2], "Δ")
+        } else {
+            g.random_spec_with_partners(&[o2], &[o1], "Δ")
+        };
+        let lhs = match compose(&gamma_c, &delta) {
+            Ok(c) => c,
+            Err(_) => return None,
+        };
+        let rhs = match compose(&gamma_a, &delta) {
+            Ok(c) => c,
+            Err(_) => return None,
+        };
+        let v = check_refinement(&lhs, &rhs, DEPTH);
+        if !v.holds() {
+            return Some(Err(format!(
+                "Γ′‖Δ ⋢ Γ‖Δ for Γ′={}, Γ={}, Δ={}: {v}",
+                gamma_c.name(),
+                gamma_a.name(),
+                delta.name()
+            )));
+        }
+        Some(Ok(()))
+    })
+}
+
+/// Property 12: composition is commutative and associative (for pairwise
+/// composable specifications).
+pub fn property_12(seed: u64, n: usize) -> TheoremOutcome {
+    fuzz("Property 12 (commutativity/associativity)", seed, n, |s| {
+        let arena = Arena::new(3, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let (a, b, c) = (arena.objs[0], arena.objs[1], arena.objs[2]);
+        let ga = g.random_env_spec(&[a], "A");
+        let gb = g.random_env_spec(&[b], "B");
+        let gc = g.random_env_spec(&[c], "C");
+        let ab = match compose(&ga, &gb) {
+            Ok(x) => x,
+            Err(_) => return None,
+        };
+        let ba = compose(&gb, &ga).expect("symmetric composability");
+        if !ab.alphabet().set_eq(ba.alphabet())
+            || ab.objects() != ba.objects()
+            || !observable_equiv(&ab, &ba, DEPTH)
+        {
+            return Some(Err("Γ‖Δ ≠ Δ‖Γ".to_string()));
+        }
+        let bc = match compose(&gb, &gc) {
+            Ok(x) => x,
+            Err(_) => return None,
+        };
+        let left = match compose(&ab, &gc) {
+            Ok(x) => x,
+            Err(_) => return None,
+        };
+        let right = match compose(&ga, &bc) {
+            Ok(x) => x,
+            Err(_) => return None,
+        };
+        if !left.alphabet().set_eq(right.alphabet())
+            || left.objects() != right.objects()
+            || !observable_equiv(&left, &right, DEPTH)
+        {
+            return Some(Err("(Γ‖Δ)‖Θ ≠ Γ‖(Δ‖Θ)".to_string()));
+        }
+        Some(Ok(()))
+    })
+}
+
+/// Lemma 13: if `Γ` and `∆` are sound specifications of a component `C`,
+/// then `Γ‖∆` is a sound specification of `C`.
+pub fn lemma_13(seed: u64, n: usize) -> TheoremOutcome {
+    fuzz("Lemma 13 (composition preserves soundness)", seed, n, |s| {
+        let arena = Arena::new(2, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let (a, b) = (arena.objs[0], arena.objs[1]);
+        // A component with regular per-object behaviours.
+        let proto_a = g.random_env_spec(&[a], "TA");
+        let proto_b = g.random_env_spec(&[b], "TB");
+        let comp = Component::new([
+            SemanticObject::new(a, proto_a.trace_set().clone()),
+            SemanticObject::new(b, proto_b.trace_set().clone()),
+        ]);
+        // Sound specs by construction: each constrains exactly its own
+        // object's protocol alphabet.
+        let gamma = proto_a.clone().renamed("Γ");
+        let delta = proto_b.clone().renamed("Δ");
+        if comp.check_soundness(&gamma, DEPTH).is_err()
+            || comp.check_soundness(&delta, DEPTH).is_err()
+        {
+            return Some(Err("generator bug: base specs not sound".to_string()));
+        }
+        if !is_composable(&gamma, &delta) {
+            return None;
+        }
+        let joint = compose(&gamma, &delta).expect("checked composable");
+        match comp.check_soundness(&joint, DEPTH) {
+            Ok(()) => Some(Ok(())),
+            Err(cex) => Some(Err(format!("Γ‖Δ unsound for C, witness {cex}"))),
+        }
+    })
+}
+
+fn hiding_stability_sides(
+    gamma_c: &Specification,
+    gamma_a: &Specification,
+    delta: &Specification,
+) -> (pospec_alphabet::EventSet, pospec_alphabet::EventSet) {
+    let u = gamma_c.universe();
+    let union_alpha = gamma_a.alphabet().union(delta.alphabet());
+    let o_cd: std::collections::BTreeSet<_> =
+        gamma_c.objects().union(delta.objects()).copied().collect();
+    let o_ad: std::collections::BTreeSet<_> =
+        gamma_a.objects().union(delta.objects()).copied().collect();
+    (
+        union_alpha.intersect(&internal_of_set(u, &o_cd)),
+        union_alpha.intersect(&internal_of_set(u, &o_ad)),
+    )
+}
+
+/// Lemma 15: for a proper, composable refinement,
+/// `(α(Γ) ∪ α(∆)) ∩ I(O(Γ′‖∆)) = (α(Γ) ∪ α(∆)) ∩ I(O(Γ‖∆))`.
+pub fn lemma_15(seed: u64, n: usize) -> TheoremOutcome {
+    fuzz("Lemma 15 (hiding stability)", seed, n, |s| {
+        let arena = Arena::new(3, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let (a, b, c) = (arena.objs[0], arena.objs[1], arena.objs[2]);
+        let gamma_c = g.random_spec_with_partners(&[a, b], &[c], "Γ′");
+        let gamma_a = g.abstraction_of(&gamma_c, true, DEPTH);
+        let delta = if g.coin() {
+            g.random_env_spec(&[c], "Δ")
+        } else {
+            g.random_spec_with_partners(&[c], &[a, b], "Δ")
+        };
+        if !is_composable(&gamma_c, &delta) {
+            return None;
+        }
+        if !is_proper_refinement(&gamma_c, &gamma_a, &delta) {
+            return None;
+        }
+        let (lhs, rhs) = hiding_stability_sides(&gamma_c, &gamma_a, &delta);
+        if !lhs.set_eq(&rhs) {
+            return Some(Err(format!(
+                "hiding changed: {} vs {}",
+                lhs.display(),
+                rhs.display()
+            )));
+        }
+        Some(Ok(()))
+    })
+}
+
+/// Theorem 16 (the paper's PVS-verified main result): for a proper,
+/// composable refinement of component specifications,
+/// `Γ′‖∆ ⊑ Γ‖∆`.
+pub fn theorem_16(seed: u64, n: usize) -> TheoremOutcome {
+    fuzz("Theorem 16 (compositional refinement, components)", seed, n, |s| {
+        let arena = Arena::new(3, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let (a, b, c) = (arena.objs[0], arena.objs[1], arena.objs[2]);
+        let gamma_c = if g.coin() {
+            g.random_env_spec(&[a, b], "Γ′")
+        } else {
+            g.random_spec_with_partners(&[a, b], &[c], "Γ′")
+        };
+        let gamma_a = g.abstraction_of(&gamma_c, true, DEPTH);
+        let delta = if g.coin() {
+            g.random_env_spec(&[c], "Δ")
+        } else {
+            g.random_spec_with_partners(&[c], &[a], "Δ")
+        };
+        if !is_composable(&gamma_c, &delta) {
+            return None;
+        }
+        if !is_proper_refinement(&gamma_c, &gamma_a, &delta) {
+            return None;
+        }
+        let lhs = compose(&gamma_c, &delta).expect("checked composable");
+        let rhs = compose_unchecked(&gamma_a, &delta);
+        let v = check_refinement(&lhs, &rhs, DEPTH);
+        if !v.holds() {
+            return Some(Err(format!(
+                "Γ′‖Δ ⋢ Γ‖Δ (Γ′={}, Γ={}, Δ={}): {v}",
+                gamma_c.name(),
+                gamma_a.name(),
+                delta.name()
+            )));
+        }
+        Some(Ok(()))
+    })
+}
+
+/// Property 17: `Γ′ ⊑ Γ` with `O(Γ′) = O(Γ)` and `Γ, ∆` composable with
+/// **disjoint** object sets implies `Γ′, ∆` composable.
+///
+/// The disjointness proviso reflects the paper's open-system setting; see
+/// `EXPERIMENTS.md` for the boundary case with overlapping object sets.
+pub fn property_17(seed: u64, n: usize) -> TheoremOutcome {
+    fuzz("Property 17 (composability stability)", seed, n, |s| {
+        let arena = Arena::new(3, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let (a, b, c) = (arena.objs[0], arena.objs[1], arena.objs[2]);
+        let gamma_a_spec = g.random_env_spec(&[a, b], "Γ");
+        // Expand the alphabet without changing objects: Γ′ ⊑ Γ trivially
+        // on conditions 1–2; reuse the trace set so condition 3 holds.
+        let extra = g.random_spec_with_partners(&[a, b], &[c], "extra");
+        let gamma_c = Specification::new(
+            "Γ′",
+            gamma_a_spec.objects().iter().copied(),
+            gamma_a_spec.alphabet().union(extra.alphabet()),
+            gamma_a_spec.trace_set().clone(),
+        )
+        .expect("expanded alphabet stays admissible");
+        debug_assert!(check_refinement(&gamma_c, &gamma_a_spec, DEPTH).holds());
+        let delta = g.random_env_spec(&[c], "Δ");
+        if !is_composable(&gamma_a_spec, &delta) {
+            return None;
+        }
+        if !is_composable(&gamma_c, &delta) {
+            return Some(Err("composability lost under O-preserving refinement".to_string()));
+        }
+        Some(Ok(()))
+    })
+}
+
+/// Theorem 18: `Γ′ ⊑ Γ ∧ O(Γ′) = O(Γ) ⇒ Γ′‖∆ ⊑ Γ‖∆`.
+pub fn theorem_18(seed: u64, n: usize) -> TheoremOutcome {
+    fuzz("Theorem 18 (no new objects)", seed, n, |s| {
+        let arena = Arena::new(3, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let (a, b, c) = (arena.objs[0], arena.objs[1], arena.objs[2]);
+        let gamma_c = g.random_spec_with_partners(&[a, b], &[c], "Γ′");
+        let gamma_a = g.abstraction_of(&gamma_c, false, DEPTH);
+        let delta = g.random_env_spec(&[c], "Δ");
+        if !is_composable(&gamma_c, &delta) {
+            return None;
+        }
+        let lhs = compose(&gamma_c, &delta).expect("checked composable");
+        let rhs = compose_unchecked(&gamma_a, &delta);
+        let v = check_refinement(&lhs, &rhs, DEPTH);
+        if !v.holds() {
+            return Some(Err(format!("Γ′‖Δ ⋢ Γ‖Δ: {v}")));
+        }
+        Some(Ok(()))
+    })
+}
+
+/// The refinement relation is a partial order (§3: "The refinement
+/// relation given here is a partial order"): reflexive, transitive along
+/// abstraction chains, and antisymmetric up to observable equivalence.
+pub fn refinement_partial_order(seed: u64, n: usize) -> TheoremOutcome {
+    fuzz("§3 (refinement is a partial order)", seed, n, |s| {
+        let arena = Arena::new(3, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let bottom = g.random_env_spec(&[arena.objs[0], arena.objs[1]], "B");
+        // Reflexivity.
+        if !check_refinement(&bottom, &bottom, DEPTH).holds() {
+            return Some(Err("reflexivity failed".to_string()));
+        }
+        // Transitivity along a constructed chain.
+        let mid = g.abstraction_of(&bottom, true, DEPTH);
+        let top = g.abstraction_of(&mid, true, DEPTH);
+        if !check_refinement(&bottom, &top, DEPTH).holds() {
+            return Some(Err("transitivity failed along an abstraction chain".to_string()));
+        }
+        // Antisymmetry up to observable equivalence, when both directions
+        // happen to hold.
+        let other = g.random_env_spec(&[arena.objs[0], arena.objs[1]], "B2");
+        if check_refinement(&bottom, &other, DEPTH).holds()
+            && check_refinement(&other, &bottom, DEPTH).holds()
+            && !observable_equiv(&bottom, &other, DEPTH)
+        {
+            return Some(Err("mutual refinement without equivalence".to_string()));
+        }
+        Some(Ok(()))
+    })
+}
+
+/// Composition is monotone in both arguments (Theorem 7 applied twice,
+/// via commutativity): `Γ′ ⊑ Γ ∧ ∆′ ⊑ ∆ ⇒ Γ′‖∆′ ⊑ Γ‖∆`.
+pub fn composition_monotone(seed: u64, n: usize) -> TheoremOutcome {
+    fuzz("Composition monotone in both arguments", seed, n, |s| {
+        let arena = Arena::new(3, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let gamma_c = g.random_env_spec(&[arena.objs[0]], "Γ′");
+        let gamma_a = g.abstraction_of(&gamma_c, false, DEPTH);
+        let delta_c = g.random_env_spec(&[arena.objs[1]], "Δ′");
+        let delta_a = g.abstraction_of(&delta_c, false, DEPTH);
+        let lhs = match compose(&gamma_c, &delta_c) {
+            Ok(x) => x,
+            Err(_) => return None,
+        };
+        let rhs = match compose(&gamma_a, &delta_a) {
+            Ok(x) => x,
+            Err(_) => return None,
+        };
+        let v = check_refinement(&lhs, &rhs, DEPTH);
+        if !v.holds() {
+            return Some(Err(format!("joint monotonicity failed: {v}")));
+        }
+        Some(Ok(()))
+    })
+}
+
+/// Necessity probe: without Def.-14 properness, Theorem 16 *fails* — the
+/// outcome counts instances where an improper (but otherwise valid)
+/// refinement breaks compositional refinement.  The probe *holds* when at
+/// least one such instance is found.
+pub fn necessity_of_properness(seed: u64, n: usize) -> TheoremOutcome {
+    let mut found = 0usize;
+    let mut tried = 0usize;
+    for i in 0..n as u64 {
+        let s = seed.wrapping_mul(999_983).wrapping_add(i);
+        let arena = Arena::new(3, 2);
+        let mut g = SpecGen::new(arena.clone(), s);
+        let (a, b, c) = (arena.objs[0], arena.objs[1], arena.objs[2]);
+        // Γ over {a}; Γ′ adds object b whose events Δ observes: improper.
+        let gamma_a = g.random_env_spec(&[a], "Γ");
+        let b_side = g.random_spec_with_partners(&[b], &[c], "Badd");
+        let gamma_c = Specification::new(
+            "Γ′",
+            [a, b],
+            gamma_a.alphabet().union(b_side.alphabet()),
+            TraceSet::conj([gamma_a.trace_set().clone(), b_side.trace_set().clone()]),
+        )
+        .expect("well-formed");
+        let delta = g.random_spec_with_partners(&[c], &[b], "Δ");
+        if !check_refinement(&gamma_c, &gamma_a, DEPTH).holds() {
+            continue;
+        }
+        if !is_composable(&gamma_c, &delta) {
+            continue;
+        }
+        if is_proper_refinement(&gamma_c, &gamma_a, &delta) {
+            continue; // we want improper instances
+        }
+        tried += 1;
+        let lhs = compose(&gamma_c, &delta).expect("composable");
+        let rhs = compose_unchecked(&gamma_a, &delta);
+        if !check_refinement(&lhs, &rhs, DEPTH).holds() {
+            found += 1;
+        }
+    }
+    TheoremOutcome {
+        name: "Necessity of properness (Def. 14)".to_string(),
+        instances: tried,
+        skipped: n - tried,
+        violations: if found > 0 {
+            Vec::new()
+        } else {
+            vec!["no improper instance broke Theorem 16 — probe inconclusive".to_string()]
+        },
+    }
+}
+
+/// Run the complete mechanized meta-theory, as the paper ran its PVS
+/// development.
+pub fn run_all(seed: u64, n: usize) -> Vec<TheoremOutcome> {
+    vec![
+        property_5(seed, n),
+        lemma_6(seed, n),
+        theorem_7(seed, n),
+        property_12(seed, n),
+        lemma_13(seed, n),
+        lemma_15(seed, n),
+        theorem_16(seed, n),
+        property_17(seed, n),
+        theorem_18(seed, n),
+        refinement_partial_order(seed, n),
+        composition_monotone(seed, n),
+        necessity_of_properness(seed, n),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_holds(outcome: &TheoremOutcome, min_instances: usize) {
+        assert!(
+            outcome.holds(),
+            "{} violated:\n{}",
+            outcome.name,
+            outcome.violations.join("\n")
+        );
+        assert!(
+            outcome.instances >= min_instances,
+            "{}: only {} instances checked ({} skipped)",
+            outcome.name,
+            outcome.instances,
+            outcome.skipped
+        );
+    }
+
+    #[test]
+    fn property_5_fuzz() {
+        assert_holds(&property_5(1, 40), 30);
+    }
+
+    #[test]
+    fn lemma_6_fuzz() {
+        assert_holds(&lemma_6(2, 30), 25);
+    }
+
+    #[test]
+    fn theorem_7_fuzz() {
+        assert_holds(&theorem_7(3, 30), 15);
+    }
+
+    #[test]
+    fn property_12_fuzz() {
+        assert_holds(&property_12(4, 25), 20);
+    }
+
+    #[test]
+    fn lemma_13_fuzz() {
+        assert_holds(&lemma_13(5, 25), 15);
+    }
+
+    #[test]
+    fn lemma_15_fuzz() {
+        assert_holds(&lemma_15(6, 60), 10);
+    }
+
+    #[test]
+    fn theorem_16_fuzz() {
+        assert_holds(&theorem_16(7, 60), 15);
+    }
+
+    #[test]
+    fn property_17_fuzz() {
+        assert_holds(&property_17(8, 30), 15);
+    }
+
+    #[test]
+    fn theorem_18_fuzz() {
+        assert_holds(&theorem_18(9, 40), 15);
+    }
+
+    #[test]
+    fn refinement_partial_order_fuzz() {
+        assert_holds(&refinement_partial_order(11, 30), 25);
+    }
+
+    #[test]
+    fn composition_monotone_fuzz() {
+        assert_holds(&composition_monotone(12, 30), 20);
+    }
+
+    #[test]
+    fn properness_is_necessary() {
+        let probe = necessity_of_properness(10, 80);
+        assert!(
+            probe.holds(),
+            "expected at least one improper instance to break Theorem 16"
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Assumption/guarantee trace sets — the OUN specification style.
+//!
+//! §9 describes OUN as *"relying on input/output driven assumption
+//! guarantee specifications of generic behavioral interfaces"*.  For an
+//! object set `O`, every event of a Def.-1 alphabet is either an **input**
+//! (callee in `O`: the environment calls the object) or an **output**
+//! (caller in `O`: the object calls out).  An assumption/guarantee pair
+//! `(A, G)` then denotes the trace set
+//!
+//! ```text
+//! T = { h | ∀ prefixes p of h :  A(p/inputs) ⇒ G(p) }
+//! ```
+//!
+//! — the object must keep the guarantee at every point where the
+//! environment (its input projection) has kept the assumption; the
+//! environment's violation of `A` releases all obligations from that
+//! point on (for the usual monotone assumptions).  The set is the largest
+//! prefix-closed subset, enforced by the predicate backend.
+
+use crate::spec::Specification;
+use crate::traceset::TraceSet;
+use pospec_trace::{ObjectId, Trace};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Split of a specification's events into inputs and outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Callee in `O`: the environment calls the object(s).
+    Input,
+    /// Caller in `O`: the object(s) call the environment.
+    Output,
+}
+
+/// Classify an event relative to an object set.
+///
+/// Def.-1 alphabets guarantee exactly one endpoint lies in `O`, so the
+/// classification is total on admissible events.
+pub fn direction_of(objects: &BTreeSet<ObjectId>, e: &pospec_trace::Event) -> Direction {
+    if objects.contains(&e.callee) {
+        Direction::Input
+    } else {
+        Direction::Output
+    }
+}
+
+/// Build the assumption/guarantee trace set for the object set `objects`.
+///
+/// * `assumption` is evaluated on the projection of a prefix to its
+///   *input* events;
+/// * `guarantee` is evaluated on whole prefixes.
+///
+/// Membership of `h`: for every prefix `p` of `h`, if the inputs of `p`
+/// *excluding a trailing output's view* satisfy the assumption, the
+/// guarantee must hold at `p`.  Violating the assumption releases the
+/// guarantee from that point on.
+pub fn assume_guarantee(
+    name: impl Into<Arc<str>>,
+    objects: impl IntoIterator<Item = ObjectId>,
+    assumption: impl Fn(&Trace) -> bool + Send + Sync + 'static,
+    guarantee: impl Fn(&Trace) -> bool + Send + Sync + 'static,
+) -> TraceSet {
+    let objects: BTreeSet<ObjectId> = objects.into_iter().collect();
+    let name = name.into();
+    TraceSet::predicate(format!("AG({name})"), move |h: &Trace| {
+        // Largest-prefix-closed-subset semantics re-checks prefixes, so
+        // evaluating the condition at `h` itself is enough here.
+        let inputs = Trace::from_events(
+            h.iter()
+                .filter(|e| direction_of(&objects, e) == Direction::Input)
+                .copied()
+                .collect(),
+        );
+        // The input projection already excludes the object's own moves,
+        // so a trailing output never changes what was assumed.
+        if !assumption(&inputs) {
+            return true; // environment broke A: all obligations released
+        }
+        guarantee(h)
+    })
+}
+
+/// Convenience: an AG specification.
+pub fn ag_specification(
+    name: &str,
+    objects: impl IntoIterator<Item = ObjectId> + Clone,
+    alphabet: pospec_alphabet::EventSet,
+    assumption: impl Fn(&Trace) -> bool + Send + Sync + 'static,
+    guarantee: impl Fn(&Trace) -> bool + Send + Sync + 'static,
+) -> Result<Specification, crate::spec::SpecError> {
+    let ts = assume_guarantee(name, objects.clone(), assumption, guarantee);
+    Specification::new(name, objects, alphabet, ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_alphabet::{EventPattern, ObjSpec, UniverseBuilder};
+    use pospec_trace::{Event, MethodId};
+
+    struct Fix {
+        u: Arc<pospec_alphabet::Universe>,
+        server: ObjectId,
+        c: ObjectId,
+        req: MethodId,
+        rsp: MethodId,
+    }
+
+    fn fix() -> Fix {
+        let mut b = UniverseBuilder::new();
+        let env = b.object_class("Env").unwrap();
+        let server = b.object("server").unwrap();
+        let c = b.object_in("c", env).unwrap();
+        let req = b.method("req").unwrap();
+        let rsp = b.method("rsp").unwrap();
+        b.class_witnesses(env, 1).unwrap();
+        Fix { u: b.freeze(), server, c, req, rsp }
+    }
+
+    /// "Assuming at most one outstanding request, I guarantee never to
+    /// send more responses than requests."
+    fn server_spec(f: &Fix) -> Specification {
+        let alpha = EventPattern::call(ObjSpec::Any, f.server, f.req)
+            .to_set(&f.u)
+            .union(&EventPattern::call(f.server, ObjSpec::Any, f.rsp).to_set(&f.u));
+        let (req, rsp) = (f.req, f.rsp);
+        let req2 = req;
+        ag_specification(
+            "Server",
+            [f.server],
+            alpha,
+            move |inputs: &Trace| inputs.count_method(req2) <= 3,
+            move |h: &Trace| h.count_method(rsp) <= h.count_method(req),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn direction_classification() {
+        let f = fix();
+        let objects: BTreeSet<_> = [f.server].into_iter().collect();
+        assert_eq!(
+            direction_of(&objects, &Event::call(f.c, f.server, f.req)),
+            Direction::Input
+        );
+        assert_eq!(
+            direction_of(&objects, &Event::call(f.server, f.c, f.rsp)),
+            Direction::Output
+        );
+    }
+
+    #[test]
+    fn guarantee_enforced_while_assumption_holds() {
+        let f = fix();
+        let s = server_spec(&f);
+        let good = Trace::from_events(vec![
+            Event::call(f.c, f.server, f.req),
+            Event::call(f.server, f.c, f.rsp),
+        ]);
+        assert!(s.contains_trace(&good));
+        // Response without request violates the guarantee (assumption
+        // holds: zero requests ≤ 3).
+        let bad = Trace::from_events(vec![Event::call(f.server, f.c, f.rsp)]);
+        assert!(!s.contains_trace(&bad));
+    }
+
+    #[test]
+    fn broken_assumption_releases_the_guarantee() {
+        let f = fix();
+        let s = server_spec(&f);
+        // Four requests break the assumption; afterwards even gratuitous
+        // responses are permitted (the object is no longer on the hook).
+        let mut evs = vec![Event::call(f.c, f.server, f.req); 4];
+        evs.push(Event::call(f.server, f.c, f.rsp));
+        evs.push(Event::call(f.server, f.c, f.rsp));
+        evs.push(Event::call(f.server, f.c, f.rsp));
+        evs.push(Event::call(f.server, f.c, f.rsp));
+        evs.push(Event::call(f.server, f.c, f.rsp));
+        let t = Trace::from_events(evs);
+        assert!(s.contains_trace(&t), "obligations released after A broke");
+    }
+
+    #[test]
+    fn prefix_closure_still_applies() {
+        let f = fix();
+        let s = server_spec(&f);
+        // A trace whose *prefix* violated the guarantee under a holding
+        // assumption stays out, even if a later assumption break would
+        // have released it.
+        let evs = vec![
+            Event::call(f.server, f.c, f.rsp), // violation here
+            Event::call(f.c, f.server, f.req),
+            Event::call(f.c, f.server, f.req),
+            Event::call(f.c, f.server, f.req),
+            Event::call(f.c, f.server, f.req), // assumption breaks here
+        ];
+        let t = Trace::from_events(evs);
+        assert!(!s.contains_trace(&t));
+    }
+
+    #[test]
+    fn ag_specs_participate_in_refinement() {
+        let f = fix();
+        let s = server_spec(&f);
+        // A deterministic responder (exactly one rsp per req, alternating)
+        // refines the AG spec.
+        let x = pospec_regex::VarId(0);
+        let det = Specification::new(
+            "Responder",
+            [f.server],
+            s.alphabet().clone(),
+            TraceSet::prs(
+                pospec_regex::Re::seq([
+                    pospec_regex::Re::lit(pospec_regex::Template::call(x, f.server, f.req)),
+                    pospec_regex::Re::lit(pospec_regex::Template {
+                        caller: f.server.into(),
+                        callee: pospec_regex::TObj::Var(x),
+                        method: Some(f.rsp),
+                        arg: Default::default(),
+                    }),
+                ])
+                .bind(x, f.u.class_by_name("Env").unwrap())
+                .star(),
+            ),
+        )
+        .unwrap();
+        let v = crate::refine::check_refinement(&det, &s, 5);
+        assert!(v.holds(), "{v}");
+    }
+}

@@ -1,0 +1,258 @@
+//! The asynchrony model of the paper's Example-1 footnote:
+//!
+//! > *"A call to R(d) can be modeled by two events where only the last
+//! > event contains the value which is read.  This lets us capture
+//! > asynchrony."*
+//!
+//! [`split_method`] rewrites a specification that uses a synchronous
+//! value-returning method `m(d)` into one over a *request/reply pair*:
+//! the caller's parameterless request `m_req` followed by the callee's
+//! value-carrying reply `m_rsp(d)` in the opposite direction.  The
+//! rewriting acts on the alphabet (exact, granule-level) and on `prs`
+//! trace sets (each literal `⟨x, o, m(d)⟩` becomes
+//! `⟨x, o, m_req⟩ ⟨o, x, m_rsp(d)⟩`).
+//!
+//! The inverse direction is an abstraction function: renaming `m_rsp`
+//! back to `m` (with swapped endpoints) and erasing `m_req` recovers a
+//! spec whose traces project onto the synchronous original — tested in
+//! `async_roundtrip_via_morphism`.
+
+use crate::spec::{SpecError, Specification};
+use crate::traceset::TraceSet;
+use pospec_alphabet::{ArgGranule, EventGranule, EventSet, MethodGranule, Universe};
+use pospec_regex::{Re, TArg, Template};
+use pospec_trace::MethodId;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a specification could not be split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsyncSplitError {
+    /// The trace-set backend is not a rewritable `prs`/`Universal` form.
+    UnsupportedBackend(String),
+    /// The produced specification failed Def.-1 validation.
+    Spec(SpecError),
+}
+
+impl fmt::Display for AsyncSplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsyncSplitError::UnsupportedBackend(b) => {
+                write!(f, "cannot rewrite trace-set backend {b}")
+            }
+            AsyncSplitError::Spec(e) => write!(f, "split specification ill-formed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsyncSplitError {}
+
+/// Split the granules of `m` in an alphabet into request + reply
+/// granules.
+fn split_alphabet(
+    u: &Arc<Universe>,
+    alpha: &EventSet,
+    m: MethodId,
+    req: MethodId,
+    rsp: MethodId,
+) -> EventSet {
+    let granules: Vec<EventGranule> = alpha
+        .granules()
+        .flat_map(|g| match g.method {
+            MethodGranule::Named(mm) if mm == m => vec![
+                // Request: caller → callee, no argument.
+                EventGranule::new(g.caller, g.callee, MethodGranule::Named(req), ArgGranule::None),
+                // Reply: callee → caller, carrying the original argument.
+                EventGranule::new(g.callee, g.caller, MethodGranule::Named(rsp), g.arg),
+            ],
+            _ => vec![*g],
+        })
+        .collect();
+    EventSet::from_granules(u, granules)
+}
+
+/// Rewrite a `prs` expression, replacing every literal of `m` by the
+/// request/reply sequence.
+fn split_re(re: &Re, m: MethodId, req: MethodId, rsp: MethodId) -> Re {
+    match re {
+        Re::Empty => Re::Empty,
+        Re::Eps => Re::Eps,
+        Re::Lit(t) if t.method == Some(m) => {
+            let request = Template {
+                caller: t.caller,
+                callee: t.callee,
+                method: Some(req),
+                arg: TArg::Auto,
+            };
+            let reply =
+                Template { caller: t.callee, callee: t.caller, method: Some(rsp), arg: t.arg };
+            Re::seq([Re::lit(request), Re::lit(reply)])
+        }
+        Re::Lit(t) => Re::Lit(*t),
+        Re::Seq(a, b) => Re::Seq(
+            Box::new(split_re(a, m, req, rsp)),
+            Box::new(split_re(b, m, req, rsp)),
+        ),
+        Re::Alt(a, b) => Re::Alt(
+            Box::new(split_re(a, m, req, rsp)),
+            Box::new(split_re(b, m, req, rsp)),
+        ),
+        Re::Star(a) => Re::Star(Box::new(split_re(a, m, req, rsp))),
+        Re::Bind { var, class, body } => Re::Bind {
+            var: *var,
+            class: *class,
+            body: Box::new(split_re(body, m, req, rsp)),
+        },
+    }
+}
+
+/// Split the synchronous value-returning method `m` of `spec` into the
+/// request/reply pair `(req, rsp)` (both must be declared in the
+/// universe: `req` parameterless, `rsp` with `m`'s data class, since the
+/// reply carries the value).
+pub fn split_method(
+    spec: &Specification,
+    m: MethodId,
+    req: MethodId,
+    rsp: MethodId,
+) -> Result<Specification, AsyncSplitError> {
+    let u = spec.universe();
+    let alpha = split_alphabet(u, spec.alphabet(), m, req, rsp);
+    let ts = match spec.trace_set() {
+        TraceSet::Universal => TraceSet::Universal,
+        TraceSet::Prs(re) => TraceSet::prs(split_re(re.re(), m, req, rsp)),
+        other => {
+            return Err(AsyncSplitError::UnsupportedBackend(format!("{other:?}")));
+        }
+    };
+    Specification::new(
+        format!("{}⟨async {}⟩", spec.name(), u.method_name(m)),
+        spec.objects().iter().copied(),
+        alpha,
+        ts,
+    )
+    .map_err(AsyncSplitError::Spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::morphism::{check_refinement_upto, Morphism};
+    use pospec_alphabet::{EventPattern, UniverseBuilder};
+    use pospec_regex::VarId;
+    use pospec_trace::{Event, ObjectId, Trace};
+
+    struct Fix {
+        u: Arc<Universe>,
+        o: ObjectId,
+        c: ObjectId,
+        objects: pospec_trace::ClassId,
+        r: MethodId,
+        r_req: MethodId,
+        r_rsp: MethodId,
+        d: pospec_trace::DataId,
+    }
+
+    fn fix() -> Fix {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let data = b.data_class("Data").unwrap();
+        let o = b.object("o").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let r = b.method_with("R", data).unwrap();
+        let r_req = b.method("R_req").unwrap();
+        let r_rsp = b.method_with("R_rsp", data).unwrap();
+        b.class_witnesses(objects, 2).unwrap();
+        let d = b.data_witnesses(data, 1).unwrap()[0];
+        Fix { u: b.freeze(), o, c, objects, r, r_req, r_rsp, d }
+    }
+
+    /// A bracketless "read then read then …" protocol, per caller.
+    fn sync_spec(f: &Fix) -> Specification {
+        let x = VarId(0);
+        Specification::new(
+            "SyncRead",
+            [f.o],
+            EventPattern::call(f.objects, f.o, f.r).to_set(&f.u),
+            TraceSet::prs(Re::lit(Template::call(x, f.o, f.r)).bind(x, f.objects).star()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_alphabet_has_both_directions() {
+        let f = fix();
+        let split = split_method(&sync_spec(&f), f.r, f.r_req, f.r_rsp).unwrap();
+        assert!(split.alphabet().contains(&Event::call(f.c, f.o, f.r_req)));
+        assert!(split.alphabet().contains(&Event::call_with(f.o, f.c, f.r_rsp, f.d)));
+        assert!(!split.alphabet().contains(&Event::call_with(f.c, f.o, f.r, f.d)));
+        // Still a Def.-1 valid spec of {o}: replies originate at o.
+        assert!(split.is_interface());
+        assert!(split.alphabet().is_infinite());
+    }
+
+    #[test]
+    fn split_traces_interleave_request_then_reply() {
+        let f = fix();
+        let split = split_method(&sync_spec(&f), f.r, f.r_req, f.r_rsp).unwrap();
+        let good = Trace::from_events(vec![
+            Event::call(f.c, f.o, f.r_req),
+            Event::call_with(f.o, f.c, f.r_rsp, f.d),
+            Event::call(f.c, f.o, f.r_req),
+            Event::call_with(f.o, f.c, f.r_rsp, f.d),
+        ]);
+        assert!(split.contains_trace(&good));
+        // A reply without a request is not a trace.
+        let bad = Trace::from_events(vec![Event::call_with(f.o, f.c, f.r_rsp, f.d)]);
+        assert!(!split.contains_trace(&bad));
+        // A pending request is a legal prefix (that is the asynchrony).
+        let pending = Trace::from_events(vec![Event::call(f.c, f.o, f.r_req)]);
+        assert!(split.contains_trace(&pending));
+    }
+
+    #[test]
+    fn async_roundtrip_via_morphism() {
+        // Erasing requests and renaming replies back to R — with the
+        // endpoints swapped by the reply direction — yields traces whose
+        // R-projection matches the synchronous spec *with o as caller*;
+        // build the synchronous comparison spec in that direction.
+        let f = fix();
+        let split = split_method(&sync_spec(&f), f.r, f.r_req, f.r_rsp).unwrap();
+        let phi = Morphism::identity().erase_method(f.r_req).rename_method(f.r_rsp, f.r);
+        let sync_reversed = Specification::new(
+            "SyncRev",
+            [f.o],
+            EventPattern::call(f.o, f.objects, f.r).to_set(&f.u),
+            TraceSet::Universal,
+        )
+        .unwrap();
+        let v = check_refinement_upto(&split, &sync_reversed, &phi, 5);
+        assert!(v.holds(), "{v}");
+    }
+
+    #[test]
+    fn unsupported_backends_are_reported() {
+        let f = fix();
+        let pred_spec = Specification::new(
+            "Opaque",
+            [f.o],
+            EventPattern::call(f.objects, f.o, f.r).to_set(&f.u),
+            TraceSet::predicate("p", |_| true),
+        )
+        .unwrap();
+        let err = split_method(&pred_spec, f.r, f.r_req, f.r_rsp).unwrap_err();
+        assert!(matches!(err, AsyncSplitError::UnsupportedBackend(_)));
+    }
+
+    #[test]
+    fn splitting_an_absent_method_is_identity_on_the_alphabet() {
+        let f = fix();
+        let mut b2 = UniverseBuilder::new();
+        let _ = &mut b2;
+        let spec = sync_spec(&f);
+        // Split a method the alphabet does not mention: nothing changes
+        // except the name.
+        let split = split_method(&spec, f.r_rsp, f.r_req, f.r_rsp).unwrap();
+        assert!(split.alphabet().set_eq(spec.alphabet()));
+    }
+}

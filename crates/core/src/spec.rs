@@ -1,0 +1,320 @@
+//! The specification triple `Γ = ⟨O, α, T⟩` of Def. 1.
+
+use crate::traceset::TraceSet;
+use pospec_alphabet::{admissible_alphabet, EventSet, ObjGranule, Universe};
+use pospec_trace::{ObjectId, Trace};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised by [`Specification::new`]'s Def.-1 validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The object set is empty.
+    EmptyObjectSet,
+    /// The alphabet contains events that do not involve any object of `O`,
+    /// or events internal to `O` (violating Def. 1's side condition).
+    InadmissibleAlphabet {
+        /// A readable description of the offending granules.
+        offending: String,
+    },
+    /// Def. 1 requires the alphabet of a specification to be infinite (the
+    /// communication environment of an open system is unbounded).
+    FiniteAlphabet,
+    /// The alphabet and trace set belong to a different universe than the
+    /// object set.
+    UniverseMismatch,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyObjectSet => write!(f, "specification needs at least one object"),
+            SpecError::InadmissibleAlphabet { offending } => {
+                write!(f, "alphabet violates Def. 1: {offending}")
+            }
+            SpecError::FiniteAlphabet => {
+                write!(f, "Def. 1 requires an infinite alphabet (open environment)")
+            }
+            SpecError::UniverseMismatch => write!(f, "components from different universes"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The communication environment of a specification (§2): the objects
+/// involved in communication with the specification's objects, derived
+/// from the alphabet.  It consists of finitely many *named* objects plus
+/// the infinite residue granules touched by the alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommEnv {
+    /// Named environment objects occurring as endpoints in the alphabet.
+    pub named: BTreeSet<ObjectId>,
+    /// Infinite environment blocks (class residues / the anonymous
+    /// environment) occurring as endpoints.
+    pub residues: BTreeSet<ObjGranule>,
+}
+
+impl CommEnv {
+    /// Is the environment infinite (as Def. 1 expects for open systems)?
+    pub fn is_infinite(&self) -> bool {
+        !self.residues.is_empty()
+    }
+
+    /// Does the environment contain the named object?
+    pub fn contains_named(&self, o: ObjectId) -> bool {
+        self.named.contains(&o)
+    }
+}
+
+/// A partial object specification `⟨O, α, T⟩` (Def. 1).
+#[derive(Debug, Clone)]
+pub struct Specification {
+    name: Arc<str>,
+    objects: BTreeSet<ObjectId>,
+    alphabet: EventSet,
+    traces: TraceSet,
+}
+
+impl Specification {
+    /// Construct and validate a specification (Def. 1):
+    ///
+    /// 1. `O` is a finite non-empty set of object identities;
+    /// 2. `α ⊆ { e ∈ ⋃_{o∈O} α_o | ¬(both endpoints ∈ O) }`;
+    /// 3. `α` is infinite;
+    /// 4. `T` is prefix closed over `α` (guaranteed by the [`TraceSet`]
+    ///    backends by construction).
+    pub fn new(
+        name: impl Into<Arc<str>>,
+        objects: impl IntoIterator<Item = ObjectId>,
+        alphabet: EventSet,
+        traces: TraceSet,
+    ) -> Result<Self, SpecError> {
+        let objects: BTreeSet<ObjectId> = objects.into_iter().collect();
+        if objects.is_empty() {
+            return Err(SpecError::EmptyObjectSet);
+        }
+        let u = alphabet.universe();
+        let admissible = admissible_alphabet(u, &objects);
+        if !alphabet.is_subset(&admissible) {
+            let offending = alphabet.difference(&admissible).display();
+            return Err(SpecError::InadmissibleAlphabet { offending });
+        }
+        if !alphabet.is_infinite() {
+            return Err(SpecError::FiniteAlphabet);
+        }
+        Ok(Specification { name: name.into(), objects, alphabet, traces })
+    }
+
+    /// Construct without Def.-1 validation (for meta-theoretic
+    /// counterexample construction and tests).
+    pub fn new_unchecked(
+        name: impl Into<Arc<str>>,
+        objects: impl IntoIterator<Item = ObjectId>,
+        alphabet: EventSet,
+        traces: TraceSet,
+    ) -> Self {
+        Specification {
+            name: name.into(),
+            objects: objects.into_iter().collect(),
+            alphabet,
+            traces,
+        }
+    }
+
+    /// The specification's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename (useful when deriving specifications).
+    pub fn renamed(mut self, name: impl Into<Arc<str>>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// `O(Γ)` — the object set.
+    pub fn objects(&self) -> &BTreeSet<ObjectId> {
+        &self.objects
+    }
+
+    /// `α(Γ)` — the alphabet.
+    pub fn alphabet(&self) -> &EventSet {
+        &self.alphabet
+    }
+
+    /// `T(Γ)` — the trace set.
+    pub fn trace_set(&self) -> &TraceSet {
+        &self.traces
+    }
+
+    /// The universe the specification lives over.
+    pub fn universe(&self) -> &Arc<Universe> {
+        self.alphabet.universe()
+    }
+
+    /// Is this an *interface* specification (singleton object set)?
+    pub fn is_interface(&self) -> bool {
+        self.objects.len() == 1
+    }
+
+    /// Membership of a trace in `T(Γ)`.
+    pub fn contains_trace(&self, h: &Trace) -> bool {
+        self.traces.contains(self.universe(), h)
+    }
+
+    /// Membership including the alphabet side condition: a trace of `Γ`
+    /// must consist of events of `α(Γ)` and belong to `T(Γ)`.
+    pub fn admits_trace(&self, h: &Trace) -> bool {
+        h.iter().all(|e| self.alphabet.contains(e)) && self.contains_trace(h)
+    }
+
+    /// The communication environment (§2): endpoints of alphabet granules
+    /// that are not objects of the specification.
+    pub fn communication_environment(&self) -> CommEnv {
+        let mut named = BTreeSet::new();
+        let mut residues = BTreeSet::new();
+        for g in self.alphabet.granules() {
+            for side in [g.caller, g.callee] {
+                match side {
+                    ObjGranule::Named(o) => {
+                        if !self.objects.contains(&o) {
+                            named.insert(o);
+                        }
+                    }
+                    other => {
+                        residues.insert(other);
+                    }
+                }
+            }
+        }
+        CommEnv { named, residues }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_alphabet::{EventPattern, UniverseBuilder};
+    use pospec_trace::Event;
+
+    struct Fix {
+        u: Arc<Universe>,
+        o: ObjectId,
+        c: ObjectId,
+        objects: pospec_trace::ClassId,
+        r: pospec_trace::MethodId,
+    }
+
+    fn fix() -> Fix {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let data = b.data_class("Data").unwrap();
+        let o = b.object("o").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let r = b.method_with("R", data).unwrap();
+        b.class_witnesses(objects, 2).unwrap();
+        b.data_witnesses(data, 1).unwrap();
+        b.anon_witnesses(1).unwrap();
+        Fix { u: b.freeze(), o, c, objects, r }
+    }
+
+    #[test]
+    fn example_1_read_specification_is_well_formed() {
+        let f = fix();
+        let alpha = EventPattern::call(f.objects, f.o, f.r).to_set(&f.u);
+        let read = Specification::new("Read", [f.o], alpha, TraceSet::Universal).unwrap();
+        assert!(read.is_interface());
+        assert_eq!(read.objects().len(), 1);
+        assert!(read.alphabet().is_infinite());
+        assert_eq!(read.name(), "Read");
+    }
+
+    #[test]
+    fn empty_object_set_is_rejected() {
+        let f = fix();
+        let alpha = EventPattern::call(f.objects, f.o, f.r).to_set(&f.u);
+        assert_eq!(
+            Specification::new("bad", [], alpha, TraceSet::Universal).unwrap_err(),
+            SpecError::EmptyObjectSet
+        );
+    }
+
+    #[test]
+    fn internal_events_in_alphabet_are_rejected() {
+        let f = fix();
+        // α includes events between o and c, but both are in O: internal.
+        let alpha = EventPattern::call(f.c, f.o, f.r).to_set(&f.u);
+        let err = Specification::new("bad", [f.o, f.c], alpha, TraceSet::Universal).unwrap_err();
+        assert!(matches!(err, SpecError::InadmissibleAlphabet { .. }));
+    }
+
+    #[test]
+    fn alphabet_not_touching_o_is_rejected() {
+        let f = fix();
+        // α over calls to o, but the object set is {c}.
+        let wit = f.u.class_witnesses(f.objects).next().unwrap();
+        let _ = wit;
+        let alpha = EventPattern::call(f.objects, f.o, f.r).to_set(&f.u);
+        let err = Specification::new("bad", [f.c], alpha, TraceSet::Universal).unwrap_err();
+        // Events from Objects∖named to o don't involve c at all.
+        assert!(matches!(err, SpecError::InadmissibleAlphabet { .. }));
+    }
+
+    #[test]
+    fn finite_alphabets_are_rejected() {
+        let f = fix();
+        let d1 = {
+            // No named data values declared: use a named-value-free finite set
+            // by restricting caller and callee to named objects with a
+            // parameterless method — build one in a fresh universe instead.
+            let mut b = UniverseBuilder::new();
+            let o = b.object("o").unwrap();
+            let c = b.object("c").unwrap();
+            let m = b.method("M").unwrap();
+            let u = b.freeze();
+            let alpha = EventPattern::call(c, o, m).to_set(&u);
+            Specification::new("fin", [o], alpha, TraceSet::Universal)
+        };
+        assert_eq!(d1.unwrap_err(), SpecError::FiniteAlphabet);
+        let _ = f;
+    }
+
+    #[test]
+    fn admits_trace_checks_alphabet_and_set() {
+        let f = fix();
+        let alpha = EventPattern::call(f.objects, f.o, f.r).to_set(&f.u);
+        let read = Specification::new("Read", [f.o], alpha, TraceSet::Universal).unwrap();
+        let dwit = f.u.data_witnesses(f.u.class_by_name("Data").unwrap()).next().unwrap();
+        let good = Trace::from_events(vec![Event::call_with(f.c, f.o, f.r, dwit)]);
+        assert!(read.admits_trace(&good));
+        // An event outside α(Read): o calls back.
+        let bad = Trace::from_events(vec![Event::call_with(f.o, f.c, f.r, dwit)]);
+        assert!(!read.admits_trace(&bad));
+        assert!(read.contains_trace(&bad), "T itself is universal");
+    }
+
+    #[test]
+    fn communication_environment_is_derived_from_alphabet() {
+        let f = fix();
+        let alpha = EventPattern::call(f.objects, f.o, f.r).to_set(&f.u);
+        let read = Specification::new("Read", [f.o], alpha, TraceSet::Universal).unwrap();
+        let env = read.communication_environment();
+        assert!(env.contains_named(f.c), "named member of Objects is in the environment");
+        assert!(!env.contains_named(f.o), "the specified object is not its own environment");
+        assert!(env.is_infinite(), "the Objects residue keeps the environment infinite");
+        assert!(env.residues.contains(&ObjGranule::ClassRest(f.objects)));
+    }
+
+    #[test]
+    fn renamed_preserves_content() {
+        let f = fix();
+        let alpha = EventPattern::call(f.objects, f.o, f.r).to_set(&f.u);
+        let read = Specification::new("Read", [f.o], alpha, TraceSet::Universal).unwrap();
+        let renamed = read.clone().renamed("Read′");
+        assert_eq!(renamed.name(), "Read′");
+        assert_eq!(renamed.objects(), read.objects());
+        assert!(renamed.alphabet().set_eq(read.alphabet()));
+    }
+}

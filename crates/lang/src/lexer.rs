@@ -1,0 +1,306 @@
+//! Tokenizer with source spans and `//` line comments.
+
+use std::fmt;
+
+/// A half-open byte range with line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical or syntactic error with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Where it happened.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LangError {
+    pub(crate) fn new(span: Span, message: impl Into<String>) -> Self {
+        LangError { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A natural number.
+    Num(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `?`
+    Question,
+    /// `|`
+    Pipe,
+    /// `.`
+    Dot,
+    /// `_`
+    Underscore,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Num(n) => write!(f, "`{n}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Question => write!(f, "`?`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Underscore => write!(f, "`_`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Location.
+    pub span: Span,
+}
+
+/// Tokenize a whole source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+    while let Some(&ch) = chars.peek() {
+        let span = Span { line, col };
+        match ch {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            col = 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(LangError::new(span, "expected `//` comment"));
+                }
+            }
+            c if c.is_ascii_alphabetic() => {
+                let mut s = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' || c2 == '\'' {
+                        s.push(c2);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { tok: Tok::Ident(s), span });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&c2) = chars.peek() {
+                    if let Some(d) = c2.to_digit(10) {
+                        n = n * 10 + d as u64;
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { tok: Tok::Num(n), span });
+            }
+            '_' => {
+                chars.next();
+                col += 1;
+                // A lone underscore is the wildcard; an underscore followed
+                // by alphanumerics is an identifier.
+                if chars.peek().map(|c| c.is_ascii_alphanumeric()).unwrap_or(false) {
+                    let mut s = String::from("_");
+                    while let Some(&c2) = chars.peek() {
+                        if c2.is_ascii_alphanumeric() || c2 == '_' {
+                            s.push(c2);
+                            chars.next();
+                            col += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Token { tok: Tok::Ident(s), span });
+                } else {
+                    out.push(Token { tok: Tok::Underscore, span });
+                }
+            }
+            _ => {
+                chars.next();
+                col += 1;
+                let tok = match ch {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '<' => Tok::Lt,
+                    '>' => Tok::Gt,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    ':' => Tok::Colon,
+                    '*' => Tok::Star,
+                    '+' => Tok::Plus,
+                    '?' => Tok::Question,
+                    '|' => Tok::Pipe,
+                    '.' => Tok::Dot,
+                    other => {
+                        return Err(LangError::new(span, format!("unexpected character `{other}`")))
+                    }
+                };
+                out.push(Token { tok, span });
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, span: Span { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_idents() {
+        let toks = kinds("spec Read { objects { o } }");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("spec".into()),
+                Tok::Ident("Read".into()),
+                Tok::LBrace,
+                Tok::Ident("objects".into()),
+                Tok::LBrace,
+                Tok::Ident("o".into()),
+                Tok::RBrace,
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_templates_and_regex_operators() {
+        let toks = kinds("<x, o, W(_)>* | [ a . x in C ]+?");
+        assert!(toks.contains(&Tok::Lt));
+        assert!(toks.contains(&Tok::Underscore));
+        assert!(toks.contains(&Tok::Star));
+        assert!(toks.contains(&Tok::Pipe));
+        assert!(toks.contains(&Tok::LBracket));
+        assert!(toks.contains(&Tok::Dot));
+        assert!(toks.contains(&Tok::Plus));
+        assert!(toks.contains(&Tok::Question));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a // everything here is ignored <>{}\nb");
+        assert_eq!(
+            toks,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_and_spans() {
+        let ts = lex("  42\n x").unwrap();
+        assert_eq!(ts[0].tok, Tok::Num(42));
+        assert_eq!(ts[0].span, Span { line: 1, col: 3 });
+        assert_eq!(ts[1].span, Span { line: 2, col: 2 });
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("a # b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn underscore_identifiers_vs_wildcard() {
+        let toks = kinds("_ _x");
+        assert_eq!(toks[0], Tok::Underscore);
+        assert_eq!(toks[1], Tok::Ident("_x".into()));
+    }
+}

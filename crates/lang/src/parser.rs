@@ -1,0 +1,729 @@
+//! Recursive-descent parser producing a name-based AST.
+//!
+//! Name resolution (object vs class vs data value vs bound variable) is
+//! deferred to [`crate::elab`], so the grammar stays context-free.
+
+use crate::lexer::{lex, LangError, Span, Tok, Token};
+
+/// A parsed source file: one universe block, specifications, and
+/// (optionally) development obligations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ast {
+    /// Declarations inside `universe { … }`.
+    pub universe: Vec<UDecl>,
+    /// The `spec … { … }` blocks, in order.
+    pub specs: Vec<SpecDecl>,
+    /// The `component … { … }` blocks, in order.
+    pub components: Vec<ComponentDecl>,
+    /// Statements of `development { … }` blocks, in order.
+    pub development: Vec<DevStmt>,
+}
+
+/// A `component` block: a set of objects with behaviours given by named
+/// specifications (the semantic components of Def. 8–9).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentDecl {
+    /// Component name.
+    pub name: String,
+    /// `(object, behaviour-spec)` pairs, from `obj behaves Spec;` lines.
+    pub members: Vec<(String, String)>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// One statement of a `development { … }` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevStmt {
+    /// `refine <concrete> of <abstract>;` — a Def.-2 obligation.
+    /// (`compose <name> from <left> with <right>;` registers a merge.)
+    Refine {
+        /// The concrete specification.
+        concrete: String,
+        /// The abstract specification.
+        abstract_: String,
+        /// Source position.
+        span: Span,
+    },
+    /// `compose <name> = <left> with <right>;` — register a composition.
+    Compose {
+        /// The new name.
+        name: String,
+        /// Left operand.
+        left: String,
+        /// Right operand.
+        right: String,
+        /// Source position.
+        span: Span,
+    },
+    /// `sound <spec> for <component>;` — a §2/§7 soundness obligation.
+    Sound {
+        /// The specification claimed sound.
+        spec: String,
+        /// The component it describes.
+        component: String,
+        /// Source position.
+        span: Span,
+    },
+}
+
+/// A universe declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UDecl {
+    /// `class C;` — an infinite object class.
+    Class(String),
+    /// `data D;` — an infinite data class.
+    Data(String),
+    /// `object o;` / `object c : C;`
+    Object {
+        /// Object name.
+        name: String,
+        /// Optional class membership.
+        class: Option<String>,
+    },
+    /// `method M;` / `method M(D);`
+    Method {
+        /// Method name.
+        name: String,
+        /// Optional data-class parameter.
+        param: Option<String>,
+    },
+    /// `value d : D;` — a named data value.
+    Value {
+        /// Value name.
+        name: String,
+        /// Its data class.
+        class: String,
+    },
+    /// `witnesses C n;` / `witnesses anon n;` / `witnesses methods n;`
+    Witnesses {
+        /// `Some(class name)`, or `None` with `anon`/`methods` selected by
+        /// `kind`.
+        target: WitnessTarget,
+        /// How many witnesses.
+        count: u64,
+    },
+}
+
+/// What a `witnesses` declaration populates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WitnessTarget {
+    /// Witnesses of a named (object or data) class residue.
+    Class(String),
+    /// Witnesses of the anonymous environment.
+    Anon,
+    /// Witnesses of the undeclared-method residue.
+    Methods,
+}
+
+/// A `spec` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecDecl {
+    /// Specification name.
+    pub name: String,
+    /// Object names in `objects { … }`.
+    pub objects: Vec<String>,
+    /// Alphabet comprehensions.
+    pub alphabet: Vec<TemplateAst>,
+    /// The trace set.
+    pub traces: TracesAst,
+    /// Where the spec starts (for error reporting).
+    pub span: Span,
+}
+
+/// An event template `<caller, callee, method>` before name resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateAst {
+    /// Caller name.
+    pub caller: String,
+    /// Callee name.
+    pub callee: String,
+    /// Method name.
+    pub method: String,
+    /// Argument: absent, wildcard `_`, or a name (class or value).
+    pub arg: ArgAst,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The argument slot of a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgAst {
+    /// No parentheses.
+    Absent,
+    /// `(_)` — whatever the signature admits.
+    Wild,
+    /// `(name)` — a data class or a named value.
+    Name(String),
+}
+
+/// The trace-set clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TracesAst {
+    /// `traces any;`
+    Any,
+    /// `traces prs R;`
+    Prs(ReAst),
+}
+
+/// A parsed regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReAst {
+    /// `eps`
+    Eps,
+    /// A template literal.
+    Lit(TemplateAst),
+    /// Juxtaposition.
+    Seq(Vec<ReAst>),
+    /// `|`
+    Alt(Vec<ReAst>),
+    /// `*`
+    Star(Box<ReAst>),
+    /// `+`
+    Plus(Box<ReAst>),
+    /// `?`
+    Opt(Box<ReAst>),
+    /// `[ R . x in C ]` — the paper's `[R • x ∈ C]`.
+    Bind {
+        /// The scope body.
+        body: Box<ReAst>,
+        /// The bound variable name.
+        var: String,
+        /// The class the variable ranges over.
+        class: String,
+    },
+    /// `[ R ]` — plain grouping.
+    Group(Box<ReAst>),
+}
+
+/// Parse a source text into an [`Ast`].
+pub fn parse(src: &str) -> Result<Ast, LangError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.document()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if &self.peek().tok == tok {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token, LangError> {
+        if self.peek().tok == tok {
+            Ok(self.next())
+        } else {
+            Err(LangError::new(
+                self.peek().span,
+                format!("expected {tok}, found {}", self.peek().tok),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), LangError> {
+        match self.peek().tok.clone() {
+            Tok::Ident(s) => {
+                let span = self.peek().span;
+                self.next();
+                Ok((s, span))
+            }
+            other => Err(LangError::new(self.peek().span, format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<Span, LangError> {
+        let (s, span) = self.ident()?;
+        if s == kw {
+            Ok(span)
+        } else {
+            Err(LangError::new(span, format!("expected `{kw}`, found `{s}`")))
+        }
+    }
+
+    fn document(&mut self) -> Result<Ast, LangError> {
+        let mut universe = Vec::new();
+        let mut specs = Vec::new();
+        let mut components = Vec::new();
+        let mut development = Vec::new();
+        loop {
+            match self.peek().tok.clone() {
+                Tok::Eof => break,
+                Tok::Ident(s) if s == "universe" => {
+                    self.next();
+                    self.expect(Tok::LBrace)?;
+                    while !self.eat(&Tok::RBrace) {
+                        universe.push(self.udecl()?);
+                    }
+                }
+                Tok::Ident(s) if s == "spec" => {
+                    self.next();
+                    specs.push(self.spec_decl()?);
+                }
+                Tok::Ident(s) if s == "development" => {
+                    self.next();
+                    self.expect(Tok::LBrace)?;
+                    while !self.eat(&Tok::RBrace) {
+                        development.push(self.dev_stmt()?);
+                    }
+                }
+                Tok::Ident(s) if s == "component" => {
+                    self.next();
+                    components.push(self.component_decl()?);
+                }
+                other => {
+                    return Err(LangError::new(
+                        self.peek().span,
+                        format!(
+                            "expected `universe`, `spec`, `component` or `development`, found {other}"
+                        ),
+                    ))
+                }
+            }
+        }
+        Ok(Ast { universe, specs, components, development })
+    }
+
+    fn component_decl(&mut self) -> Result<ComponentDecl, LangError> {
+        let (name, span) = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut members = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let obj = self.ident()?.0;
+            self.keyword("behaves")?;
+            let spec = self.ident()?.0;
+            self.expect(Tok::Semi)?;
+            members.push((obj, spec));
+        }
+        Ok(ComponentDecl { name, members, span })
+    }
+
+    fn dev_stmt(&mut self) -> Result<DevStmt, LangError> {
+        let (kw, span) = self.ident()?;
+        let stmt = match kw.as_str() {
+            "refine" => {
+                let concrete = self.ident()?.0;
+                self.keyword("of")?;
+                let abstract_ = self.ident()?.0;
+                DevStmt::Refine { concrete, abstract_, span }
+            }
+            "compose" => {
+                // `compose Name from Left with Right;`
+                let name = self.ident()?.0;
+                self.keyword("from")?;
+                let left = self.ident()?.0;
+                self.keyword("with")?;
+                let right = self.ident()?.0;
+                DevStmt::Compose { name, left, right, span }
+            }
+            "sound" => {
+                // `sound Spec for Component;`
+                let spec = self.ident()?.0;
+                self.keyword("for")?;
+                let component = self.ident()?.0;
+                DevStmt::Sound { spec, component, span }
+            }
+            other => {
+                return Err(LangError::new(
+                    span,
+                    format!("unknown development statement `{other}` (expected `refine`, `compose` or `sound`)"),
+                ))
+            }
+        };
+        self.expect(Tok::Semi)?;
+        Ok(stmt)
+    }
+
+    fn udecl(&mut self) -> Result<UDecl, LangError> {
+        let (kw, span) = self.ident()?;
+        let decl = match kw.as_str() {
+            "class" => UDecl::Class(self.ident()?.0),
+            "data" => UDecl::Data(self.ident()?.0),
+            "object" => {
+                let name = self.ident()?.0;
+                let class = if self.eat(&Tok::Colon) { Some(self.ident()?.0) } else { None };
+                UDecl::Object { name, class }
+            }
+            "method" => {
+                let name = self.ident()?.0;
+                let param = if self.eat(&Tok::LParen) {
+                    let c = self.ident()?.0;
+                    self.expect(Tok::RParen)?;
+                    Some(c)
+                } else {
+                    None
+                };
+                UDecl::Method { name, param }
+            }
+            "value" => {
+                let name = self.ident()?.0;
+                self.expect(Tok::Colon)?;
+                let class = self.ident()?.0;
+                UDecl::Value { name, class }
+            }
+            "witnesses" => {
+                let (target_name, _) = self.ident()?;
+                let target = match target_name.as_str() {
+                    "anon" => WitnessTarget::Anon,
+                    "methods" => WitnessTarget::Methods,
+                    other => WitnessTarget::Class(other.to_string()),
+                };
+                let count = match self.next() {
+                    Token { tok: Tok::Num(n), .. } => n,
+                    t => return Err(LangError::new(t.span, "expected a witness count")),
+                };
+                UDecl::Witnesses { target, count }
+            }
+            other => {
+                return Err(LangError::new(span, format!("unknown universe declaration `{other}`")))
+            }
+        };
+        self.expect(Tok::Semi)?;
+        Ok(decl)
+    }
+
+    fn spec_decl(&mut self) -> Result<SpecDecl, LangError> {
+        let (name, span) = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        self.keyword("objects")?;
+        self.expect(Tok::LBrace)?;
+        let mut objects = Vec::new();
+        while let Tok::Ident(_) = self.peek().tok {
+            objects.push(self.ident()?.0);
+            self.eat(&Tok::Comma);
+        }
+        self.expect(Tok::RBrace)?;
+        self.keyword("alphabet")?;
+        self.expect(Tok::LBrace)?;
+        let mut alphabet = Vec::new();
+        while self.peek().tok == Tok::Lt {
+            alphabet.push(self.template()?);
+            self.expect(Tok::Semi)?;
+        }
+        self.expect(Tok::RBrace)?;
+        self.keyword("traces")?;
+        let traces = match self.peek().tok.clone() {
+            Tok::Ident(s) if s == "any" => {
+                self.next();
+                TracesAst::Any
+            }
+            Tok::Ident(s) if s == "prs" => {
+                self.next();
+                TracesAst::Prs(self.regex()?)
+            }
+            other => {
+                return Err(LangError::new(
+                    self.peek().span,
+                    format!("expected `any` or `prs`, found {other}"),
+                ))
+            }
+        };
+        self.expect(Tok::Semi)?;
+        self.expect(Tok::RBrace)?;
+        Ok(SpecDecl { name, objects, alphabet, traces, span })
+    }
+
+    fn template(&mut self) -> Result<TemplateAst, LangError> {
+        let open = self.expect(Tok::Lt)?;
+        let caller = self.ident()?.0;
+        self.expect(Tok::Comma)?;
+        let callee = self.ident()?.0;
+        self.expect(Tok::Comma)?;
+        let method = self.ident()?.0;
+        let arg = if self.eat(&Tok::LParen) {
+            let a = match self.peek().tok.clone() {
+                Tok::Underscore => {
+                    self.next();
+                    ArgAst::Wild
+                }
+                Tok::Ident(_) => ArgAst::Name(self.ident()?.0),
+                other => {
+                    return Err(LangError::new(
+                        self.peek().span,
+                        format!("expected `_` or a name, found {other}"),
+                    ))
+                }
+            };
+            self.expect(Tok::RParen)?;
+            a
+        } else {
+            ArgAst::Absent
+        };
+        self.expect(Tok::Gt)?;
+        Ok(TemplateAst { caller, callee, method, arg, span: open.span })
+    }
+
+    fn regex(&mut self) -> Result<ReAst, LangError> {
+        self.alt()
+    }
+
+    fn alt(&mut self) -> Result<ReAst, LangError> {
+        let mut parts = vec![self.seq()?];
+        while self.eat(&Tok::Pipe) {
+            parts.push(self.seq()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { ReAst::Alt(parts) })
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            &self.peek().tok,
+            Tok::Lt | Tok::LParen | Tok::LBracket
+        ) || matches!(&self.peek().tok, Tok::Ident(s) if s == "eps")
+    }
+
+    fn seq(&mut self) -> Result<ReAst, LangError> {
+        let mut parts = Vec::new();
+        while self.starts_atom() {
+            parts.push(self.postfix()?);
+        }
+        match parts.len() {
+            0 => Ok(ReAst::Eps),
+            1 => Ok(parts.pop().unwrap()),
+            _ => Ok(ReAst::Seq(parts)),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<ReAst, LangError> {
+        let mut re = self.atom()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                re = ReAst::Star(Box::new(re));
+            } else if self.eat(&Tok::Plus) {
+                re = ReAst::Plus(Box::new(re));
+            } else if self.eat(&Tok::Question) {
+                re = ReAst::Opt(Box::new(re));
+            } else {
+                break;
+            }
+        }
+        Ok(re)
+    }
+
+    fn atom(&mut self) -> Result<ReAst, LangError> {
+        match self.peek().tok.clone() {
+            Tok::Lt => Ok(ReAst::Lit(self.template()?)),
+            Tok::LParen => {
+                self.next();
+                let re = self.regex()?;
+                self.expect(Tok::RParen)?;
+                Ok(ReAst::Group(Box::new(re)))
+            }
+            Tok::LBracket => {
+                self.next();
+                let body = self.regex()?;
+                let re = if self.eat(&Tok::Dot) {
+                    let var = self.ident()?.0;
+                    self.keyword("in")?;
+                    let class = self.ident()?.0;
+                    ReAst::Bind { body: Box::new(body), var, class }
+                } else {
+                    ReAst::Group(Box::new(body))
+                };
+                self.expect(Tok::RBracket)?;
+                Ok(re)
+            }
+            Tok::Ident(s) if s == "eps" => {
+                self.next();
+                Ok(ReAst::Eps)
+            }
+            other => Err(LangError::new(
+                self.peek().span,
+                format!("expected a regular-expression atom, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_universe_declarations() {
+        let ast = parse(
+            "universe {
+               class Objects;
+               data Data;
+               object o;
+               object c : Objects;
+               method R(Data);
+               method OW;
+               value d1 : Data;
+               witnesses Objects 2;
+               witnesses anon 1;
+               witnesses methods 1;
+             }",
+        )
+        .unwrap();
+        assert_eq!(ast.universe.len(), 10);
+        assert_eq!(ast.universe[0], UDecl::Class("Objects".into()));
+        assert_eq!(
+            ast.universe[3],
+            UDecl::Object { name: "c".into(), class: Some("Objects".into()) }
+        );
+        assert_eq!(
+            ast.universe[4],
+            UDecl::Method { name: "R".into(), param: Some("Data".into()) }
+        );
+        assert_eq!(
+            ast.universe[8],
+            UDecl::Witnesses { target: WitnessTarget::Anon, count: 1 }
+        );
+        assert!(ast.specs.is_empty());
+    }
+
+    #[test]
+    fn parses_a_full_spec() {
+        let ast = parse(
+            "universe { class Objects; object o; method OW; method CW; witnesses Objects 1; }
+             spec Write {
+               objects { o }
+               alphabet { <Objects, o, OW>; <Objects, o, CW>; }
+               traces prs [ <x, o, OW> <x, o, CW> . x in Objects ]*;
+             }",
+        )
+        .unwrap();
+        assert_eq!(ast.specs.len(), 1);
+        let s = &ast.specs[0];
+        assert_eq!(s.name, "Write");
+        assert_eq!(s.objects, vec!["o"]);
+        assert_eq!(s.alphabet.len(), 2);
+        match &s.traces {
+            TracesAst::Prs(ReAst::Star(inner)) => match &**inner {
+                ReAst::Bind { var, class, .. } => {
+                    assert_eq!(var, "x");
+                    assert_eq!(class, "Objects");
+                }
+                other => panic!("expected bind, got {other:?}"),
+            },
+            other => panic!("expected starred prs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_alternation_and_postfix() {
+        let ast = parse(
+            "universe { object o; object c; method A; method B; }
+             spec S {
+               objects { o }
+               alphabet { <c, o, A>; <c, o, B>; }
+               traces prs (<c, o, A> | <c, o, B>+)? ;
+             }",
+        )
+        .unwrap();
+        match &ast.specs[0].traces {
+            TracesAst::Prs(ReAst::Opt(g)) => match &**g {
+                ReAst::Group(alt) => assert!(matches!(**alt, ReAst::Alt(_))),
+                other => panic!("expected group, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn template_argument_forms() {
+        let ast = parse(
+            "universe { object o; object c; data Data; method W(Data); value d1 : Data; }
+             spec S {
+               objects { o }
+               alphabet { <c, o, W(Data)>; <c, o, W(d1)>; <c, o, W(_)>; }
+               traces any;
+             }",
+        )
+        .unwrap();
+        let a = &ast.specs[0].alphabet;
+        assert_eq!(a[0].arg, ArgAst::Name("Data".into()));
+        assert_eq!(a[1].arg, ArgAst::Name("d1".into()));
+        assert_eq!(a[2].arg, ArgAst::Wild);
+    }
+
+    #[test]
+    fn parses_development_blocks() {
+        let ast = parse(
+            "universe { object o; method M; }
+             spec A { objects { o } alphabet { } traces any; }
+             development {
+               refine A of A;
+               compose AB from A with A;
+             }",
+        )
+        .unwrap();
+        assert_eq!(ast.development.len(), 2);
+        assert!(matches!(
+            &ast.development[0],
+            DevStmt::Refine { concrete, abstract_, .. }
+                if concrete == "A" && abstract_ == "A"
+        ));
+        assert!(matches!(
+            &ast.development[1],
+            DevStmt::Compose { name, left, right, .. }
+                if name == "AB" && left == "A" && right == "A"
+        ));
+    }
+
+    #[test]
+    fn parses_component_blocks_and_sound_statements() {
+        let ast = parse(
+            "universe { object o; object c; method M; }
+             spec S { objects { o } alphabet { } traces any; }
+             component Impl {
+               o behaves S;
+               c behaves S;
+             }
+             development { sound S for Impl; }",
+        )
+        .unwrap();
+        assert_eq!(ast.components.len(), 1);
+        let c = &ast.components[0];
+        assert_eq!(c.name, "Impl");
+        assert_eq!(c.members, vec![("o".into(), "S".into()), ("c".into(), "S".into())]);
+        assert!(matches!(
+            &ast.development[0],
+            DevStmt::Sound { spec, component, .. } if spec == "S" && component == "Impl"
+        ));
+    }
+
+    #[test]
+    fn unknown_development_statements_are_rejected() {
+        let err = parse(
+            "universe { object o; }
+             development { prove X of Y; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown development statement"));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("universe { klass X; }").unwrap_err();
+        assert!(err.message.contains("unknown universe declaration"));
+        assert_eq!(err.span.line, 1);
+        let err2 = parse("spec S { objects { o } alphabet { } traces maybe; }").unwrap_err();
+        assert!(err2.message.contains("expected `any` or `prs`"));
+    }
+
+    #[test]
+    fn missing_semicolons_are_rejected() {
+        assert!(parse("universe { class C }").is_err());
+    }
+}

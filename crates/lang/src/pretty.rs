@@ -1,0 +1,410 @@
+//! Pretty-printing elaborated values back to the surface syntax.
+//!
+//! The printable fragment is exactly the parseable one: universes, and
+//! specifications whose trace sets are `Universal` or `Prs`.  Opaque
+//! predicates, conjunctions and composed sets have no surface form and
+//! yield [`PrettyError::Unprintable`].
+//!
+//! Round-trip guarantee (tested): for a parsed document,
+//! `parse(print(doc))` elaborates to specifications with equal alphabets,
+//! object sets, and trace languages.
+
+use pospec_alphabet::Universe;
+use pospec_core::{Specification, TraceSet};
+use pospec_regex::{Re, TArg, TObj, Template, VarId};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Why a value has no surface form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrettyError {
+    /// The trace-set backend has no syntax (predicate/conj/composed/dfa).
+    Unprintable {
+        /// Which specification failed.
+        spec: String,
+        /// What about it was unprintable.
+        what: String,
+    },
+}
+
+impl fmt::Display for PrettyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrettyError::Unprintable { spec, what } => {
+                write!(f, "spec `{spec}` has no surface form: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrettyError {}
+
+/// Print the universe's declarations.
+pub fn print_universe(u: &Universe) -> String {
+    let mut out = String::from("universe {\n");
+    for c in u.object_classes() {
+        let _ = writeln!(out, "  class {};", u.class_name(c));
+    }
+    for c in u.data_classes() {
+        let _ = writeln!(out, "  data {};", u.class_name(c));
+    }
+    for o in u.declared_objects() {
+        match u.class_of_object(o) {
+            Some(c) => {
+                let _ = writeln!(out, "  object {} : {};", u.object_name(o), u.class_name(c));
+            }
+            None => {
+                let _ = writeln!(out, "  object {};", u.object_name(o));
+            }
+        }
+    }
+    for m in u.declared_methods() {
+        match u.method_sig(m) {
+            pospec_alphabet::universe::MethodSig::None => {
+                let _ = writeln!(out, "  method {};", u.method_name(m));
+            }
+            pospec_alphabet::universe::MethodSig::Data(c) => {
+                let _ = writeln!(out, "  method {}({});", u.method_name(m), u.class_name(c));
+            }
+        }
+    }
+    for c in u.data_classes() {
+        for d in u.declared_data_in(c) {
+            let _ = writeln!(out, "  value {} : {};", u.data_name(d), u.class_name(c));
+        }
+    }
+    for c in u.object_classes() {
+        let n = u.class_witnesses(c).count();
+        if n > 0 {
+            let _ = writeln!(out, "  witnesses {} {};", u.class_name(c), n);
+        }
+    }
+    for c in u.data_classes() {
+        let n = u.data_witnesses(c).count();
+        if n > 0 {
+            let _ = writeln!(out, "  witnesses {} {};", u.class_name(c), n);
+        }
+    }
+    let anon = u.anon_witnesses().count();
+    if anon > 0 {
+        let _ = writeln!(out, "  witnesses anon {anon};");
+    }
+    let mw = u.method_witnesses().count();
+    if mw > 0 {
+        let _ = writeln!(out, "  witnesses methods {mw};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+struct VarNames {
+    names: BTreeMap<VarId, String>,
+}
+
+impl VarNames {
+    fn new() -> Self {
+        VarNames { names: BTreeMap::new() }
+    }
+    fn get(&mut self, v: VarId) -> String {
+        let n = self.names.len();
+        self.names.entry(v).or_insert_with(|| format!("x{n}")).clone()
+    }
+}
+
+fn print_obj(u: &Universe, vars: &mut VarNames, t: TObj) -> Result<String, String> {
+    match t {
+        TObj::Id(o) => Ok(u.object_name(o).to_string()),
+        TObj::Class(c) => Ok(u.class_name(c).to_string()),
+        TObj::Var(v) => Ok(vars.get(v)),
+        TObj::Any => Err("`Any` object position has no surface form".to_string()),
+    }
+}
+
+fn print_template(u: &Universe, vars: &mut VarNames, t: &Template) -> Result<String, String> {
+    let caller = print_obj(u, vars, t.caller)?;
+    let callee = print_obj(u, vars, t.callee)?;
+    let method = match t.method {
+        Some(m) => u.method_name(m).to_string(),
+        None => return Err("any-method template has no surface form".to_string()),
+    };
+    let arg = match (t.arg, t.method.map(|m| u.method_sig(m))) {
+        (TArg::Auto, Some(pospec_alphabet::universe::MethodSig::Data(_))) => "(_)".to_string(),
+        (TArg::Auto, _) => String::new(),
+        (TArg::Value(d), _) => format!("({})", u.data_name(d)),
+    };
+    Ok(format!("<{caller}, {callee}, {method}{arg}>"))
+}
+
+/// Precedence: 0 = alternation, 1 = sequence, 2 = postfix/atom.
+fn print_re(u: &Universe, vars: &mut VarNames, re: &Re, prec: u8) -> Result<String, String> {
+    let (s, my_prec) = match re {
+        Re::Empty => return Err("the empty language ∅ has no surface form".to_string()),
+        Re::Eps => ("eps".to_string(), 2),
+        Re::Lit(t) => (print_template(u, vars, t)?, 2),
+        Re::Seq(a, b) => (
+            format!("{} {}", print_re(u, vars, a, 1)?, print_re(u, vars, b, 1)?),
+            1,
+        ),
+        Re::Alt(a, b) => (
+            format!("{} | {}", print_re(u, vars, a, 0)?, print_re(u, vars, b, 0)?),
+            0,
+        ),
+        Re::Star(a) => (format!("{}*", print_re(u, vars, a, 2)?), 2),
+        Re::Bind { var, class, body } => {
+            let v = vars.get(*var);
+            let c = match class {
+                Some(c) => u.class_name(*c).to_string(),
+                None => return Err("binder without a class has no surface form".to_string()),
+            };
+            (format!("[ {} . {v} in {c} ]", print_re(u, vars, body, 0)?), 2)
+        }
+    };
+    Ok(if my_prec < prec { format!("({s})") } else { s })
+}
+
+/// Print one specification (printable trace sets only).
+pub fn print_spec(spec: &Specification) -> Result<String, PrettyError> {
+    let u = spec.universe();
+    let unprintable = |what: &str| PrettyError::Unprintable {
+        spec: spec.name().to_string(),
+        what: what.to_string(),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "spec {} {{", spec.name());
+    let objs: Vec<&str> = spec.objects().iter().map(|o| u.object_name(*o)).collect();
+    let _ = writeln!(out, "  objects {{ {} }}", objs.join(" "));
+    let _ = writeln!(out, "  alphabet {{");
+    // Alphabets are granule sets; reconstruct per-granule comprehensions.
+    for g in spec.alphabet().granules() {
+        let pos = |og: pospec_alphabet::ObjGranule| -> Result<String, PrettyError> {
+            match og {
+                pospec_alphabet::ObjGranule::Named(o) => Ok(u.object_name(o).to_string()),
+                pospec_alphabet::ObjGranule::ClassRest(c) => Ok(u.class_name(c).to_string()),
+                pospec_alphabet::ObjGranule::Anon => {
+                    Err(unprintable("anonymous-environment granule in alphabet"))
+                }
+            }
+        };
+        let caller = pos(g.caller)?;
+        let callee = pos(g.callee)?;
+        let (m, arg) = match (g.method, g.arg) {
+            (pospec_alphabet::MethodGranule::Named(m), pospec_alphabet::ArgGranule::None) => {
+                (u.method_name(m).to_string(), String::new())
+            }
+            (
+                pospec_alphabet::MethodGranule::Named(m),
+                pospec_alphabet::ArgGranule::NamedData(d),
+            ) => (u.method_name(m).to_string(), format!("({})", u.data_name(d))),
+            (
+                pospec_alphabet::MethodGranule::Named(m),
+                pospec_alphabet::ArgGranule::DataRest(c),
+            ) => (u.method_name(m).to_string(), format!("({})", u.class_name(c))),
+            _ => return Err(unprintable("undeclared-method granule in alphabet")),
+        };
+        let _ = writeln!(out, "    <{caller}, {callee}, {m}{arg}>;");
+    }
+    let _ = writeln!(out, "  }}");
+    match spec.trace_set() {
+        TraceSet::Universal => {
+            let _ = writeln!(out, "  traces any;");
+        }
+        TraceSet::Prs(re) => {
+            let mut vars = VarNames::new();
+            let printed = print_re(u, &mut vars, re.re(), 0)
+                .map_err(|what| unprintable(&what))?;
+            let _ = writeln!(out, "  traces prs {printed};");
+        }
+        other => {
+            return Err(unprintable(&format!("backend {other:?}")));
+        }
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+/// Print a development block.
+pub fn print_development(stmts: &[crate::parser::DevStmt]) -> String {
+    if stmts.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("development {\n");
+    for s in stmts {
+        match s {
+            crate::parser::DevStmt::Refine { concrete, abstract_, .. } => {
+                let _ = writeln!(out, "  refine {concrete} of {abstract_};");
+            }
+            crate::parser::DevStmt::Compose { name, left, right, .. } => {
+                let _ = writeln!(out, "  compose {name} from {left} with {right};");
+            }
+            crate::parser::DevStmt::Sound { spec, component, .. } => {
+                let _ = writeln!(out, "  sound {spec} for {component};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Print a full document (universe + printable specs).
+pub fn print_document(
+    u: &Universe,
+    specs: &[Specification],
+) -> Result<String, PrettyError> {
+    let mut out = print_universe(u);
+    for s in specs {
+        out.push('\n');
+        out.push_str(&print_spec(s)?);
+    }
+    Ok(out)
+}
+
+/// Print component declarations.
+pub fn print_components(decls: &[crate::parser::ComponentDecl]) -> String {
+    let mut out = String::new();
+    for c in decls {
+        let _ = writeln!(out, "component {} {{", c.name);
+        for (obj, behav) in &c.members {
+            let _ = writeln!(out, "  {obj} behaves {behav};");
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Print a full elaborated document including components and the
+/// development block.
+pub fn print_full_document(doc: &crate::elab::Document) -> Result<String, PrettyError> {
+    let mut out = print_document(&doc.universe, &doc.specs)?;
+    if !doc.components.is_empty() {
+        out.push('\n');
+        out.push_str(&print_components(&doc.components));
+    }
+    if !doc.development.is_empty() {
+        out.push('\n');
+        out.push_str(&print_development(&doc.development));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elab::parse_document;
+
+    const SOURCE: &str = "
+        universe {
+          class Objects;
+          data Data;
+          object o;
+          object c : Objects;
+          method R(Data);
+          method OW; method W(Data); method CW;
+          value d1 : Data;
+          witnesses Objects 2;
+          witnesses Data 1;
+          witnesses anon 1;
+          witnesses methods 1;
+        }
+        spec Read {
+          objects { o }
+          alphabet { <Objects, o, R(Data)>; }
+          traces any;
+        }
+        spec Write {
+          objects { o }
+          alphabet { <Objects, o, OW>; <Objects, o, W(Data)>; <Objects, o, CW>; }
+          traces prs [ <x, o, OW> (<x, o, W(_)> | <x, o, W(d1)>)* <x, o, CW> . x in Objects ]*;
+        }
+    ";
+
+    #[test]
+    fn documents_roundtrip_through_printing() {
+        let doc = parse_document(SOURCE).unwrap();
+        let printed = print_document(&doc.universe, &doc.specs).unwrap();
+        let doc2 = parse_document(&printed)
+            .unwrap_or_else(|e| panic!("printed document must reparse: {e}\n{printed}"));
+        assert_eq!(doc.specs.len(), doc2.specs.len());
+        for (a, b) in doc.specs.iter().zip(doc2.specs.iter()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.objects().len(), b.objects().len());
+            // Note: universes differ as instances; compare via the
+            // reprinted text instead of set_eq (which requires a shared
+            // universe).  Alphabet granule counts and trace languages are
+            // compared within doc2's universe by reprinting once more.
+            assert_eq!(a.alphabet().granule_count(), b.alphabet().granule_count());
+        }
+        // Printing is a fixpoint after one round.
+        let printed2 = print_document(&doc2.universe, &doc2.specs).unwrap();
+        assert_eq!(printed, printed2, "printing must be idempotent");
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace_language() {
+        // Two independent parses of the same printed text produce distinct
+        // universe instances with *identical* id assignments, so concrete
+        // events transfer verbatim; compare memberships trace by trace.
+        let doc = parse_document(SOURCE).unwrap();
+        let printed = print_document(&doc.universe, &doc.specs).unwrap();
+        let doc2 = parse_document(&printed).unwrap();
+        for (a, b) in doc.specs.iter().zip(doc2.specs.iter()) {
+            let sigma = a.alphabet().enumerate_concrete();
+            let mut frontier = vec![Vec::<pospec_trace::Event>::new()];
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for w in &frontier {
+                    for &e in &sigma {
+                        let mut w2 = w.clone();
+                        w2.push(e);
+                        let t = pospec_trace::Trace::from_events(w2.clone());
+                        assert_eq!(
+                            a.contains_trace(&t),
+                            b.contains_trace(&t),
+                            "{}: language changed on {t}",
+                            a.name()
+                        );
+                        if a.contains_trace(&t) {
+                            next.push(w2);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+        }
+    }
+
+    #[test]
+    fn unprintable_backends_are_reported() {
+        let doc = parse_document(SOURCE).unwrap();
+        let read = doc.spec("Read").unwrap();
+        let pred = Specification::new(
+            "Pred",
+            read.objects().iter().copied(),
+            read.alphabet().clone(),
+            TraceSet::predicate("opaque", |_| true),
+        )
+        .unwrap();
+        let err = print_spec(&pred).unwrap_err();
+        assert!(matches!(err, PrettyError::Unprintable { .. }));
+    }
+
+    #[test]
+    fn universe_printing_lists_all_declarations() {
+        let doc = parse_document(SOURCE).unwrap();
+        let text = print_universe(&doc.universe);
+        for needle in [
+            "class Objects;",
+            "data Data;",
+            "object o;",
+            "object c : Objects;",
+            "method R(Data);",
+            "method OW;",
+            "value d1 : Data;",
+            "witnesses Objects 2;",
+            "witnesses anon 1;",
+            "witnesses methods 1;",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! The regular-expression AST over event templates.
+//!
+//! A [`Template`] is an event shape whose object positions may be bound
+//! variables; a [`Re`] combines templates with the usual regular operators
+//! plus the paper's binding operator `[R • x ∈ C]` ([`Re::Bind`]), which
+//! scopes the variable `x` over `R` and re-binds it on every entry into
+//! the scope.
+
+use pospec_alphabet::Universe;
+use pospec_trace::{Arg, ClassId, DataId, Event, MethodId, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bound object variable (the `x` of `[… • x ∈ Objects]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// An object position of a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TObj {
+    /// A fixed object identity.
+    Id(ObjectId),
+    /// Any member of the class (no binding).
+    Class(ClassId),
+    /// A bound variable; its class is declared by the enclosing
+    /// [`Re::Bind`].
+    Var(VarId),
+    /// Any object.
+    Any,
+}
+
+impl From<ObjectId> for TObj {
+    fn from(o: ObjectId) -> Self {
+        TObj::Id(o)
+    }
+}
+impl From<VarId> for TObj {
+    fn from(v: VarId) -> Self {
+        TObj::Var(v)
+    }
+}
+
+/// The argument position of a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TArg {
+    /// Whatever the method signature admits (`W(_)` in Example 4).
+    #[default]
+    Auto,
+    /// A specific named data value.
+    Value(DataId),
+}
+
+/// An event template `⟨caller, callee, m(arg)⟩` with possibly-variable
+/// object positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Template {
+    /// Caller position.
+    pub caller: TObj,
+    /// Callee position.
+    pub callee: TObj,
+    /// Method; `None` matches any method.
+    pub method: Option<MethodId>,
+    /// Argument position.
+    pub arg: TArg,
+}
+
+impl Template {
+    /// `⟨caller, callee, m(·)⟩` with signature-driven argument.
+    pub fn call(caller: impl Into<TObj>, callee: impl Into<TObj>, method: MethodId) -> Self {
+        Template { caller: caller.into(), callee: callee.into(), method: Some(method), arg: TArg::Auto }
+    }
+
+    /// `⟨caller, callee, m(d)⟩` with a fixed argument value.
+    pub fn call_value(
+        caller: impl Into<TObj>,
+        callee: impl Into<TObj>,
+        method: MethodId,
+        d: DataId,
+    ) -> Self {
+        Template { caller: caller.into(), callee: callee.into(), method: Some(method), arg: TArg::Value(d) }
+    }
+
+    /// Is the template *statically* unsatisfiable — can it never match any
+    /// event?  (Both positions the same ground object, or the same
+    /// variable: events have distinct endpoints.)
+    pub fn is_unsatisfiable(&self) -> bool {
+        match (self.caller, self.callee) {
+            (TObj::Id(a), TObj::Id(b)) => a == b,
+            (TObj::Var(a), TObj::Var(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// The variables occurring in the template.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut v = Vec::new();
+        if let TObj::Var(x) = self.caller {
+            v.push(x);
+        }
+        if let TObj::Var(x) = self.callee {
+            if !v.contains(&x) {
+                v.push(x);
+            }
+        }
+        v
+    }
+
+    /// Try to match a concrete event under an environment, returning the
+    /// (possibly extended) environment on success.
+    ///
+    /// An unbound variable is bound to the event's object *if* that object
+    /// belongs to the variable's declared class (checked by the caller via
+    /// `class_ok`); here we only thread the binding.
+    pub fn match_event(
+        &self,
+        u: &Universe,
+        env: &Env,
+        e: &Event,
+        class_of_var: impl Fn(VarId) -> Option<ClassId>,
+    ) -> Option<Env> {
+        let mut env = env.clone();
+        if !match_obj(u, &mut env, self.caller, e.caller, &class_of_var) {
+            return None;
+        }
+        if !match_obj(u, &mut env, self.callee, e.callee, &class_of_var) {
+            return None;
+        }
+        if let Some(m) = self.method {
+            if e.method != m {
+                return None;
+            }
+        }
+        match self.arg {
+            TArg::Auto => {}
+            TArg::Value(d) => {
+                if e.arg != Arg::Data(d) {
+                    return None;
+                }
+            }
+        }
+        Some(env)
+    }
+}
+
+fn match_obj(
+    u: &Universe,
+    env: &mut Env,
+    pos: TObj,
+    obj: ObjectId,
+    class_of_var: &impl Fn(VarId) -> Option<ClassId>,
+) -> bool {
+    match pos {
+        TObj::Any => true,
+        TObj::Id(o) => o == obj,
+        TObj::Class(c) => u.class_of_object(obj) == Some(c),
+        TObj::Var(v) => match env.get(v) {
+            Some(bound) => bound == obj,
+            None => {
+                let ok = match class_of_var(v) {
+                    Some(c) => u.class_of_object(obj) == Some(c),
+                    // A variable with no declared class ranges over Obj.
+                    None => true,
+                };
+                if ok {
+                    env.bind(v, obj);
+                }
+                ok
+            }
+        },
+    }
+}
+
+/// A variable environment: a small sorted map from variables to objects.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Env(Vec<(VarId, ObjectId)>);
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, v: VarId) -> Option<ObjectId> {
+        self.0
+            .binary_search_by_key(&v, |&(k, _)| k)
+            .ok()
+            .map(|i| self.0[i].1)
+    }
+
+    /// Add or overwrite a binding.
+    pub fn bind(&mut self, v: VarId, o: ObjectId) {
+        match self.0.binary_search_by_key(&v, |&(k, _)| k) {
+            Ok(i) => self.0[i].1 = o,
+            Err(i) => self.0.insert(i, (v, o)),
+        }
+    }
+
+    /// Remove a binding (on entering/leaving a bind scope).
+    pub fn unbind(&mut self, v: VarId) {
+        if let Ok(i) = self.0.binary_search_by_key(&v, |&(k, _)| k) {
+            self.0.remove(i);
+        }
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the environment empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A trace regular expression.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Re {
+    /// The empty language ∅.
+    Empty,
+    /// The language {ε}.
+    Eps,
+    /// A single event matching the template.
+    Lit(Template),
+    /// Sequential composition `R₁ R₂`.
+    Seq(Box<Re>, Box<Re>),
+    /// Alternation `R₁ | R₂`.
+    Alt(Box<Re>, Box<Re>),
+    /// Repetition `R*`.
+    Star(Box<Re>),
+    /// The binding operator `[R • x ∈ C]`: `x` is scoped over `R` and
+    /// re-bound on each entry.  `class = None` lets `x` range over all of
+    /// `Obj`.
+    Bind {
+        /// The bound variable.
+        var: VarId,
+        /// The class the variable ranges over (`x ∈ Objects`).
+        class: Option<ClassId>,
+        /// The scope body.
+        body: Box<Re>,
+    },
+}
+
+impl Re {
+    /// A single event.
+    pub fn lit(t: Template) -> Re {
+        Re::Lit(t)
+    }
+
+    /// `R₁ R₂ … Rₙ`.
+    pub fn seq(parts: impl IntoIterator<Item = Re>) -> Re {
+        let mut it = parts.into_iter();
+        let first = it.next().unwrap_or(Re::Eps);
+        it.fold(first, |a, b| Re::Seq(Box::new(a), Box::new(b)))
+    }
+
+    /// `R₁ | R₂ | … | Rₙ`.
+    pub fn alt(parts: impl IntoIterator<Item = Re>) -> Re {
+        let mut it = parts.into_iter();
+        let first = it.next().unwrap_or(Re::Empty);
+        it.fold(first, |a, b| Re::Alt(Box::new(a), Box::new(b)))
+    }
+
+    /// `R*`.
+    pub fn star(self) -> Re {
+        Re::Star(Box::new(self))
+    }
+
+    /// `R⁺ = R R*`.
+    pub fn plus(self) -> Re {
+        Re::Seq(Box::new(self.clone()), Box::new(self.star()))
+    }
+
+    /// `R? = R | ε`.
+    pub fn opt(self) -> Re {
+        Re::Alt(Box::new(self), Box::new(Re::Eps))
+    }
+
+    /// `[self • var ∈ class]`.
+    pub fn bind(self, var: VarId, class: impl Into<Option<ClassId>>) -> Re {
+        Re::Bind { var, class: class.into(), body: Box::new(self) }
+    }
+
+    /// Does ε belong to the language?  (Syntactic nullability.)
+    pub fn nullable(&self) -> bool {
+        match self {
+            Re::Empty => false,
+            Re::Eps | Re::Star(_) => true,
+            Re::Lit(_) => false,
+            Re::Seq(a, b) => a.nullable() && b.nullable(),
+            Re::Alt(a, b) => a.nullable() || b.nullable(),
+            Re::Bind { body, .. } => body.nullable(),
+        }
+    }
+
+    /// Does the expression mention the variable in any template?
+    pub fn mentions_var(&self, v: VarId) -> bool {
+        match self {
+            Re::Empty | Re::Eps => false,
+            Re::Lit(t) => t.vars().contains(&v),
+            Re::Seq(a, b) | Re::Alt(a, b) => a.mentions_var(v) || b.mentions_var(v),
+            Re::Star(a) => a.mentions_var(v),
+            Re::Bind { var, body, .. } => *var != v && body.mentions_var(v),
+        }
+    }
+
+    /// Language-preserving simplification: removes `∅`/`ε` units, collapses
+    /// nested stars, prunes statically-unsatisfiable literals, and drops
+    /// binders whose variable occurs in no template of the whole
+    /// expression.  Shrinks the compiled NFA without changing
+    /// `prs`/`in_lang` (law-tested in `simplify_preserves_language`).
+    ///
+    /// Note the binder rule is *global*: a `Bind` whose body does not use
+    /// its variable still clears any outer binding of the same variable on
+    /// scope entry, so it may only be removed when the variable appears
+    /// nowhere at all.
+    pub fn simplify(&self) -> Re {
+        let mut used = Vec::new();
+        self.collect_vars(&mut used);
+        self.simplify_with(&used)
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Re::Empty | Re::Eps => {}
+            Re::Lit(t) => {
+                for v in t.vars() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            Re::Seq(a, b) | Re::Alt(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Re::Star(a) => a.collect_vars(out),
+            Re::Bind { body, .. } => body.collect_vars(out),
+        }
+    }
+
+    fn simplify_with(&self, used_vars: &[VarId]) -> Re {
+        match self {
+            Re::Empty => Re::Empty,
+            Re::Eps => Re::Eps,
+            Re::Lit(t) if t.is_unsatisfiable() => Re::Empty,
+            Re::Lit(t) => Re::Lit(*t),
+            Re::Seq(a, b) => {
+                match (a.simplify_with(used_vars), b.simplify_with(used_vars)) {
+                    (Re::Empty, _) | (_, Re::Empty) => Re::Empty,
+                    (Re::Eps, x) | (x, Re::Eps) => x,
+                    (x, y) => Re::Seq(Box::new(x), Box::new(y)),
+                }
+            }
+            Re::Alt(a, b) => {
+                match (a.simplify_with(used_vars), b.simplify_with(used_vars)) {
+                    (Re::Empty, x) | (x, Re::Empty) => x,
+                    (x, y) if x == y => x,
+                    (x, y) => Re::Alt(Box::new(x), Box::new(y)),
+                }
+            }
+            Re::Star(a) => match a.simplify_with(used_vars) {
+                Re::Empty | Re::Eps => Re::Eps,
+                Re::Star(inner) => Re::Star(inner),
+                x => Re::Star(Box::new(x)),
+            },
+            Re::Bind { var, class, body } => {
+                let body = body.simplify_with(used_vars);
+                if !used_vars.contains(var) {
+                    // The variable occurs in no template anywhere: the
+                    // scope markers are globally inert.
+                    body
+                } else {
+                    match body {
+                        Re::Empty => Re::Empty,
+                        b => Re::Bind { var: *var, class: *class, body: Box::new(b) },
+                    }
+                }
+            }
+        }
+    }
+
+    /// The number of AST nodes (used by benches to scale inputs).
+    pub fn size(&self) -> usize {
+        match self {
+            Re::Empty | Re::Eps | Re::Lit(_) => 1,
+            Re::Seq(a, b) | Re::Alt(a, b) => 1 + a.size() + b.size(),
+            Re::Star(a) => 1 + a.size(),
+            Re::Bind { body, .. } => 1 + body.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_alphabet::UniverseBuilder;
+
+    fn mini() -> (std::sync::Arc<Universe>, ObjectId, ObjectId, MethodId, ClassId) {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let o = b.object("o").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let m = b.method("M").unwrap();
+        b.class_witnesses(objects, 1).unwrap();
+        b.anon_witnesses(1).unwrap();
+        (b.freeze(), o, c, m, objects)
+    }
+
+    #[test]
+    fn env_bind_get_unbind() {
+        let mut env = Env::new();
+        assert!(env.is_empty());
+        env.bind(VarId(1), ObjectId(5));
+        env.bind(VarId(0), ObjectId(7));
+        assert_eq!(env.get(VarId(1)), Some(ObjectId(5)));
+        assert_eq!(env.get(VarId(0)), Some(ObjectId(7)));
+        assert_eq!(env.len(), 2);
+        env.bind(VarId(1), ObjectId(9));
+        assert_eq!(env.get(VarId(1)), Some(ObjectId(9)));
+        env.unbind(VarId(1));
+        assert_eq!(env.get(VarId(1)), None);
+        assert_eq!(env.len(), 1);
+        env.unbind(VarId(42)); // no-op
+    }
+
+    #[test]
+    fn env_ordering_is_canonical() {
+        let mut a = Env::new();
+        a.bind(VarId(0), ObjectId(1));
+        a.bind(VarId(1), ObjectId(2));
+        let mut b = Env::new();
+        b.bind(VarId(1), ObjectId(2));
+        b.bind(VarId(0), ObjectId(1));
+        assert_eq!(a, b, "insertion order must not matter");
+    }
+
+    #[test]
+    fn template_matches_ground_event() {
+        let (u, o, c, m, _) = mini();
+        let t = Template::call(c, o, m);
+        let e = Event::call(c, o, m);
+        assert!(t.match_event(&u, &Env::new(), &e, |_| None).is_some());
+        let wrong_dir = Event::call(o, c, m);
+        assert!(t.match_event(&u, &Env::new(), &wrong_dir, |_| None).is_none());
+    }
+
+    #[test]
+    fn variable_binds_on_first_match_and_sticks() {
+        let (u, o, _, m, objects) = mini();
+        let x = VarId(0);
+        let t = Template::call(x, o, m);
+        let wit = u.class_witnesses(objects).next().unwrap();
+        let anon = u.anon_witnesses().next().unwrap();
+        let e = Event::call(wit, o, m);
+        let env = t
+            .match_event(&u, &Env::new(), &e, |_| Some(objects))
+            .expect("witness of Objects should bind");
+        assert_eq!(env.get(x), Some(wit));
+        // Once bound, a different caller no longer matches.
+        let e2 = Event::call(anon, o, m);
+        assert!(t.match_event(&u, &env, &e2, |_| Some(objects)).is_none());
+        // And the binding respects the class: anon is not in Objects.
+        assert!(t.match_event(&u, &Env::new(), &e2, |_| Some(objects)).is_none());
+        // With no class declared, anything binds.
+        assert!(t.match_event(&u, &Env::new(), &e2, |_| None).is_some());
+    }
+
+    #[test]
+    fn class_position_matches_members_only() {
+        let (u, o, c, m, objects) = mini();
+        let t = Template::call(TObj::Class(objects), o, m);
+        assert!(t.match_event(&u, &Env::new(), &Event::call(c, o, m), |_| None).is_some());
+        let anon = u.anon_witnesses().next().unwrap();
+        assert!(t.match_event(&u, &Env::new(), &Event::call(anon, o, m), |_| None).is_none());
+    }
+
+    #[test]
+    fn unsatisfiable_templates_are_detected() {
+        let (_, o, c, m, _) = mini();
+        assert!(Template::call(o, o, m).is_unsatisfiable());
+        assert!(!Template::call(c, o, m).is_unsatisfiable());
+        let x = VarId(0);
+        assert!(Template::call(x, x, m).is_unsatisfiable());
+        let t = Template { caller: TObj::Var(x), callee: TObj::Var(VarId(1)), method: Some(m), arg: TArg::Auto };
+        assert!(!t.is_unsatisfiable());
+    }
+
+    #[test]
+    fn nullability() {
+        let (_, o, c, m, _) = mini();
+        let l = Re::lit(Template::call(c, o, m));
+        assert!(!l.nullable());
+        assert!(l.clone().star().nullable());
+        assert!(l.clone().opt().nullable());
+        assert!(!l.clone().plus().nullable());
+        assert!(Re::Eps.nullable());
+        assert!(!Re::Empty.nullable());
+        assert!(Re::seq([Re::Eps, Re::Eps]).nullable());
+        assert!(!Re::seq([Re::Eps, l.clone()]).nullable());
+        assert!(Re::alt([Re::Empty, Re::Eps]).nullable());
+        assert!(l.bind(VarId(0), None).star().nullable());
+    }
+
+    #[test]
+    fn simplify_removes_units_and_dead_branches() {
+        let (_, o, c, m, objects) = mini();
+        let l = Re::lit(Template::call(c, o, m));
+        // ε and ∅ units.
+        assert_eq!(Re::seq([Re::Eps, l.clone(), Re::Eps]).simplify(), l);
+        assert_eq!(Re::Seq(Box::new(l.clone()), Box::new(Re::Empty)).simplify(), Re::Empty);
+        assert_eq!(Re::alt([Re::Empty, l.clone()]).simplify(), l);
+        // Unsatisfiable literal prunes its branch.
+        let dead = Re::lit(Template::call(o, o, m));
+        assert_eq!(Re::alt([dead.clone(), l.clone()]).simplify(), l);
+        assert_eq!(dead.simplify(), Re::Empty);
+        // Star collapses.
+        assert_eq!(Re::Empty.star().simplify(), Re::Eps);
+        assert_eq!(l.clone().star().star().simplify(), l.clone().star());
+        // A binder over an unused variable disappears only when the
+        // variable occurs nowhere.
+        let unused = l.clone().bind(VarId(7), objects);
+        assert_eq!(unused.simplify(), l.clone());
+        // …but survives when the variable is used elsewhere.
+        let lv = Re::lit(Template::call(VarId(7), o, m));
+        let outer = Re::seq([
+            lv.clone(),
+            l.clone().bind(VarId(7), objects),
+            lv.clone(),
+        ])
+        .bind(VarId(7), objects);
+        let simplified = outer.simplify();
+        // The inner binder must still be present: count Bind nodes.
+        fn binds(re: &Re) -> usize {
+            match re {
+                Re::Bind { body, .. } => 1 + binds(body),
+                Re::Seq(a, b) | Re::Alt(a, b) => binds(a) + binds(b),
+                Re::Star(a) => binds(a),
+                _ => 0,
+            }
+        }
+        assert_eq!(binds(&simplified), 2, "rebind scopes are semantically load-bearing");
+    }
+
+    #[test]
+    fn mentions_var_respects_shadowing() {
+        let (_, o, _, m, objects) = mini();
+        let x = VarId(0);
+        let lv = Re::lit(Template::call(x, o, m));
+        assert!(lv.mentions_var(x));
+        assert!(!lv.clone().bind(x, objects).mentions_var(x), "bound occurrences are not free");
+        assert!(Re::seq([lv.clone().bind(x, objects), lv.clone()]).mentions_var(x));
+    }
+
+    #[test]
+    fn builders_shape_the_tree() {
+        let (_, o, c, m, _) = mini();
+        let l = Re::lit(Template::call(c, o, m));
+        let s = Re::seq([l.clone(), l.clone(), l.clone()]);
+        assert_eq!(s.size(), 5);
+        let a = Re::alt([l.clone(), l.clone()]);
+        assert_eq!(a.size(), 3);
+        assert_eq!(Re::seq([]), Re::Eps);
+        assert_eq!(Re::alt([]), Re::Empty);
+    }
+}

@@ -1,0 +1,434 @@
+//! Thompson NFA with explicit binding scopes.
+//!
+//! [`Nfa::compile`] translates a [`Re`] into a graph of ε-edges, literal
+//! edges and *scope marker* edges (`Enter v` / `Exit v`) that clear the
+//! binding of `v`, giving the binding operator its per-iteration semantics:
+//! each traversal of `[R • x ∈ C]` starts with `x` unbound, so a new
+//! environment object may be chosen each round.
+//!
+//! Simulation states are pairs `(nfa state, environment)`; the environment
+//! records the variables bound so far in the current scopes.  The
+//! **liveness** analysis marks the NFA states from which an accepting state
+//! is reachable through satisfiable edges; a trace `h` satisfies `h prs R`
+//! exactly when, after consuming `h`, some simulation state has a live NFA
+//! state (the word can still be completed — classes are infinite, so a
+//! live template path can always be instantiated with fresh objects).
+
+use crate::ast::{Env, Re, Template, VarId};
+use pospec_alphabet::Universe;
+use pospec_trace::{ClassId, Event};
+use std::collections::{BTreeSet, HashMap};
+
+/// One outgoing edge of an NFA state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Silent transition.
+    Eps(usize),
+    /// Enter the scope of a variable: clear its binding.
+    Enter(VarId, usize),
+    /// Exit the scope of a variable: clear its binding.
+    Exit(VarId, usize),
+    /// Consume one event matching the indexed template.
+    Lit(u32, usize),
+}
+
+impl Edge {
+    fn target(&self) -> usize {
+        match *self {
+            Edge::Eps(t) | Edge::Enter(_, t) | Edge::Exit(_, t) | Edge::Lit(_, t) => t,
+        }
+    }
+}
+
+/// A set of simulation states `(nfa state, environment)`.
+pub type SimSet = BTreeSet<(usize, Env)>;
+
+/// A compiled trace-regex automaton.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    templates: Vec<Template>,
+    var_class: HashMap<VarId, Option<ClassId>>,
+    edges: Vec<Vec<Edge>>,
+    start: usize,
+    accept: usize,
+    /// `live[s]`: an accepting state is reachable from `s` through
+    /// satisfiable edges.
+    live: Vec<bool>,
+}
+
+impl Nfa {
+    /// Compile an expression.
+    pub fn compile(re: &Re) -> Nfa {
+        let mut b = Builder::default();
+        let start = b.fresh();
+        let accept = b.fresh();
+        b.emit(re, start, accept);
+        let live = b.liveness(accept);
+        Nfa {
+            templates: b.templates,
+            var_class: b.var_class,
+            edges: b.edges,
+            start,
+            accept,
+            live,
+        }
+    }
+
+    /// Number of NFA states.
+    pub fn state_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The class declared for a variable by its `Bind` node.
+    pub fn class_of_var(&self, v: VarId) -> Option<ClassId> {
+        self.var_class.get(&v).copied().flatten()
+    }
+
+    /// ε-closure of a simulation set (over Eps/Enter/Exit edges).
+    fn closure(&self, mut set: SimSet) -> SimSet {
+        let mut stack: Vec<(usize, Env)> = set.iter().cloned().collect();
+        while let Some((s, env)) = stack.pop() {
+            for edge in &self.edges[s] {
+                let next = match edge {
+                    Edge::Eps(t) => Some((*t, env.clone())),
+                    Edge::Enter(v, t) | Edge::Exit(v, t) => {
+                        let mut e2 = env.clone();
+                        e2.unbind(*v);
+                        Some((*t, e2))
+                    }
+                    Edge::Lit(..) => None,
+                };
+                if let Some(pair) = next {
+                    if set.insert(pair.clone()) {
+                        stack.push(pair);
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// The initial simulation set.
+    pub fn initial(&self) -> SimSet {
+        let mut s = SimSet::new();
+        s.insert((self.start, Env::new()));
+        self.closure(s)
+    }
+
+    /// Advance the simulation by one event.
+    pub fn step(&self, u: &Universe, set: &SimSet, e: &Event) -> SimSet {
+        let mut next = SimSet::new();
+        for (s, env) in set {
+            for edge in &self.edges[*s] {
+                if let Edge::Lit(ti, t) = edge {
+                    let template = &self.templates[*ti as usize];
+                    if let Some(env2) =
+                        template.match_event(u, env, e, |v| self.class_of_var(v))
+                    {
+                        next.insert((*t, env2));
+                    }
+                }
+            }
+        }
+        self.closure(next)
+    }
+
+    /// Run the simulation over a whole sequence of events.
+    pub fn run<'a>(&self, u: &Universe, events: impl IntoIterator<Item = &'a Event>) -> SimSet {
+        let mut set = self.initial();
+        for e in events {
+            if set.is_empty() {
+                break;
+            }
+            set = self.step(u, &set, e);
+        }
+        set
+    }
+
+    /// Does the set contain a live state (the consumed input is a prefix of
+    /// a word of the language)?
+    pub fn any_live(&self, set: &SimSet) -> bool {
+        set.iter().any(|(s, _)| self.live[*s])
+    }
+
+    /// Does the set contain the accepting state (the consumed input is a
+    /// word of the language)?
+    pub fn any_accepting(&self, set: &SimSet) -> bool {
+        set.iter().any(|(s, _)| *s == self.accept)
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    templates: Vec<Template>,
+    var_class: HashMap<VarId, Option<ClassId>>,
+    edges: Vec<Vec<Edge>>,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> usize {
+        self.edges.push(Vec::new());
+        self.edges.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, e: Edge) {
+        self.edges[from].push(e);
+    }
+
+    fn template(&mut self, t: Template) -> u32 {
+        if let Some(i) = self.templates.iter().position(|x| x == &t) {
+            return i as u32;
+        }
+        self.templates.push(t);
+        (self.templates.len() - 1) as u32
+    }
+
+    fn emit(&mut self, re: &Re, from: usize, to: usize) {
+        match re {
+            Re::Empty => {}
+            Re::Eps => self.edge(from, Edge::Eps(to)),
+            Re::Lit(t) => {
+                let ti = self.template(*t);
+                self.edge(from, Edge::Lit(ti, to));
+            }
+            Re::Seq(a, b) => {
+                let mid = self.fresh();
+                self.emit(a, from, mid);
+                self.emit(b, mid, to);
+            }
+            Re::Alt(a, b) => {
+                self.emit(a, from, to);
+                self.emit(b, from, to);
+            }
+            Re::Star(a) => {
+                let hub = self.fresh();
+                self.edge(from, Edge::Eps(hub));
+                self.emit(a, hub, hub);
+                self.edge(hub, Edge::Eps(to));
+            }
+            Re::Bind { var, class, body } => {
+                // Record the variable's class; a variable re-used under a
+                // different class keeps the first declaration.
+                self.var_class.entry(*var).or_insert(*class);
+                let inner_start = self.fresh();
+                let inner_end = self.fresh();
+                self.edge(from, Edge::Enter(*var, inner_start));
+                self.emit(body, inner_start, inner_end);
+                self.edge(inner_end, Edge::Exit(*var, to));
+            }
+        }
+    }
+
+    /// Backwards reachability from `accept` over satisfiable edges.
+    fn liveness(&self, accept: usize) -> Vec<bool> {
+        let n = self.edges.len();
+        // Build the reverse graph once.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (s, out) in self.edges.iter().enumerate() {
+            for e in out {
+                let ok = match e {
+                    Edge::Lit(ti, _) => !self.templates[*ti as usize].is_unsatisfiable(),
+                    _ => true,
+                };
+                if ok {
+                    rev[e.target()].push(s);
+                }
+            }
+        }
+        let mut live = vec![false; n];
+        let mut stack = vec![accept];
+        live[accept] = true;
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s] {
+                if !live[p] {
+                    live[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_alphabet::UniverseBuilder;
+    use pospec_trace::{MethodId, ObjectId};
+    use std::sync::Arc;
+
+    struct Fix {
+        u: Arc<Universe>,
+        o: ObjectId,
+        c: ObjectId,
+        objects: ClassId,
+        ow: MethodId,
+        w: MethodId,
+        cw: MethodId,
+    }
+
+    fn fix() -> Fix {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let o = b.object("o").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let ow = b.method("OW").unwrap();
+        let w = b.method("W").unwrap();
+        let cw = b.method("CW").unwrap();
+        b.class_witnesses(objects, 2).unwrap();
+        Fix { u: b.freeze(), o, c, objects, ow, w, cw }
+    }
+
+    /// The Write protocol of Example 1:
+    /// `[[⟨x,o,OW⟩ ⟨x,o,W⟩* ⟨x,o,CW⟩] • x ∈ Objects]*`.
+    fn write_re(f: &Fix) -> Re {
+        let x = VarId(0);
+        Re::seq([
+            Re::lit(Template::call(x, f.o, f.ow)),
+            Re::lit(Template::call(x, f.o, f.w)).star(),
+            Re::lit(Template::call(x, f.o, f.cw)),
+        ])
+        .bind(x, f.objects)
+        .star()
+    }
+
+    #[test]
+    fn accepts_complete_bracketed_sessions() {
+        let f = fix();
+        let nfa = Nfa::compile(&write_re(&f));
+        let w1 = f.u.class_witnesses(f.objects).next().unwrap();
+        let evs = [
+            Event::call(f.c, f.o, f.ow),
+            Event::call(f.c, f.o, f.w),
+            Event::call(f.c, f.o, f.cw),
+            Event::call(w1, f.o, f.ow),
+            Event::call(w1, f.o, f.cw),
+        ];
+        let set = nfa.run(&f.u, evs.iter());
+        assert!(nfa.any_accepting(&set), "two complete sessions form a word");
+        assert!(nfa.any_live(&set));
+    }
+
+    #[test]
+    fn binding_pins_the_caller_within_a_session() {
+        let f = fix();
+        let nfa = Nfa::compile(&write_re(&f));
+        let w1 = f.u.class_witnesses(f.objects).next().unwrap();
+        // c opens, w1 tries to write: rejected (x is bound to c).
+        let evs = [Event::call(f.c, f.o, f.ow), Event::call(w1, f.o, f.w)];
+        let set = nfa.run(&f.u, evs.iter());
+        assert!(set.is_empty(), "the binder forbids interleaved writers");
+    }
+
+    #[test]
+    fn binding_releases_between_iterations() {
+        let f = fix();
+        let nfa = Nfa::compile(&write_re(&f));
+        let w1 = f.u.class_witnesses(f.objects).next().unwrap();
+        let evs = [
+            Event::call(f.c, f.o, f.ow),
+            Event::call(f.c, f.o, f.cw),
+            Event::call(w1, f.o, f.ow),
+            Event::call(w1, f.o, f.w),
+        ];
+        let set = nfa.run(&f.u, evs.iter());
+        assert!(nfa.any_live(&set), "a new caller may open in the next round");
+        assert!(!nfa.any_accepting(&set), "the second session is still open");
+    }
+
+    #[test]
+    fn prefixes_are_live_but_not_accepting() {
+        let f = fix();
+        let nfa = Nfa::compile(&write_re(&f));
+        let evs = [Event::call(f.c, f.o, f.ow), Event::call(f.c, f.o, f.w)];
+        let set = nfa.run(&f.u, evs.iter());
+        assert!(nfa.any_live(&set));
+        assert!(!nfa.any_accepting(&set));
+    }
+
+    #[test]
+    fn empty_input_is_accepted_by_starred_language() {
+        let f = fix();
+        let nfa = Nfa::compile(&write_re(&f));
+        let set = nfa.initial();
+        assert!(nfa.any_accepting(&set));
+        assert!(nfa.any_live(&set));
+    }
+
+    #[test]
+    fn non_members_of_the_class_cannot_bind() {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let o = b.object("o").unwrap();
+        let m = b.method("M").unwrap();
+        b.anon_witnesses(1).unwrap();
+        b.class_witnesses(objects, 1).unwrap();
+        let u = b.freeze();
+        let x = VarId(0);
+        let re = Re::lit(Template::call(x, o, m)).bind(x, objects).star();
+        let nfa = Nfa::compile(&re);
+        let anon = u.anon_witnesses().next().unwrap();
+        let set = nfa.run(&u, [Event::call(anon, o, m)].iter());
+        assert!(set.is_empty(), "anon is outside Objects");
+        let wit = u.class_witnesses(objects).next().unwrap();
+        let set2 = nfa.run(&u, [Event::call(wit, o, m)].iter());
+        assert!(nfa.any_accepting(&set2));
+    }
+
+    #[test]
+    fn unsatisfiable_literals_are_dead_for_liveness() {
+        let f = fix();
+        // ⟨o,o,OW⟩ can never match; the only word requires it, so nothing
+        // is live beyond states that can bypass it.
+        let re = Re::lit(Template::call(f.o, f.o, f.ow));
+        let nfa = Nfa::compile(&re);
+        let set = nfa.initial();
+        assert!(!nfa.any_live(&set), "language is empty");
+    }
+
+    #[test]
+    fn empty_language_re() {
+        let f = fix();
+        let nfa = Nfa::compile(&Re::Empty);
+        let set = nfa.initial();
+        assert!(!nfa.any_accepting(&set));
+        assert!(!nfa.any_live(&set));
+        let _ = f;
+    }
+
+    #[test]
+    fn eps_language() {
+        let nfa = Nfa::compile(&Re::Eps);
+        let set = nfa.initial();
+        assert!(nfa.any_accepting(&set));
+        assert!(nfa.any_live(&set));
+    }
+
+    #[test]
+    fn alternation_explores_both_branches() {
+        let f = fix();
+        let re = Re::alt([
+            Re::lit(Template::call(f.c, f.o, f.ow)),
+            Re::lit(Template::call(f.c, f.o, f.cw)),
+        ]);
+        let nfa = Nfa::compile(&re);
+        for m in [f.ow, f.cw] {
+            let set = nfa.run(&f.u, [Event::call(f.c, f.o, m)].iter());
+            assert!(nfa.any_accepting(&set));
+        }
+        let set = nfa.run(&f.u, [Event::call(f.c, f.o, f.w)].iter());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn simulation_prunes_to_empty_and_stays_empty() {
+        let f = fix();
+        let nfa = Nfa::compile(&write_re(&f));
+        let evs = [
+            Event::call(f.c, f.o, f.w), // write before open: dead
+            Event::call(f.c, f.o, f.ow),
+        ];
+        let set = nfa.run(&f.u, evs.iter());
+        assert!(set.is_empty());
+    }
+}

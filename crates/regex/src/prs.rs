@@ -1,0 +1,107 @@
+//! The paper's `prs` predicate: *"h prs R denotes that the trace h is a
+//! prefix of the regular expression R"* (§2, Example 1).
+//!
+//! `{h | h prs R}` is prefix closed by construction, so these predicates
+//! always define legal trace sets.  [`CompiledRe`] caches the compiled NFA
+//! so that membership tests inside exploration loops do not recompile.
+
+use crate::ast::Re;
+use crate::nfa::Nfa;
+use pospec_alphabet::Universe;
+use pospec_trace::Trace;
+
+/// Does `h prs R` hold — is `h` a prefix of some word of `R`?
+pub fn prs(u: &Universe, h: &Trace, re: &Re) -> bool {
+    CompiledRe::new(re.clone()).prs(u, h)
+}
+
+/// Is `h` itself a word of `R`?
+pub fn in_lang(u: &Universe, h: &Trace, re: &Re) -> bool {
+    CompiledRe::new(re.clone()).in_lang(u, h)
+}
+
+/// An expression with its compiled NFA, for repeated membership tests.
+#[derive(Debug, Clone)]
+pub struct CompiledRe {
+    re: Re,
+    nfa: Nfa,
+}
+
+impl CompiledRe {
+    /// Compile once.  The expression is simplified first (a
+    /// language-preserving rewrite), which shrinks the NFA.
+    pub fn new(re: Re) -> Self {
+        let nfa = Nfa::compile(&re.simplify());
+        CompiledRe { re, nfa }
+    }
+
+    /// The source expression.
+    pub fn re(&self) -> &Re {
+        &self.re
+    }
+
+    /// The compiled automaton.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// `h prs R`.
+    pub fn prs(&self, u: &Universe, h: &Trace) -> bool {
+        let set = self.nfa.run(u, h.iter());
+        self.nfa.any_live(&set)
+    }
+
+    /// `h ∈ L(R)`.
+    pub fn in_lang(&self, u: &Universe, h: &Trace) -> bool {
+        let set = self.nfa.run(u, h.iter());
+        self.nfa.any_accepting(&set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Template, VarId};
+    use pospec_alphabet::UniverseBuilder;
+    use pospec_trace::Event;
+
+    #[test]
+    fn prs_is_prefix_closed_on_write_protocol() {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let o = b.object("o").unwrap();
+        let ow = b.method("OW").unwrap();
+        let w = b.method("W").unwrap();
+        let cw = b.method("CW").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let u = b.freeze();
+
+        let x = VarId(0);
+        let re = Re::seq([
+            Re::lit(Template::call(x, o, ow)),
+            Re::lit(Template::call(x, o, w)).star(),
+            Re::lit(Template::call(x, o, cw)),
+        ])
+        .bind(x, objects)
+        .star();
+
+        let full = Trace::from_events(vec![
+            Event::call(c, o, ow),
+            Event::call(c, o, w),
+            Event::call(c, o, w),
+            Event::call(c, o, cw),
+        ]);
+        let c_re = CompiledRe::new(re.clone());
+        assert!(c_re.prs(&u, &full));
+        assert!(c_re.in_lang(&u, &full));
+        for p in full.prefixes() {
+            assert!(c_re.prs(&u, &p), "prefix-closure violated at {p}");
+        }
+        // Interior prefixes are not words.
+        assert!(!c_re.in_lang(&u, &full.prefix(2)));
+        // A bad trace is not even a prefix.
+        let bad = Trace::from_events(vec![Event::call(c, o, w)]);
+        assert!(!prs(&u, &bad, &re));
+        assert!(!in_lang(&u, &bad, &re));
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based cross-validation of the automaton stack.
+//!
+//! The determinized [`ConcreteDfa`] must agree with direct NFA simulation
+//! on every word; `prs` must define prefix-closed sets; the Boolean
+//! constructions must satisfy their defining equations word-by-word.
+
+use pospec_alphabet::{Universe, UniverseBuilder};
+use pospec_regex::{AcceptMode, ConcreteDfa, Nfa, Re, Template, VarId};
+use pospec_trace::{ClassId, Event, MethodId, ObjectId, Trace};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+struct Fix {
+    u: Arc<Universe>,
+    o: ObjectId,
+    env: ClassId,
+    methods: Vec<MethodId>,
+    sigma: Arc<Vec<Event>>,
+}
+
+fn fix() -> Fix {
+    let mut b = UniverseBuilder::new();
+    let env = b.object_class("Env").unwrap();
+    let o = b.object("o").unwrap();
+    let methods: Vec<MethodId> =
+        (0..3).map(|i| b.method(&format!("m{i}")).unwrap()).collect();
+    let wits = b.class_witnesses(env, 2).unwrap();
+    let u = b.freeze();
+    let mut sigma = Vec::new();
+    for &w in &wits {
+        for &m in &methods {
+            sigma.push(Event::call(w, o, m));
+        }
+    }
+    Fix { u, o, env, methods, sigma: Arc::new(sigma) }
+}
+
+/// A random regex over the fixture's template pool, from a recipe of
+/// (operator, literal) bytes.
+fn random_re(f: &Fix, recipe: &[u8]) -> Re {
+    fn build(f: &Fix, recipe: &[u8], pos: &mut usize, depth: usize) -> Re {
+        let next = |pos: &mut usize| {
+            let b = recipe.get(*pos).copied().unwrap_or(0);
+            *pos += 1;
+            b
+        };
+        let op = next(pos);
+        let lit = |f: &Fix, b: u8| {
+            let x = VarId(0);
+            let m = f.methods[(b as usize) % f.methods.len()];
+            match b % 3 {
+                0 => Re::lit(Template::call(pospec_regex::TObj::Class(f.env), f.o, m)),
+                1 => Re::lit(Template::call(x, f.o, m)),
+                _ => Re::lit(Template {
+                    caller: pospec_regex::TObj::Any,
+                    callee: f.o.into(),
+                    method: Some(m),
+                    arg: Default::default(),
+                }),
+            }
+        };
+        if depth == 0 {
+            return lit(f, next(pos));
+        }
+        match op % 6 {
+            0 => Re::Seq(
+                Box::new(build(f, recipe, pos, depth - 1)),
+                Box::new(build(f, recipe, pos, depth - 1)),
+            ),
+            1 => Re::Alt(
+                Box::new(build(f, recipe, pos, depth - 1)),
+                Box::new(build(f, recipe, pos, depth - 1)),
+            ),
+            2 => build(f, recipe, pos, depth - 1).star(),
+            3 => build(f, recipe, pos, depth - 1).bind(VarId(0), f.env),
+            4 => Re::Eps,
+            _ => lit(f, next(pos)),
+        }
+    }
+    let mut pos = 0;
+    build(f, recipe, &mut pos, 3)
+}
+
+fn word(f: &Fix, picks: &[u8]) -> Vec<Event> {
+    picks.iter().map(|&p| f.sigma[(p as usize) % f.sigma.len()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// DFA membership (both modes) agrees with direct NFA simulation on
+    /// random words.
+    #[test]
+    fn dfa_agrees_with_nfa(recipe in prop::collection::vec(any::<u8>(), 12),
+                           picks in prop::collection::vec(any::<u8>(), 0..8)) {
+        let f = fix();
+        let re = random_re(&f, &recipe);
+        let nfa = Nfa::compile(&re);
+        let exact = ConcreteDfa::from_nfa(&f.u, &nfa, Arc::clone(&f.sigma), AcceptMode::Exact);
+        let live = ConcreteDfa::from_nfa(&f.u, &nfa, Arc::clone(&f.sigma), AcceptMode::PrefixLive);
+        let w = word(&f, &picks);
+        let sim = nfa.run(&f.u, w.iter());
+        prop_assert_eq!(exact.accepts(w.iter()), nfa.any_accepting(&sim));
+        prop_assert_eq!(live.accepts(w.iter()), nfa.any_live(&sim));
+    }
+
+    /// `{h | h prs R}` is prefix closed, and words of `L(R)` satisfy prs.
+    #[test]
+    fn prs_sets_are_prefix_closed(recipe in prop::collection::vec(any::<u8>(), 12),
+                                  picks in prop::collection::vec(any::<u8>(), 0..8)) {
+        let f = fix();
+        let re = random_re(&f, &recipe);
+        let h = Trace::from_events(word(&f, &picks));
+        if pospec_regex::in_lang(&f.u, &h, &re) {
+            prop_assert!(pospec_regex::prs(&f.u, &h, &re));
+        }
+        if pospec_regex::prs(&f.u, &h, &re) {
+            for p in h.proper_prefixes() {
+                prop_assert!(pospec_regex::prs(&f.u, &p, &re), "prefix {p} escaped");
+            }
+        }
+    }
+
+    /// Boolean constructions satisfy their defining equations on words.
+    #[test]
+    fn boolean_constructions_pointwise(recipe_a in prop::collection::vec(any::<u8>(), 10),
+                                       recipe_b in prop::collection::vec(any::<u8>(), 10),
+                                       picks in prop::collection::vec(any::<u8>(), 0..7)) {
+        let f = fix();
+        let da = ConcreteDfa::from_nfa(
+            &f.u, &Nfa::compile(&random_re(&f, &recipe_a)), Arc::clone(&f.sigma), AcceptMode::Exact);
+        let db = ConcreteDfa::from_nfa(
+            &f.u, &Nfa::compile(&random_re(&f, &recipe_b)), Arc::clone(&f.sigma), AcceptMode::Exact);
+        let w = word(&f, &picks);
+        prop_assert_eq!(da.intersect(&db).accepts(w.iter()), da.accepts(w.iter()) && db.accepts(w.iter()));
+        prop_assert_eq!(da.union(&db).accepts(w.iter()), da.accepts(w.iter()) || db.accepts(w.iter()));
+        prop_assert_eq!(da.complement().accepts(w.iter()), !da.accepts(w.iter()));
+    }
+
+    /// Inclusion is sound and complete over the finite alphabet:
+    /// `included_in` returns Ok iff no accepted word of A is rejected by B
+    /// (checked on the witness and on random words).
+    #[test]
+    fn inclusion_witnesses_are_genuine(recipe_a in prop::collection::vec(any::<u8>(), 10),
+                                       recipe_b in prop::collection::vec(any::<u8>(), 10)) {
+        let f = fix();
+        let da = ConcreteDfa::from_nfa(
+            &f.u, &Nfa::compile(&random_re(&f, &recipe_a)), Arc::clone(&f.sigma), AcceptMode::PrefixLive);
+        let db = ConcreteDfa::from_nfa(
+            &f.u, &Nfa::compile(&random_re(&f, &recipe_b)), Arc::clone(&f.sigma), AcceptMode::PrefixLive);
+        match da.included_in(&db) {
+            Ok(()) => {
+                // Spot-check: every enumerated word of A is in B.
+                for w in da.enumerate_accepted(3) {
+                    prop_assert!(db.accepts(w.iter()));
+                }
+            }
+            Err(w) => {
+                prop_assert!(da.accepts(w.iter()), "witness must be accepted by A");
+                prop_assert!(!db.accepts(w.iter()), "witness must be rejected by B");
+            }
+        }
+        // Reflexivity and union-upper-bound.
+        prop_assert!(da.included_in(&da).is_ok());
+        prop_assert!(da.included_in(&da.union(&db)).is_ok());
+        prop_assert!(da.intersect(&db).included_in(&da).is_ok());
+    }
+
+    /// Erasure is a projection: erasing symbols then reading a word equals
+    /// reading any interleaving with hidden symbols in the original —
+    /// checked in the sound direction (project an accepted original word).
+    #[test]
+    fn erase_projects_accepted_words(recipe in prop::collection::vec(any::<u8>(), 12)) {
+        let f = fix();
+        let hidden_method = f.methods[0];
+        let da = ConcreteDfa::from_nfa(
+            &f.u, &Nfa::compile(&random_re(&f, &recipe)), Arc::clone(&f.sigma), AcceptMode::PrefixLive);
+        let erased = da.erase(|e| e.method == hidden_method);
+        for w in da.enumerate_accepted(4) {
+            let projected: Vec<Event> =
+                w.iter().filter(|e| e.method != hidden_method).copied().collect();
+            prop_assert!(
+                erased.accepts(projected.iter()),
+                "projection of an accepted word must be accepted after erasure"
+            );
+        }
+    }
+
+    /// `Re::simplify` preserves the language (both exact and prefix
+    /// modes) while never growing the AST.
+    #[test]
+    fn simplify_preserves_language(recipe in prop::collection::vec(any::<u8>(), 14)) {
+        let f = fix();
+        let re = random_re(&f, &recipe);
+        let simplified = re.simplify();
+        prop_assert!(simplified.size() <= re.size(), "simplify must not grow the tree");
+        for mode in [AcceptMode::Exact, AcceptMode::PrefixLive] {
+            let a = ConcreteDfa::from_nfa(&f.u, &Nfa::compile(&re), Arc::clone(&f.sigma), mode);
+            let b = ConcreteDfa::from_nfa(
+                &f.u, &Nfa::compile(&simplified), Arc::clone(&f.sigma), mode);
+            prop_assert!(a.equiv(&b), "language changed under simplify ({mode:?})");
+        }
+    }
+
+    /// Lifting then restricting is the identity on the language.
+    #[test]
+    fn lift_then_restrict_roundtrips(recipe in prop::collection::vec(any::<u8>(), 12),
+                                     picks in prop::collection::vec(any::<u8>(), 0..6)) {
+        let f = fix();
+        // Small alphabet: method 0 only.
+        let small: Arc<Vec<Event>> = Arc::new(
+            f.sigma.iter().filter(|e| e.method == f.methods[0]).copied().collect());
+        let da = ConcreteDfa::from_nfa(
+            &f.u, &Nfa::compile(&random_re(&f, &recipe)), Arc::clone(&small), AcceptMode::PrefixLive);
+        let roundtrip = da.lift_to(Arc::clone(&f.sigma)).restrict_to(Arc::clone(&small));
+        let w: Vec<Event> = word(&f, &picks)
+            .into_iter()
+            .filter(|e| e.method == f.methods[0])
+            .collect();
+        prop_assert_eq!(roundtrip.accepts(w.iter()), da.accepts(w.iter()));
+    }
+}

@@ -1,0 +1,86 @@
+//! The behaviour interface of a simulated object.
+
+use pospec_trace::{Arg, MethodId, ObjectId};
+use rand::rngs::SmallRng;
+
+/// An outgoing remote method call issued by an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Action {
+    /// The receiver.
+    pub to: ObjectId,
+    /// The method to invoke.
+    pub method: MethodId,
+    /// The argument.
+    pub arg: Arg,
+}
+
+impl Action {
+    /// A parameterless call.
+    pub fn call(to: ObjectId, method: MethodId) -> Action {
+        Action { to, method, arg: Arg::None }
+    }
+
+    /// A call with a data argument.
+    pub fn call_with(to: ObjectId, method: MethodId, d: pospec_trace::DataId) -> Action {
+        Action { to, method, arg: Arg::Data(d) }
+    }
+}
+
+/// A simulated object.
+///
+/// Objects are single-threaded state machines: the runtime serialises the
+/// invocations of one object, matching the actor reading of the paper's
+/// object model.  Outgoing calls returned from a handler are dispatched
+/// asynchronously by the runtime (remote calls are non-blocking events in
+/// the trace semantics).
+pub trait ObjectBehavior: Send {
+    /// The object's identity.
+    fn id(&self) -> ObjectId;
+
+    /// React to an incoming remote call.
+    fn on_call(&mut self, from: ObjectId, method: MethodId, arg: Arg) -> Vec<Action>;
+
+    /// A spontaneous step, taken when the scheduler gives the object idle
+    /// time (how client objects initiate protocols).  The default does
+    /// nothing.
+    fn on_tick(&mut self, _rng: &mut SmallRng) -> Vec<Action> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_trace::DataId;
+
+    #[test]
+    fn action_constructors() {
+        let a = Action::call(ObjectId(1), MethodId(2));
+        assert_eq!(a.arg, Arg::None);
+        let b = Action::call_with(ObjectId(1), MethodId(2), DataId(3));
+        assert_eq!(b.arg, Arg::Data(DataId(3)));
+    }
+
+    struct Echo {
+        me: ObjectId,
+    }
+
+    impl ObjectBehavior for Echo {
+        fn id(&self) -> ObjectId {
+            self.me
+        }
+        fn on_call(&mut self, from: ObjectId, method: MethodId, arg: Arg) -> Vec<Action> {
+            vec![Action { to: from, method, arg }]
+        }
+    }
+
+    #[test]
+    fn default_tick_is_silent() {
+        let mut e = Echo { me: ObjectId(0) };
+        let mut rng = <SmallRng as rand::SeedableRng>::seed_from_u64(0);
+        assert!(e.on_tick(&mut rng).is_empty());
+        let out = e.on_call(ObjectId(1), MethodId(0), Arg::None);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, ObjectId(1));
+    }
+}

@@ -1,0 +1,445 @@
+//! Reusable object behaviours for the paper's scenarios.
+//!
+//! * [`RwClient`] — a well-behaved reader/writer client: brackets every
+//!   read session in `OR … CR` and every write session in `OW … CW`,
+//!   one remote call per scheduling step (so per-pair FIFO delivery
+//!   preserves the protocol order in the trace);
+//! * [`FaultyClient`] — occasionally writes without opening: the behaviour
+//!   the online monitor is supposed to catch;
+//! * [`ConfirmingClient`] — Example 4's `Client`: a `W` to the access
+//!   controller followed by an `OK` to the monitor object;
+//! * [`PingResponder`] — answers `ping` with `pong`;
+//! * [`PassiveServer`] — accepts everything silently (the RW access
+//!   controller itself: in the trace formalism, access discipline lives in
+//!   the callers' event order).
+
+use crate::behavior::{Action, ObjectBehavior};
+use pospec_trace::{Arg, DataId, MethodId, ObjectId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The RW method table shared by clients and monitors.
+#[derive(Debug, Clone, Copy)]
+pub struct RwMethods {
+    /// Open read access.
+    pub or_: MethodId,
+    /// Read.
+    pub r: MethodId,
+    /// Close read access.
+    pub cr: MethodId,
+    /// Open write access.
+    pub ow: MethodId,
+    /// Write.
+    pub w: MethodId,
+    /// Close write access.
+    pub cw: MethodId,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RwState {
+    Idle,
+    Reading { left: u8 },
+    Writing { left: u8 },
+}
+
+/// A protocol-abiding reader/writer client.
+pub struct RwClient {
+    me: ObjectId,
+    server: ObjectId,
+    methods: RwMethods,
+    data: DataId,
+    state: RwState,
+}
+
+impl RwClient {
+    /// A new client of `server`.
+    pub fn new(me: ObjectId, server: ObjectId, methods: RwMethods, data: DataId) -> Self {
+        RwClient { me, server, methods, data, state: RwState::Idle }
+    }
+}
+
+impl ObjectBehavior for RwClient {
+    fn id(&self) -> ObjectId {
+        self.me
+    }
+
+    fn on_call(&mut self, _: ObjectId, _: MethodId, _: Arg) -> Vec<Action> {
+        Vec::new()
+    }
+
+    fn on_tick(&mut self, rng: &mut SmallRng) -> Vec<Action> {
+        let m = self.methods;
+        match self.state {
+            RwState::Idle => {
+                let ops = rng.gen_range(0..3);
+                if rng.gen_bool(0.5) {
+                    self.state = RwState::Reading { left: ops };
+                    vec![Action::call(self.server, m.or_)]
+                } else {
+                    self.state = RwState::Writing { left: ops };
+                    vec![Action::call(self.server, m.ow)]
+                }
+            }
+            RwState::Reading { left } => {
+                if left == 0 {
+                    self.state = RwState::Idle;
+                    vec![Action::call(self.server, m.cr)]
+                } else {
+                    self.state = RwState::Reading { left: left - 1 };
+                    vec![Action::call_with(self.server, m.r, self.data)]
+                }
+            }
+            RwState::Writing { left } => {
+                if left == 0 {
+                    self.state = RwState::Idle;
+                    vec![Action::call(self.server, m.cw)]
+                } else {
+                    self.state = RwState::Writing { left: left - 1 };
+                    vec![Action::call_with(self.server, m.w, self.data)]
+                }
+            }
+        }
+    }
+}
+
+/// A client that sometimes writes without opening — protocol violations
+/// for monitor demonstrations.
+pub struct FaultyClient {
+    me: ObjectId,
+    server: ObjectId,
+    methods: RwMethods,
+    data: DataId,
+    /// Probability (percent) of an unprotected write per tick.
+    fault_rate: u32,
+    inner: RwClient,
+}
+
+impl FaultyClient {
+    /// A faulty client; `fault_rate` is a percentage.
+    pub fn new(
+        me: ObjectId,
+        server: ObjectId,
+        methods: RwMethods,
+        data: DataId,
+        fault_rate: u32,
+    ) -> Self {
+        FaultyClient {
+            me,
+            server,
+            methods,
+            data,
+            fault_rate,
+            inner: RwClient::new(me, server, methods, data),
+        }
+    }
+}
+
+impl ObjectBehavior for FaultyClient {
+    fn id(&self) -> ObjectId {
+        self.me
+    }
+
+    fn on_call(&mut self, _: ObjectId, _: MethodId, _: Arg) -> Vec<Action> {
+        Vec::new()
+    }
+
+    fn on_tick(&mut self, rng: &mut SmallRng) -> Vec<Action> {
+        if self.inner.state == RwState::Idle && rng.gen_range(0..100) < self.fault_rate {
+            // The bug: a bare write with no OW around it.
+            return vec![Action::call_with(self.server, self.methods.w, self.data)];
+        }
+        self.inner.on_tick(rng)
+    }
+}
+
+/// Example 4's `Client`: alternates `⟨c,o,W(d)⟩` and `⟨c,o′,OK⟩`.
+pub struct ConfirmingClient {
+    me: ObjectId,
+    server: ObjectId,
+    monitor: ObjectId,
+    w: MethodId,
+    ok: MethodId,
+    data: DataId,
+    confirmed: bool,
+}
+
+impl ConfirmingClient {
+    /// A new confirming client.
+    pub fn new(
+        me: ObjectId,
+        server: ObjectId,
+        monitor: ObjectId,
+        w: MethodId,
+        ok: MethodId,
+        data: DataId,
+    ) -> Self {
+        ConfirmingClient { me, server, monitor, w, ok, data, confirmed: true }
+    }
+}
+
+impl ObjectBehavior for ConfirmingClient {
+    fn id(&self) -> ObjectId {
+        self.me
+    }
+
+    fn on_call(&mut self, _: ObjectId, _: MethodId, _: Arg) -> Vec<Action> {
+        Vec::new()
+    }
+
+    fn on_tick(&mut self, _: &mut SmallRng) -> Vec<Action> {
+        if self.confirmed {
+            self.confirmed = false;
+            vec![Action::call_with(self.server, self.w, self.data)]
+        } else {
+            self.confirmed = true;
+            vec![Action::call(self.monitor, self.ok)]
+        }
+    }
+}
+
+/// A round-based seller/coordinator: alternates `Open` and (after a
+/// random while) `Close` calls to a target object — the auction example's
+/// round driver.
+pub struct RoundSeller {
+    me: ObjectId,
+    target: ObjectId,
+    open: MethodId,
+    close: MethodId,
+    round_open: bool,
+    /// Probability (percent) of closing an open round per tick.
+    close_rate: u32,
+}
+
+impl RoundSeller {
+    /// A new seller driving rounds on `target`.
+    pub fn new(me: ObjectId, target: ObjectId, open: MethodId, close: MethodId) -> Self {
+        RoundSeller { me, target, open, close, round_open: false, close_rate: 30 }
+    }
+}
+
+impl ObjectBehavior for RoundSeller {
+    fn id(&self) -> ObjectId {
+        self.me
+    }
+    fn on_call(&mut self, _: ObjectId, _: MethodId, _: Arg) -> Vec<Action> {
+        Vec::new()
+    }
+    fn on_tick(&mut self, rng: &mut SmallRng) -> Vec<Action> {
+        if self.round_open {
+            if rng.gen_range(0..100) < self.close_rate {
+                self.round_open = false;
+                return vec![Action::call(self.target, self.close)];
+            }
+            Vec::new()
+        } else {
+            self.round_open = true;
+            vec![Action::call(self.target, self.open)]
+        }
+    }
+}
+
+/// A bidder that fires bids whenever scheduled, oblivious to rounds —
+/// the behaviour an online monitor of the bidding viewpoint will flag.
+pub struct EagerBidder {
+    me: ObjectId,
+    target: ObjectId,
+    bid: MethodId,
+    amount: DataId,
+}
+
+impl EagerBidder {
+    /// A new eager bidder.
+    pub fn new(me: ObjectId, target: ObjectId, bid: MethodId, amount: DataId) -> Self {
+        EagerBidder { me, target, bid, amount }
+    }
+}
+
+impl ObjectBehavior for EagerBidder {
+    fn id(&self) -> ObjectId {
+        self.me
+    }
+    fn on_call(&mut self, _: ObjectId, _: MethodId, _: Arg) -> Vec<Action> {
+        Vec::new()
+    }
+    fn on_tick(&mut self, _: &mut SmallRng) -> Vec<Action> {
+        vec![Action::call_with(self.target, self.bid, self.amount)]
+    }
+}
+
+/// Answers every `ping` with a `pong` to the caller.
+pub struct PingResponder {
+    me: ObjectId,
+    ping: MethodId,
+    pong: MethodId,
+}
+
+impl PingResponder {
+    /// A new responder.
+    pub fn new(me: ObjectId, ping: MethodId, pong: MethodId) -> Self {
+        PingResponder { me, ping, pong }
+    }
+}
+
+impl ObjectBehavior for PingResponder {
+    fn id(&self) -> ObjectId {
+        self.me
+    }
+
+    fn on_call(&mut self, from: ObjectId, method: MethodId, _: Arg) -> Vec<Action> {
+        if method == self.ping {
+            vec![Action::call(from, self.pong)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Accepts every call silently.
+pub struct PassiveServer {
+    me: ObjectId,
+}
+
+impl PassiveServer {
+    /// A new passive server.
+    pub fn new(me: ObjectId) -> Self {
+        PassiveServer { me }
+    }
+}
+
+impl ObjectBehavior for PassiveServer {
+    fn id(&self) -> ObjectId {
+        self.me
+    }
+
+    fn on_call(&mut self, _: ObjectId, _: MethodId, _: Arg) -> Vec<Action> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn methods() -> RwMethods {
+        RwMethods {
+            or_: MethodId(0),
+            r: MethodId(1),
+            cr: MethodId(2),
+            ow: MethodId(3),
+            w: MethodId(4),
+            cw: MethodId(5),
+        }
+    }
+
+    /// Drive a client's ticks directly and check per-client bracketing.
+    #[test]
+    fn rw_client_emits_bracketed_sessions() {
+        let m = methods();
+        let mut c = RwClient::new(ObjectId(1), ObjectId(0), m, DataId(0));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut open: Option<MethodId> = None;
+        for _ in 0..200 {
+            let actions = c.on_tick(&mut rng);
+            assert_eq!(actions.len(), 1, "one call per step");
+            let a = actions[0];
+            match open {
+                None => {
+                    assert!(a.method == m.or_ || a.method == m.ow, "session opens first");
+                    open = Some(a.method);
+                }
+                Some(o) if o == m.or_ => {
+                    assert!(a.method == m.r || a.method == m.cr);
+                    if a.method == m.cr {
+                        open = None;
+                    }
+                }
+                Some(_) => {
+                    assert!(a.method == m.w || a.method == m.cw);
+                    if a.method == m.cw {
+                        open = None;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_client_eventually_misbehaves() {
+        let m = methods();
+        let mut c = FaultyClient::new(ObjectId(1), ObjectId(0), m, DataId(0), 40);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut bare_write = false;
+        let mut open = false;
+        for _ in 0..300 {
+            for a in c.on_tick(&mut rng) {
+                if a.method == m.ow {
+                    open = true;
+                }
+                if a.method == m.cw {
+                    open = false;
+                }
+                if a.method == m.w && !open {
+                    bare_write = true;
+                }
+            }
+        }
+        assert!(bare_write, "fault injection should fire at 40%");
+    }
+
+    #[test]
+    fn confirming_client_alternates_w_and_ok() {
+        let mut c = ConfirmingClient::new(
+            ObjectId(1),
+            ObjectId(0),
+            ObjectId(2),
+            MethodId(0),
+            MethodId(1),
+            DataId(0),
+        );
+        let mut rng = SmallRng::seed_from_u64(0);
+        let seq: Vec<MethodId> = (0..6)
+            .map(|_| c.on_tick(&mut rng)[0].method)
+            .collect();
+        assert_eq!(
+            seq,
+            vec![MethodId(0), MethodId(1), MethodId(0), MethodId(1), MethodId(0), MethodId(1)]
+        );
+    }
+
+    #[test]
+    fn round_seller_alternates_open_close() {
+        let mut s = RoundSeller::new(ObjectId(1), ObjectId(0), MethodId(0), MethodId(1));
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut open = false;
+        for _ in 0..100 {
+            for a in s.on_tick(&mut rng) {
+                if a.method == MethodId(0) {
+                    assert!(!open, "cannot open an open round");
+                    open = true;
+                } else {
+                    assert!(open, "cannot close a closed round");
+                    open = false;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eager_bidder_fires_every_tick() {
+        let mut b = EagerBidder::new(ObjectId(1), ObjectId(0), MethodId(2), DataId(0));
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..5 {
+            let a = b.on_tick(&mut rng);
+            assert_eq!(a.len(), 1);
+            assert_eq!(a[0].method, MethodId(2));
+            assert_eq!(a[0].arg, Arg::Data(DataId(0)));
+        }
+    }
+
+    #[test]
+    fn passive_server_is_silent() {
+        let mut s = PassiveServer::new(ObjectId(0));
+        assert!(s.on_call(ObjectId(1), MethodId(0), Arg::None).is_empty());
+    }
+}

@@ -1,0 +1,289 @@
+//! A seeded, reproducible scheduler.
+//!
+//! Each step either delivers one pending message or gives a random object
+//! a spontaneous tick.  Every cross-object call is appended to the run's
+//! communication trace — including calls to objects the runtime does not
+//! manage (the open environment): those are observable events too, they
+//! just have no receiver to react.
+//!
+//! Determinism: two runtimes with the same objects (insertion order) and
+//! the same seed produce identical traces, which makes simulator-based
+//! experiments replayable.
+
+use crate::behavior::{Action, ObjectBehavior};
+use pospec_trace::{Arg, Event, MethodId, ObjectId, Trace, TraceBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
+
+#[derive(Debug, Clone, Copy)]
+struct Message {
+    from: ObjectId,
+    to: ObjectId,
+    method: MethodId,
+    arg: Arg,
+}
+
+/// The deterministic runtime; see the module documentation.
+pub struct DeterministicRuntime {
+    objects: BTreeMap<ObjectId, Box<dyn ObjectBehavior>>,
+    order: Vec<ObjectId>,
+    queue: VecDeque<Message>,
+    log: TraceBuilder,
+    rng: SmallRng,
+    /// Probability (in percent) of a spontaneous tick instead of a
+    /// delivery when both are possible.
+    tick_bias: u32,
+    /// Probability (in percent) of silently dropping a message at
+    /// delivery time — fault injection for unreliable networks.  The
+    /// dropped call never happens: it is not logged and not delivered.
+    loss_rate: u32,
+}
+
+impl DeterministicRuntime {
+    /// A runtime with the given seed.
+    pub fn new(seed: u64) -> Self {
+        DeterministicRuntime {
+            objects: BTreeMap::new(),
+            order: Vec::new(),
+            queue: VecDeque::new(),
+            log: TraceBuilder::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            tick_bias: 30,
+            loss_rate: 0,
+        }
+    }
+
+    /// Register an object.  Later registrations with the same id replace
+    /// the earlier behaviour.
+    pub fn add_object(&mut self, behavior: Box<dyn ObjectBehavior>) {
+        let id = behavior.id();
+        if self.objects.insert(id, behavior).is_none() {
+            self.order.push(id);
+        }
+    }
+
+    /// Adjust how often idle ticks are preferred over deliveries (0–100).
+    pub fn set_tick_bias(&mut self, percent: u32) {
+        self.tick_bias = percent.min(100);
+    }
+
+    /// Inject message loss: each selected delivery is dropped with the
+    /// given probability (0–100).  A dropped call produces no observable
+    /// event — the sender's *intention* is not communication (§2: only
+    /// actual remote calls appear in traces).
+    pub fn set_loss_rate(&mut self, percent: u32) {
+        self.loss_rate = percent.min(100);
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> Trace {
+        self.log.snapshot()
+    }
+
+    fn dispatch(&mut self, from: ObjectId, actions: Vec<Action>) {
+        for a in actions {
+            if a.to == from {
+                // Self-calls are internal activity: not observable, not
+                // queued (the object could have updated its own state
+                // directly).
+                continue;
+            }
+            self.queue.push_back(Message { from, to: a.to, method: a.method, arg: a.arg });
+        }
+    }
+
+    /// Run one scheduling step; returns false when nothing can happen.
+    pub fn step(&mut self) -> bool {
+        let can_deliver = !self.queue.is_empty();
+        let can_tick = !self.order.is_empty();
+        if !can_deliver && !can_tick {
+            return false;
+        }
+        let do_tick = can_tick && (!can_deliver || self.rng.gen_range(0..100) < self.tick_bias);
+        if do_tick {
+            let idx = self.rng.gen_range(0..self.order.len());
+            let id = self.order[idx];
+            let actions = {
+                let obj = self.objects.get_mut(&id).expect("registered object");
+                obj.on_tick(&mut self.rng)
+            };
+            self.dispatch(id, actions);
+            true
+        } else {
+            // Deliver a pending message.  Channels are FIFO per
+            // (sender, receiver) pair — the standard distributed-systems
+            // assumption — but deliveries of different pairs interleave
+            // arbitrarily: pick a random pair, deliver its oldest message.
+            let idx = self.rng.gen_range(0..self.queue.len());
+            let picked = self.queue[idx];
+            let idx = self
+                .queue
+                .iter()
+                .position(|m| m.from == picked.from && m.to == picked.to)
+                .expect("picked pair exists");
+            let msg = self.queue.remove(idx).expect("index in range");
+            if self.loss_rate > 0 && self.rng.gen_range(0..100) < self.loss_rate {
+                // The message is lost in transit: no event, no delivery.
+                return true;
+            }
+            // The call event is observable the moment it happens.
+            self.log.push(
+                Event::new(msg.from, msg.to, msg.method, msg.arg).expect("no self-calls queued"),
+            );
+            if let Some(target) = self.objects.get_mut(&msg.to) {
+                let actions = target.on_call(msg.from, msg.method, msg.arg);
+                self.dispatch(msg.to, actions);
+            }
+            true
+        }
+    }
+
+    /// Run until `max_events` observable events have been recorded or the
+    /// system quiesces; returns the final trace.
+    pub fn run(&mut self, max_events: usize) -> Trace {
+        let mut guard = 0usize;
+        let guard_limit = max_events.saturating_mul(100) + 1000;
+        while self.log.len() < max_events && guard < guard_limit {
+            if !self.step() {
+                break;
+            }
+            guard += 1;
+        }
+        self.trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A client that calls `m` on a fixed target on every tick.
+    struct Pinger {
+        me: ObjectId,
+        target: ObjectId,
+        m: MethodId,
+    }
+
+    impl ObjectBehavior for Pinger {
+        fn id(&self) -> ObjectId {
+            self.me
+        }
+        fn on_call(&mut self, _: ObjectId, _: MethodId, _: Arg) -> Vec<Action> {
+            Vec::new()
+        }
+        fn on_tick(&mut self, _: &mut SmallRng) -> Vec<Action> {
+            vec![Action::call(self.target, self.m)]
+        }
+    }
+
+    /// Replies `pong` to every `ping`.
+    struct Responder {
+        me: ObjectId,
+        ping: MethodId,
+        pong: MethodId,
+    }
+
+    impl ObjectBehavior for Responder {
+        fn id(&self) -> ObjectId {
+            self.me
+        }
+        fn on_call(&mut self, from: ObjectId, method: MethodId, _: Arg) -> Vec<Action> {
+            if method == self.ping {
+                vec![Action::call(from, self.pong)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    fn ids() -> (ObjectId, ObjectId, MethodId, MethodId) {
+        (ObjectId(0), ObjectId(1), MethodId(0), MethodId(1))
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let (a, b, ping, pong) = ids();
+        let build = |seed| {
+            let mut rt = DeterministicRuntime::new(seed);
+            rt.add_object(Box::new(Pinger { me: a, target: b, m: ping }));
+            rt.add_object(Box::new(Responder { me: b, ping, pong }));
+            rt.run(20)
+        };
+        assert_eq!(build(7), build(7));
+        // Different seeds almost surely differ in interleaving.
+        let t1 = build(7);
+        let t2 = build(8);
+        assert_eq!(t1.len(), 20);
+        assert_eq!(t2.len(), 20);
+    }
+
+    #[test]
+    fn responder_produces_pongs() {
+        let (a, b, ping, pong) = ids();
+        let mut rt = DeterministicRuntime::new(3);
+        rt.add_object(Box::new(Pinger { me: a, target: b, m: ping }));
+        rt.add_object(Box::new(Responder { me: b, ping, pong }));
+        let trace = rt.run(30);
+        assert!(trace.count_method(ping) > 0);
+        assert!(trace.count_method(pong) > 0);
+        // Every pong is preceded by at least as many pings.
+        let mut pings = 0usize;
+        let mut pongs = 0usize;
+        for e in trace.iter() {
+            if e.method == ping {
+                pings += 1;
+            }
+            if e.method == pong {
+                pongs += 1;
+                assert!(pongs <= pings, "pong without ping at {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn calls_to_unmanaged_objects_are_still_observable() {
+        let (a, _, ping, _) = ids();
+        let env = ObjectId(99);
+        let mut rt = DeterministicRuntime::new(1);
+        rt.add_object(Box::new(Pinger { me: a, target: env, m: ping }));
+        let trace = rt.run(5);
+        assert_eq!(trace.len(), 5);
+        assert!(trace.iter().all(|e| e.callee == env));
+    }
+
+    #[test]
+    fn message_loss_removes_events_without_reordering() {
+        let (a, b, ping, pong) = ids();
+        let run = |loss| {
+            let mut rt = DeterministicRuntime::new(17);
+            rt.set_loss_rate(loss);
+            rt.add_object(Box::new(Pinger { me: a, target: b, m: ping }));
+            rt.add_object(Box::new(Responder { me: b, ping, pong }));
+            rt.run(40)
+        };
+        let lossless = run(0);
+        let lossy = run(40);
+        assert_eq!(lossless.len(), 40);
+        // With 40% loss the run still makes progress, and causality is
+        // preserved: pongs never outnumber delivered pings.
+        let mut pings = 0usize;
+        let mut pongs = 0usize;
+        for e in lossy.iter() {
+            if e.method == ping {
+                pings += 1;
+            } else if e.method == pong {
+                pongs += 1;
+                assert!(pongs <= pings, "lost pings must not generate pongs");
+            }
+        }
+        assert!(pings > 0);
+    }
+
+    #[test]
+    fn empty_runtime_quiesces_immediately() {
+        let mut rt = DeterministicRuntime::new(0);
+        assert!(!rt.step());
+        assert!(rt.run(10).is_empty());
+    }
+}

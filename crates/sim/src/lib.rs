@@ -1,0 +1,39 @@
+//! An executable open-distributed-system substrate.
+//!
+//! The paper's setting — *"open distributed systems where objects run in
+//! parallel, communicate by remote method calls, and exchange object
+//! identities"* (§1) — is assumed, never built.  This crate builds it, so
+//! that specifications can be validated against *running* objects:
+//!
+//! * [`behavior`] — the [`ObjectBehavior`] trait:
+//!   an object reacts to incoming remote calls and may spontaneously issue
+//!   calls of its own;
+//! * [`deterministic`] — a seeded, reproducible scheduler interleaving
+//!   message deliveries and spontaneous steps, producing the communication
+//!   trace of the run;
+//! * [`threaded`] — a genuinely concurrent runtime (one thread per object,
+//!   crossbeam channels, a linearizing shared event log);
+//! * [`monitor`] — an online safety monitor checking each observed event
+//!   against a [`Specification`](pospec_core::Specification): the first
+//!   projection that escapes the trace set is flagged with its position;
+//! * [`behaviors`] — reusable example behaviors (readers/writers clients,
+//!   a ping responder, a monitor-confirming client) used by the examples
+//!   and the soundness experiments.
+//!
+//! The bridge to the theory: a run's trace, projected per object, must lie
+//! in every sound specification of that object (§2's soundness).  The
+//! integration tests drive the RW server of Example 3 and check its runs
+//! against the `RW` specification online.
+
+pub mod behavior;
+pub mod behaviors;
+pub mod deterministic;
+pub mod monitor;
+pub mod threaded;
+pub mod tracefile;
+
+pub use behavior::{Action, ObjectBehavior};
+pub use deterministic::DeterministicRuntime;
+pub use monitor::{Monitor, MonitorVerdict};
+pub use threaded::ThreadedRuntime;
+pub use tracefile::{read_trace, write_trace, EventRecord, TraceFileError};

@@ -1,0 +1,175 @@
+//! Online safety monitoring of runs against specifications.
+//!
+//! Trace sets are prefix closed, so safety violations are *irrevocable*:
+//! once the projection of the observed history onto `α(Γ)` leaves `T(Γ)`,
+//! no continuation can repair it (Alpern–Schneider safety, which §2 cites
+//! for prefix-closed sets).  The monitor therefore latches the first
+//! violation with its event index and witness.
+
+use pospec_core::Specification;
+use pospec_trace::{Event, Trace, TraceBuilder};
+
+/// The verdict for one observed event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorVerdict {
+    /// The event is outside `α(Γ)` — the partial specification does not
+    /// consider it.
+    Ignored,
+    /// The projected history is still in `T(Γ)`.
+    Ok,
+    /// The projected history left `T(Γ)` (now or earlier).
+    Violation {
+        /// Index of the first offending event in the *observed* stream.
+        at: usize,
+    },
+}
+
+/// An online monitor for one specification.
+///
+/// Membership is evaluated *incrementally*
+/// ([`pospec_core::TraceSetRunner`]): for regular trace sets each event
+/// costs one NFA-simulation step instead of re-running the whole
+/// projected history, making long-running monitors linear in the trace.
+pub struct Monitor {
+    spec: Specification,
+    runner: pospec_core::TraceSetRunner,
+    projected: TraceBuilder,
+    observed: usize,
+    violation: Option<usize>,
+}
+
+impl Monitor {
+    /// Monitor runs against `spec`.
+    pub fn new(spec: Specification) -> Self {
+        let runner = spec.trace_set().runner(spec.universe());
+        Monitor { spec, runner, projected: TraceBuilder::new(), observed: 0, violation: None }
+    }
+
+    /// The monitored specification.
+    pub fn spec(&self) -> &Specification {
+        &self.spec
+    }
+
+    /// Feed one observed event.
+    pub fn observe(&mut self, e: &Event) -> MonitorVerdict {
+        let idx = self.observed;
+        self.observed += 1;
+        if let Some(at) = self.violation {
+            return MonitorVerdict::Violation { at };
+        }
+        if !self.spec.alphabet().contains(e) {
+            return MonitorVerdict::Ignored;
+        }
+        self.projected.push(*e);
+        if self.runner.step(e) {
+            MonitorVerdict::Ok
+        } else {
+            self.violation = Some(idx);
+            MonitorVerdict::Violation { at: idx }
+        }
+    }
+
+    /// Feed a whole trace; returns the first violation index, if any.
+    pub fn observe_trace(&mut self, t: &Trace) -> Option<usize> {
+        for e in t.iter() {
+            self.observe(e);
+        }
+        self.violation
+    }
+
+    /// Has a violation been latched?
+    pub fn violated(&self) -> bool {
+        self.violation.is_some()
+    }
+
+    /// The projected history seen so far.
+    pub fn projected(&self) -> Trace {
+        self.projected.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_alphabet::{EventPattern, UniverseBuilder};
+    use pospec_core::TraceSet;
+    use pospec_regex::{Re, Template, VarId};
+    use pospec_trace::{MethodId, ObjectId};
+
+    fn write_spec() -> (Specification, ObjectId, ObjectId, MethodId, MethodId, MethodId) {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let o = b.object("o").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let ow = b.method("OW").unwrap();
+        let w = b.method("W").unwrap();
+        let cw = b.method("CW").unwrap();
+        let _other = b.method("Other").unwrap();
+        b.class_witnesses(objects, 1).unwrap();
+        let u = b.freeze();
+        let alpha = EventPattern::call(objects, o, ow)
+            .to_set(&u)
+            .union(&EventPattern::call(objects, o, w).to_set(&u))
+            .union(&EventPattern::call(objects, o, cw).to_set(&u));
+        let x = VarId(0);
+        let re = Re::seq([
+            Re::lit(Template::call(x, o, ow)),
+            Re::lit(Template::call(x, o, w)).star(),
+            Re::lit(Template::call(x, o, cw)),
+        ])
+        .bind(x, objects)
+        .star();
+        let spec = Specification::new("Write", [o], alpha, TraceSet::prs(re)).unwrap();
+        (spec, o, c, ow, w, cw)
+    }
+
+    #[test]
+    fn well_behaved_run_stays_ok() {
+        let (spec, o, c, ow, w, cw) = write_spec();
+        let mut m = Monitor::new(spec);
+        for e in [
+            Event::call(c, o, ow),
+            Event::call(c, o, w),
+            Event::call(c, o, cw),
+        ] {
+            assert_eq!(m.observe(&e), MonitorVerdict::Ok);
+        }
+        assert!(!m.violated());
+        assert_eq!(m.projected().len(), 3);
+    }
+
+    #[test]
+    fn events_outside_the_alphabet_are_ignored() {
+        let (spec, o, c, _, _, _) = write_spec();
+        let u = spec.universe().clone();
+        let other = u.method_by_name("Other").unwrap();
+        let mut m = Monitor::new(spec);
+        assert_eq!(m.observe(&Event::call(c, o, other)), MonitorVerdict::Ignored);
+        assert!(m.projected().is_empty(), "ignored events are not projected");
+    }
+
+    #[test]
+    fn violations_latch_at_first_offence() {
+        let (spec, o, c, _, w, _) = write_spec();
+        let mut m = Monitor::new(spec);
+        // Writing without opening: immediate violation at index 0.
+        assert_eq!(m.observe(&Event::call(c, o, w)), MonitorVerdict::Violation { at: 0 });
+        // Later events keep reporting the original index.
+        assert_eq!(m.observe(&Event::call(c, o, w)), MonitorVerdict::Violation { at: 0 });
+        assert!(m.violated());
+    }
+
+    #[test]
+    fn observe_trace_reports_first_violation_index() {
+        let (spec, o, c, ow, w, cw) = write_spec();
+        let u = spec.universe().clone();
+        let wit = u.class_witnesses(u.class_by_name("Objects").unwrap()).next().unwrap();
+        let mut m = Monitor::new(spec);
+        let t = Trace::from_events(vec![
+            Event::call(c, o, ow),  // 0 ok
+            Event::call(wit, o, w), // 1 violation: wrong writer
+            Event::call(c, o, cw),  // 2
+        ]);
+        assert_eq!(m.observe_trace(&t), Some(1));
+    }
+}

@@ -1,0 +1,240 @@
+//! A genuinely concurrent actor runtime.
+//!
+//! One OS thread per object, crossbeam channels for remote calls, and a
+//! shared linearizing event log (`parking_lot::Mutex`): the order in which
+//! call events enter the log is the run's communication trace.  The event
+//! is logged by the *sender* at send time, which matches the trace
+//! semantics (a remote call is one observable event, not a
+//! send/receive pair — the paper models asynchrony by splitting a call
+//! into two *events of different methods* when needed, cf. Example 1's
+//! footnote).
+//!
+//! Shutdown protocol: each object thread processes messages until the
+//! runtime closes the channels; the runtime stops once the log reaches its
+//! event budget or the system quiesces.
+
+use crate::behavior::{Action, ObjectBehavior};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use pospec_trace::{Arg, Event, MethodId, ObjectId, Trace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy)]
+enum Msg {
+    Call { from: ObjectId, method: MethodId, arg: Arg },
+    /// Spontaneous-step request.
+    Tick,
+}
+
+struct Shared {
+    log: Mutex<Vec<Event>>,
+    senders: HashMap<ObjectId, Sender<Msg>>,
+    budget: usize,
+    done: AtomicBool,
+}
+
+impl Shared {
+    /// Record and forward one call; returns false once the budget is
+    /// exhausted.
+    fn send_call(&self, from: ObjectId, action: Action) -> bool {
+        if action.to == from {
+            return true; // internal activity: invisible
+        }
+        {
+            let mut log = self.log.lock();
+            if log.len() >= self.budget {
+                self.done.store(true, Ordering::Release);
+                return false;
+            }
+            log.push(
+                Event::new(from, action.to, action.method, action.arg)
+                    .expect("self-calls filtered above"),
+            );
+        }
+        if let Some(tx) = self.senders.get(&action.to) {
+            let _ = tx.send(Msg::Call { from, method: action.method, arg: action.arg });
+        }
+        true
+    }
+}
+
+/// The concurrent runtime.
+pub struct ThreadedRuntime {
+    behaviors: Vec<Box<dyn ObjectBehavior>>,
+    seed: u64,
+}
+
+impl ThreadedRuntime {
+    /// A runtime whose objects' tick RNGs derive from `seed` (the
+    /// interleaving itself is scheduled by the OS and not deterministic).
+    pub fn new(seed: u64) -> Self {
+        ThreadedRuntime { behaviors: Vec::new(), seed }
+    }
+
+    /// Register an object.
+    pub fn add_object(&mut self, behavior: Box<dyn ObjectBehavior>) {
+        self.behaviors.push(behavior);
+    }
+
+    /// Run all objects concurrently until `max_events` observable events
+    /// have been logged (or everything quiesces), then return the
+    /// linearized trace.
+    pub fn run(self, max_events: usize) -> Trace {
+        let mut senders = HashMap::new();
+        let mut receivers: Vec<(Box<dyn ObjectBehavior>, Receiver<Msg>)> = Vec::new();
+        for b in self.behaviors {
+            let (tx, rx) = unbounded();
+            senders.insert(b.id(), tx);
+            receivers.push((b, rx));
+        }
+        let shared = Arc::new(Shared {
+            log: Mutex::new(Vec::new()),
+            senders,
+            budget: max_events,
+            done: AtomicBool::new(false),
+        });
+
+        let mut handles = Vec::new();
+        for (i, (mut behavior, rx)) in receivers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(i as u64));
+            handles.push(thread::spawn(move || {
+                let me = behavior.id();
+                loop {
+                    if shared.done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let msg = match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(m) => m,
+                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => Msg::Tick,
+                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
+                    };
+                    let actions = match msg {
+                        Msg::Call { from, method, arg } => behavior.on_call(from, method, arg),
+                        Msg::Tick => behavior.on_tick(&mut rng),
+                    };
+                    for a in actions {
+                        if !shared.send_call(me, a) {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+
+        // Wait for the budget to fill or for sustained quiescence.
+        let mut last_len = 0usize;
+        let mut stable_iters = 0u32;
+        loop {
+            thread::sleep(Duration::from_millis(2));
+            let len = shared.log.lock().len();
+            if len >= max_events {
+                break;
+            }
+            if len == last_len {
+                stable_iters += 1;
+                if stable_iters > 200 {
+                    break; // ~400ms without progress: quiesced
+                }
+            } else {
+                stable_iters = 0;
+                last_len = len;
+            }
+        }
+        shared.done.store(true, Ordering::Release);
+        for h in handles {
+            let _ = h.join();
+        }
+        let log = shared.log.lock();
+        Trace::from_events(log.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pinger {
+        me: ObjectId,
+        target: ObjectId,
+        m: MethodId,
+    }
+
+    impl ObjectBehavior for Pinger {
+        fn id(&self) -> ObjectId {
+            self.me
+        }
+        fn on_call(&mut self, _: ObjectId, _: MethodId, _: Arg) -> Vec<Action> {
+            Vec::new()
+        }
+        fn on_tick(&mut self, _: &mut SmallRng) -> Vec<Action> {
+            vec![Action::call(self.target, self.m)]
+        }
+    }
+
+    struct Responder {
+        me: ObjectId,
+        ping: MethodId,
+        pong: MethodId,
+    }
+
+    impl ObjectBehavior for Responder {
+        fn id(&self) -> ObjectId {
+            self.me
+        }
+        fn on_call(&mut self, from: ObjectId, method: MethodId, _: Arg) -> Vec<Action> {
+            if method == self.ping {
+                vec![Action::call(from, self.pong)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_run_fills_the_budget() {
+        let a = ObjectId(0);
+        let b = ObjectId(1);
+        let ping = MethodId(0);
+        let pong = MethodId(1);
+        let mut rt = ThreadedRuntime::new(11);
+        rt.add_object(Box::new(Pinger { me: a, target: b, m: ping }));
+        rt.add_object(Box::new(Responder { me: b, ping, pong }));
+        let trace = rt.run(50);
+        assert!(trace.len() >= 50, "budget should fill, got {}", trace.len());
+        // Causality: pongs never outnumber pings at any prefix.
+        let mut pings = 0usize;
+        let mut pongs = 0usize;
+        for e in trace.iter() {
+            if e.method == ping {
+                pings += 1;
+            } else if e.method == pong {
+                pongs += 1;
+            }
+            assert!(pongs <= pings, "pong before its ping in the linearized log");
+        }
+    }
+
+    #[test]
+    fn quiescent_system_terminates_without_filling_budget() {
+        struct Silent(ObjectId);
+        impl ObjectBehavior for Silent {
+            fn id(&self) -> ObjectId {
+                self.0
+            }
+            fn on_call(&mut self, _: ObjectId, _: MethodId, _: Arg) -> Vec<Action> {
+                Vec::new()
+            }
+        }
+        let mut rt = ThreadedRuntime::new(0);
+        rt.add_object(Box::new(Silent(ObjectId(0))));
+        let trace = rt.run(10);
+        assert!(trace.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Name-based trace files (JSON lines).
+//!
+//! Runs recorded on one machine are checked on another — or replayed
+//! against a different universe instance — so traces are serialized by
+//! *symbol name*, not by interner index.  One event per line:
+//!
+//! ```json
+//! {"caller":"c","callee":"o","method":"W","arg":"d0"}
+//! ```
+
+use pospec_alphabet::Universe;
+use pospec_trace::{Arg, Event, Trace};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// One serialized event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Caller name.
+    pub caller: String,
+    /// Callee name.
+    pub callee: String,
+    /// Method name.
+    pub method: String,
+    /// Argument value name, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub arg: Option<String>,
+}
+
+/// Errors while reading a trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// A line was not valid JSON.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// The parse error.
+        error: serde_json::Error,
+    },
+    /// A name did not resolve in the universe.
+    UnknownName {
+        /// 1-based line number.
+        line: usize,
+        /// Which name.
+        name: String,
+        /// What kind of symbol was expected.
+        kind: &'static str,
+    },
+    /// Caller and callee were equal.
+    SelfCall {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceFileError::Json { line, error } => write!(f, "line {line}: {error}"),
+            TraceFileError::UnknownName { line, name, kind } => {
+                write!(f, "line {line}: unknown {kind} `{name}`")
+            }
+            TraceFileError::SelfCall { line } => write!(f, "line {line}: self-call"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// Serialize a trace as JSON lines.
+pub fn write_trace(u: &Universe, t: &Trace, mut w: impl Write) -> std::io::Result<()> {
+    for e in t.iter() {
+        let rec = EventRecord {
+            caller: u.object_name(e.caller).to_string(),
+            callee: u.object_name(e.callee).to_string(),
+            method: u.method_name(e.method).to_string(),
+            arg: e.arg.data().map(|d| u.data_name(d).to_string()),
+        };
+        serde_json::to_writer(&mut w, &rec)?;
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Parse a trace from JSON lines, resolving names in `u`.
+pub fn read_trace(u: &Universe, r: impl BufRead) -> Result<Trace, TraceFileError> {
+    let mut events = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: EventRecord = serde_json::from_str(&line)
+            .map_err(|error| TraceFileError::Json { line: lineno, error })?;
+        let caller = u.object_by_name(&rec.caller).ok_or(TraceFileError::UnknownName {
+            line: lineno,
+            name: rec.caller.clone(),
+            kind: "object",
+        })?;
+        let callee = u.object_by_name(&rec.callee).ok_or(TraceFileError::UnknownName {
+            line: lineno,
+            name: rec.callee.clone(),
+            kind: "object",
+        })?;
+        let method = u.method_by_name(&rec.method).ok_or(TraceFileError::UnknownName {
+            line: lineno,
+            name: rec.method.clone(),
+            kind: "method",
+        })?;
+        let arg = match rec.arg {
+            None => Arg::None,
+            Some(name) => Arg::Data(u.data_by_name(&name).ok_or(
+                TraceFileError::UnknownName { line: lineno, name, kind: "data value" },
+            )?),
+        };
+        let e = Event::new(caller, callee, method, arg)
+            .map_err(|_| TraceFileError::SelfCall { line: lineno })?;
+        events.push(e);
+    }
+    Ok(Trace::from_events(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_alphabet::UniverseBuilder;
+
+    fn universe() -> std::sync::Arc<Universe> {
+        let mut b = UniverseBuilder::new();
+        let data = b.data_class("Data").unwrap();
+        b.object("o").unwrap();
+        b.object("c").unwrap();
+        b.method("OW").unwrap();
+        b.method_with("W", data).unwrap();
+        b.data_value("d0", data).unwrap();
+        b.freeze()
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_trace() {
+        let u = universe();
+        let o = u.object_by_name("o").unwrap();
+        let c = u.object_by_name("c").unwrap();
+        let ow = u.method_by_name("OW").unwrap();
+        let w = u.method_by_name("W").unwrap();
+        let d0 = u.data_by_name("d0").unwrap();
+        let t = Trace::from_events(vec![
+            Event::call(c, o, ow),
+            Event::call_with(c, o, w, d0),
+        ]);
+        let mut buf = Vec::new();
+        write_trace(&u, &t, &mut buf).unwrap();
+        let back = read_trace(&u, buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+        // The file is named, not numbered.
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"caller\":\"c\""));
+        assert!(text.contains("\"arg\":\"d0\""));
+        assert!(!text.contains("o#"));
+    }
+
+    #[test]
+    fn unknown_names_are_located() {
+        let u = universe();
+        let input = "{\"caller\":\"c\",\"callee\":\"nobody\",\"method\":\"OW\"}\n";
+        let err = read_trace(&u, input.as_bytes()).unwrap_err();
+        match err {
+            TraceFileError::UnknownName { line, name, kind } => {
+                assert_eq!(line, 1);
+                assert_eq!(name, "nobody");
+                assert_eq!(kind, "object");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_json_and_self_calls_are_rejected() {
+        let u = universe();
+        assert!(matches!(
+            read_trace(&u, "not json\n".as_bytes()),
+            Err(TraceFileError::Json { line: 1, .. })
+        ));
+        let input = "{\"caller\":\"c\",\"callee\":\"c\",\"method\":\"OW\"}\n";
+        assert!(matches!(
+            read_trace(&u, input.as_bytes()),
+            Err(TraceFileError::SelfCall { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let u = universe();
+        let input = "\n\n{\"caller\":\"c\",\"callee\":\"o\",\"method\":\"OW\"}\n\n";
+        let t = read_trace(&u, input.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

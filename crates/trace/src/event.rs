@@ -1,0 +1,216 @@
+//! Communication events `⟨caller, callee, method(arg)⟩`.
+//!
+//! Paper §2: *"a communication event [...] is a triple ⟨o₂, o₁, m⟩ where
+//! o₁, o₂ ∈ Obj and m ∈ Mtd"*, with `o₁ ≠ o₂` for observable events (an
+//! object calling itself is internal activity and never appears in traces).
+//! We additionally carry the optional method parameter (`R(d)`, `W(d)`)
+//! which the paper treats informally via parameterised alphabets.
+
+use crate::ident::{DataId, MethodId, ObjectId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The argument slot of an event.
+///
+/// The paper's alphabets range over parameterised events like
+/// `⟨x, o, W(d)⟩ | d ∈ Data` alongside unparameterised ones like
+/// `⟨x, o, OW⟩`; the two are distinguished here by [`Arg::None`] vs
+/// [`Arg::Data`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Arg {
+    /// No parameter (e.g. `OW`, `CW`).
+    #[default]
+    None,
+    /// A data-valued parameter (e.g. the `d` in `W(d)`).
+    Data(DataId),
+}
+
+impl Arg {
+    /// Is this the empty argument?
+    #[inline]
+    pub fn is_none(self) -> bool {
+        matches!(self, Arg::None)
+    }
+
+    /// The carried data value, if any.
+    #[inline]
+    pub fn data(self) -> Option<DataId> {
+        match self {
+            Arg::None => None,
+            Arg::Data(d) => Some(d),
+        }
+    }
+}
+
+/// Errors arising when constructing an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventError {
+    /// `caller == callee`: self-calls are internal activity, not observable
+    /// communication (paper §2: "When an object calls methods in itself,
+    /// this activity is understood as internal").
+    SelfCall(ObjectId),
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventError::SelfCall(o) => {
+                write!(f, "self-call on {o} is internal activity, not an observable event")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+/// An observable communication event: `caller` invokes `method(arg)` on
+/// `callee`.
+///
+/// The paper writes this `⟨o₂, o₁, m⟩` with `o₂` the caller and `o₁` the
+/// provider of the method; we use named fields to avoid the positional
+/// ambiguity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Event {
+    /// The object issuing the remote call (`o₂`).
+    pub caller: ObjectId,
+    /// The object whose method is called (`o₁`).
+    pub callee: ObjectId,
+    /// The method name (`m`).
+    pub method: MethodId,
+    /// The method parameter, if the method is parameterised.
+    pub arg: Arg,
+}
+
+impl Event {
+    /// Construct an event, rejecting self-calls.
+    pub fn new(
+        caller: ObjectId,
+        callee: ObjectId,
+        method: MethodId,
+        arg: Arg,
+    ) -> Result<Self, EventError> {
+        if caller == callee {
+            return Err(EventError::SelfCall(caller));
+        }
+        Ok(Event { caller, callee, method, arg })
+    }
+
+    /// Construct an unparameterised event, panicking on a self-call.
+    ///
+    /// Convenience for tests and examples where identities are statically
+    /// distinct.
+    pub fn call(caller: ObjectId, callee: ObjectId, method: MethodId) -> Self {
+        Self::new(caller, callee, method, Arg::None).expect("distinct caller/callee")
+    }
+
+    /// Construct a parameterised event, panicking on a self-call.
+    pub fn call_with(caller: ObjectId, callee: ObjectId, method: MethodId, d: DataId) -> Self {
+        Self::new(caller, callee, method, Arg::Data(d)).expect("distinct caller/callee")
+    }
+
+    /// Does this event involve the object `o` (as caller or callee)?
+    ///
+    /// This is the membership test behind the paper's per-object projection
+    /// `h/o`.
+    #[inline]
+    pub fn involves(&self, o: ObjectId) -> bool {
+        self.caller == o || self.callee == o
+    }
+
+    /// Is this event *internal* to the object set `S`, i.e. are both its
+    /// endpoints members of `S`?  (Def. 3 / Def. 8.)
+    #[inline]
+    pub fn internal_to(&self, mut members: impl FnMut(ObjectId) -> bool) -> bool {
+        members(self.caller) && members(self.callee)
+    }
+
+    /// The two endpoints `(caller, callee)`.
+    #[inline]
+    pub fn endpoints(&self) -> (ObjectId, ObjectId) {
+        (self.caller, self.callee)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.arg {
+            Arg::None => write!(f, "<{},{},{}>", self.caller, self.callee, self.method),
+            Arg::Data(d) => write!(f, "<{},{},{}({})>", self.caller, self.callee, self.method, d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId(i)
+    }
+    fn m(i: u32) -> MethodId {
+        MethodId(i)
+    }
+
+    #[test]
+    fn self_calls_are_rejected() {
+        let err = Event::new(o(1), o(1), m(0), Arg::None).unwrap_err();
+        assert_eq!(err, EventError::SelfCall(o(1)));
+    }
+
+    #[test]
+    fn distinct_endpoints_are_accepted() {
+        let e = Event::new(o(1), o(2), m(0), Arg::None).unwrap();
+        assert_eq!(e.endpoints(), (o(1), o(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct caller/callee")]
+    fn call_helper_panics_on_self_call() {
+        let _ = Event::call(o(3), o(3), m(0));
+    }
+
+    #[test]
+    fn involves_checks_both_endpoints() {
+        let e = Event::call(o(1), o(2), m(0));
+        assert!(e.involves(o(1)));
+        assert!(e.involves(o(2)));
+        assert!(!e.involves(o(3)));
+    }
+
+    #[test]
+    fn internal_to_requires_both_endpoints() {
+        let e = Event::call(o(1), o(2), m(0));
+        assert!(e.internal_to(|x| x == o(1) || x == o(2)));
+        assert!(!e.internal_to(|x| x == o(1)));
+        assert!(!e.internal_to(|_| false));
+    }
+
+    #[test]
+    fn arg_accessors() {
+        assert!(Arg::None.is_none());
+        assert_eq!(Arg::None.data(), None);
+        assert_eq!(Arg::Data(DataId(4)).data(), Some(DataId(4)));
+        assert!(!Arg::Data(DataId(4)).is_none());
+    }
+
+    #[test]
+    fn display_includes_parameter_when_present() {
+        let e = Event::call_with(o(1), o(2), m(3), DataId(7));
+        assert_eq!(e.to_string(), "<o#1,o#2,m#3(d#7)>");
+        let e2 = Event::call(o(1), o(2), m(3));
+        assert_eq!(e2.to_string(), "<o#1,o#2,m#3>");
+    }
+
+    #[test]
+    fn events_order_lexicographically() {
+        let a = Event::call(o(1), o(2), m(0));
+        let b = Event::call(o(1), o(2), m(1));
+        let c = Event::call(o(2), o(1), m(0));
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

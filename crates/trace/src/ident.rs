@@ -1,0 +1,111 @@
+//! Interned identifier types for objects, methods, classes and data values.
+//!
+//! All four are thin `u32` indices into interner tables owned by
+//! `pospec_alphabet::Universe`.  Keeping them as plain newtypes here lets
+//! every crate in the workspace share event and trace types without pulling
+//! in the symbolic-set machinery.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw interner index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a raw interner index.
+            #[inline]
+            pub const fn from_index(i: usize) -> Self {
+                Self(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// The identity of an object (the paper's `Obj` sort).
+    ///
+    /// Object identities are *explicit* in this formalism: events carry the
+    /// identities of both caller and callee, which is what distinguishes it
+    /// from channel-based trace formalisms (paper §9).
+    ObjectId,
+    "o#"
+);
+
+id_newtype!(
+    /// A method name (the paper's `Mtd` sort), e.g. `R`, `W`, `OW`, `CW`.
+    MethodId,
+    "m#"
+);
+
+id_newtype!(
+    /// An object or data *class* (sort), e.g. the paper's `Objects ⊆ Obj`
+    /// ("a subtype of Obj not containing o") or the data sort `Data`.
+    ClassId,
+    "c#"
+);
+
+id_newtype!(
+    /// An interned data value used as a method parameter (the `d` in
+    /// `R(d)` / `W(d)`).
+    DataId,
+    "d#"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_roundtrip_through_indices() {
+        for i in [0usize, 1, 7, 42, u32::MAX as usize] {
+            assert_eq!(ObjectId::from_index(i).index(), i);
+            assert_eq!(MethodId::from_index(i).index(), i);
+            assert_eq!(ClassId::from_index(i).index(), i);
+            assert_eq!(DataId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        let mut set = BTreeSet::new();
+        set.insert(ObjectId(3));
+        set.insert(ObjectId(1));
+        set.insert(ObjectId(2));
+        let ordered: Vec<_> = set.into_iter().collect();
+        assert_eq!(ordered, vec![ObjectId(1), ObjectId(2), ObjectId(3)]);
+    }
+
+    #[test]
+    fn display_formats_are_distinct_per_kind() {
+        assert_eq!(ObjectId(5).to_string(), "o#5");
+        assert_eq!(MethodId(5).to_string(), "m#5");
+        assert_eq!(ClassId(5).to_string(), "c#5");
+        assert_eq!(DataId(5).to_string(), "d#5");
+    }
+
+    #[test]
+    fn copy_semantics_preserve_equality() {
+        let o = ObjectId(9);
+        let o2 = o;
+        assert_eq!(o, o2);
+        assert_ne!(o, ObjectId(10));
+    }
+}

@@ -1,0 +1,88 @@
+//! Communication events and finite communication traces.
+//!
+//! This crate implements the semantic ground layer of Johnsen & Owe,
+//! *Composition and Refinement for Partial Object Specifications* (2002),
+//! §2: objects are modelled by finite sequences of **communication events**
+//! `⟨caller, callee, method(arg)⟩` that record remote method calls between
+//! distinct object identities.  Internal activity (an object calling itself)
+//! is not observable and therefore cannot be represented: [`Event::new`]
+//! rejects `caller == callee`.
+//!
+//! The crate also provides the paper's trace notation:
+//!
+//! * `h/S`  — [`Trace::project`]: keep only the events in `S`;
+//! * `h\S`  — [`Trace::delete`]: remove the events in `S`;
+//! * `h/o`  — [`Trace::project_object`]: events involving the object `o`;
+//! * `h/M`  — [`Trace::project_method`]: events carrying the method `M`;
+//! * `#(h)` — [`Trace::len`].
+//!
+//! Identifier types ([`ObjectId`], [`MethodId`], [`ClassId`], [`DataId`])
+//! are plain interned indices; the interner itself lives in
+//! `pospec-alphabet`'s `Universe` so that this crate stays dependency-free.
+
+pub mod event;
+pub mod ident;
+pub mod trace;
+
+pub use event::{Arg, Event, EventError};
+pub use ident::{ClassId, DataId, MethodId, ObjectId};
+pub use trace::{Trace, TraceBuilder};
+
+/// Anything that can decide membership of a concrete [`Event`].
+///
+/// Projection and deletion (`h/S`, `h\S`) are parameterised over this trait
+/// so that `pospec-trace` does not depend on the symbolic set representation
+/// in `pospec-alphabet` (whose `EventSet` implements it).
+pub trait EventFilter {
+    /// Does this set contain the event `e`?
+    fn contains_event(&self, e: &Event) -> bool;
+}
+
+impl<F: Fn(&Event) -> bool> EventFilter for F {
+    fn contains_event(&self, e: &Event) -> bool {
+        self(e)
+    }
+}
+
+/// The complement of a filter, `¬S`; useful because `h\S = h/¬S`.
+#[derive(Debug, Clone, Copy)]
+pub struct Complement<S>(pub S);
+
+impl<S: EventFilter> EventFilter for Complement<S> {
+    fn contains_event(&self, e: &Event) -> bool {
+        !self.0.contains_event(e)
+    }
+}
+
+/// The difference of two filters, `S₁ − S₂`.
+///
+/// Used to state the projection law from the proof of Theorem 7:
+/// `h/S₁\S₂ = h\S₂/(S₁−S₂)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Difference<A, B>(pub A, pub B);
+
+impl<A: EventFilter, B: EventFilter> EventFilter for Difference<A, B> {
+    fn contains_event(&self, e: &Event) -> bool {
+        self.0.contains_event(e) && !self.1.contains_event(e)
+    }
+}
+
+/// The union of two filters, `S₁ ∪ S₂`.
+#[derive(Debug, Clone, Copy)]
+pub struct Union<A, B>(pub A, pub B);
+
+impl<A: EventFilter, B: EventFilter> EventFilter for Union<A, B> {
+    fn contains_event(&self, e: &Event) -> bool {
+        self.0.contains_event(e) || self.1.contains_event(e)
+    }
+}
+
+/// The intersection of two filters, `S₁ ∩ S₂`.
+#[derive(Debug, Clone, Copy)]
+pub struct Intersection<A, B>(pub A, pub B);
+
+impl<A: EventFilter, B: EventFilter> EventFilter for Intersection<A, B> {
+    fn contains_event(&self, e: &Event) -> bool {
+        self.0.contains_event(e) && self.1.contains_event(e)
+    }
+}

@@ -1,0 +1,435 @@
+//! Finite communication traces with O(1) structural-sharing prefixes.
+//!
+//! A [`Trace`] is an immutable finite sequence of [`Event`]s.  Because the
+//! theory quantifies constantly over *prefixes* (trace sets are prefix
+//! closed; `h prs R` asks whether `h` is a prefix of a word of `R`), the
+//! representation is an `Arc<[Event]>` plus a length: taking a prefix is a
+//! pointer copy, and the bounded-exploration engine in `pospec-check` walks
+//! millions of prefixes without allocation.
+
+use crate::event::Event;
+use crate::ident::{MethodId, ObjectId};
+use crate::EventFilter;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable finite trace of communication events.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Trace {
+    #[serde(with = "arc_events")]
+    events: Arc<[Event]>,
+    len: usize,
+}
+
+mod arc_events {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &Arc<[Event]>, s: S) -> Result<S::Ok, S::Error> {
+        serde::Serialize::serialize(&v[..], s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Arc<[Event]>, D::Error> {
+        let v: Vec<Event> = serde::Deserialize::deserialize(d)?;
+        Ok(v.into())
+    }
+}
+
+impl Trace {
+    /// The empty trace `ε`.
+    pub fn empty() -> Self {
+        Trace { events: Arc::from(Vec::new()), len: 0 }
+    }
+
+    /// Build a trace from a vector of events.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        let len = events.len();
+        Trace { events: events.into(), len }
+    }
+
+    /// The number of events, the paper's `#(h)`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is this the empty trace?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The events of the trace as a slice.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events[..self.len]
+    }
+
+    /// Iterate over the events.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> + '_ {
+        self.events().iter()
+    }
+
+    /// The last event, if any.
+    pub fn last(&self) -> Option<&Event> {
+        self.events().last()
+    }
+
+    /// The prefix of length `k` (clamped to `len`), sharing storage — O(1).
+    pub fn prefix(&self, k: usize) -> Trace {
+        Trace { events: Arc::clone(&self.events), len: k.min(self.len) }
+    }
+
+    /// All prefixes of the trace, from `ε` to the trace itself (inclusive).
+    ///
+    /// A trace of length n yields n+1 prefixes.  Each is O(1) to produce.
+    pub fn prefixes(&self) -> impl Iterator<Item = Trace> + '_ {
+        (0..=self.len).map(move |k| self.prefix(k))
+    }
+
+    /// All *proper* prefixes (excluding the trace itself).
+    pub fn proper_prefixes(&self) -> impl Iterator<Item = Trace> + '_ {
+        (0..self.len).map(move |k| self.prefix(k))
+    }
+
+    /// Extend with one event, producing a new trace (O(n) copy).
+    pub fn extended(&self, e: Event) -> Trace {
+        let mut v = Vec::with_capacity(self.len + 1);
+        v.extend_from_slice(self.events());
+        v.push(e);
+        Trace::from_events(v)
+    }
+
+    /// Concatenate two traces.
+    pub fn concat(&self, other: &Trace) -> Trace {
+        let mut v = Vec::with_capacity(self.len + other.len);
+        v.extend_from_slice(self.events());
+        v.extend_from_slice(other.events());
+        Trace::from_events(v)
+    }
+
+    /// Projection `h/S`: the subtrace of events contained in `S`.
+    pub fn project<S: EventFilter + ?Sized>(&self, s: &S) -> Trace {
+        Trace::from_events(
+            self.iter().filter(|e| s.contains_event(e)).copied().collect(),
+        )
+    }
+
+    /// Deletion `h\S`: the subtrace of events *not* contained in `S`.
+    pub fn delete<S: EventFilter + ?Sized>(&self, s: &S) -> Trace {
+        Trace::from_events(
+            self.iter().filter(|e| !s.contains_event(e)).copied().collect(),
+        )
+    }
+
+    /// Per-object projection `h/o`: the events involving `o` as caller or
+    /// callee.
+    pub fn project_object(&self, o: ObjectId) -> Trace {
+        Trace::from_events(self.iter().filter(|e| e.involves(o)).copied().collect())
+    }
+
+    /// Per-*caller* projection: the events issued by `o`.
+    ///
+    /// Example 3 writes `h/x` for the restriction to the events of a calling
+    /// object `x`; in the RW specification all events have `o` as callee, so
+    /// per-caller projection is the faithful reading.
+    pub fn project_caller(&self, o: ObjectId) -> Trace {
+        Trace::from_events(self.iter().filter(|e| e.caller == o).copied().collect())
+    }
+
+    /// Per-method projection `h/M`: the events whose method is `M`
+    /// (any endpoints, any argument).
+    pub fn project_method(&self, m: MethodId) -> Trace {
+        Trace::from_events(self.iter().filter(|e| e.method == m).copied().collect())
+    }
+
+    /// `#(h/M)` — the number of `M`-events, used by the counting predicate
+    /// `P_RW2` of Example 3.
+    pub fn count_method(&self, m: MethodId) -> usize {
+        self.iter().filter(|e| e.method == m).count()
+    }
+
+    /// The set of distinct caller identities occurring in the trace.
+    pub fn callers(&self) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self.iter().map(|e| e.caller).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The set of distinct object identities occurring in the trace
+    /// (callers and callees).
+    pub fn objects(&self) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> =
+            self.iter().flat_map(|e| [e.caller, e.callee]).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Is `self` a prefix of `other`?
+    pub fn is_prefix_of(&self, other: &Trace) -> bool {
+        self.len <= other.len && self.events() == &other.events()[..self.len]
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.events() == other.events()
+    }
+}
+impl Eq for Trace {}
+
+impl PartialOrd for Trace {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Trace {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.events().cmp(other.events())
+    }
+}
+
+impl std::hash::Hash for Trace {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.events().hash(state)
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Trace[")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        Trace::from_events(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<Event>> for Trace {
+    fn from(v: Vec<Event>) -> Self {
+        Trace::from_events(v)
+    }
+}
+
+/// An appendable trace under construction (used by the simulator's event
+/// log and the exploration engine).
+#[derive(Debug, Default, Clone)]
+pub struct TraceBuilder {
+    events: Vec<Event>,
+}
+
+impl TraceBuilder {
+    /// A new empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event.
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the builder empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A snapshot of the current contents as an immutable [`Trace`].
+    pub fn snapshot(&self) -> Trace {
+        Trace::from_events(self.events.clone())
+    }
+
+    /// Finish, consuming the builder.
+    pub fn finish(self) -> Trace {
+        Trace::from_events(self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Arg;
+    use crate::ident::DataId;
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId(i)
+    }
+    fn m(i: u32) -> MethodId {
+        MethodId(i)
+    }
+    fn ev(c: u32, t: u32, mm: u32) -> Event {
+        Event::call(o(c), o(t), m(mm))
+    }
+
+    fn sample() -> Trace {
+        Trace::from_events(vec![ev(1, 2, 0), ev(3, 2, 1), ev(1, 2, 0), ev(2, 3, 2)])
+    }
+
+    #[test]
+    fn empty_trace_properties() {
+        let t = Trace::empty();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.prefixes().count(), 1);
+        assert_eq!(t.to_string(), "ε");
+    }
+
+    #[test]
+    fn prefixes_are_shared_and_counted() {
+        let t = sample();
+        let ps: Vec<Trace> = t.prefixes().collect();
+        assert_eq!(ps.len(), 5);
+        assert_eq!(ps[0], Trace::empty());
+        assert_eq!(ps[4], t);
+        for p in &ps {
+            assert!(p.is_prefix_of(&t));
+        }
+        assert_eq!(t.proper_prefixes().count(), 4);
+    }
+
+    #[test]
+    fn prefix_is_clamped() {
+        let t = sample();
+        assert_eq!(t.prefix(100), t);
+    }
+
+    #[test]
+    fn projection_keeps_only_matching_events() {
+        let t = sample();
+        let p = t.project(&|e: &Event| e.method == m(0));
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|e| e.method == m(0)));
+    }
+
+    #[test]
+    fn deletion_is_complement_of_projection() {
+        let t = sample();
+        let s = |e: &Event| e.caller == o(1);
+        let kept = t.project(&s);
+        let dropped = t.delete(&s);
+        assert_eq!(kept.len() + dropped.len(), t.len());
+        assert_eq!(t.delete(&s), t.project(&crate::Complement(s)));
+    }
+
+    #[test]
+    fn per_object_projection_matches_involvement() {
+        let t = sample();
+        let p = t.project_object(o(3));
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|e| e.involves(o(3))));
+    }
+
+    #[test]
+    fn per_caller_projection() {
+        let t = sample();
+        assert_eq!(t.project_caller(o(1)).len(), 2);
+        assert_eq!(t.project_caller(o(2)).len(), 1);
+        assert_eq!(t.project_caller(o(9)).len(), 0);
+    }
+
+    #[test]
+    fn method_projection_and_counting_agree() {
+        let t = sample();
+        assert_eq!(t.project_method(m(0)).len(), t.count_method(m(0)));
+        assert_eq!(t.count_method(m(0)), 2);
+        assert_eq!(t.count_method(m(7)), 0);
+    }
+
+    #[test]
+    fn extended_appends_one_event() {
+        let t = Trace::empty().extended(ev(1, 2, 0)).extended(ev(2, 1, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[1], ev(2, 1, 1));
+    }
+
+    #[test]
+    fn concat_is_associative_on_samples() {
+        let a = Trace::from_events(vec![ev(1, 2, 0)]);
+        let b = Trace::from_events(vec![ev(2, 1, 1)]);
+        let c = Trace::from_events(vec![ev(1, 3, 2)]);
+        assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
+    }
+
+    #[test]
+    fn objects_and_callers_are_sorted_unique() {
+        let t = sample();
+        assert_eq!(t.objects(), vec![o(1), o(2), o(3)]);
+        assert_eq!(t.callers(), vec![o(1), o(2), o(3)]);
+    }
+
+    #[test]
+    fn equality_ignores_shared_storage_capacity() {
+        let t = sample();
+        let p = t.prefix(2);
+        let q = Trace::from_events(t.events()[..2].to_vec());
+        assert_eq!(p, q);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        p.hash(&mut h1);
+        q.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn builder_snapshot_and_finish() {
+        let mut b = TraceBuilder::new();
+        assert!(b.is_empty());
+        b.push(ev(1, 2, 0));
+        b.push(ev(2, 1, 1));
+        let snap = b.snapshot();
+        assert_eq!(snap.len(), 2);
+        b.push(ev(1, 2, 0));
+        assert_eq!(b.len(), 3);
+        assert_eq!(snap.len(), 2, "snapshot must be unaffected by later pushes");
+        assert_eq!(b.finish().len(), 3);
+    }
+
+    #[test]
+    fn parameterised_events_compare_by_argument() {
+        let a = Event::new(o(1), o(2), m(0), Arg::Data(DataId(1))).unwrap();
+        let b = Event::new(o(1), o(2), m(0), Arg::Data(DataId(2))).unwrap();
+        let t = Trace::from_events(vec![a, b]);
+        assert_eq!(t.count_method(m(0)), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_of_nonempty_trace() {
+        let t = Trace::from_events(vec![ev(1, 2, 0)]);
+        assert_eq!(t.to_string(), "<o#1,o#2,m#0>");
+    }
+}

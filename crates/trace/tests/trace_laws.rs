@@ -1,0 +1,129 @@
+//! Property-based tests of the trace-notation laws used by the paper's
+//! proofs.
+//!
+//! The key identity is the one invoked in the proof of Theorem 7:
+//! `h/S₁\S₂ = h\S₂/(S₁−S₂)` for any trace `h` and event sets `S₁`, `S₂`.
+
+use pospec_trace::{Arg, Complement, Difference, Event, EventFilter, MethodId, ObjectId, Trace};
+use proptest::prelude::*;
+
+/// A small concrete universe for generated traces.
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0u32..5, 0u32..5, 0u32..4)
+        .prop_filter_map("no self-calls", |(c, t, m)| {
+            Event::new(ObjectId(c), ObjectId(t), MethodId(m), Arg::None).ok()
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_event(), 0..24).prop_map(Trace::from_events)
+}
+
+/// A "random event set" as a membership bitmap over the small universe.
+#[derive(Debug, Clone)]
+struct BitSet(Vec<bool>);
+
+impl BitSet {
+    fn key(e: &Event) -> usize {
+        (e.caller.0 as usize) * 20 + (e.callee.0 as usize) * 4 + e.method.0 as usize
+    }
+}
+
+impl EventFilter for BitSet {
+    fn contains_event(&self, e: &Event) -> bool {
+        self.0.get(Self::key(e)).copied().unwrap_or(false)
+    }
+}
+
+fn arb_set() -> impl Strategy<Value = BitSet> {
+    prop::collection::vec(any::<bool>(), 100).prop_map(BitSet)
+}
+
+proptest! {
+    /// `h/S₁\S₂ = h\S₂/(S₁−S₂)` — the projection/deletion exchange law
+    /// from the proof of Theorem 7.
+    #[test]
+    fn projection_deletion_exchange(h in arb_trace(), s1 in arb_set(), s2 in arb_set()) {
+        let lhs = h.project(&s1).delete(&s2);
+        let rhs = h.delete(&s2).project(&Difference(s1.clone(), s2.clone()));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Projection is idempotent: `(h/S)/S = h/S`.
+    #[test]
+    fn projection_idempotent(h in arb_trace(), s in arb_set()) {
+        let once = h.project(&s);
+        prop_assert_eq!(once.project(&s), once);
+    }
+
+    /// Projections to arbitrary sets commute: `(h/S₁)/S₂ = (h/S₂)/S₁`.
+    #[test]
+    fn projections_commute(h in arb_trace(), s1 in arb_set(), s2 in arb_set()) {
+        prop_assert_eq!(
+            h.project(&s1).project(&s2),
+            h.project(&s2).project(&s1)
+        );
+    }
+
+    /// Deletion equals projection to the complement: `h\S = h/¬S`.
+    #[test]
+    fn deletion_is_complement_projection(h in arb_trace(), s in arb_set()) {
+        prop_assert_eq!(h.delete(&s), h.project(&Complement(s.clone())));
+    }
+
+    /// Projection distributes over concatenation.
+    #[test]
+    fn projection_distributes_over_concat(a in arb_trace(), b in arb_trace(), s in arb_set()) {
+        prop_assert_eq!(
+            a.concat(&b).project(&s),
+            a.project(&s).concat(&b.project(&s))
+        );
+    }
+
+    /// Projection is monotone w.r.t. prefixes: if `p` is a prefix of `h`
+    /// then `p/S` is a prefix of `h/S`.  This is what makes projected
+    /// prefix-closed trace sets prefix closed again.
+    #[test]
+    fn projection_preserves_prefix_order(h in arb_trace(), k in 0usize..25, s in arb_set()) {
+        let p = h.prefix(k);
+        prop_assert!(p.project(&s).is_prefix_of(&h.project(&s)));
+    }
+
+    /// Every prefix of a prefix is a prefix of the original.
+    #[test]
+    fn prefix_transitivity(h in arb_trace(), k in 0usize..25, j in 0usize..25) {
+        let p = h.prefix(k);
+        let q = p.prefix(j);
+        prop_assert!(q.is_prefix_of(&h.prefix(k)));
+        prop_assert!(q.is_prefix_of(&h));
+    }
+
+    /// `h.prefixes()` yields exactly `len+1` traces, each a prefix of the
+    /// next.
+    #[test]
+    fn prefixes_form_a_chain(h in arb_trace()) {
+        let ps: Vec<Trace> = h.prefixes().collect();
+        prop_assert_eq!(ps.len(), h.len() + 1);
+        for w in ps.windows(2) {
+            prop_assert!(w[0].is_prefix_of(&w[1]));
+        }
+    }
+
+    /// Per-object projection agrees with generic projection over the
+    /// involvement filter.
+    #[test]
+    fn object_projection_agrees_with_filter(h in arb_trace(), i in 0u32..5) {
+        let o = ObjectId(i);
+        prop_assert_eq!(
+            h.project_object(o),
+            h.project(&|e: &Event| e.involves(o))
+        );
+    }
+
+    /// Counting via projection and direct counting agree.
+    #[test]
+    fn count_matches_projection_length(h in arb_trace(), i in 0u32..4) {
+        let m = MethodId(i);
+        prop_assert_eq!(h.count_method(m), h.project_method(m).len());
+    }
+}

@@ -1,0 +1,127 @@
+//! Abstraction functions and assumption/guarantee specifications — the
+//! two extensions the paper points at (§3's "refinement of method
+//! parameters may be handled by abstraction functions" and §9's OUN
+//! assumption/guarantee style).
+//!
+//! Run with `cargo run --example abstraction_functions`.
+
+use pospec::prelude::*;
+use pospec_core::{ag_specification, check_refinement_upto, Morphism};
+
+fn main() {
+    // Universe: a storage server, environment clients, a concrete
+    // parameterised API and an abstract parameterless one.
+    let mut b = UniverseBuilder::new();
+    let clients = b.object_class("Clients").unwrap();
+    let payload = b.data_class("Payload").unwrap();
+    let server = b.object("server").unwrap();
+    let put = b.method_with("put", payload).unwrap();
+    let get = b.method_with("get", payload).unwrap();
+    let op = b.method("op").unwrap(); // the abstract "some operation"
+    let ack = b.method("ack").unwrap();
+    b.class_witnesses(clients, 2).unwrap();
+    b.data_witnesses(payload, 2).unwrap();
+    let u = b.freeze();
+
+    // Concrete spec: alternating put/get sessions with data parameters.
+    let x = VarId(0);
+    let concrete = Specification::new(
+        "ConcreteStore",
+        [server],
+        EventPattern::call(clients, server, put)
+            .to_set(&u)
+            .union(&EventPattern::call(clients, server, get).to_set(&u)),
+        TraceSet::prs(
+            Re::alt([
+                Re::lit(Template::call(x, server, put)),
+                Re::lit(Template::call(x, server, get)),
+            ])
+            .bind(x, clients)
+            .star(),
+        ),
+    )
+    .unwrap();
+
+    // Abstract spec: clients just perform opaque operations.
+    let abstract_ops = Specification::new(
+        "AbstractOps",
+        [server],
+        EventPattern::call(clients, server, op).to_set(&u),
+        TraceSet::Universal,
+    )
+    .unwrap();
+
+    println!("== refinement up to an abstraction function ==");
+    println!(
+        "plain Def.-2:        ConcreteStore ⊑ AbstractOps : {}",
+        check_refinement(&concrete, &abstract_ops, 5)
+    );
+    let phi = Morphism::identity()
+        .forget_arg(put)
+        .forget_arg(get)
+        .rename_method(put, op)
+        .rename_method(get, op);
+    println!(
+        "with φ = [put(d),get(d) ↦ op]: ConcreteStore ⊑_φ AbstractOps : {}",
+        check_refinement_upto(&concrete, &abstract_ops, &phi, 5)
+    );
+
+    println!("\n== an assumption/guarantee viewpoint of the same server ==");
+    // Assuming clients issue at most 3 operations, the server acks at
+    // most once per operation.
+    let ag = ag_specification(
+        "AckDiscipline",
+        [server],
+        EventPattern::call(clients, server, op)
+            .to_set(&u)
+            .union(&EventPattern::call(server, clients, ack).to_set(&u)),
+        {
+            let op2 = op;
+            move |inputs| inputs.count_method(op2) <= 3
+        },
+        {
+            let (op2, ack2) = (op, ack);
+            move |h| h.count_method(ack2) <= h.count_method(op2)
+        },
+    )
+    .unwrap();
+
+    // An implementation-like regular spec: op then ack, alternating.
+    let alternating = Specification::new(
+        "OpAck",
+        [server],
+        ag.alphabet().clone(),
+        TraceSet::prs(
+            Re::seq([
+                Re::lit(Template::call(x, server, op)),
+                Re::lit(Template {
+                    caller: server.into(),
+                    callee: pospec_regex::TObj::Var(x),
+                    method: Some(ack),
+                    arg: Default::default(),
+                }),
+            ])
+            .bind(x, clients)
+            .star(),
+        ),
+    )
+    .unwrap();
+    println!(
+        "OpAck ⊑ AckDiscipline : {}",
+        check_refinement(&alternating, &ag, 5)
+    );
+
+    println!("\n== chaining both: implementation ⊑_φ AG viewpoint ==");
+    // The concrete parameterised store, mapped through φ and extended
+    // with acks erased, refines the abstract operations viewpoint.
+    let phi_erase = Morphism::identity()
+        .forget_arg(put)
+        .forget_arg(get)
+        .rename_method(put, op)
+        .rename_method(get, op)
+        .erase_method(ack);
+    println!(
+        "ConcreteStore ⊑_φ AbstractOps (acks erased): {}",
+        check_refinement_upto(&concrete, &abstract_ops, &phi_erase, 5)
+    );
+}

@@ -1,0 +1,183 @@
+//! Examples 4–6: composition with hiding, projection vs. deadlock, and
+//! abstraction-level harmonization.
+//!
+//! Run with `cargo run --example client_monitor`.
+
+use pospec::prelude::*;
+use pospec_core::language_equiv;
+use pospec_trace::{ClassId, DataId, MethodId, ObjectId};
+use std::sync::Arc;
+
+struct World {
+    u: Arc<Universe>,
+    o: ObjectId,
+    o_mon: ObjectId,
+    c: ObjectId,
+    objects: ClassId,
+    ow: MethodId,
+    w: MethodId,
+    cw: MethodId,
+    ok: MethodId,
+    d: DataId,
+}
+
+fn world() -> World {
+    let mut b = UniverseBuilder::new();
+    let objects = b.object_class("Objects").unwrap();
+    let data = b.data_class("Data").unwrap();
+    let o = b.object("o").unwrap();
+    let o_mon = b.object("o_mon").unwrap();
+    let c = b.object_in("c", objects).unwrap();
+    let ow = b.method("OW").unwrap();
+    let w = b.method_with("W", data).unwrap();
+    let cw = b.method("CW").unwrap();
+    let ok = b.method("OK").unwrap();
+    let d = b.data_witnesses(data, 1).unwrap()[0];
+    b.class_witnesses(objects, 1).unwrap();
+    b.method_witnesses(1).unwrap();
+    World { u: b.freeze(), o, o_mon, c, objects, ow, w, cw, ok, d }
+}
+
+fn write_acc(wd: &World) -> Specification {
+    Specification::new(
+        "WriteAcc",
+        [wd.o],
+        EventPattern::call(wd.objects, wd.o, wd.ow)
+            .to_set(&wd.u)
+            .union(&EventPattern::call(wd.objects, wd.o, wd.w).to_set(&wd.u))
+            .union(&EventPattern::call(wd.objects, wd.o, wd.cw).to_set(&wd.u)),
+        TraceSet::prs(
+            Re::seq([
+                Re::lit(Template::call(wd.c, wd.o, wd.ow)),
+                Re::lit(Template::call(wd.c, wd.o, wd.w)).star(),
+                Re::lit(Template::call(wd.c, wd.o, wd.cw)),
+            ])
+            .star(),
+        ),
+    )
+    .unwrap()
+}
+
+fn client(wd: &World) -> Specification {
+    Specification::new(
+        "Client",
+        [wd.c],
+        EventPattern::call(wd.c, wd.objects, wd.w)
+            .to_set(&wd.u)
+            .union(&EventPattern::call(wd.c, wd.o, wd.w).to_set(&wd.u))
+            .union(&EventPattern::call(wd.c, wd.objects, wd.ok).to_set(&wd.u))
+            .union(&EventPattern::call(wd.c, wd.o_mon, wd.ok).to_set(&wd.u)),
+        TraceSet::prs(
+            Re::seq([
+                Re::lit(Template::call(wd.c, wd.o, wd.w)),
+                Re::lit(Template::call(wd.c, wd.o_mon, wd.ok)),
+            ])
+            .star(),
+        ),
+    )
+    .unwrap()
+}
+
+fn client2(wd: &World) -> Specification {
+    Specification::new(
+        "Client2",
+        [wd.c],
+        client(wd)
+            .alphabet()
+            .union(&EventPattern::call(wd.c, wd.o, wd.ow).to_set(&wd.u)),
+        TraceSet::prs(
+            Re::seq([
+                Re::lit(Template::call(wd.c, wd.o, wd.w)),
+                Re::lit(Template::call(wd.c, wd.o_mon, wd.ok)),
+                Re::lit(Template::call(wd.c, wd.o, wd.ow)),
+            ])
+            .star(),
+        ),
+    )
+    .unwrap()
+}
+
+fn rw2(wd: &World) -> Specification {
+    // The Example-6 refinement: both read and write discipline, c only.
+    // Write-side only here (reads omitted for brevity in the demo).
+    Specification::new(
+        "RW2",
+        [wd.o],
+        write_acc(wd).alphabet().clone(),
+        TraceSet::prs(
+            Re::seq([
+                Re::lit(Template::call(wd.c, wd.o, wd.ow)),
+                Re::lit(Template::call(wd.c, wd.o, wd.w)).star(),
+                Re::lit(Template::call(wd.c, wd.o, wd.cw)),
+            ])
+            .star(),
+        ),
+    )
+    .unwrap()
+}
+
+fn main() {
+    let wd = world();
+    let depth = 6;
+
+    println!("== Example 4: Client ‖ WriteAcc ==");
+    let wa = write_acc(&wd);
+    let cl = client(&wd);
+    println!("composable (Def. 10)? {}", is_composable(&wa, &cl));
+    let composed = compose(&wa, &cl).unwrap();
+    println!("objects of the composition: {:?}", composed.objects().len());
+    println!("visible alphabet: {}", composed.alphabet().display());
+    let okev = Event::call(wd.c, wd.o_mon, wd.ok);
+    println!(
+        "OK OK OK observable? {}",
+        composed.contains_trace(&Trace::from_events(vec![okev; 3]))
+    );
+    println!("deadlocked? {}", observable_deadlock(&composed));
+    let w_event = Event::call_with(wd.c, wd.o, wd.w, wd.d);
+    println!(
+        "⟨c,o,W⟩ hidden by composition? {}",
+        !composed.alphabet().contains(&w_event)
+    );
+
+    println!("\n== Example 5: refinement can introduce deadlock ==");
+    let cl2 = client2(&wd);
+    println!("Client2 ⊑ Client : {}", check_refinement(&cl2, &cl, depth));
+    let composed2 = compose(&cl2, &wa).unwrap();
+    println!("T(Client2‖WriteAcc) = {{ε}}? {}", observable_deadlock(&composed2));
+    println!(
+        "…and trivially Client2‖WriteAcc ⊑ Client‖WriteAcc: {}",
+        check_refinement(&composed2, &composed, depth)
+    );
+
+    println!("\n== Example 6: harmonizing abstraction levels ==");
+    let rw2 = rw2(&wd);
+    println!("RW2 ⊑ WriteAcc : {}", check_refinement(&rw2, &wa, depth));
+    let lhs = compose(&rw2, &cl).unwrap();
+    let rhs = compose(&wa, &cl).unwrap();
+    println!(
+        "T(RW2‖Client) = T(WriteAcc‖Client)? {}",
+        language_equiv(&lhs, &rhs, depth)
+    );
+    println!(
+        "(Theorem 7 instance) RW2‖Client ⊑ WriteAcc‖Client: {}",
+        check_refinement(&lhs, &rhs, depth)
+    );
+
+    println!("\n== Def. 14: an improper refinement ==");
+    let refined = Specification::new(
+        "WriteAcc+o_mon",
+        [wd.o, wd.o_mon],
+        wa.alphabet()
+            .union(&EventPattern::call(wd.objects, wd.o_mon, wd.ok).to_set(&wd.u)),
+        wa.trace_set().clone(),
+    )
+    .unwrap();
+    println!(
+        "WriteAcc+o_mon ⊑ WriteAcc : {}",
+        check_refinement(&refined, &wa, depth)
+    );
+    println!(
+        "proper w.r.t. Client? {}  (it absorbs the monitor Client talks to)",
+        is_proper_refinement(&refined, &wa, &cl)
+    );
+}

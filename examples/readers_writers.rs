@@ -1,0 +1,167 @@
+//! The readers/writers development of Examples 1–3: stepwise refinement
+//! of viewpoint specifications of an access-control object.
+//!
+//! Run with `cargo run --example readers_writers`.
+
+use pospec::prelude::*;
+use pospec_trace::{ClassId, MethodId, ObjectId};
+use std::sync::Arc;
+
+struct World {
+    u: Arc<Universe>,
+    o: ObjectId,
+    objects: ClassId,
+    r: MethodId,
+    or_: MethodId,
+    cr: MethodId,
+    ow: MethodId,
+    w: MethodId,
+    cw: MethodId,
+}
+
+fn world() -> World {
+    let mut b = UniverseBuilder::new();
+    let objects = b.object_class("Objects").unwrap();
+    let data = b.data_class("Data").unwrap();
+    let o = b.object("o").unwrap();
+    let r = b.method_with("R", data).unwrap();
+    let or_ = b.method("OR").unwrap();
+    let cr = b.method("CR").unwrap();
+    let ow = b.method("OW").unwrap();
+    let w = b.method_with("W", data).unwrap();
+    let cw = b.method("CW").unwrap();
+    b.class_witnesses(objects, 2).unwrap();
+    b.data_witnesses(data, 1).unwrap();
+    World { u: b.freeze(), o, objects, r, or_, cr, ow, w, cw }
+}
+
+fn read(wd: &World) -> Specification {
+    Specification::new(
+        "Read",
+        [wd.o],
+        EventPattern::call(wd.objects, wd.o, wd.r).to_set(&wd.u),
+        TraceSet::Universal,
+    )
+    .unwrap()
+}
+
+fn write(wd: &World) -> Specification {
+    let x = VarId(0);
+    Specification::new(
+        "Write",
+        [wd.o],
+        EventPattern::call(wd.objects, wd.o, wd.ow)
+            .to_set(&wd.u)
+            .union(&EventPattern::call(wd.objects, wd.o, wd.w).to_set(&wd.u))
+            .union(&EventPattern::call(wd.objects, wd.o, wd.cw).to_set(&wd.u)),
+        TraceSet::prs(
+            Re::seq([
+                Re::lit(Template::call(x, wd.o, wd.ow)),
+                Re::lit(Template::call(x, wd.o, wd.w)).star(),
+                Re::lit(Template::call(x, wd.o, wd.cw)),
+            ])
+            .bind(x, wd.objects)
+            .star(),
+        ),
+    )
+    .unwrap()
+}
+
+fn read2(wd: &World) -> Specification {
+    let alpha = EventPattern::call(wd.objects, wd.o, wd.or_)
+        .to_set(&wd.u)
+        .union(&EventPattern::call(wd.objects, wd.o, wd.r).to_set(&wd.u))
+        .union(&EventPattern::call(wd.objects, wd.o, wd.cr).to_set(&wd.u));
+    let (u, o, or_, r, cr) = (Arc::clone(&wd.u), wd.o, wd.or_, wd.r, wd.cr);
+    let ts = TraceSet::predicate("∀x: h/x prs [OR R* CR]*", move |h: &Trace| {
+        h.callers().into_iter().all(|x| {
+            let re = Re::seq([
+                Re::lit(Template::call(x, o, or_)),
+                Re::lit(Template::call(x, o, r)).star(),
+                Re::lit(Template::call(x, o, cr)),
+            ])
+            .star();
+            prs(&u, &h.project_caller(x), &re)
+        })
+    });
+    Specification::new("Read2", [wd.o], alpha, ts).unwrap()
+}
+
+fn rw(wd: &World) -> Specification {
+    let (u, o) = (Arc::clone(&wd.u), wd.o);
+    let (or_, r, cr, ow, w, cw) = (wd.or_, wd.r, wd.cr, wd.ow, wd.w, wd.cw);
+    let p_rw1 = TraceSet::predicate("P_RW1", move |h: &Trace| {
+        h.callers().into_iter().all(|x| {
+            let re = Re::alt([
+                Re::seq([
+                    Re::lit(Template::call(x, o, ow)),
+                    Re::alt([
+                        Re::lit(Template::call(x, o, w)),
+                        Re::lit(Template::call(x, o, r)),
+                    ])
+                    .star(),
+                    Re::lit(Template::call(x, o, cw)),
+                ]),
+                Re::seq([
+                    Re::lit(Template::call(x, o, or_)),
+                    Re::lit(Template::call(x, o, r)).star(),
+                    Re::lit(Template::call(x, o, cr)),
+                ]),
+            ])
+            .star();
+            prs(&u, &h.project_caller(x), &re)
+        })
+    });
+    let (or2, cr2, ow2, cw2) = (wd.or_, wd.cr, wd.ow, wd.cw);
+    let p_rw2 = TraceSet::predicate("P_RW2", move |h: &Trace| {
+        let open_w = h.count_method(ow2) as i64 - h.count_method(cw2) as i64;
+        let open_r = h.count_method(or2) as i64 - h.count_method(cr2) as i64;
+        (open_w == 0 || open_r == 0) && open_w <= 1
+    });
+    let alpha = write(wd).alphabet().union(read2(wd).alphabet());
+    Specification::new("RW", [wd.o], alpha, TraceSet::conj([p_rw1, p_rw2])).unwrap()
+}
+
+fn main() {
+    let wd = world();
+    let depth = 5;
+
+    println!("== Example 1: two independent viewpoints of o ==");
+    let read = read(&wd);
+    let write = write(&wd);
+    println!("Read considers  {} granules", read.alphabet().granule_count());
+    println!("Write considers {} granules", write.alphabet().granule_count());
+    let env = read.communication_environment();
+    println!(
+        "communication environment of Read: {} named + {} infinite blocks",
+        env.named.len(),
+        env.residues.len()
+    );
+
+    println!("\n== Example 2: Read2 refines Read (alphabet expansion) ==");
+    let read2 = read2(&wd);
+    println!("Read2 ⊑ Read : {}", check_refinement(&read2, &read, depth));
+    println!("Read ⊑ Read2 : {}", check_refinement(&read, &read2, depth));
+
+    println!("\n== Example 3: RW merges the viewpoints ==");
+    let rw = rw(&wd);
+    println!("RW ⊑ Read  : {}", check_refinement(&rw, &read, depth));
+    println!("RW ⊑ Write : {}", check_refinement(&rw, &write, depth));
+    let v = check_refinement(&rw, &read2, depth);
+    println!("RW ⊑ Read2 : {v}");
+    if let Some(cex) = v.counterexample() {
+        println!("  the witness reads under write access: {cex}");
+    }
+
+    println!("\n== multiple inheritance: RW refines the composition Read‖Write ==");
+    let joint = compose(&read, &write).expect("composable");
+    println!("RW ⊑ Read‖Write : {}", check_refinement(&rw, &joint, depth));
+
+    println!("\n== bounded exploration of the RW state space ==");
+    for (len, count) in pospec_check::count_members_by_len(&rw, 4, Parallelism::Rayon)
+        .iter()
+        .enumerate()
+    {
+        println!("  members of length {len}: {count}");
+    }
+}

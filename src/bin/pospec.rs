@@ -1,0 +1,278 @@
+//! `pospec` — a command-line front-end for partial object specifications.
+//!
+//! ```text
+//! pospec check <file.pos>                      validate every spec (Def. 1)
+//! pospec list <file.pos>                       list specs with alphabets
+//! pospec refine <file.pos> <concrete> <abstract> [--depth N]
+//! pospec compose <file.pos> <a> <b> [--deadlock] [--depth N]
+//! pospec quiesce <file.pos> <spec> [--depth N] quiescence/dead-end analysis
+//! pospec monitor <file.pos> <spec> <trace.jsonl>
+//!                                              replay a recorded trace
+//! pospec verify <file.pos>                     run the development block
+//! pospec print <file.pos>                      parse and pretty-print back
+//! ```
+//!
+//! Exit code 0 on success / verdict "holds"; 1 on a negative verdict; 2 on
+//! usage or language errors.
+
+use pospec::prelude::*;
+use pospec_core::compose as compose_specs;
+use pospec_lang::{parse_document, Document};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  pospec check <file.pos>\n  pospec list <file.pos>\n  \
+         pospec refine <file.pos> <concrete> <abstract> [--depth N]\n  \
+         pospec compose <file.pos> <a> <b> [--deadlock] [--depth N]\n  \
+         pospec quiesce <file.pos> <spec> [--depth N]\n  \
+         pospec monitor <file.pos> <spec> <trace.jsonl>\n  \
+         pospec verify <file.pos>\n  \
+         pospec print <file.pos>"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Document, ExitCode> {
+    let src = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read `{path}`: {e}");
+        ExitCode::from(2)
+    })?;
+    parse_document(&src).map_err(|e| {
+        eprintln!("error: {path}:{e}");
+        ExitCode::from(2)
+    })
+}
+
+fn find<'a>(doc: &'a Document, name: &str) -> Result<&'a Specification, ExitCode> {
+    doc.spec(name).ok_or_else(|| {
+        let known: Vec<&str> = doc.specs.iter().map(|s| s.name()).collect();
+        eprintln!("error: no spec named `{name}` (known: {})", known.join(", "));
+        ExitCode::from(2)
+    })
+}
+
+fn depth_arg(args: &[String]) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == "--depth")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(6)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    match (cmd, rest) {
+        ("check", [file, ..]) => {
+            let doc = match load(file) {
+                Ok(d) => d,
+                Err(c) => return c,
+            };
+            println!("{}: {} specification(s), all Def.-1 well-formed:", file, doc.specs.len());
+            for s in &doc.specs {
+                let env = s.communication_environment();
+                println!(
+                    "  {} — {} object(s), {} alphabet granule(s), environment: {} named + {} infinite block(s)",
+                    s.name(),
+                    s.objects().len(),
+                    s.alphabet().granule_count(),
+                    env.named.len(),
+                    env.residues.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        ("list", [file, ..]) => {
+            let doc = match load(file) {
+                Ok(d) => d,
+                Err(c) => return c,
+            };
+            for s in &doc.specs {
+                println!("{}:", s.name());
+                println!("  α = {}", s.alphabet().display());
+            }
+            ExitCode::SUCCESS
+        }
+        ("refine", [file, concrete, abstract_, extra @ ..]) => {
+            let doc = match load(file) {
+                Ok(d) => d,
+                Err(c) => return c,
+            };
+            let (c, a) = match (find(&doc, concrete), find(&doc, abstract_)) {
+                (Ok(c), Ok(a)) => (c, a),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            let v = check_refinement(c, a, depth_arg(extra));
+            println!("{}", pospec_check::explain_verdict(c, a, &v));
+            if v.holds() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        ("compose", [file, a_name, b_name, extra @ ..]) => {
+            let doc = match load(file) {
+                Ok(d) => d,
+                Err(c) => return c,
+            };
+            let (a, b) = match (find(&doc, a_name), find(&doc, b_name)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            if !is_composable(a, b) {
+                eprintln!("{a_name} and {b_name} are NOT composable (Def. 10)");
+                return ExitCode::FAILURE;
+            }
+            let composed = compose_specs(a, b).expect("checked composable");
+            println!("composed `{}`:", composed.name());
+            println!("  objects: {}", composed.objects().len());
+            println!("  visible α = {}", composed.alphabet().display());
+            if extra.iter().any(|s| s == "--deadlock") {
+                let dead = observable_deadlock(&composed);
+                println!("  deadlocked (T = {{ε}}): {dead}");
+                if dead {
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        ("quiesce", [file, spec_name, extra @ ..]) => {
+            let doc = match load(file) {
+                Ok(d) => d,
+                Err(c) => return c,
+            };
+            let spec = match find(&doc, spec_name) {
+                Ok(s) => s,
+                Err(e) => return e,
+            };
+            let r = pospec_check::quiescence(spec, depth_arg(extra));
+            println!("quiescence analysis of `{spec_name}`:");
+            println!("  reachable histories sampled: {}", r.reachable_states);
+            println!("  dead ends found: {}", r.quiescent_states);
+            println!("  initially quiescent (T = {{ε}}): {}", r.initial_quiescent);
+            if let Some(w) = &r.witness {
+                println!(
+                    "  shortest dead end: {}",
+                    pospec_alphabet::display_trace(&doc.universe, w)
+                );
+            }
+            if r.is_perpetual() {
+                println!("  verdict: perpetual (up to depth)");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        ("monitor", [file, spec_name, trace_file, ..]) => {
+            let doc = match load(file) {
+                Ok(d) => d,
+                Err(c) => return c,
+            };
+            let spec = match find(&doc, spec_name) {
+                Ok(s) => s.clone(),
+                Err(e) => return e,
+            };
+            let input = match std::fs::File::open(trace_file) {
+                Ok(f) => std::io::BufReader::new(f),
+                Err(e) => {
+                    eprintln!("error: cannot read `{trace_file}`: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let trace = match pospec_sim::read_trace(&doc.universe, input) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {trace_file}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let coverage = pospec_check::state_coverage(&spec, std::slice::from_ref(&trace), 6);
+            let mut monitor = Monitor::new(spec);
+            match monitor.observe_trace(&trace) {
+                None => {
+                    println!(
+                        "{} events replayed against `{}`: no violation",
+                        trace.len(),
+                        spec_name
+                    );
+                    println!(
+                        "  specification coverage: {}/{} states ({:.0}%)",
+                        coverage.visited,
+                        coverage.total,
+                        coverage.fraction() * 100.0
+                    );
+                    if let Some(gap) = coverage.gap_witnesses.first() {
+                        println!(
+                            "  e.g. unexercised behaviour: {}",
+                            pospec_alphabet::display_trace(&doc.universe, gap)
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Some(at) => {
+                    println!(
+                        "VIOLATION of `{}` at event #{at}: {}",
+                        spec_name,
+                        pospec_alphabet::display_event(&doc.universe, &trace.events()[at])
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("verify", [file, ..]) => {
+            let doc = match load(file) {
+                Ok(d) => d,
+                Err(c) => return c,
+            };
+            if doc.development.is_empty() {
+                println!("{file}: no development block — nothing to verify");
+                return ExitCode::SUCCESS;
+            }
+            let dev = match pospec::audit::development_from(&doc) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let reports = dev.verify();
+            let mut failed = 0;
+            for r in &reports {
+                println!("{r}");
+                if !r.holds {
+                    failed += 1;
+                }
+            }
+            println!(
+                "{}/{} obligation(s) discharged",
+                reports.len() - failed,
+                reports.len()
+            );
+            if failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        ("print", [file, ..]) => {
+            let doc = match load(file) {
+                Ok(d) => d,
+                Err(c) => return c,
+            };
+            match pospec_lang::print_full_document(&doc) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,83 @@
+//! BASE1: the executable comparison between the paper's refinement
+//! relation (Def. 2, alphabet expansion allowed) and the traditional
+//! fixed-alphabet baseline (Action Systems / CSP / FOCUS / TLA style).
+//!
+//! The paper's §3/§9 claims, reproduced mechanically:
+//!
+//! 1. every development step of the running example that Def. 2 accepts
+//!    is *rejected* by the baseline whenever it expands the alphabet;
+//! 2. on fixed alphabets the two relations coincide ("traditional
+//!    refinement then appears as a special case");
+//! 3. multiple inheritance (two viewpoints with disjoint alphabets having
+//!    a common refinement) is impossible in the baseline.
+
+mod common;
+
+use common::Paper;
+use pospec::prelude::*;
+use pospec_core::check_traditional_refinement;
+
+const DEPTH: usize = 5;
+
+#[test]
+fn alphabet_expanding_steps_are_rejected_by_the_baseline() {
+    let p = Paper::new();
+    // Example 2: Read2 ⊑ Read — Def. 2 yes, baseline no.
+    assert!(check_refinement(&p.read2(), &p.read(), DEPTH).holds());
+    let v = check_traditional_refinement(&p.read2(), &p.read(), DEPTH);
+    assert!(!v.holds(), "the baseline cannot expand alphabets");
+
+    // Example 3: RW ⊑ Write — same split.
+    assert!(check_refinement(&p.rw(), &p.write(), DEPTH).holds());
+    assert!(!check_traditional_refinement(&p.rw(), &p.write(), DEPTH).holds());
+}
+
+#[test]
+fn on_fixed_alphabets_the_relations_coincide() {
+    let p = Paper::new();
+    // WriteAcc ⊑ Write uses the same alphabet: both relations agree.
+    let a = check_refinement(&p.write_acc(), &p.write(), DEPTH);
+    let b = check_traditional_refinement(&p.write_acc(), &p.write(), DEPTH);
+    assert!(a.holds() && b.holds());
+
+    // And both reject the converse.
+    let a = check_refinement(&p.write(), &p.write_acc(), DEPTH);
+    let b = check_traditional_refinement(&p.write(), &p.write_acc(), DEPTH);
+    assert!(!a.holds() && !b.holds());
+}
+
+#[test]
+fn coincidence_on_fixed_alphabets_holds_on_random_specs() {
+    use pospec_check::{Arena, SpecGen};
+    let arena = Arena::new(2, 2);
+    let mut g = SpecGen::new(arena.clone(), 2025);
+    let mut agreements = 0;
+    for _ in 0..30 {
+        let a = g.random_env_spec(&[arena.objs[0]], "A");
+        let b = g.random_env_spec(&[arena.objs[0]], "B");
+        if !a.alphabet().set_eq(b.alphabet()) {
+            continue; // baseline only defined on equal alphabets
+        }
+        let v1 = check_refinement(&a, &b, DEPTH).holds();
+        let v2 = check_traditional_refinement(&a, &b, DEPTH).holds();
+        assert_eq!(v1, v2, "the relations must coincide on fixed alphabets");
+        agreements += 1;
+    }
+    assert!(agreements > 0, "some equal-alphabet pairs should be drawn");
+}
+
+#[test]
+fn multiple_inheritance_is_impossible_in_the_baseline() {
+    let p = Paper::new();
+    let read = p.read();
+    let write = p.write();
+    // Def. 2: RW refines both viewpoints (Example 3).
+    let rw = p.rw();
+    assert!(check_refinement(&rw, &read, DEPTH).holds());
+    assert!(check_refinement(&rw, &write, DEPTH).holds());
+    // Baseline: *no* specification can refine both, because refining each
+    // forces its alphabet, and the two alphabets differ.
+    assert!(!read.alphabet().set_eq(write.alphabet()));
+    assert!(!check_traditional_refinement(&rw, &read, DEPTH).holds());
+    assert!(!check_traditional_refinement(&rw, &write, DEPTH).holds());
+}

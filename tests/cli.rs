@@ -1,0 +1,143 @@
+//! End-to-end tests of the `pospec` command-line front-end, driving the
+//! real binary against the shipped `specs/*.pos` documents.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn specs(name: &str) -> String {
+    let p: PathBuf = [env!("CARGO_MANIFEST_DIR"), "specs", name].iter().collect();
+    p.to_string_lossy().into_owned()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pospec"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn check_lists_wellformed_specs() {
+    let out = run(&["check", &specs("readers_writers.pos")]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in ["Read", "Write", "WriteAcc", "Client", "Client2"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    assert!(text.contains("Def.-1 well-formed"));
+}
+
+#[test]
+fn refine_exit_codes_follow_the_verdict() {
+    let file = specs("readers_writers.pos");
+    let ok = run(&["refine", &file, "WriteAcc", "Write"]);
+    assert!(ok.status.success(), "{}", stdout(&ok));
+    assert!(stdout(&ok).contains("holds"));
+
+    let bad = run(&["refine", &file, "Write", "WriteAcc"]);
+    assert!(!bad.status.success());
+    assert!(stdout(&bad).contains("fails"));
+}
+
+#[test]
+fn compose_detects_the_example_5_deadlock() {
+    let file = specs("readers_writers.pos");
+    let live = run(&["compose", &file, "WriteAcc", "Client", "--deadlock"]);
+    assert!(live.status.success());
+    assert!(stdout(&live).contains("deadlocked (T = {ε}): false"));
+
+    let dead = run(&["compose", &file, "Client2", "WriteAcc", "--deadlock"]);
+    assert!(!dead.status.success());
+    assert!(stdout(&dead).contains("deadlocked (T = {ε}): true"));
+}
+
+#[test]
+fn quiesce_reports_perpetuality() {
+    let out = run(&["quiesce", &specs("readers_writers.pos"), "Write"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("perpetual"));
+}
+
+#[test]
+fn monitor_replays_trace_files() {
+    let dir = std::env::temp_dir();
+    let good = dir.join("pospec_cli_good.jsonl");
+    let bad = dir.join("pospec_cli_bad.jsonl");
+    std::fs::write(
+        &good,
+        "{\"caller\":\"c\",\"callee\":\"o\",\"method\":\"OW\"}\n\
+         {\"caller\":\"c\",\"callee\":\"o\",\"method\":\"W\",\"arg\":\"Data!w0\"}\n\
+         {\"caller\":\"c\",\"callee\":\"o\",\"method\":\"CW\"}\n",
+    )
+    .unwrap();
+    std::fs::write(&bad, "{\"caller\":\"c\",\"callee\":\"o\",\"method\":\"CW\"}\n").unwrap();
+
+    let file = specs("readers_writers.pos");
+    let ok = run(&["monitor", &file, "WriteAcc", good.to_str().unwrap()]);
+    assert!(ok.status.success(), "{}", stdout(&ok));
+    assert!(stdout(&ok).contains("no violation"));
+
+    let viol = run(&["monitor", &file, "WriteAcc", bad.to_str().unwrap()]);
+    assert!(!viol.status.success());
+    assert!(stdout(&viol).contains("VIOLATION"));
+    assert!(stdout(&viol).contains("⟨c,o,CW⟩"), "{}", stdout(&viol));
+}
+
+#[test]
+fn print_roundtrips_via_cli() {
+    let out = run(&["print", &specs("readers_writers.pos")]);
+    assert!(out.status.success());
+    let printed = stdout(&out);
+    assert!(printed.contains("universe {"));
+    assert!(printed.contains("spec Write {"));
+    // The printed text is itself a valid document.
+    let dir = std::env::temp_dir().join("pospec_cli_printed.pos");
+    std::fs::write(&dir, &printed).unwrap();
+    let again = run(&["check", dir.to_str().unwrap()]);
+    assert!(again.status.success(), "{}", stdout(&again));
+}
+
+#[test]
+fn verify_runs_the_development_block() {
+    let out = run(&["verify", &specs("session_service.pos")]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("7/7 obligation(s) discharged"), "{text}");
+    assert!(text.contains("SessionService ⊑ Service"));
+    assert!(text.contains("Lemma 6"));
+    // A document without a development block is a no-op success.
+    let out2 = run(&["verify", &specs("readers_writers.pos")]);
+    assert!(out2.status.success());
+    assert!(stdout(&out2).contains("nothing to verify"));
+}
+
+#[test]
+fn verify_fails_on_false_obligations() {
+    let dir = std::env::temp_dir().join("pospec_cli_bad_dev.pos");
+    std::fs::write(
+        &dir,
+        "universe { class C; object o; method A; method B; witnesses C 1; }\n\
+         spec Narrow { objects { o } alphabet { <C, o, A>; } traces any; }\n\
+         spec Wide { objects { o } alphabet { <C, o, A>; <C, o, B>; } traces any; }\n\
+         development { refine Narrow of Wide; }\n",
+    )
+    .unwrap();
+    let out = run(&["verify", dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("0/1 obligation(s) discharged"), "{}", stdout(&out));
+}
+
+#[test]
+fn unknown_names_and_files_exit_2() {
+    let file = specs("readers_writers.pos");
+    let missing = run(&["refine", &file, "Nope", "Write"]);
+    assert_eq!(missing.status.code(), Some(2));
+    let nofile = run(&["check", "/nonexistent.pos"]);
+    assert_eq!(nofile.status.code(), Some(2));
+    let nousage = run(&["frobnicate"]);
+    assert_eq!(nousage.status.code(), Some(2));
+}

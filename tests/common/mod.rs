@@ -1,0 +1,5 @@
+//! Shared fixture for the integration tests: the paper's running example,
+//! provided by `pospec-bench`'s library so that benches, the experiment
+//! report and the tests all exercise the same specifications.
+
+pub use pospec_bench::paper::Paper;

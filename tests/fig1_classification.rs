@@ -1,0 +1,99 @@
+//! FIG1: reproduce Figure 1's classification of the events around two
+//! interface specifications `F` (of `o₁`) and `G` (of `o₂`).
+//!
+//! The figure partitions the communication events between `o₁` and `o₂`
+//! into: events known to both specifications, events known to exactly one,
+//! and events *in neither alphabet* that are nevertheless hidden by the
+//! composition ("we hide more than we can see").  The granule algebra
+//! computes this classification exactly.
+
+mod common;
+
+use common::Paper;
+use pospec::prelude::*;
+
+#[test]
+fn fig1_event_classification_between_two_interface_specs() {
+    let p = Paper::new();
+    // F: a spec of o knowing only OW between o and c, plus environment
+    // events (Def. 1 needs an infinite alphabet).
+    let f = Specification::new(
+        "F",
+        [p.o],
+        EventPattern::call(p.c, p.o, p.ow)
+            .to_set(&p.u)
+            .union(&EventPattern::call(p.objects, p.o, p.r).to_set(&p.u)),
+        TraceSet::Universal,
+    )
+    .unwrap();
+    // G: a spec of c knowing only W from c to o, plus its own env events.
+    let g = Specification::new(
+        "G",
+        [p.c],
+        EventPattern::call(p.c, p.o, p.w)
+            .to_set(&p.u)
+            .union(&EventPattern::call(p.c, p.objects, p.ok).to_set(&p.u)),
+        TraceSet::Universal,
+    )
+    .unwrap();
+
+    let between = internal_of_pair(&p.u, p.o, p.c);
+    let in_f = between.intersect(f.alphabet());
+    let in_g = between.intersect(g.alphabet());
+    let in_both = in_f.intersect(&in_g);
+    let in_neither = between.difference(f.alphabet()).difference(g.alphabet());
+
+    // F knows OW and R between c and o (c ∈ Objects!); G knows W.
+    assert!(in_f.contains(&p.ev(p.c, p.o, p.ow)));
+    assert!(in_f.contains(&p.evd(p.c, p.o, p.r)));
+    assert!(in_g.contains(&p.evd(p.c, p.o, p.w)));
+    assert!(!in_g.contains(&p.ev(p.c, p.o, p.ow)));
+    // Disjoint viewpoints here: nothing known to both.
+    assert!(in_both.is_empty());
+    // The unseen-yet-hidden region is non-empty and infinite: CW, OR, CR,
+    // OK between the pair, and every undeclared method.
+    assert!(in_neither.contains(&p.ev(p.c, p.o, p.cw)));
+    let fresh = p.u.method_witnesses().next().unwrap();
+    assert!(in_neither.contains(&p.ev(p.c, p.o, fresh)));
+    assert!(in_neither.contains(&p.ev(p.o, p.c, fresh)), "both directions are internal");
+    assert!(in_neither.is_infinite(), "Def. 3 hides infinitely many unseen events");
+
+    // Composition hides exactly `between`, regardless of the alphabets.
+    let composed = compose(&f, &g).expect("composable interface specs");
+    for set in [&in_f, &in_g, &in_neither] {
+        assert!(
+            set.is_disjoint(composed.alphabet()),
+            "hidden events must not survive composition"
+        );
+    }
+    // Environment-facing events survive.
+    let wit = p.env_obj(0);
+    assert!(composed.alphabet().contains(&p.evd(wit, p.o, p.r)));
+    assert!(composed.alphabet().contains(&p.ev(p.c, wit, p.ok)));
+}
+
+#[test]
+fn fig1_partition_granule_counts_are_stable() {
+    // The classification is a partition: |between| granules split exactly
+    // into the four regions.
+    let p = Paper::new();
+    let f_alpha = EventPattern::call(p.c, p.o, p.ow)
+        .to_set(&p.u)
+        .union(&EventPattern::call(p.c, p.o, p.r).to_set(&p.u));
+    let g_alpha = EventPattern::call(p.c, p.o, p.w)
+        .to_set(&p.u)
+        .union(&EventPattern::call(p.c, p.o, p.ow).to_set(&p.u)); // OW shared
+    let between = internal_of_pair(&p.u, p.o, p.c);
+    let both = f_alpha.intersect(&g_alpha).intersect(&between);
+    let f_only = f_alpha.difference(&g_alpha).intersect(&between);
+    let g_only = g_alpha.difference(&f_alpha).intersect(&between);
+    let neither = between.difference(&f_alpha).difference(&g_alpha);
+    assert_eq!(
+        both.granule_count() + f_only.granule_count() + g_only.granule_count()
+            + neither.granule_count(),
+        between.granule_count(),
+        "the four regions partition I(o₁,o₂)"
+    );
+    assert!(both.contains(&p.ev(p.c, p.o, p.ow)), "the shared OW arrow of Fig. 1");
+    assert!(!both.is_empty() && !f_only.is_empty() && !g_only.is_empty() && !neither.is_empty());
+}

@@ -1,0 +1,65 @@
+//! Finitization-stability experiments: the verdicts of the trace-level
+//! decision procedures must not depend on *how many* witnesses inhabit
+//! the infinite granules (beyond the minimum needed to exhibit a
+//! distinct-partner behaviour).
+//!
+//! This is the empirical justification for checking over the canonical
+//! finitization: if adding witnesses changed any verdict, the
+//! finitization would be too small.  Verdicts are compared across 1, 2
+//! and 3 `Objects`-witness universes for every Example claim.
+
+use pospec_bench::paper::Paper;
+use pospec_core::{check_refinement, compose, language_equiv, observable_deadlock};
+
+const DEPTH: usize = 5;
+
+/// One boolean verdict vector per fixture.
+fn verdicts(p: &Paper) -> Vec<(&'static str, bool)> {
+    let mut out = vec![
+        ("read2 ⊑ read", check_refinement(&p.read2(), &p.read(), DEPTH).holds()),
+        ("read ⋢ read2", !check_refinement(&p.read(), &p.read2(), DEPTH).holds()),
+        ("rw ⊑ read", check_refinement(&p.rw(), &p.read(), DEPTH).holds()),
+        ("rw ⊑ write", check_refinement(&p.rw(), &p.write(), DEPTH).holds()),
+        ("rw ⋢ read2", !check_refinement(&p.rw(), &p.read2(), DEPTH).holds()),
+        ("writeacc ⊑ write", check_refinement(&p.write_acc(), &p.write(), DEPTH).holds()),
+        ("client2 ⊑ client", check_refinement(&p.client2(), &p.client(), DEPTH).holds()),
+    ];
+    let live = compose(&p.write_acc(), &p.client()).unwrap();
+    out.push(("ex4 no deadlock", !observable_deadlock(&live)));
+    let dead = compose(&p.client2(), &p.write_acc()).unwrap();
+    out.push(("ex5 deadlock", observable_deadlock(&dead)));
+    let lhs = compose(&p.rw2(), &p.client()).unwrap();
+    let rhs = compose(&p.write_acc(), &p.client()).unwrap();
+    out.push(("ex6 equality", language_equiv(&lhs, &rhs, DEPTH)));
+    out
+}
+
+#[test]
+fn verdicts_are_stable_across_witness_counts() {
+    let reference = verdicts(&Paper::with_witnesses(2));
+    for k in [1usize, 3] {
+        let other = verdicts(&Paper::with_witnesses(k));
+        for ((name_a, a), (name_b, b)) in reference.iter().zip(other.iter()) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(
+                a, b,
+                "verdict `{name_a}` changed between 2 and {k} witnesses — finitization unstable"
+            );
+        }
+    }
+    // And every reference verdict is the expected one.
+    for (name, v) in &reference {
+        assert!(*v, "reference verdict `{name}` unexpectedly false");
+    }
+}
+
+#[test]
+fn one_witness_suffices_for_distinct_partner_counterexamples() {
+    // The RW ⋢ Read2 witness needs only c itself; the Write exclusivity
+    // counterexample (two openers) needs two distinct callers, available
+    // with c + 1 witness.
+    let p = Paper::with_witnesses(1);
+    let v = check_refinement(&p.rw(), &p.read2(), DEPTH);
+    assert!(!v.holds());
+    assert!(v.counterexample().is_some());
+}

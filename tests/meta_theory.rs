@@ -1,0 +1,128 @@
+//! The mechanized meta-theory, run end-to-end (the PVS substitution).
+//!
+//! Heavier-volume runs of every theorem check live here; quick per-theorem
+//! smoke tests are in `pospec-check`'s unit tests.
+
+use pospec_check::theorems;
+
+#[test]
+fn the_full_meta_theory_holds_on_bulk_random_instances() {
+    let outcomes = theorems::run_all(0xC0FFEE, 60);
+    let mut checked_total = 0;
+    for o in &outcomes {
+        assert!(
+            o.holds(),
+            "{} violated on {} instance(s):\n{}",
+            o.name,
+            o.violations.len(),
+            o.violations.join("\n")
+        );
+        checked_total += o.instances;
+    }
+    assert!(
+        checked_total >= 300,
+        "expected a substantial number of checked instances, got {checked_total}"
+    );
+    // Every theorem must actually have been exercised.
+    for o in &outcomes {
+        assert!(o.instances > 0, "{} was never exercised", o.name);
+    }
+}
+
+#[test]
+fn run_all_covers_the_complete_meta_theory() {
+    let outcomes = theorems::run_all(7, 10);
+    let names: Vec<&str> = outcomes.iter().map(|o| o.name.as_str()).collect();
+    for expected in [
+        "Property 5",
+        "Lemma 6",
+        "Theorem 7",
+        "Property 12",
+        "Lemma 13",
+        "Lemma 15",
+        "Theorem 16",
+        "Property 17",
+        "Theorem 18",
+        "partial order",
+        "monotone",
+        "Necessity",
+    ] {
+        assert!(
+            names.iter().any(|n| n.contains(expected)),
+            "missing `{expected}` in {names:?}"
+        );
+    }
+    assert_eq!(outcomes.len(), 12);
+}
+
+#[test]
+fn theorem_16_holds_across_multiple_seeds() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let o = theorems::theorem_16(seed, 40);
+        assert!(o.holds(), "seed {seed}: {:?}", o.violations);
+    }
+}
+
+/// The PROP17 boundary case documented in EXPERIMENTS.md: with
+/// *overlapping* object sets, an O-preserving refinement can lose
+/// composability, so Property 17 needs the disjointness proviso under
+/// which it is fuzzed.
+#[test]
+fn property_17_boundary_case_with_overlapping_object_sets() {
+    use pospec::prelude::*;
+
+    let mut b = UniverseBuilder::new();
+    let env = b.object_class("Env").unwrap();
+    let o = b.object("o").unwrap(); // shared object
+    let d = b.object("d").unwrap(); // ∆-only object
+    let m = b.method("m").unwrap();
+    b.class_witnesses(env, 1).unwrap();
+    b.method_witnesses(1).unwrap();
+    let u = b.freeze();
+
+    // Γ: a spec of {o} over environment events only.
+    let gamma = Specification::new(
+        "Γ",
+        [o],
+        EventPattern::call(env, o, m).to_set(&u),
+        TraceSet::Universal,
+    )
+    .unwrap();
+    // ∆: a *component* spec sharing the object o with Γ.
+    let delta = Specification::new(
+        "Δ",
+        [o, d],
+        EventPattern::call(env, d, m).to_set(&u),
+        TraceSet::Universal,
+    )
+    .unwrap();
+    assert!(is_composable(&gamma, &delta), "the abstract pair composes fine");
+
+    // Γ′: same objects, alphabet expanded with ⟨o,d,m⟩ — admissible for
+    // O(Γ′) = {o} (d ∉ O(Γ′)), and a legal Def.-2 refinement of Γ…
+    let gamma_p = Specification::new(
+        "Γ′",
+        [o],
+        gamma.alphabet().union(&EventPattern::call(o, d, m).to_set(&u)),
+        gamma.trace_set().clone(),
+    )
+    .unwrap();
+    assert!(check_refinement(&gamma_p, &gamma, 5).holds());
+    assert_eq!(gamma_p.objects(), gamma.objects(), "O unchanged");
+
+    // …but ⟨o,d,m⟩ is internal to O(∆) = {o, d}: composability is lost.
+    assert!(
+        !is_composable(&gamma_p, &delta),
+        "Property 17 fails when O(Γ) ∩ O(Δ) ≠ ∅ — the boundary case"
+    );
+}
+
+#[test]
+fn properness_necessity_probe_finds_breakage_across_seeds() {
+    // At least one of several seeds must exhibit an improper refinement
+    // that genuinely breaks Theorem 16 (typically most do).
+    let found = [11u64, 12, 13]
+        .iter()
+        .any(|&seed| theorems::necessity_of_properness(seed, 60).holds());
+    assert!(found, "no seed produced a properness counterexample");
+}

@@ -1,0 +1,213 @@
+//! Simulation ↔ theory bridge: running objects generate traces; sound
+//! specifications must admit every projection of every run (§2's
+//! soundness), and the online monitor must catch protocol violations.
+
+mod common;
+
+use common::Paper;
+use pospec::prelude::*;
+use pospec_sim::behaviors::{FaultyClient, PassiveServer, RwClient, RwMethods};
+
+fn rw_methods(p: &Paper) -> RwMethods {
+    RwMethods { or_: p.or_, r: p.r, cr: p.cr, ow: p.ow, w: p.w, cw: p.cw }
+}
+
+/// Per-caller sessions are what RwClient guarantees; `RW2`-style c-only
+/// runs satisfy the full `RW` specification when only one client runs.
+#[test]
+fn single_client_runs_satisfy_rw_online() {
+    let p = Paper::new();
+    let mut rt = DeterministicRuntime::new(42);
+    rt.add_object(Box::new(PassiveServer::new(p.o)));
+    rt.add_object(Box::new(RwClient::new(p.c, p.o, rw_methods(&p), p.d0)));
+    let trace = rt.run(60);
+    assert!(trace.len() >= 30, "the run should make progress");
+
+    let mut monitor = Monitor::new(p.rw());
+    let violation = monitor.observe_trace(&trace);
+    assert_eq!(violation, None, "a protocol-abiding client never violates RW");
+    assert!(!monitor.projected().is_empty());
+}
+
+/// The same run also satisfies the weaker viewpoints Read2-on-writes and
+/// Write — multiple partial specifications of one object, simultaneously
+/// monitored.
+#[test]
+fn one_run_checks_against_multiple_viewpoints() {
+    let p = Paper::new();
+    let mut rt = DeterministicRuntime::new(7);
+    rt.add_object(Box::new(PassiveServer::new(p.o)));
+    rt.add_object(Box::new(RwClient::new(p.c, p.o, rw_methods(&p), p.d0)));
+    let trace = rt.run(40);
+
+    for spec in [p.read(), p.write(), p.read2(), p.rw()] {
+        let name = spec.name().to_string();
+        let mut m = Monitor::new(spec);
+        assert_eq!(m.observe_trace(&trace), None, "viewpoint {name} violated");
+    }
+}
+
+#[test]
+fn faulty_client_is_caught_by_the_monitor() {
+    let p = Paper::new();
+    let mut rt = DeterministicRuntime::new(1234);
+    rt.add_object(Box::new(PassiveServer::new(p.o)));
+    rt.add_object(Box::new(FaultyClient::new(p.c, p.o, rw_methods(&p), p.d0, 35)));
+    let trace = rt.run(80);
+
+    let mut m = Monitor::new(p.write());
+    let violation = m.observe_trace(&trace);
+    let at = violation.expect("a 35% fault rate must violate Write within 80 events");
+    // The flagged event is a genuine violation: the projected prefix up to
+    // and including it escapes T(Write).
+    let write = p.write();
+    let prefix = trace.prefix(at + 1).project(write.alphabet());
+    assert!(!write.contains_trace(&prefix));
+    let shorter = trace.prefix(at).project(write.alphabet());
+    assert!(write.contains_trace(&shorter), "everything before the flag was fine");
+}
+
+#[test]
+fn threaded_runtime_runs_satisfy_write_viewpoint() {
+    let p = Paper::new();
+    let mut rt = ThreadedRuntime::new(99);
+    rt.add_object(Box::new(PassiveServer::new(p.o)));
+    rt.add_object(Box::new(RwClient::new(p.c, p.o, rw_methods(&p), p.d0)));
+    let trace = rt.run(40);
+    assert!(!trace.is_empty());
+    // A single client thread sends its protocol in order; the linearized
+    // log preserves per-sender order, so the Write projection holds.
+    let mut m = Monitor::new(p.rw());
+    assert_eq!(m.observe_trace(&trace), None, "concurrent run violated RW: {trace}");
+}
+
+#[test]
+fn deterministic_runs_replay_identically() {
+    let p = Paper::new();
+    let run = |seed| {
+        let mut rt = DeterministicRuntime::new(seed);
+        rt.add_object(Box::new(PassiveServer::new(p.o)));
+        rt.add_object(Box::new(RwClient::new(p.c, p.o, rw_methods(&p), p.d0)));
+        rt.add_object(Box::new(RwClient::new(p.env_obj(0), p.o, rw_methods(&p), p.d0)));
+        rt.run(50)
+    };
+    assert_eq!(run(5), run(5), "replayability");
+    assert_ne!(run(5), run(6), "different interleavings for different seeds");
+}
+
+/// Fault injection: an unreliable network drops calls; a lost `CW` makes
+/// the next `OW` an observable protocol violation — exactly what the
+/// online monitor is for.
+#[test]
+fn message_loss_is_caught_by_the_monitor() {
+    let p = Paper::new();
+    let mut caught = false;
+    for seed in 0..40u64 {
+        let mut rt = DeterministicRuntime::new(seed);
+        rt.set_loss_rate(35);
+        rt.add_object(Box::new(PassiveServer::new(p.o)));
+        rt.add_object(Box::new(RwClient::new(p.c, p.o, rw_methods(&p), p.d0)));
+        let trace = rt.run(60);
+        let mut m = Monitor::new(p.rw());
+        if let Some(at) = m.observe_trace(&trace) {
+            caught = true;
+            // The flagged prefix is a genuine violation.
+            let rw = p.rw();
+            let bad = trace.prefix(at + 1).project(rw.alphabet());
+            assert!(!rw.contains_trace(&bad));
+            break;
+        }
+    }
+    assert!(caught, "35% loss across 40 seeds must corrupt some session");
+}
+
+/// Coverage: how much of the `Write` specification do simulated runs
+/// exercise?  One seed may miss states; accumulating seeds converges to
+/// full coverage — and the gap witnesses are valid behaviours one could
+/// hand a test generator.
+#[test]
+fn simulated_runs_accumulate_spec_coverage() {
+    let p = Paper::new();
+    let write = p.write();
+    let run = |seed| {
+        let mut rt = DeterministicRuntime::new(seed);
+        rt.add_object(Box::new(PassiveServer::new(p.o)));
+        rt.add_object(Box::new(RwClient::new(p.c, p.o, rw_methods(&p), p.d0)));
+        rt.run(40)
+    };
+    let mut traces = Vec::new();
+    let mut last = 0.0;
+    for seed in 0..12 {
+        traces.push(run(seed));
+        let report = pospec_check::state_coverage(&write, &traces, 6);
+        let now = report.fraction();
+        assert!(now >= last, "coverage is monotone in the run set");
+        last = now;
+        for gap in &report.gap_witnesses {
+            assert!(write.contains_trace(gap), "gap witnesses are valid behaviours");
+        }
+    }
+    // A single well-behaved client reaches a decent share of the Write
+    // automaton (it cannot reach the multi-writer interleavings of the
+    // environment witnesses, so full coverage is not expected).
+    let report = pospec_check::state_coverage(&write, &traces, 6);
+    assert!(
+        report.visited >= report.total / 3,
+        "12 seeds should cover a substantial share: {report:?}"
+    );
+}
+
+/// Stress: four concurrent client threads against one server; the
+/// linearized log must still satisfy every per-caller viewpoint (the
+/// threaded runtime preserves per-sender order at the shared log).
+#[test]
+fn threaded_stress_with_four_clients() {
+    let p = Paper::new();
+    let mut rt = ThreadedRuntime::new(2024);
+    rt.add_object(Box::new(PassiveServer::new(p.o)));
+    rt.add_object(Box::new(RwClient::new(p.c, p.o, rw_methods(&p), p.d0)));
+    rt.add_object(Box::new(RwClient::new(p.env_obj(0), p.o, rw_methods(&p), p.d0)));
+    rt.add_object(Box::new(RwClient::new(p.env_obj(1), p.o, rw_methods(&p), p.d0)));
+    let trace = rt.run(120);
+    assert!(trace.len() >= 60, "stress run should make progress, got {}", trace.len());
+    let mut m = Monitor::new(p.read2());
+    assert_eq!(
+        m.observe_trace(&trace),
+        None,
+        "per-caller discipline must survive real concurrency"
+    );
+    // Every event involves the server.
+    assert!(trace.iter().all(|e| e.involves(p.o)));
+}
+
+/// Two clients interleave their sessions: the runs satisfy the *per
+/// caller* viewpoint `Read2`-style bracketing, while the exclusive-writer
+/// viewpoint `Write` may be violated — exactly the distinction between
+/// the paper's `Read2` and `Write` disciplines.
+#[test]
+fn two_clients_expose_the_difference_between_viewpoints() {
+    let p = Paper::new();
+    let mut violated_write = false;
+    for seed in 0..20 {
+        let mut rt = DeterministicRuntime::new(seed);
+        rt.add_object(Box::new(PassiveServer::new(p.o)));
+        rt.add_object(Box::new(RwClient::new(p.c, p.o, rw_methods(&p), p.d0)));
+        rt.add_object(Box::new(RwClient::new(p.env_obj(0), p.o, rw_methods(&p), p.d0)));
+        let trace = rt.run(60);
+
+        // Per-caller bracketing always holds for protocol-abiding clients.
+        let mut read2 = Monitor::new(p.read2());
+        assert_eq!(read2.observe_trace(&trace), None, "seed {seed}: Read2 violated");
+
+        // Exclusive write access is a *stronger* discipline that two
+        // independent clients do not coordinate on.
+        let mut write = Monitor::new(p.write());
+        if write.observe_trace(&trace).is_some() {
+            violated_write = true;
+        }
+    }
+    assert!(
+        violated_write,
+        "uncoordinated clients should eventually overlap write sessions"
+    );
+}

@@ -1,0 +1,211 @@
+//! Regression tests for the `.pos` specification files shipped in
+//! `specs/`: they must parse, elaborate, and keep reproducing the paper's
+//! claims through the CLI-visible API.
+
+use pospec::prelude::*;
+
+fn load(name: &str) -> pospec_lang::Document {
+    let path = format!("{}/specs/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    parse_document(&src).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn readers_writers_pos_parses_and_validates() {
+    let doc = load("readers_writers.pos");
+    assert_eq!(doc.specs.len(), 5);
+    for s in &doc.specs {
+        assert!(s.alphabet().is_infinite(), "{} must be Def.-1 well-formed", s.name());
+    }
+}
+
+#[test]
+fn readers_writers_pos_reproduces_the_examples() {
+    let doc = load("readers_writers.pos");
+    let write = doc.spec("Write").unwrap();
+    let write_acc = doc.spec("WriteAcc").unwrap();
+    let client = doc.spec("Client").unwrap();
+    let client2 = doc.spec("Client2").unwrap();
+
+    assert!(check_refinement(write_acc, write, 6).holds());
+    assert!(check_refinement(client2, client, 6).holds());
+
+    let live = compose(write_acc, client).unwrap();
+    assert!(!observable_deadlock(&live));
+    let dead = compose(client2, write_acc).unwrap();
+    assert!(observable_deadlock(&dead));
+}
+
+#[test]
+fn readers_writers_pos_roundtrips_through_the_printer() {
+    let doc = load("readers_writers.pos");
+    let printed = pospec_lang::print_document(&doc.universe, &doc.specs).expect("printable");
+    let doc2 = parse_document(&printed).expect("reparses");
+    assert_eq!(doc.specs.len(), doc2.specs.len());
+    let printed2 = pospec_lang::print_document(&doc2.universe, &doc2.specs).expect("printable");
+    assert_eq!(printed, printed2, "printing is idempotent");
+}
+
+#[test]
+fn session_service_pos_supports_the_stepwise_development() {
+    let doc = load("session_service.pos");
+    let service = doc.spec("Service").unwrap();
+    let session = doc.spec("SessionService").unwrap();
+    let rw = doc.spec("ReadWriteService").unwrap();
+    let replication = doc.spec("Replication").unwrap();
+
+    assert!(check_refinement(session, service, 6).holds());
+    assert!(check_refinement(rw, session, 6).holds());
+    assert!(check_refinement(rw, service, 6).holds());
+    // Aspect merge: the composition refines both viewpoints.
+    let merged = compose(rw, replication).unwrap();
+    assert!(check_refinement(&merged, rw, 6).holds());
+    assert!(check_refinement(&merged, replication, 6).holds());
+}
+
+#[test]
+fn auction_development_discharges_all_obligations() {
+    let doc = load("auction.pos");
+    assert_eq!(doc.development.len(), 5);
+    let dev = pospec::audit::development_from(&doc).expect("structurally valid");
+    let reports = dev.verify();
+    assert_eq!(reports.len(), 6, "5 statements yield 6 obligations (Lemma 6 adds one)");
+    for r in &reports {
+        assert!(r.holds, "{r}");
+    }
+}
+
+#[test]
+fn auction_bidding_protocol_behaves() {
+    let doc = load("auction.pos");
+    let bidding = doc.spec("Bidding").unwrap();
+    let u = &doc.universe;
+    let auct = u.object_by_name("auct").unwrap();
+    let seller = u.object_by_name("seller").unwrap();
+    let open = u.method_by_name("Open").unwrap();
+    let close = u.method_by_name("Close").unwrap();
+    let bid = u.method_by_name("Bid").unwrap();
+    let bidders = u.class_by_name("Bidders").unwrap();
+    let b1 = u.class_witnesses(bidders).next().unwrap();
+    let amount = u.class_by_name("Amount").unwrap();
+    let a0 = u.data_witnesses(amount).next().unwrap();
+
+    let good = Trace::from_events(vec![
+        Event::call(seller, auct, open),
+        Event::call_with(b1, auct, bid, a0),
+        Event::call(seller, auct, close),
+    ]);
+    assert!(bidding.contains_trace(&good));
+    let premature = Trace::from_events(vec![Event::call_with(b1, auct, bid, a0)]);
+    assert!(!bidding.contains_trace(&premature), "no bids before the round opens");
+    // The seller cannot bid (Bidders excludes it).
+    let seller_bid = Trace::from_events(vec![
+        Event::call(seller, auct, open),
+        Event::call_with(seller, auct, bid, a0),
+    ]);
+    assert!(!bidding.contains_trace(&seller_bid));
+}
+
+#[test]
+fn auction_awarding_is_at_most_once_per_round() {
+    let doc = load("auction.pos");
+    let awarding = doc.spec("Awarding").unwrap();
+    let u = &doc.universe;
+    let auct = u.object_by_name("auct").unwrap();
+    let seller = u.object_by_name("seller").unwrap();
+    let open = u.method_by_name("Open").unwrap();
+    let close = u.method_by_name("Close").unwrap();
+    let award = u.method_by_name("Award").unwrap();
+    let bidders = u.class_by_name("Bidders").unwrap();
+    let mut wits = u.class_witnesses(bidders);
+    let b1 = wits.next().unwrap();
+    let b2 = wits.next().unwrap();
+    let amount = u.class_by_name("Amount").unwrap();
+    let a0 = u.data_witnesses(amount).next().unwrap();
+
+    let round = |awards: &[pospec_trace::ObjectId]| {
+        let mut evs = vec![Event::call(seller, auct, open), Event::call(seller, auct, close)];
+        evs.extend(awards.iter().map(|&w| Event::call_with(auct, w, award, a0)));
+        Trace::from_events(evs)
+    };
+    assert!(awarding.contains_trace(&round(&[])), "no award is fine");
+    assert!(awarding.contains_trace(&round(&[b1])), "one award is fine");
+    assert!(!awarding.contains_trace(&round(&[b1, b2])), "two awards in one round are not");
+}
+
+#[test]
+fn rw_component_soundness_obligations_discharge() {
+    let doc = load("rw_component.pos");
+    assert_eq!(doc.components.len(), 1);
+    assert_eq!(doc.component("Impl").unwrap().members.len(), 2);
+    let dev = pospec::audit::development_from(&doc).expect("valid");
+    let reports = dev.verify();
+    assert_eq!(reports.len(), 3);
+    for r in &reports {
+        assert!(r.holds, "{r}");
+    }
+}
+
+#[test]
+fn unsound_component_claims_fail_with_counterexamples() {
+    let src = "
+        universe {
+          class Objects; data Data; object o; object c : Objects;
+          method OW; method W(Data); method CW;
+          witnesses Objects 1; witnesses Data 1;
+        }
+        spec ServerBehaviour {
+          objects { o }
+          alphabet { <Objects, o, OW>; <Objects, o, W(Data)>; <Objects, o, CW>; }
+          traces prs [ <x, o, OW> <x, o, W(_)>* <x, o, CW> . x in Objects ]*;
+        }
+        spec AtMostOneSession {
+          objects { o }
+          alphabet { <Objects, o, OW>; }
+          traces prs (<c, o, OW>)?;
+        }
+        component Impl { o behaves ServerBehaviour; }
+        development { sound AtMostOneSession for Impl; }
+    ";
+    let doc = parse_document(src).expect("parses");
+    let dev = pospec::audit::development_from(&doc).expect("structurally valid");
+    let reports = dev.verify();
+    assert_eq!(reports.len(), 1);
+    assert!(!reports[0].holds, "two sessions violate the claim: {}", reports[0]);
+    assert!(reports[0].detail.contains("counterexample"));
+}
+
+#[test]
+fn component_name_errors_are_reported_at_parse_time() {
+    let src = "
+        universe { object o; }
+        component C { o behaves Nope; }
+    ";
+    let e = parse_document(src).unwrap_err();
+    assert!(e.message.contains("unknown specification `Nope`"), "{}", e.message);
+    let src2 = "
+        universe { class C; object o; method M; witnesses C 1; }
+        spec S { objects { o } alphabet { <C, o, M>; } traces any; }
+        development { sound S for Ghost; }
+    ";
+    let e2 = parse_document(src2).unwrap_err();
+    assert!(e2.message.contains("unknown component `Ghost`"), "{}", e2.message);
+}
+
+#[test]
+fn quiescence_analysis_distinguishes_the_compositions() {
+    let doc = load("readers_writers.pos");
+    let write_acc = doc.spec("WriteAcc").unwrap();
+    let client = doc.spec("Client").unwrap();
+    let client2 = doc.spec("Client2").unwrap();
+
+    let live = compose(write_acc, client).unwrap();
+    let r = pospec_check::quiescence(&live, 6);
+    assert!(!r.initial_quiescent);
+    assert!(r.is_perpetual(), "OK* can always continue: {r:?}");
+
+    let dead = compose(client2, write_acc).unwrap();
+    let r2 = pospec_check::quiescence(&dead, 6);
+    assert!(r2.initial_quiescent, "Example 5's deadlock is initial quiescence");
+    assert_eq!(r2.witness.unwrap().len(), 0);
+}
