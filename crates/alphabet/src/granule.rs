@@ -24,10 +24,9 @@
 
 use crate::universe::{MethodSig, Role, Universe};
 use pospec_trace::{Arg, ClassId, DataId, Event, MethodId, ObjectId};
-use serde::{Deserialize, Serialize};
 
 /// A block of the object-dimension partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ObjGranule {
     /// The singleton granule of a declared object.
     Named(ObjectId),
@@ -75,7 +74,7 @@ impl ObjGranule {
 }
 
 /// A block of the method-dimension partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MethodGranule {
     /// The singleton granule of a declared method.
     Named(MethodId),
@@ -116,7 +115,7 @@ impl MethodGranule {
 
 /// A block of the argument-dimension partition (relative to a method
 /// granule).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ArgGranule {
     /// The unique empty argument of a parameterless method.
     None,
@@ -162,7 +161,7 @@ impl ArgGranule {
 /// Denotes the set of concrete events `⟨a, b, m(v)⟩` with `a` in the caller
 /// granule, `b` in the callee granule, `a ≠ b`, `m` in the method granule
 /// and `v` in the argument granule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventGranule {
     /// The caller block.
     pub caller: ObjGranule,
@@ -176,7 +175,12 @@ pub struct EventGranule {
 
 impl EventGranule {
     /// Construct a granule without validity checking.
-    pub fn new(caller: ObjGranule, callee: ObjGranule, method: MethodGranule, arg: ArgGranule) -> Self {
+    pub fn new(
+        caller: ObjGranule,
+        callee: ObjGranule,
+        method: MethodGranule,
+        arg: ArgGranule,
+    ) -> Self {
         EventGranule { caller, callee, method, arg }
     }
 
@@ -314,7 +318,8 @@ mod tests {
     use crate::universe::UniverseBuilder;
     use std::sync::Arc;
 
-    fn small_universe() -> (Arc<Universe>, ObjectId, ObjectId, ClassId, ClassId, MethodId, MethodId) {
+    fn small_universe() -> (Arc<Universe>, ObjectId, ObjectId, ClassId, ClassId, MethodId, MethodId)
+    {
         let mut b = UniverseBuilder::new();
         let objects = b.object_class("Objects").unwrap();
         let data = b.data_class("Data").unwrap();

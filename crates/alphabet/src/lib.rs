@@ -40,7 +40,9 @@ pub mod universe;
 
 pub use display::{display_event, display_trace, EventDisplay, TraceDisplay};
 pub use granule::{ArgGranule, EventGranule, MethodGranule, ObjGranule};
-pub use internal::{admissible_alphabet, alpha_object, internal_between, internal_of_pair, internal_of_set};
+pub use internal::{
+    admissible_alphabet, alpha_object, internal_between, internal_of_pair, internal_of_set,
+};
 pub use pattern::{ArgSpec, EventPattern, ObjSpec};
 pub use set::EventSet;
 pub use universe::{Universe, UniverseBuilder, UniverseError};

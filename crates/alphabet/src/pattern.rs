@@ -11,7 +11,9 @@
 //! denoted set.  The pattern layer is sugar only — all reasoning happens on
 //! granule sets.
 
-use crate::granule::{all_method_arg_granules, all_obj_granules, ArgGranule, EventGranule, MethodGranule, ObjGranule};
+use crate::granule::{
+    all_method_arg_granules, all_obj_granules, ArgGranule, EventGranule, MethodGranule, ObjGranule,
+};
 use crate::set::EventSet;
 use crate::universe::{MethodSig, Universe};
 use pospec_trace::{ClassId, DataId, MethodId, ObjectId};
@@ -34,8 +36,7 @@ impl ObjSpec {
         match self {
             ObjSpec::Id(o) => vec![ObjGranule::of(u, o)],
             ObjSpec::Class(c) => {
-                let mut v: Vec<ObjGranule> =
-                    u.declared_members(c).map(ObjGranule::Named).collect();
+                let mut v: Vec<ObjGranule> = u.declared_members(c).map(ObjGranule::Named).collect();
                 v.push(ObjGranule::ClassRest(c));
                 v
             }
@@ -87,7 +88,12 @@ impl EventPattern {
     /// `⟨caller, callee, m(·)⟩` with the signature-driven argument
     /// comprehension.
     pub fn call(caller: impl Into<ObjSpec>, callee: impl Into<ObjSpec>, method: MethodId) -> Self {
-        EventPattern { caller: caller.into(), callee: callee.into(), method: Some(method), arg: ArgSpec::Auto }
+        EventPattern {
+            caller: caller.into(),
+            callee: callee.into(),
+            method: Some(method),
+            arg: ArgSpec::Auto,
+        }
     }
 
     /// `⟨caller, callee, m(d)⟩` for one specific data value.
@@ -97,13 +103,23 @@ impl EventPattern {
         method: MethodId,
         d: DataId,
     ) -> Self {
-        EventPattern { caller: caller.into(), callee: callee.into(), method: Some(method), arg: ArgSpec::Value(d) }
+        EventPattern {
+            caller: caller.into(),
+            callee: callee.into(),
+            method: Some(method),
+            arg: ArgSpec::Value(d),
+        }
     }
 
     /// `⟨caller, callee, m⟩` over **every** method (declared or not) —
     /// the shape of the internal-event sets of Def. 3.
     pub fn any_method(caller: impl Into<ObjSpec>, callee: impl Into<ObjSpec>) -> Self {
-        EventPattern { caller: caller.into(), callee: callee.into(), method: None, arg: ArgSpec::Auto }
+        EventPattern {
+            caller: caller.into(),
+            callee: callee.into(),
+            method: None,
+            arg: ArgSpec::Auto,
+        }
     }
 
     fn method_arg_granules(&self, u: &Universe) -> Vec<(MethodGranule, ArgGranule)> {
@@ -146,9 +162,7 @@ impl EventPattern {
 
 /// Union of several patterns — the usual shape of a specification alphabet.
 pub fn patterns_to_set(u: &Arc<Universe>, patterns: &[EventPattern]) -> EventSet {
-    patterns
-        .iter()
-        .fold(EventSet::empty(u), |acc, p| acc.union(&p.to_set(u)))
+    patterns.iter().fold(EventSet::empty(u), |acc, p| acc.union(&p.to_set(u)))
 }
 
 #[cfg(test)]

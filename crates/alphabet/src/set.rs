@@ -12,21 +12,15 @@
 use crate::granule::{all_method_arg_granules, all_obj_granules, EventGranule, ObjGranule};
 use crate::universe::Universe;
 use pospec_trace::{Event, EventFilter, ObjectId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
 /// A symbolic set of communication events over a frozen universe.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct EventSet {
-    #[serde(skip, default = "unset_universe")]
     universe: Arc<Universe>,
     granules: BTreeSet<EventGranule>,
-}
-
-fn unset_universe() -> Arc<Universe> {
-    crate::universe::UniverseBuilder::new().freeze()
 }
 
 impl EventSet {
@@ -174,11 +168,8 @@ impl EventSet {
     /// witnesses.  Exact for finite sets; a finite sample for infinite
     /// ones.  The result is sorted and duplicate-free.
     pub fn enumerate_concrete(&self) -> Vec<Event> {
-        let mut out: Vec<Event> = self
-            .granules
-            .iter()
-            .flat_map(|g| g.concrete_events(&self.universe))
-            .collect();
+        let mut out: Vec<Event> =
+            self.granules.iter().flat_map(|g| g.concrete_events(&self.universe)).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -310,10 +301,7 @@ mod tests {
         assert!(a.difference(&b).is_empty());
         assert!(!b.difference(&a).is_empty());
         // De Morgan on granule sets.
-        assert!(a
-            .union(&b)
-            .complement()
-            .set_eq(&a.complement().intersect(&b.complement())));
+        assert!(a.union(&b).complement().set_eq(&a.complement().intersect(&b.complement())));
     }
 
     #[test]

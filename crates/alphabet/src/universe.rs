@@ -26,14 +26,13 @@
 //! ability to enumerate samples from it.
 
 use pospec_trace::{ClassId, DataId, MethodId, ObjectId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Whether a class classifies objects or data values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClassKind {
     /// A sort of object identities (e.g. the paper's `Objects`).
     Object,
@@ -42,7 +41,7 @@ pub enum ClassKind {
 }
 
 /// How an object (or data value / method) participates in the partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
     /// A declared, named symbol: forms its own singleton granule.
     Declared,
@@ -51,14 +50,14 @@ pub enum Role {
     Witness,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct ObjectDef {
     pub name: String,
     pub class: Option<ClassId>,
     pub role: Role,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct ClassDef {
     pub name: String,
     pub kind: ClassKind,
@@ -66,7 +65,7 @@ pub(crate) struct ClassDef {
 
 /// The signature of a method: either parameterless or carrying one value
 /// of a declared data class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MethodSig {
     /// No parameter (e.g. `OW`, `CW`, `OK`).
     None,
@@ -75,14 +74,14 @@ pub enum MethodSig {
     Data(ClassId),
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct MethodDef {
     pub name: String,
     pub sig: MethodSig,
     pub role: Role,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct DataDef {
     pub name: String,
     pub class: ClassId,
@@ -120,7 +119,7 @@ static UNIVERSE_COUNTER: AtomicU64 = AtomicU64::new(0);
 ///
 /// Constructed via [`UniverseBuilder`]; shared as `Arc<Universe>` by every
 /// event set and specification built over it.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct Universe {
     /// Unique identity used to reject cross-universe set operations.
     uid: u64,
@@ -338,7 +337,12 @@ impl UniverseBuilder {
         Self::default()
     }
 
-    fn fresh_object(&mut self, name: &str, class: Option<ClassId>, role: Role) -> Result<ObjectId, UniverseError> {
+    fn fresh_object(
+        &mut self,
+        name: &str,
+        class: Option<ClassId>,
+        role: Role,
+    ) -> Result<ObjectId, UniverseError> {
         if self.object_names.contains_key(name) {
             return Err(UniverseError::DuplicateName(name.to_string()));
         }
@@ -415,7 +419,12 @@ impl UniverseBuilder {
         self.add_method(name, MethodSig::Data(class), Role::Declared)
     }
 
-    fn add_method(&mut self, name: &str, sig: MethodSig, role: Role) -> Result<MethodId, UniverseError> {
+    fn add_method(
+        &mut self,
+        name: &str,
+        sig: MethodSig,
+        role: Role,
+    ) -> Result<MethodId, UniverseError> {
         if self.method_names.contains_key(name) {
             return Err(UniverseError::DuplicateName(name.to_string()));
         }
@@ -428,7 +437,11 @@ impl UniverseBuilder {
     /// Add `n` witness objects inhabiting the residue of `class`
     /// (`class ∖ named(class)`): concrete stand-ins for "any further
     /// object of the class" used by finitization.
-    pub fn class_witnesses(&mut self, class: ClassId, n: usize) -> Result<Vec<ObjectId>, UniverseError> {
+    pub fn class_witnesses(
+        &mut self,
+        class: ClassId,
+        n: usize,
+    ) -> Result<Vec<ObjectId>, UniverseError> {
         self.check_class(class, ClassKind::Object)?;
         let base = self.classes[class.index()].name.clone();
         (0..n)
@@ -463,7 +476,11 @@ impl UniverseBuilder {
     }
 
     /// Add `n` witness data values inhabiting the residue of a data class.
-    pub fn data_witnesses(&mut self, class: ClassId, n: usize) -> Result<Vec<DataId>, UniverseError> {
+    pub fn data_witnesses(
+        &mut self,
+        class: ClassId,
+        n: usize,
+    ) -> Result<Vec<DataId>, UniverseError> {
         self.check_class(class, ClassKind::Data)?;
         let base = self.classes[class.index()].name.clone();
         (0..n)
@@ -542,18 +559,9 @@ mod tests {
         let mut b = UniverseBuilder::new();
         let data = b.data_class("Data").unwrap();
         let objs = b.object_class("Objects").unwrap();
-        assert!(matches!(
-            b.object_in("y", data),
-            Err(UniverseError::WrongClassKind { .. })
-        ));
-        assert!(matches!(
-            b.method_with("m", objs),
-            Err(UniverseError::WrongClassKind { .. })
-        ));
-        assert!(matches!(
-            b.data_value("d", objs),
-            Err(UniverseError::WrongClassKind { .. })
-        ));
+        assert!(matches!(b.object_in("y", data), Err(UniverseError::WrongClassKind { .. })));
+        assert!(matches!(b.method_with("m", objs), Err(UniverseError::WrongClassKind { .. })));
+        assert!(matches!(b.data_value("d", objs), Err(UniverseError::WrongClassKind { .. })));
     }
 
     #[test]

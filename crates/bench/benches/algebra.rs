@@ -17,8 +17,7 @@ use std::sync::Arc;
 fn universe_with(n_objects: usize) -> (Arc<pospec_alphabet::Universe>, Vec<ObjectId>) {
     let mut b = UniverseBuilder::new();
     let env = b.object_class("Env").unwrap();
-    let objs: Vec<ObjectId> =
-        (0..n_objects).map(|i| b.object(&format!("o{i}")).unwrap()).collect();
+    let objs: Vec<ObjectId> = (0..n_objects).map(|i| b.object(&format!("o{i}")).unwrap()).collect();
     for i in 0..4 {
         b.method(&format!("m{i}")).unwrap();
     }
@@ -32,9 +31,9 @@ fn bench_set_operations(c: &mut Criterion) {
     for n in [2usize, 4, 8, 16] {
         let (u, objs) = universe_with(n);
         let uni = EventSet::universal(&u);
-        let half = uni.filter_granules(|gr| {
-            matches!(gr.caller, pospec_alphabet::ObjGranule::Named(o) if o.0 % 2 == 0)
-        });
+        let half = uni.filter_granules(
+            |gr| matches!(gr.caller, pospec_alphabet::ObjGranule::Named(o) if o.0 % 2 == 0),
+        );
         g.bench_with_input(BenchmarkId::new("union", n), &n, |b, _| {
             b.iter(|| black_box(&uni).union(black_box(&half)))
         });
@@ -80,8 +79,7 @@ fn bench_prs_membership(c: &mut Criterion) {
             Event::call_with(paper.c, paper.o, paper.w, paper.d0),
             Event::call(paper.c, paper.o, paper.cw),
         ];
-        let events: Vec<Event> =
-            session.iter().copied().cycle().take(len).collect();
+        let events: Vec<Event> = session.iter().copied().cycle().take(len).collect();
         let h = Trace::from_events(events);
         g.bench_with_input(BenchmarkId::new("compiled", len), &len, |b, _| {
             b.iter(|| compiled.prs(black_box(&paper.u), black_box(&h)))
@@ -128,8 +126,7 @@ fn bench_composition_pipeline(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("compose+automaton (Ex. 4)", |b| {
         b.iter(|| {
-            let composed =
-                pospec_core::compose(&paper.write_acc(), &paper.client()).unwrap();
+            let composed = pospec_core::compose(&paper.write_acc(), &paper.client()).unwrap();
             // Force the lazy automaton.
             let ok = Event::call(paper.c, paper.o_mon, paper.ok);
             assert!(composed.contains_trace(&Trace::from_events(vec![ok])));

@@ -1,6 +1,6 @@
 //! PERF2 — parallel vs. sequential bounded trace-space exploration.
 //!
-//! The rayon path parallelizes frontier expansion; this sweep measures
+//! The threaded path parallelizes frontier expansion; this sweep measures
 //! the speedup on the paper's `RW` specification (an opaque-predicate
 //! trace set, the case exploration exists for).
 
@@ -18,8 +18,8 @@ fn bench_exploration(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("sequential", depth), &depth, |b, &d| {
             b.iter(|| enumerate_spec_traces(black_box(&rw), d, Parallelism::Sequential).len())
         });
-        g.bench_with_input(BenchmarkId::new("rayon", depth), &depth, |b, &d| {
-            b.iter(|| enumerate_spec_traces(black_box(&rw), d, Parallelism::Rayon).len())
+        g.bench_with_input(BenchmarkId::new("threads", depth), &depth, |b, &d| {
+            b.iter(|| enumerate_spec_traces(black_box(&rw), d, Parallelism::Threads).len())
         });
     }
     g.finish();
@@ -33,8 +33,7 @@ fn bench_deadlock_analysis(c: &mut Criterion) {
     // is constructed each iteration (the cost being measured).
     g.bench_function("deadlocked-composition", |b| {
         b.iter(|| {
-            let composed =
-                pospec_core::compose(&paper.client2(), &paper.write_acc()).unwrap();
+            let composed = pospec_core::compose(&paper.client2(), &paper.write_acc()).unwrap();
             assert!(pospec_core::observable_deadlock(black_box(&composed)));
         })
     });

@@ -68,8 +68,7 @@ fn bench_incremental_vs_batch(c: &mut Criterion) {
         pospec_trace::Event::call_with(p.c, p.o, p.w, p.d0),
         pospec_trace::Event::call(p.c, p.o, p.cw),
     ];
-    let events: Vec<pospec_trace::Event> =
-        session.iter().copied().cycle().take(300).collect();
+    let events: Vec<pospec_trace::Event> = session.iter().copied().cycle().take(300).collect();
     let mut g = c.benchmark_group("sim/runner-ablation");
     g.throughput(Throughput::Elements(events.len() as u64));
     g.sample_size(10);
@@ -96,5 +95,10 @@ fn bench_incremental_vs_batch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_runtime_throughput, bench_monitor_overhead, bench_incremental_vs_batch);
+criterion_group!(
+    benches,
+    bench_runtime_throughput,
+    bench_monitor_overhead,
+    bench_incremental_vs_batch
+);
 criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! PERF4 — identity extraction on the trace hot path.
+//!
+//! `Trace::callers`/`Trace::objects` run once per membership query in
+//! predicate trace sets, so bounded exploration calls them millions of
+//! times.  They now return the inline [`pospec_trace::IdSet`] small-vec
+//! instead of a freshly allocated `Vec`; this sweep keeps the cost
+//! visible as trace length grows, and the guard benchmark asserts the
+//! no-heap fast path is actually taken for the few-identity traces the
+//! engine produces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pospec_trace::{Event, MethodId, ObjectId, Trace};
+use std::hint::black_box;
+
+/// A trace of length `len` cycling through `distinct` caller identities
+/// (all calling object 0), like the reader/writer histories the paper's
+/// predicates inspect.
+fn cyclic_trace(len: usize, distinct: u32) -> Trace {
+    let callee = ObjectId(0);
+    let events: Vec<Event> = (0..len)
+        .map(|i| Event::call(ObjectId(1 + (i as u32 % distinct)), callee, MethodId(i as u32 % 3)))
+        .collect();
+    Trace::from_events(events)
+}
+
+fn bench_id_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace/id-extraction");
+    for len in [8usize, 64, 512] {
+        let t = cyclic_trace(len, 4);
+        g.bench_with_input(BenchmarkId::new("callers", len), &len, |b, _| {
+            b.iter(|| black_box(&t).callers())
+        });
+        g.bench_with_input(BenchmarkId::new("objects", len), &len, |b, _| {
+            b.iter(|| black_box(&t).objects())
+        });
+    }
+    g.finish();
+}
+
+/// Guard: the workloads above must resolve entirely in inline storage.
+/// A regression that reintroduces per-call heap allocation flips
+/// `spilled()` (or slows the sweep above) and is caught here without
+/// needing an allocator hook.
+fn bench_inline_guard(c: &mut Criterion) {
+    let t = cyclic_trace(512, 4);
+    assert!(!t.callers().spilled(), "guard: callers must stay inline");
+    assert!(!t.objects().spilled(), "guard: objects must stay inline");
+    c.bench_function("trace/id-extraction/guard-inline", |b| {
+        b.iter(|| {
+            let ids = black_box(&t).objects();
+            assert!(!ids.spilled());
+            ids.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_id_extraction, bench_inline_guard);
+criterion_main!(benches);

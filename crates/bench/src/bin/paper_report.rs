@@ -5,16 +5,22 @@
 //! ```
 //!
 //! Prints the paper-vs-measured markdown table and writes
-//! `paper_report.json` into the current directory.
+//! `paper_report.json` into the current directory.  The JSON document is
+//! an object `{"rows": [...], "cache": {...}}`: one record per
+//! reproduction row plus the process-wide automaton-cache counters
+//! (hits, misses, nanoseconds spent building automata) described in
+//! `EXPERIMENTS.md` §Performance.
 
 use pospec_alphabet::internal_of_pair;
 use pospec_bench::paper::Paper;
 use pospec_check::report::{markdown_table, ExperimentRecord, Outcome};
 use pospec_check::theorems;
 use pospec_core::{
-    check_refinement, compose, language_equiv, observable_deadlock, observable_equiv,
+    check_all_pairs, check_refinement, compose, language_equiv, observable_deadlock,
+    observable_equiv, CacheStats, DfaCache,
 };
 use pospec_trace::Trace;
+use std::time::Instant;
 
 const DEPTH: usize = 5;
 
@@ -277,6 +283,47 @@ fn main() {
         });
     }
 
+    // CACHE — the memoized automaton cache against the uncached path,
+    // on the full pairwise refinement matrix of the paper's
+    // specifications (PERF3 of EXPERIMENTS.md).
+    {
+        let specs = p.interface_specs();
+        let t0 = Instant::now();
+        let mut plain = Vec::new();
+        for c in &specs {
+            for a in &specs {
+                plain.push(check_refinement(c, a, DEPTH).holds());
+            }
+        }
+        let uncached = t0.elapsed();
+        let cache = DfaCache::new();
+        let t1 = Instant::now();
+        let cold = check_all_pairs(&cache, &specs, DEPTH);
+        let cold_time = t1.elapsed();
+        let t2 = Instant::now();
+        let warm = check_all_pairs(&cache, &specs, DEPTH);
+        let warm_time = t2.elapsed();
+        let stats = cache.stats();
+        let cold_flat: Vec<bool> =
+            cold.iter().flat_map(|row| row.iter().map(|v| v.holds())).collect();
+        let warm_flat: Vec<bool> =
+            warm.iter().flat_map(|row| row.iter().map(|v| v.holds())).collect();
+        let agree = cold_flat == plain && warm_flat == plain;
+        let speedup = uncached.as_secs_f64() / warm_time.as_secs_f64().max(1e-9);
+        let ok = agree && stats.hits() > 0 && warm_time < uncached;
+        rows.push(ExperimentRecord {
+            id: "CACHE".into(),
+            claim: "memoized batch checking matches the uncached verdicts, faster".into(),
+            measured: format!(
+                "36-pair matrix: uncached {uncached:.2?}, cold {cold_time:.2?}, warm {warm_time:.2?} ({speedup:.1}x); {} hits / {} misses, {:.2?} building; verdicts agree: {agree}",
+                stats.hits(),
+                stats.misses(),
+                stats.build_time(),
+            ),
+            outcome: if ok { Outcome::Reproduced } else { Outcome::Failed },
+        });
+    }
+
     // The mechanized meta-theory (PVS substitute).
     println!("running the mechanized meta-theory (seed 2026, 60 instances each)…");
     for outcome in theorems::run_all(2026, 60) {
@@ -300,13 +347,36 @@ fn main() {
     }
 
     println!("\n{}", markdown_table(&rows));
-    let json = serde_json::to_string_pretty(&rows).expect("serializable");
-    std::fs::write("paper_report.json", json).expect("writable cwd");
-    println!("wrote paper_report.json ({} rows)", rows.len());
+    let global = DfaCache::global().stats();
+    let doc = pospec_json::ObjBuilder::new()
+        .field("rows", rows.iter().map(|r| r.to_json()).collect::<Vec<_>>())
+        .field("cache", cache_stats_json(&global))
+        .build();
+    std::fs::write("paper_report.json", doc.to_pretty()).expect("writable cwd");
+    println!(
+        "wrote paper_report.json ({} rows; global cache: {} hits / {} misses, {:.2?} building)",
+        rows.len(),
+        global.hits(),
+        global.misses(),
+        global.build_time(),
+    );
 
     let failed = rows.iter().filter(|r| r.outcome == Outcome::Failed).count();
     if failed > 0 {
         eprintln!("{failed} row(s) FAILED");
         std::process::exit(1);
     }
+}
+
+/// The hit/miss/build-time counters as a JSON object.
+fn cache_stats_json(s: &CacheStats) -> pospec_json::Value {
+    pospec_json::ObjBuilder::new()
+        .field("alphabet_hits", s.alphabet_hits)
+        .field("alphabet_misses", s.alphabet_misses)
+        .field("dfa_hits", s.dfa_hits)
+        .field("dfa_misses", s.dfa_misses)
+        .field("lift_hits", s.lift_hits)
+        .field("lift_misses", s.lift_misses)
+        .field("build_nanos", s.build_nanos)
+        .build()
 }

@@ -57,22 +57,7 @@ impl Paper {
         b.class_witnesses(objects, k.max(1)).unwrap();
         b.anon_witnesses(1).unwrap();
         b.method_witnesses(1).unwrap();
-        Paper {
-            u: b.freeze(),
-            o,
-            o_mon,
-            c,
-            objects,
-            data,
-            r,
-            or_,
-            cr,
-            ow,
-            w,
-            cw,
-            ok,
-            d0: d[0],
-        }
+        Paper { u: b.freeze(), o, o_mon, c, objects, data, r, or_, cr, ow, w, cw, ok, d0: d[0] }
     }
 
     /// A witness member of `Objects` other than `c`.
@@ -182,13 +167,8 @@ impl Paper {
             Re::lit(Template::call(self.c, self.o, self.cw)),
         ])
         .star();
-        Specification::new(
-            "WriteAcc",
-            [self.o],
-            self.write().alphabet().clone(),
-            TraceSet::prs(re),
-        )
-        .unwrap()
+        Specification::new("WriteAcc", [self.o], self.write().alphabet().clone(), TraceSet::prs(re))
+            .unwrap()
     }
 
     /// Example 4, `Client`: `c` alternates a write to `o` with an `OK`
@@ -276,6 +256,16 @@ impl Paper {
             Re::lit(Template::call(self.c, self.o_mon, self.ok)),
         ]);
         Specification::new("ClientNoProj", [self.c], alpha, TraceSet::prs(reg.star())).unwrap()
+    }
+
+    /// The interface specifications of Examples 1–6 over `o`, built
+    /// once.  The automaton cache ([`pospec_core::DfaCache`]) keys its
+    /// entries by trace-set *identity* (the backing `Arc`), so batch
+    /// checks should hold on to one `Vec` from this method rather than
+    /// re-deriving each specification per query — fresh derivations are
+    /// fresh cache keys.
+    pub fn interface_specs(&self) -> Vec<Specification> {
+        vec![self.read(), self.read2(), self.write(), self.rw(), self.write_acc(), self.rw2()]
     }
 
     /// Convenience: `⟨caller, callee, m⟩` event.

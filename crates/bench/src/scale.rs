@@ -30,8 +30,7 @@ impl ScaledWorld {
         let mut b = UniverseBuilder::new();
         let env = b.object_class("Env").unwrap();
         let server = b.object("server").unwrap();
-        let methods =
-            (0..n_methods).map(|i| b.method(&format!("m{i}")).unwrap()).collect();
+        let methods = (0..n_methods).map(|i| b.method(&format!("m{i}")).unwrap()).collect();
         b.class_witnesses(env, witnesses).unwrap();
         b.method_witnesses(1).unwrap();
         ScaledWorld { u: b.freeze(), server, env, methods }
@@ -74,8 +73,7 @@ impl ScaledWorld {
     /// protocol with every starred body bounded by a counting predicate.
     pub fn tightened(&self, blocks: usize, max_len: usize) -> Specification {
         let base = self.protocol(blocks);
-        let bound =
-            TraceSet::predicate("bounded length", move |h: &Trace| h.len() <= max_len);
+        let bound = TraceSet::predicate("bounded length", move |h: &Trace| h.len() <= max_len);
         Specification::new(
             format!("Tight{blocks}"),
             [self.server],
@@ -141,9 +139,7 @@ impl NaivePatternSet {
                             && match p.arg {
                                 pospec_alphabet::ArgSpec::Auto => true,
                                 pospec_alphabet::ArgSpec::None => e.arg.is_none(),
-                                pospec_alphabet::ArgSpec::Value(d) => {
-                                    e.arg.data() == Some(d)
-                                }
+                                pospec_alphabet::ArgSpec::Value(d) => e.arg.data() == Some(d),
                             }
                     }
                 }

@@ -44,11 +44,7 @@ impl CoverageReport {
 /// visit.  Events outside the finitized alphabet end a trace's walk (the
 /// remainder is not counted, matching monitor behaviour for foreign
 /// events).
-pub fn state_coverage(
-    spec: &Specification,
-    traces: &[Trace],
-    pred_depth: usize,
-) -> CoverageReport {
+pub fn state_coverage(spec: &Specification, traces: &[Trace], pred_depth: usize) -> CoverageReport {
     let u = spec.universe();
     let sigma = Arc::new(spec.alphabet().enumerate_concrete());
     let dfa = traceset_dfa(u, spec.trace_set(), Arc::clone(&sigma), pred_depth);
@@ -155,10 +151,7 @@ mod tests {
     fn full_protocol_run_achieves_full_coverage() {
         let f = fix();
         let spec = ab_spec(&f);
-        let run = Trace::from_events(vec![
-            Event::call(f.c, f.o, f.a),
-            Event::call(f.c, f.o, f.b),
-        ]);
+        let run = Trace::from_events(vec![Event::call(f.c, f.o, f.a), Event::call(f.c, f.o, f.b)]);
         let r = state_coverage(&spec, &[run], 6);
         assert!(r.is_complete(), "{r:?}");
         assert_eq!(r.fraction(), 1.0);

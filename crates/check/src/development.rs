@@ -18,21 +18,11 @@ use std::fmt;
 #[derive(Debug, Clone)]
 enum Step {
     /// `concrete ⊑ abstract_`.
-    Refines {
-        concrete: String,
-        abstract_: String,
-    },
+    Refines { concrete: String, abstract_: String },
     /// `name = left ‖ right`.
-    Composed {
-        name: String,
-        left: String,
-        right: String,
-    },
+    Composed { name: String, left: String, right: String },
     /// `spec` is a sound description of `component` (§2/§7).
-    Sound {
-        spec: String,
-        component: String,
-    },
+    Sound { spec: String, component: String },
 }
 
 /// The audit verdict for one step.
@@ -48,13 +38,7 @@ pub struct StepReport {
 
 impl fmt::Display for StepReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {} — {}",
-            if self.holds { "✓" } else { "✗" },
-            self.obligation,
-            self.detail
-        )
+        write!(f, "{} {} — {}", if self.holds { "✓" } else { "✗" }, self.obligation, self.detail)
     }
 }
 
@@ -139,10 +123,7 @@ impl Development {
         if !self.components.contains_key(component) {
             return Err(DevelopmentError::UnknownSpec(component.to_string()));
         }
-        self.steps.push(Step::Sound {
-            spec: spec.to_string(),
-            component: component.to_string(),
-        });
+        self.steps.push(Step::Sound { spec: spec.to_string(), component: component.to_string() });
         Ok(())
     }
 
@@ -197,6 +178,11 @@ impl Development {
     }
 
     /// Re-verify every claimed obligation.
+    ///
+    /// Refinement obligations go through [`check_refinement_with`], whose
+    /// exact strategy uses the process-wide `DfaCache`: a specification
+    /// appearing in many obligations (or across repeated `verify` calls)
+    /// is finitized and lifted once.
     pub fn verify(&self) -> Vec<StepReport> {
         let mut out = Vec::new();
         for step in &self.steps {
@@ -340,19 +326,15 @@ mod tests {
             dev.claim_refines("A", "Nope"),
             Err(DevelopmentError::UnknownSpec("Nope".into()))
         );
-        assert_eq!(
-            dev.merge("X", "A", "Nope"),
-            Err(DevelopmentError::UnknownSpec("Nope".into()))
-        );
+        assert_eq!(dev.merge("X", "A", "Nope"), Err(DevelopmentError::UnknownSpec("Nope".into())));
     }
 
     #[test]
     fn properness_report_covers_other_specs() {
         let (arena, mut dev) = arena_dev();
         let mut g = SpecGen::new(arena.clone(), 81);
-        let conc = g
-            .random_spec_with_partners(&[arena.objs[0], arena.objs[1]], &[], "C")
-            .renamed("C");
+        let conc =
+            g.random_spec_with_partners(&[arena.objs[0], arena.objs[1]], &[], "C").renamed("C");
         let abs = g.abstraction_of(&conc, true, 6).renamed("Aθ");
         let ctx = g.random_env_spec(&[arena.objs[1]], "Ctx").renamed("Ctx");
         dev.add(conc).unwrap();

@@ -3,22 +3,22 @@
 //! Trace sets are prefix closed, so the members of length `n+1` are
 //! one-event extensions of members of length `n`: exploration is a
 //! level-synchronous BFS over the prefix tree, embarrassingly parallel
-//! within each level.  The rayon path parallelizes over the frontier
-//! (each frontier trace extends independently), which is the PERF2
-//! experiment of `EXPERIMENTS.md`.
+//! within each level.  The threaded path parallelizes over the frontier
+//! (each frontier trace extends independently) using the scoped-thread
+//! engine of [`pospec_core::parallel`], which is the PERF2 experiment of
+//! `EXPERIMENTS.md`.
 
-use pospec_core::{Specification, TraceSet};
+use pospec_core::{parallel_find_first, parallel_flat_map_ref, Specification, TraceSet};
 use pospec_trace::{Event, Trace};
-use rayon::prelude::*;
 use std::sync::Arc;
 
-/// Sequential or rayon-parallel exploration.
+/// Sequential or thread-parallel exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Parallelism {
     /// Single-threaded reference implementation.
     Sequential,
-    /// Work-stealing parallel frontier expansion.
-    Rayon,
+    /// Parallel frontier expansion over OS threads.
+    Threads,
 }
 
 /// Fast-path membership for one-event extensions of a known member.
@@ -26,11 +26,7 @@ pub enum Parallelism {
 /// For opaque predicates the largest-prefix-closed-subset semantics makes
 /// `t·e` a member of the set iff `P(t·e)` holds when `t` is already a
 /// member — re-checking every prefix would be `O(n²)` per level.
-fn extends_member(
-    u: &pospec_alphabet::Universe,
-    ts: &TraceSet,
-    extended: &Trace,
-) -> bool {
+fn extends_member(u: &pospec_alphabet::Universe, ts: &TraceSet, extended: &Trace) -> bool {
     match ts {
         TraceSet::Predicate { pred, .. } => pred(extended),
         TraceSet::Conj(parts) => parts.iter().all(|p| extends_member(u, p, extended)),
@@ -66,15 +62,15 @@ pub fn enumerate_members(
                     })
                 })
                 .collect(),
-            Parallelism::Rayon => frontier
-                .par_iter()
-                .flat_map_iter(|t| {
-                    sigma.iter().filter_map(|e| {
+            Parallelism::Threads => parallel_flat_map_ref(&frontier, |t| {
+                sigma
+                    .iter()
+                    .filter_map(|e| {
                         let t2 = t.extended(*e);
                         extends_member(u, ts, &t2).then_some(t2)
                     })
-                })
-                .collect(),
+                    .collect()
+            }),
         };
         if next.is_empty() {
             break;
@@ -87,21 +83,13 @@ pub fn enumerate_members(
 
 /// Enumerate the members of a specification's trace set over the canonical
 /// finitization of its alphabet.
-pub fn enumerate_spec_traces(
-    spec: &Specification,
-    depth: usize,
-    par: Parallelism,
-) -> Vec<Trace> {
+pub fn enumerate_spec_traces(spec: &Specification, depth: usize, par: Parallelism) -> Vec<Trace> {
     let sigma = spec.alphabet().enumerate_concrete();
     enumerate_members(spec.universe(), spec.trace_set(), &sigma, depth, par)
 }
 
 /// The number of members per length, up to `depth`.
-pub fn count_members_by_len(
-    spec: &Specification,
-    depth: usize,
-    par: Parallelism,
-) -> Vec<u64> {
+pub fn count_members_by_len(spec: &Specification, depth: usize, par: Parallelism) -> Vec<u64> {
     let mut counts = vec![0u64; depth + 1];
     for t in enumerate_spec_traces(spec, depth, par) {
         counts[t.len()] += 1;
@@ -128,16 +116,14 @@ pub fn bounded_refinement_counterexample(
     let members = enumerate_members(u, concrete.trace_set(), &sigma, depth, par);
     match par {
         Parallelism::Sequential => members.into_iter().find(|t| check(t)),
-        Parallelism::Rayon => members.into_par_iter().find_first(|t| check(t)),
+        Parallelism::Threads => parallel_find_first(members, |t| check(t)),
     }
 }
 
 /// Bounded deadlock check: does the trace set contain no non-empty member
 /// with events from its finitized alphabet, up to `depth`?
 pub fn is_deadlocked_bounded(spec: &Specification, depth: usize) -> bool {
-    enumerate_spec_traces(spec, depth, Parallelism::Sequential)
-        .iter()
-        .all(|t| t.is_empty())
+    enumerate_spec_traces(spec, depth, Parallelism::Sequential).iter().all(|t| t.is_empty())
 }
 
 #[cfg(test)]
@@ -188,7 +174,7 @@ mod tests {
         let f = fix();
         let spec = write_spec(&f);
         let mut seq = enumerate_spec_traces(&spec, 4, Parallelism::Sequential);
-        let mut par = enumerate_spec_traces(&spec, 4, Parallelism::Rayon);
+        let mut par = enumerate_spec_traces(&spec, 4, Parallelism::Threads);
         seq.sort();
         par.sort();
         assert_eq!(seq, par);
@@ -210,7 +196,7 @@ mod tests {
     fn enumeration_respects_protocol() {
         let f = fix();
         let spec = write_spec(&f);
-        for t in enumerate_spec_traces(&spec, 4, Parallelism::Rayon) {
+        for t in enumerate_spec_traces(&spec, 4, Parallelism::Threads) {
             assert!(spec.contains_trace(&t), "{t} escaped the trace set");
             // The first event of a non-empty member is an OW.
             if let Some(first) = t.events().first() {
@@ -239,10 +225,10 @@ mod tests {
             bounded_refinement_counterexample(&spec, &no_w, 4, Parallelism::Sequential).unwrap();
         assert!(cex.count_method(f.w) >= 1);
         let cex_par =
-            bounded_refinement_counterexample(&spec, &no_w, 4, Parallelism::Rayon).unwrap();
+            bounded_refinement_counterexample(&spec, &no_w, 4, Parallelism::Threads).unwrap();
         assert_eq!(cex.len(), cex_par.len(), "find_first gives the same BFS-first witness");
         // And a true refinement yields no bounded counterexample.
-        assert!(bounded_refinement_counterexample(&spec, &spec, 4, Parallelism::Rayon).is_none());
+        assert!(bounded_refinement_counterexample(&spec, &spec, 4, Parallelism::Threads).is_none());
     }
 
     #[test]

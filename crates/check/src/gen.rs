@@ -229,9 +229,7 @@ impl SpecGen {
         let mut chosen = self.pick_patterns(&pool);
         // Def. 1 requires an infinite alphabet: partner patterns alone are
         // finite (named↔named), so guarantee one environment pattern.
-        let has_env = chosen
-            .iter()
-            .any(|(p, _)| env_pool.iter().any(|(q, _)| q == p));
+        let has_env = chosen.iter().any(|(p, _)| env_pool.iter().any(|(q, _)| q == p));
         if !has_env {
             chosen.push(env_pool[self.rng.gen_range(0..env_pool.len())]);
         }
@@ -269,12 +267,8 @@ impl SpecGen {
         let mut candidate = spec.alphabet().clone();
         if allow_drop_objects && all.len() > 1 && self.rng.gen_bool(0.5) {
             let drop_idx = self.rng.gen_range(0..all.len());
-            let smaller: BTreeSet<ObjectId> = all
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != drop_idx)
-                .map(|(_, o)| *o)
-                .collect();
+            let smaller: BTreeSet<ObjectId> =
+                all.iter().enumerate().filter(|(i, _)| *i != drop_idx).map(|(_, o)| *o).collect();
             let filtered = spec.alphabet().filter_granules(|g| touches(&smaller, g));
             if filtered.is_infinite() {
                 keep = smaller;
@@ -374,11 +368,7 @@ mod tests {
     fn random_re_respects_budget_shape() {
         let a = Arena::new(2, 2);
         let mut g = SpecGen::new(a.clone(), 5);
-        let lits = vec![Template::call(
-            pospec_regex::TObj::Class(a.env),
-            a.objs[0],
-            a.methods[0],
-        )];
+        let lits = vec![Template::call(pospec_regex::TObj::Class(a.env), a.objs[0], a.methods[0])];
         for _ in 0..50 {
             let re = g.random_re(&lits, 5);
             assert!(re.size() <= 32, "regexes stay small");

@@ -6,7 +6,7 @@
 //! crate substitutes high-volume *mechanical* validation:
 //!
 //! * [`explore`] — bounded enumeration of trace sets over the finitized
-//!   alphabet, sequential or data-parallel (rayon), with deadlock
+//!   alphabet, sequential or data-parallel (OS threads), with deadlock
 //!   detection and bounded refinement falsification;
 //! * [`refinement`] — a strategy layer over `pospec-core`'s exact
 //!   automaton check and the bounded explorer, with cross-validation;

@@ -105,7 +105,12 @@ pub fn quiescence(spec: &Specification, pred_depth: usize) -> QuiescenceReport {
             }
         }
     }
-    QuiescenceReport { initial_quiescent, reachable_states: reachable, quiescent_states: quiescent, witness }
+    QuiescenceReport {
+        initial_quiescent,
+        reachable_states: reachable,
+        quiescent_states: quiescent,
+        witness,
+    }
 }
 
 #[cfg(test)]

@@ -3,8 +3,10 @@
 //! Two complementary procedures decide Def.-2 condition 3:
 //!
 //! * **Exact** — `pospec-core`'s automaton inclusion over the canonical
-//!   finitization: a decision procedure for regular backends, exact up to
-//!   the predicate-trie depth otherwise;
+//!   finitization, served through the process-wide [`DfaCache`] so that
+//!   repeated checks against stable specifications reuse their automata:
+//!   a decision procedure for regular backends, exact up to the
+//!   predicate-trie depth otherwise;
 //! * **Bounded** — direct enumeration of `T(Γ′)` members with projection
 //!   checking: a sound falsifier for *any* backend, complete only up to
 //!   its depth.
@@ -14,8 +16,10 @@
 //! of DESIGN.md §6.3).
 
 use crate::explore::{bounded_refinement_counterexample, Parallelism};
-use pospec_core::{check_refinement, refinement_conditions, Specification, Verdict};
 use pospec_core::refine::FailedCondition;
+use pospec_core::{
+    check_refinement_cached, refinement_conditions, DfaCache, Specification, Verdict,
+};
 
 /// Which decision procedure to use for condition 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +57,9 @@ pub fn check_refinement_with(
     strategy: Strategy,
 ) -> Verdict {
     match strategy {
-        Strategy::Exact { pred_depth } => check_refinement(concrete, abstract_, pred_depth),
+        Strategy::Exact { pred_depth } => {
+            check_refinement_cached(DfaCache::global(), concrete, abstract_, pred_depth)
+        }
         Strategy::Bounded { depth, par } => {
             let conds = refinement_conditions(concrete, abstract_);
             if !conds.objects_ok {
@@ -63,21 +69,20 @@ pub fn check_refinement_with(
                 return Verdict::Fails { reason: FailedCondition::Alphabet, counterexample: None };
             }
             match bounded_refinement_counterexample(concrete, abstract_, depth, par) {
-                Some(cex) => Verdict::Fails {
-                    reason: FailedCondition::Traces,
-                    counterexample: Some(cex),
-                },
+                Some(cex) => {
+                    Verdict::Fails { reason: FailedCondition::Traces, counterexample: Some(cex) }
+                }
                 None => Verdict::Holds { exact: false },
             }
         }
         Strategy::Auto { depth } => {
             if concrete.trace_set().is_regular() && abstract_.trace_set().is_regular() {
-                check_refinement(concrete, abstract_, depth)
+                check_refinement_cached(DfaCache::global(), concrete, abstract_, depth)
             } else {
                 check_refinement_with(
                     concrete,
                     abstract_,
-                    Strategy::Bounded { depth, par: Parallelism::Rayon },
+                    Strategy::Bounded { depth, par: Parallelism::Threads },
                 )
             }
         }
@@ -145,11 +150,7 @@ pub fn explain_verdict(
 
 /// Cross-validation: do the exact and bounded strategies deliver the same
 /// holds/fails answer on this pair?
-pub fn strategies_agree(
-    concrete: &Specification,
-    abstract_: &Specification,
-    depth: usize,
-) -> bool {
+pub fn strategies_agree(concrete: &Specification, abstract_: &Specification, depth: usize) -> bool {
     let exact = check_refinement_with(concrete, abstract_, Strategy::Exact { pred_depth: depth });
     let bounded = check_refinement_with(
         concrete,
@@ -176,27 +177,18 @@ mod tests {
         b.class_witnesses(objects, 1).unwrap();
         let u = b.freeze();
         let alpha_small = EventPattern::call(objects, o, ow).to_set(&u);
-        let alpha_big =
-            alpha_small.union(&EventPattern::call(objects, o, cw).to_set(&u));
+        let alpha_big = alpha_small.union(&EventPattern::call(objects, o, cw).to_set(&u));
         let x = VarId(0);
-        let abstract_ = Specification::new(
-            "Top",
-            [o],
-            alpha_small.clone(),
-            TraceSet::Universal,
-        )
-        .unwrap();
+        let abstract_ =
+            Specification::new("Top", [o], alpha_small.clone(), TraceSet::Universal).unwrap();
         let concrete = Specification::new(
             "Brackets",
             [o],
             alpha_big.clone(),
             TraceSet::prs(
-                Re::seq([
-                    Re::lit(Template::call(x, o, ow)),
-                    Re::lit(Template::call(x, o, cw)),
-                ])
-                .bind(x, objects)
-                .star(),
+                Re::seq([Re::lit(Template::call(x, o, ow)), Re::lit(Template::call(x, o, cw))])
+                    .bind(x, objects)
+                    .star(),
             ),
         )
         .unwrap();

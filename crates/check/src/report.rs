@@ -5,10 +5,8 @@
 //! JSON document and a markdown table so the paper-vs-measured comparison
 //! is regenerable from one command.
 
-use serde::{Deserialize, Serialize};
-
 /// The verdict of one reproduction row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// The paper's claim was reproduced.
     Reproduced,
@@ -19,7 +17,7 @@ pub enum Outcome {
 }
 
 /// One row of the experiment index.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRecord {
     /// Row id (`EX3`, `THM16`, …) matching DESIGN.md §5.
     pub id: String,
@@ -31,6 +29,25 @@ pub struct ExperimentRecord {
     pub outcome: Outcome,
 }
 
+impl Outcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Reproduced => "Reproduced",
+            Outcome::ReproducedWithCaveat => "ReproducedWithCaveat",
+            Outcome::Failed => "Failed",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "Reproduced" => Some(Outcome::Reproduced),
+            "ReproducedWithCaveat" => Some(Outcome::ReproducedWithCaveat),
+            "Failed" => Some(Outcome::Failed),
+            _ => None,
+        }
+    }
+}
+
 impl ExperimentRecord {
     /// A fully-reproduced row.
     pub fn reproduced(id: &str, claim: &str, measured: impl Into<String>) -> Self {
@@ -40,6 +57,26 @@ impl ExperimentRecord {
             measured: measured.into(),
             outcome: Outcome::Reproduced,
         }
+    }
+
+    /// JSON object with fields in declaration order.
+    pub fn to_json(&self) -> pospec_json::Value {
+        pospec_json::ObjBuilder::new()
+            .field("id", self.id.as_str())
+            .field("claim", self.claim.as_str())
+            .field("measured", self.measured.as_str())
+            .field("outcome", self.outcome.as_str())
+            .build()
+    }
+
+    /// Parse one record back from its JSON object.
+    pub fn from_json(v: &pospec_json::Value) -> Option<Self> {
+        Some(ExperimentRecord {
+            id: v.get("id")?.as_str()?.to_string(),
+            claim: v.get("claim")?.as_str()?.to_string(),
+            measured: v.get("measured")?.as_str()?.to_string(),
+            outcome: Outcome::from_str(v.get("outcome")?.as_str()?)?,
+        })
     }
 
     /// Render as a markdown table row.
@@ -70,8 +107,8 @@ mod tests {
     #[test]
     fn records_roundtrip_through_json() {
         let r = ExperimentRecord::reproduced("EX1", "Read/Write well-formed", "both validated");
-        let json = serde_json::to_string(&r).unwrap();
-        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        let json = r.to_json().to_compact();
+        let back = ExperimentRecord::from_json(&pospec_json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.id, "EX1");
         assert_eq!(back.outcome, Outcome::Reproduced);
     }

@@ -80,11 +80,7 @@ pub fn transition_cover(spec: &Specification, pred_depth: usize) -> TestSuite {
     traces.dedup();
     let maximal: Vec<Trace> = traces
         .iter()
-        .filter(|t| {
-            !traces
-                .iter()
-                .any(|other| other.len() > t.len() && t.is_prefix_of(other))
-        })
+        .filter(|t| !traces.iter().any(|other| other.len() > t.len() && t.is_prefix_of(other)))
         .cloned()
         .collect();
     TestSuite { traces: maximal, transitions }
@@ -107,10 +103,9 @@ mod tests {
         let cw = b.method("CW").unwrap();
         b.class_witnesses(env, 2).unwrap();
         let u = b.freeze();
-        let alpha = [ow, w, cw].iter().fold(
-            pospec_alphabet::EventSet::empty(&u),
-            |acc, &m| acc.union(&EventPattern::call(env, o, m).to_set(&u)),
-        );
+        let alpha = [ow, w, cw].iter().fold(pospec_alphabet::EventSet::empty(&u), |acc, &m| {
+            acc.union(&EventPattern::call(env, o, m).to_set(&u))
+        });
         let x = VarId(0);
         let re = Re::seq([
             Re::lit(Template::call(x, o, ow)),
@@ -148,10 +143,7 @@ mod tests {
         for (i, t) in suite.traces.iter().enumerate() {
             for (j, other) in suite.traces.iter().enumerate() {
                 if i != j {
-                    assert!(
-                        !(t.is_prefix_of(other)),
-                        "{t} is a redundant prefix of {other}"
-                    );
+                    assert!(!(t.is_prefix_of(other)), "{t} is a redundant prefix of {other}");
                 }
             }
         }

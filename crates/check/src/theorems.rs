@@ -13,16 +13,18 @@
 //! are not vacuous.
 //!
 //! All checks are deterministic in the seed, and instances are processed
-//! in parallel with rayon.
+//! in parallel with the scoped-thread engine of [`pospec_core::parallel`].
+//! Within one instance, refinement checks share a per-instance
+//! [`DfaCache`], so a specification appearing in several premises is
+//! finitized and lifted once.
 
 use crate::gen::{Arena, SpecGen};
 use pospec_alphabet::internal_of_set;
 use pospec_core::{
-    check_refinement, compose, compose_unchecked, is_composable, is_proper_refinement,
-    observable_equiv, traceset_dfa, Component, SemanticObject, Specification, TraceSet,
+    check_refinement_cached, compose, compose_unchecked, is_composable, is_proper_refinement,
+    observable_equiv, parallel_map_ref, traceset_dfa, Component, DfaCache, SemanticObject,
+    Specification, TraceSet,
 };
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Depth used for predicate tries inside the theorem checks (all generated
@@ -30,7 +32,7 @@ use std::sync::Arc;
 const DEPTH: usize = 8;
 
 /// The result of fuzzing one theorem.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TheoremOutcome {
     /// Which statement was checked.
     pub name: String,
@@ -56,16 +58,11 @@ fn fuzz(
     n: usize,
     per_instance: impl Fn(u64) -> Option<Result<(), String>> + Sync,
 ) -> TheoremOutcome {
-    let results: Vec<Option<Result<(), String>>> = (0..n as u64)
-        .into_par_iter()
-        .map(|i| per_instance(seed.wrapping_mul(1_000_003).wrapping_add(i)))
-        .collect();
-    let mut out = TheoremOutcome {
-        name: name.to_string(),
-        instances: 0,
-        skipped: 0,
-        violations: Vec::new(),
-    };
+    let seeds: Vec<u64> =
+        (0..n as u64).map(|i| seed.wrapping_mul(1_000_003).wrapping_add(i)).collect();
+    let results: Vec<Option<Result<(), String>>> = parallel_map_ref(&seeds, |&s| per_instance(s));
+    let mut out =
+        TheoremOutcome { name: name.to_string(), instances: 0, skipped: 0, violations: Vec::new() };
     for r in results {
         match r {
             None => out.skipped += 1,
@@ -115,6 +112,7 @@ pub fn lemma_6(seed: u64, n: usize) -> TheoremOutcome {
     fuzz("Lemma 6 (weakest common refinement)", seed, n, |s| {
         let arena = Arena::new(3, 2);
         let mut g = SpecGen::new(arena.clone(), s);
+        let cache = DfaCache::new();
         let o = arena.objs[g.below(3)];
         let g1 = g.random_env_spec(&[o], "G1");
         let g2 = g.random_env_spec(&[o], "G2");
@@ -124,7 +122,7 @@ pub fn lemma_6(seed: u64, n: usize) -> TheoremOutcome {
         };
         // Clause 1.
         for (gi, label) in [(&g1, "Γ₁"), (&g2, "Γ₂")] {
-            let v = check_refinement(&joint, gi, DEPTH);
+            let v = check_refinement_cached(&cache, &joint, gi, DEPTH);
             if !v.holds() {
                 return Some(Err(format!("Γ₁‖Γ₂ ⋢ {label}: {v}")));
             }
@@ -133,23 +131,21 @@ pub fn lemma_6(seed: u64, n: usize) -> TheoremOutcome {
         let u = &arena.u;
         let alpha_delta = g1.alphabet().union(g2.alphabet());
         let sigma = Arc::new(alpha_delta.enumerate_concrete());
-        let d1 = traceset_dfa(u, g1.trace_set(), Arc::new(g1.alphabet().enumerate_concrete()), DEPTH)
-            .lift_to(Arc::clone(&sigma));
-        let d2 = traceset_dfa(u, g2.trace_set(), Arc::new(g2.alphabet().enumerate_concrete()), DEPTH)
-            .lift_to(Arc::clone(&sigma));
-        let delta = Specification::new(
-            "Δ",
-            [o],
-            alpha_delta,
-            TraceSet::Dfa(Arc::new(d1.intersect(&d2))),
-        )
-        .expect("Δ is well-formed");
+        let d1 =
+            traceset_dfa(u, g1.trace_set(), Arc::new(g1.alphabet().enumerate_concrete()), DEPTH)
+                .lift_to(Arc::clone(&sigma));
+        let d2 =
+            traceset_dfa(u, g2.trace_set(), Arc::new(g2.alphabet().enumerate_concrete()), DEPTH)
+                .lift_to(Arc::clone(&sigma));
+        let delta =
+            Specification::new("Δ", [o], alpha_delta, TraceSet::Dfa(Arc::new(d1.intersect(&d2))))
+                .expect("Δ is well-formed");
         for (gi, label) in [(&g1, "Γ₁"), (&g2, "Γ₂")] {
-            if !check_refinement(&delta, gi, DEPTH).holds() {
+            if !check_refinement_cached(&cache, &delta, gi, DEPTH).holds() {
                 return Some(Err(format!("constructed Δ ⋢ {label} (generator bug)")));
             }
         }
-        let v = check_refinement(&delta, &joint, DEPTH);
+        let v = check_refinement_cached(&cache, &delta, &joint, DEPTH);
         if !v.holds() {
             return Some(Err(format!("common refinement Δ ⋢ Γ₁‖Γ₂: {v}")));
         }
@@ -162,6 +158,7 @@ pub fn theorem_7(seed: u64, n: usize) -> TheoremOutcome {
     fuzz("Theorem 7 (compositional refinement, interface)", seed, n, |s| {
         let arena = Arena::new(3, 2);
         let mut g = SpecGen::new(arena.clone(), s);
+        let cache = DfaCache::new();
         let o1 = arena.objs[0];
         let o2 = arena.objs[1];
         let gamma_c = if g.coin() {
@@ -170,7 +167,7 @@ pub fn theorem_7(seed: u64, n: usize) -> TheoremOutcome {
             g.random_spec_with_partners(&[o1], &[o2], "Γ′")
         };
         let gamma_a = g.abstraction_of(&gamma_c, false, DEPTH);
-        debug_assert!(check_refinement(&gamma_c, &gamma_a, DEPTH).holds());
+        debug_assert!(check_refinement_cached(&cache, &gamma_c, &gamma_a, DEPTH).holds());
         let delta = if g.coin() {
             g.random_env_spec(&[o2], "Δ")
         } else {
@@ -184,7 +181,7 @@ pub fn theorem_7(seed: u64, n: usize) -> TheoremOutcome {
             Ok(c) => c,
             Err(_) => return None,
         };
-        let v = check_refinement(&lhs, &rhs, DEPTH);
+        let v = check_refinement_cached(&cache, &lhs, &rhs, DEPTH);
         if !v.holds() {
             return Some(Err(format!(
                 "Γ′‖Δ ⋢ Γ‖Δ for Γ′={}, Γ={}, Δ={}: {v}",
@@ -313,11 +310,7 @@ pub fn lemma_15(seed: u64, n: usize) -> TheoremOutcome {
         }
         let (lhs, rhs) = hiding_stability_sides(&gamma_c, &gamma_a, &delta);
         if !lhs.set_eq(&rhs) {
-            return Some(Err(format!(
-                "hiding changed: {} vs {}",
-                lhs.display(),
-                rhs.display()
-            )));
+            return Some(Err(format!("hiding changed: {} vs {}", lhs.display(), rhs.display())));
         }
         Some(Ok(()))
     })
@@ -330,6 +323,7 @@ pub fn theorem_16(seed: u64, n: usize) -> TheoremOutcome {
     fuzz("Theorem 16 (compositional refinement, components)", seed, n, |s| {
         let arena = Arena::new(3, 2);
         let mut g = SpecGen::new(arena.clone(), s);
+        let cache = DfaCache::new();
         let (a, b, c) = (arena.objs[0], arena.objs[1], arena.objs[2]);
         let gamma_c = if g.coin() {
             g.random_env_spec(&[a, b], "Γ′")
@@ -350,7 +344,7 @@ pub fn theorem_16(seed: u64, n: usize) -> TheoremOutcome {
         }
         let lhs = compose(&gamma_c, &delta).expect("checked composable");
         let rhs = compose_unchecked(&gamma_a, &delta);
-        let v = check_refinement(&lhs, &rhs, DEPTH);
+        let v = check_refinement_cached(&cache, &lhs, &rhs, DEPTH);
         if !v.holds() {
             return Some(Err(format!(
                 "Γ′‖Δ ⋢ Γ‖Δ (Γ′={}, Γ={}, Δ={}): {v}",
@@ -372,6 +366,7 @@ pub fn property_17(seed: u64, n: usize) -> TheoremOutcome {
     fuzz("Property 17 (composability stability)", seed, n, |s| {
         let arena = Arena::new(3, 2);
         let mut g = SpecGen::new(arena.clone(), s);
+        let cache = DfaCache::new();
         let (a, b, c) = (arena.objs[0], arena.objs[1], arena.objs[2]);
         let gamma_a_spec = g.random_env_spec(&[a, b], "Γ");
         // Expand the alphabet without changing objects: Γ′ ⊑ Γ trivially
@@ -384,7 +379,7 @@ pub fn property_17(seed: u64, n: usize) -> TheoremOutcome {
             gamma_a_spec.trace_set().clone(),
         )
         .expect("expanded alphabet stays admissible");
-        debug_assert!(check_refinement(&gamma_c, &gamma_a_spec, DEPTH).holds());
+        debug_assert!(check_refinement_cached(&cache, &gamma_c, &gamma_a_spec, DEPTH).holds());
         let delta = g.random_env_spec(&[c], "Δ");
         if !is_composable(&gamma_a_spec, &delta) {
             return None;
@@ -401,6 +396,7 @@ pub fn theorem_18(seed: u64, n: usize) -> TheoremOutcome {
     fuzz("Theorem 18 (no new objects)", seed, n, |s| {
         let arena = Arena::new(3, 2);
         let mut g = SpecGen::new(arena.clone(), s);
+        let cache = DfaCache::new();
         let (a, b, c) = (arena.objs[0], arena.objs[1], arena.objs[2]);
         let gamma_c = g.random_spec_with_partners(&[a, b], &[c], "Γ′");
         let gamma_a = g.abstraction_of(&gamma_c, false, DEPTH);
@@ -410,7 +406,7 @@ pub fn theorem_18(seed: u64, n: usize) -> TheoremOutcome {
         }
         let lhs = compose(&gamma_c, &delta).expect("checked composable");
         let rhs = compose_unchecked(&gamma_a, &delta);
-        let v = check_refinement(&lhs, &rhs, DEPTH);
+        let v = check_refinement_cached(&cache, &lhs, &rhs, DEPTH);
         if !v.holds() {
             return Some(Err(format!("Γ′‖Δ ⋢ Γ‖Δ: {v}")));
         }
@@ -425,22 +421,23 @@ pub fn refinement_partial_order(seed: u64, n: usize) -> TheoremOutcome {
     fuzz("§3 (refinement is a partial order)", seed, n, |s| {
         let arena = Arena::new(3, 2);
         let mut g = SpecGen::new(arena.clone(), s);
+        let cache = DfaCache::new();
         let bottom = g.random_env_spec(&[arena.objs[0], arena.objs[1]], "B");
         // Reflexivity.
-        if !check_refinement(&bottom, &bottom, DEPTH).holds() {
+        if !check_refinement_cached(&cache, &bottom, &bottom, DEPTH).holds() {
             return Some(Err("reflexivity failed".to_string()));
         }
         // Transitivity along a constructed chain.
         let mid = g.abstraction_of(&bottom, true, DEPTH);
         let top = g.abstraction_of(&mid, true, DEPTH);
-        if !check_refinement(&bottom, &top, DEPTH).holds() {
+        if !check_refinement_cached(&cache, &bottom, &top, DEPTH).holds() {
             return Some(Err("transitivity failed along an abstraction chain".to_string()));
         }
         // Antisymmetry up to observable equivalence, when both directions
         // happen to hold.
         let other = g.random_env_spec(&[arena.objs[0], arena.objs[1]], "B2");
-        if check_refinement(&bottom, &other, DEPTH).holds()
-            && check_refinement(&other, &bottom, DEPTH).holds()
+        if check_refinement_cached(&cache, &bottom, &other, DEPTH).holds()
+            && check_refinement_cached(&cache, &other, &bottom, DEPTH).holds()
             && !observable_equiv(&bottom, &other, DEPTH)
         {
             return Some(Err("mutual refinement without equivalence".to_string()));
@@ -455,6 +452,7 @@ pub fn composition_monotone(seed: u64, n: usize) -> TheoremOutcome {
     fuzz("Composition monotone in both arguments", seed, n, |s| {
         let arena = Arena::new(3, 2);
         let mut g = SpecGen::new(arena.clone(), s);
+        let cache = DfaCache::new();
         let gamma_c = g.random_env_spec(&[arena.objs[0]], "Γ′");
         let gamma_a = g.abstraction_of(&gamma_c, false, DEPTH);
         let delta_c = g.random_env_spec(&[arena.objs[1]], "Δ′");
@@ -467,7 +465,7 @@ pub fn composition_monotone(seed: u64, n: usize) -> TheoremOutcome {
             Ok(x) => x,
             Err(_) => return None,
         };
-        let v = check_refinement(&lhs, &rhs, DEPTH);
+        let v = check_refinement_cached(&cache, &lhs, &rhs, DEPTH);
         if !v.holds() {
             return Some(Err(format!("joint monotonicity failed: {v}")));
         }
@@ -486,6 +484,7 @@ pub fn necessity_of_properness(seed: u64, n: usize) -> TheoremOutcome {
         let s = seed.wrapping_mul(999_983).wrapping_add(i);
         let arena = Arena::new(3, 2);
         let mut g = SpecGen::new(arena.clone(), s);
+        let cache = DfaCache::new();
         let (a, b, c) = (arena.objs[0], arena.objs[1], arena.objs[2]);
         // Γ over {a}; Γ′ adds object b whose events Δ observes: improper.
         let gamma_a = g.random_env_spec(&[a], "Γ");
@@ -498,7 +497,7 @@ pub fn necessity_of_properness(seed: u64, n: usize) -> TheoremOutcome {
         )
         .expect("well-formed");
         let delta = g.random_spec_with_partners(&[c], &[b], "Δ");
-        if !check_refinement(&gamma_c, &gamma_a, DEPTH).holds() {
+        if !check_refinement_cached(&cache, &gamma_c, &gamma_a, DEPTH).holds() {
             continue;
         }
         if !is_composable(&gamma_c, &delta) {
@@ -510,7 +509,7 @@ pub fn necessity_of_properness(seed: u64, n: usize) -> TheoremOutcome {
         tried += 1;
         let lhs = compose(&gamma_c, &delta).expect("composable");
         let rhs = compose_unchecked(&gamma_a, &delta);
-        if !check_refinement(&lhs, &rhs, DEPTH).holds() {
+        if !check_refinement_cached(&cache, &lhs, &rhs, DEPTH).holds() {
             found += 1;
         }
     }
@@ -550,12 +549,7 @@ mod tests {
     use super::*;
 
     fn assert_holds(outcome: &TheoremOutcome, min_instances: usize) {
-        assert!(
-            outcome.holds(),
-            "{} violated:\n{}",
-            outcome.name,
-            outcome.violations.join("\n")
-        );
+        assert!(outcome.holds(), "{} violated:\n{}", outcome.name, outcome.violations.join("\n"));
         assert!(
             outcome.instances >= min_instances,
             "{}: only {} instances checked ({} skipped)",
@@ -623,9 +617,6 @@ mod tests {
     #[test]
     fn properness_is_necessary() {
         let probe = necessity_of_properness(10, 80);
-        assert!(
-            probe.holds(),
-            "expected at least one improper instance to break Theorem 16"
-        );
+        assert!(probe.holds(), "expected at least one improper instance to break Theorem 16");
     }
 }

@@ -66,10 +66,7 @@ pub fn assume_guarantee(
         // Largest-prefix-closed-subset semantics re-checks prefixes, so
         // evaluating the condition at `h` itself is enough here.
         let inputs = Trace::from_events(
-            h.iter()
-                .filter(|e| direction_of(&objects, e) == Direction::Input)
-                .copied()
-                .collect(),
+            h.iter().filter(|e| direction_of(&objects, e) == Direction::Input).copied().collect(),
         );
         // The input projection already excludes the object's own moves,
         // so a trailing output never changes what was assumed.
@@ -139,14 +136,8 @@ mod tests {
     fn direction_classification() {
         let f = fix();
         let objects: BTreeSet<_> = [f.server].into_iter().collect();
-        assert_eq!(
-            direction_of(&objects, &Event::call(f.c, f.server, f.req)),
-            Direction::Input
-        );
-        assert_eq!(
-            direction_of(&objects, &Event::call(f.server, f.c, f.rsp)),
-            Direction::Output
-        );
+        assert_eq!(direction_of(&objects, &Event::call(f.c, f.server, f.req)), Direction::Input);
+        assert_eq!(direction_of(&objects, &Event::call(f.server, f.c, f.rsp)), Direction::Output);
     }
 
     #[test]

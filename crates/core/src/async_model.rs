@@ -78,31 +78,23 @@ fn split_re(re: &Re, m: MethodId, req: MethodId, rsp: MethodId) -> Re {
         Re::Empty => Re::Empty,
         Re::Eps => Re::Eps,
         Re::Lit(t) if t.method == Some(m) => {
-            let request = Template {
-                caller: t.caller,
-                callee: t.callee,
-                method: Some(req),
-                arg: TArg::Auto,
-            };
+            let request =
+                Template { caller: t.caller, callee: t.callee, method: Some(req), arg: TArg::Auto };
             let reply =
                 Template { caller: t.callee, callee: t.caller, method: Some(rsp), arg: t.arg };
             Re::seq([Re::lit(request), Re::lit(reply)])
         }
         Re::Lit(t) => Re::Lit(*t),
-        Re::Seq(a, b) => Re::Seq(
-            Box::new(split_re(a, m, req, rsp)),
-            Box::new(split_re(b, m, req, rsp)),
-        ),
-        Re::Alt(a, b) => Re::Alt(
-            Box::new(split_re(a, m, req, rsp)),
-            Box::new(split_re(b, m, req, rsp)),
-        ),
+        Re::Seq(a, b) => {
+            Re::Seq(Box::new(split_re(a, m, req, rsp)), Box::new(split_re(b, m, req, rsp)))
+        }
+        Re::Alt(a, b) => {
+            Re::Alt(Box::new(split_re(a, m, req, rsp)), Box::new(split_re(b, m, req, rsp)))
+        }
         Re::Star(a) => Re::Star(Box::new(split_re(a, m, req, rsp))),
-        Re::Bind { var, class, body } => Re::Bind {
-            var: *var,
-            class: *class,
-            body: Box::new(split_re(body, m, req, rsp)),
-        },
+        Re::Bind { var, class, body } => {
+            Re::Bind { var: *var, class: *class, body: Box::new(split_re(body, m, req, rsp)) }
+        }
     }
 }
 

@@ -1,0 +1,510 @@
+//! Memoized automaton cache and parallel batch refinement checking.
+//!
+//! The Def.-2 condition-3 check and the Def.-4/11 composition pipeline
+//! are built from three expensive ingredients: enumerating the canonical
+//! finitization of an alphabet ([`EventSet::enumerate_concrete`]),
+//! building the automaton view of a trace set ([`traceset_dfa`]), and
+//! lifting that view to a larger alphabet (`lift_to`).  The meta-theory
+//! suite and `paper_report` issue hundreds of near-identical queries, so
+//! [`DfaCache`] interns all three behind `Arc`s — extending the
+//! per-instance `OnceLock` memoization of [`ComposedSet`] to a
+//! query-keyed map shared by every check.
+//!
+//! Keys combine *identity*, not structure:
+//!
+//! * a trace set is keyed by the pointer identity of its backend `Arc`
+//!   (compiled regex, predicate closure, conjunction list, composed set,
+//!   or explicit DFA) — the cache holds a clone of each keyed set, so a
+//!   key can never be revived by a reallocated `Arc`;
+//! * an alphabet is keyed by its universe identity plus its exact
+//!   granule set (granules are canonical, so structurally equal alphabets
+//!   share one enumeration);
+//! * automaton entries additionally carry the predicate-trie depth.
+//!
+//! Entries are `OnceLock`-guarded, so concurrent batch workers that race
+//! on the same key block on one build instead of duplicating it.
+//! Hit/miss/build-time counters are exported via [`CacheStats`] and
+//! surface in `paper_report.json`.
+
+use crate::parallel::parallel_map_ref;
+use crate::refine::{condition3_verdict, refinement_conditions, FailedCondition, Verdict};
+use crate::spec::Specification;
+use crate::traceset::{traceset_dfa, TraceSet};
+use pospec_alphabet::{EventGranule, EventSet, Universe};
+use pospec_regex::ConcreteDfa;
+use pospec_trace::Event;
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Identity key of a trace-set backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TsKey {
+    Universal,
+    Prs(usize),
+    Predicate(usize),
+    Conj(usize),
+    Composed(usize),
+    Dfa(usize),
+}
+
+fn ts_key(ts: &TraceSet) -> TsKey {
+    match ts {
+        TraceSet::Universal => TsKey::Universal,
+        TraceSet::Prs(re) => TsKey::Prs(Arc::as_ptr(re) as usize),
+        TraceSet::Predicate { pred, .. } => {
+            TsKey::Predicate(Arc::as_ptr(pred) as *const () as usize)
+        }
+        TraceSet::Conj(parts) => TsKey::Conj(Arc::as_ptr(parts) as usize),
+        TraceSet::Composed(c) => TsKey::Composed(Arc::as_ptr(c) as usize),
+        TraceSet::Dfa(d) => TsKey::Dfa(Arc::as_ptr(d) as usize),
+    }
+}
+
+/// Identity key of a finitized alphabet: universe pointer + exact
+/// granule set.  Granules are canonical, so two structurally equal
+/// `EventSet`s over one universe share a key (and one enumeration).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AlphaKey {
+    universe: usize,
+    granules: Vec<EventGranule>,
+}
+
+fn alpha_key(set: &EventSet) -> AlphaKey {
+    AlphaKey {
+        universe: Arc::as_ptr(set.universe()) as usize,
+        granules: set.granules().copied().collect(),
+    }
+}
+
+type DfaSlot = Arc<OnceLock<Arc<ConcreteDfa>>>;
+
+/// A snapshot of the cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Alphabet-enumeration lookups served from the cache.
+    pub alphabet_hits: u64,
+    /// Alphabet enumerations performed.
+    pub alphabet_misses: u64,
+    /// Trace-set automaton lookups served from the cache.
+    pub dfa_hits: u64,
+    /// Trace-set automata built.
+    pub dfa_misses: u64,
+    /// Lifted-automaton lookups served from the cache.
+    pub lift_hits: u64,
+    /// Lifted automata built.
+    pub lift_misses: u64,
+    /// Total nanoseconds spent building cache entries (misses only).
+    pub build_nanos: u64,
+}
+
+impl CacheStats {
+    /// All hits across the three maps.
+    pub fn hits(&self) -> u64 {
+        self.alphabet_hits + self.dfa_hits + self.lift_hits
+    }
+
+    /// All misses across the three maps.
+    pub fn misses(&self) -> u64 {
+        self.alphabet_misses + self.dfa_misses + self.lift_misses
+    }
+
+    /// Time spent building entries.
+    pub fn build_time(&self) -> Duration {
+        Duration::from_nanos(self.build_nanos)
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            alphabet_hits: self.alphabet_hits - earlier.alphabet_hits,
+            alphabet_misses: self.alphabet_misses - earlier.alphabet_misses,
+            dfa_hits: self.dfa_hits - earlier.dfa_hits,
+            dfa_misses: self.dfa_misses - earlier.dfa_misses,
+            lift_hits: self.lift_hits - earlier.lift_hits,
+            lift_misses: self.lift_misses - earlier.lift_misses,
+            build_nanos: self.build_nanos - earlier.build_nanos,
+        }
+    }
+}
+
+/// Memoized automaton cache; see the module documentation.
+#[derive(Default)]
+pub struct DfaCache {
+    alphabets: Mutex<HashMap<AlphaKey, Arc<Vec<Event>>>>,
+    dfas: Mutex<HashMap<(TsKey, AlphaKey, usize), DfaSlot>>,
+    lifted: Mutex<HashMap<(TsKey, AlphaKey, AlphaKey, usize), DfaSlot>>,
+    /// Clones of every keyed trace set and universe, pinning the `Arc`s
+    /// whose addresses serve as keys.
+    pinned_sets: Mutex<Vec<TraceSet>>,
+    pinned_universes: Mutex<Vec<Arc<Universe>>>,
+    alphabet_hits: AtomicU64,
+    alphabet_misses: AtomicU64,
+    dfa_hits: AtomicU64,
+    dfa_misses: AtomicU64,
+    lift_hits: AtomicU64,
+    lift_misses: AtomicU64,
+    build_nanos: AtomicU64,
+}
+
+impl DfaCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        DfaCache::default()
+    }
+
+    /// The process-wide shared cache.
+    pub fn global() -> &'static DfaCache {
+        static GLOBAL: OnceLock<DfaCache> = OnceLock::new();
+        GLOBAL.get_or_init(DfaCache::new)
+    }
+
+    /// The canonical finitization of `set`, interned.
+    pub fn alphabet(&self, set: &EventSet) -> Arc<Vec<Event>> {
+        let key = alpha_key(set);
+        let mut map = self.alphabets.lock().unwrap_or_else(|e| e.into_inner());
+        match map.entry(key) {
+            MapEntry::Occupied(slot) => {
+                self.alphabet_hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(slot.get())
+            }
+            MapEntry::Vacant(slot) => {
+                self.alphabet_misses.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                let sigma = Arc::new(set.enumerate_concrete());
+                self.build_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                self.pinned_universes
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(Arc::clone(set.universe()));
+                Arc::clone(slot.insert(sigma))
+            }
+        }
+    }
+
+    /// Claim the slot for `key`, recording hit/miss, without building.
+    fn slot<K: std::hash::Hash + Eq>(
+        &self,
+        map: &Mutex<HashMap<K, DfaSlot>>,
+        key: K,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+        pin: &TraceSet,
+    ) -> DfaSlot {
+        let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
+        match map.entry(key) {
+            MapEntry::Occupied(slot) => {
+                hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(slot.get())
+            }
+            MapEntry::Vacant(slot) => {
+                misses.fetch_add(1, Ordering::Relaxed);
+                self.pinned_sets.lock().unwrap_or_else(|e| e.into_inner()).push(pin.clone());
+                Arc::clone(slot.insert(Arc::new(OnceLock::new())))
+            }
+        }
+    }
+
+    fn timed_build(&self, build: impl FnOnce() -> ConcreteDfa) -> Arc<ConcreteDfa> {
+        let start = Instant::now();
+        let dfa = Arc::new(build());
+        self.build_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        dfa
+    }
+
+    /// The automaton view of `ts` over the finitization of `alpha`,
+    /// interned.  Equivalent to [`traceset_dfa`] on a miss.
+    pub fn traceset_dfa(
+        &self,
+        u: &Arc<Universe>,
+        ts: &TraceSet,
+        alpha: &EventSet,
+        pred_depth: usize,
+    ) -> Arc<ConcreteDfa> {
+        let key = (ts_key(ts), alpha_key(alpha), pred_depth);
+        let slot = self.slot(&self.dfas, key, &self.dfa_hits, &self.dfa_misses, ts);
+        let sigma = self.alphabet(alpha);
+        Arc::clone(slot.get_or_init(|| self.timed_build(|| traceset_dfa(u, ts, sigma, pred_depth))))
+    }
+
+    /// The automaton view of `ts` over `alpha`, lifted to the
+    /// finitization of `big` (inverse projection), interned.
+    pub fn lifted_dfa(
+        &self,
+        u: &Arc<Universe>,
+        ts: &TraceSet,
+        alpha: &EventSet,
+        big: &EventSet,
+        pred_depth: usize,
+    ) -> Arc<ConcreteDfa> {
+        let key = (ts_key(ts), alpha_key(alpha), alpha_key(big), pred_depth);
+        let slot = self.slot(&self.lifted, key, &self.lift_hits, &self.lift_misses, ts);
+        let base = self.traceset_dfa(u, ts, alpha, pred_depth);
+        let sigma_big = self.alphabet(big);
+        Arc::clone(slot.get_or_init(|| self.timed_build(|| base.lift_to(sigma_big))))
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            alphabet_hits: self.alphabet_hits.load(Ordering::Relaxed),
+            alphabet_misses: self.alphabet_misses.load(Ordering::Relaxed),
+            dfa_hits: self.dfa_hits.load(Ordering::Relaxed),
+            dfa_misses: self.dfa_misses.load(Ordering::Relaxed),
+            lift_hits: self.lift_hits.load(Ordering::Relaxed),
+            lift_misses: self.lift_misses.load(Ordering::Relaxed),
+            build_nanos: self.build_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of interned automata (trace-set views plus lifts).
+    pub fn len(&self) -> usize {
+        self.dfas.lock().unwrap_or_else(|e| e.into_inner()).len()
+            + self.lifted.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (counters are kept).  Long-running services
+    /// should call this at workload boundaries so pinned trace sets and
+    /// universes can be reclaimed.
+    pub fn clear(&self) {
+        self.alphabets.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.dfas.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.lifted.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.pinned_sets.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.pinned_universes.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+/// Full refinement check `concrete ⊑ abstract_` (Def. 2) through the
+/// cache.  Verdicts (including counterexample traces) are identical to
+/// [`crate::check_refinement`]; only the automaton construction is
+/// shared and memoized.
+pub fn check_refinement_cached(
+    cache: &DfaCache,
+    concrete: &Specification,
+    abstract_: &Specification,
+    pred_depth: usize,
+) -> Verdict {
+    let conds = refinement_conditions(concrete, abstract_);
+    if !conds.objects_ok {
+        return Verdict::Fails { reason: FailedCondition::Objects, counterexample: None };
+    }
+    if !conds.alphabet_ok {
+        return Verdict::Fails { reason: FailedCondition::Alphabet, counterexample: None };
+    }
+    let u = concrete.universe();
+    let sigma_conc = cache.alphabet(concrete.alphabet());
+    let sigma_abs = cache.alphabet(abstract_.alphabet());
+    let a = cache.traceset_dfa(u, concrete.trace_set(), concrete.alphabet(), pred_depth);
+    let b = cache.lifted_dfa(
+        u,
+        abstract_.trace_set(),
+        abstract_.alphabet(),
+        concrete.alphabet(),
+        pred_depth,
+    );
+    condition3_verdict(
+        concrete.trace_set(),
+        abstract_.trace_set(),
+        &a,
+        &b,
+        &sigma_conc,
+        &sigma_abs,
+        pred_depth,
+    )
+}
+
+/// Check many refinement queries, fanning independent verdicts across
+/// threads.  Workers share `cache`, so automata common to several pairs
+/// are built once; results come back in input order.
+pub fn check_refinement_batch(
+    cache: &DfaCache,
+    pairs: &[(&Specification, &Specification)],
+    pred_depth: usize,
+) -> Vec<Verdict> {
+    parallel_map_ref(pairs, |(concrete, abstract_)| {
+        check_refinement_cached(cache, concrete, abstract_, pred_depth)
+    })
+}
+
+/// Check every ordered pair of `specs` (the `specs[i] ⊑ specs[j]`
+/// matrix, diagonal included) in parallel through `cache`.
+///
+/// Entry `[i][j]` answers "does `specs[i]` refine `specs[j]`?".  Each
+/// spec's automaton and each lift target is built at most once for the
+/// whole matrix.
+pub fn check_all_pairs(
+    cache: &DfaCache,
+    specs: &[Specification],
+    pred_depth: usize,
+) -> Vec<Vec<Verdict>> {
+    let pairs: Vec<(&Specification, &Specification)> =
+        specs.iter().flat_map(|c| specs.iter().map(move |a| (c, a))).collect();
+    let flat = check_refinement_batch(cache, &pairs, pred_depth);
+    let n = specs.len();
+    let mut flat = flat.into_iter();
+    (0..n).map(|_| (0..n).map(|_| flat.next().expect("n*n verdicts")).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_refinement;
+    use pospec_alphabet::{EventPattern, UniverseBuilder};
+    use pospec_regex::{Re, Template, VarId};
+    use pospec_trace::{MethodId, ObjectId, Trace};
+
+    struct Fix {
+        u: Arc<Universe>,
+        o: ObjectId,
+        objects: pospec_trace::ClassId,
+        ow: MethodId,
+        w: MethodId,
+        cw: MethodId,
+    }
+
+    fn fix() -> Fix {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let o = b.object("o").unwrap();
+        let ow = b.method("OW").unwrap();
+        let w = b.method("W").unwrap();
+        let cw = b.method("CW").unwrap();
+        b.class_witnesses(objects, 2).unwrap();
+        Fix { u: b.freeze(), o, objects, ow, w, cw }
+    }
+
+    fn alpha(f: &Fix, methods: &[MethodId]) -> EventSet {
+        methods
+            .iter()
+            .map(|&m| EventPattern::call(f.objects, f.o, m).to_set(&f.u))
+            .reduce(|a, b| a.union(&b))
+            .unwrap()
+    }
+
+    fn write_spec(f: &Fix) -> Specification {
+        let x = VarId(0);
+        let re = Re::seq([
+            Re::lit(Template::call(x, f.o, f.ow)),
+            Re::lit(Template::call(x, f.o, f.w)).star(),
+            Re::lit(Template::call(x, f.o, f.cw)),
+        ])
+        .bind(x, f.objects)
+        .star();
+        Specification::new("Write", [f.o], alpha(f, &[f.ow, f.w, f.cw]), TraceSet::prs(re)).unwrap()
+    }
+
+    fn universal_spec(f: &Fix) -> Specification {
+        Specification::new("Any", [f.o], alpha(f, &[f.ow, f.w, f.cw]), TraceSet::Universal).unwrap()
+    }
+
+    #[test]
+    fn cached_verdicts_match_uncached() {
+        let f = fix();
+        let w = write_spec(&f);
+        let any = universal_spec(&f);
+        let cache = DfaCache::new();
+        for (c, a) in [(&w, &any), (&any, &w), (&w, &w), (&any, &any)] {
+            let cached = check_refinement_cached(&cache, c, a, 6);
+            let plain = check_refinement(c, a, 6);
+            assert_eq!(cached.holds(), plain.holds(), "{} vs {}", c.name(), a.name());
+            assert_eq!(
+                cached.counterexample(),
+                plain.counterexample(),
+                "{} vs {}",
+                c.name(),
+                a.name()
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let f = fix();
+        let w = write_spec(&f);
+        let any = universal_spec(&f);
+        let cache = DfaCache::new();
+        let before = cache.stats();
+        check_refinement_cached(&cache, &w, &any, 6);
+        let after_first = cache.stats();
+        assert!(after_first.since(&before).misses() > 0, "first query must build");
+        check_refinement_cached(&cache, &w, &any, 6);
+        let after_second = cache.stats();
+        let delta = after_second.since(&after_first);
+        assert_eq!(delta.misses(), 0, "repeat query must be all hits: {delta:?}");
+        assert!(delta.hits() > 0);
+    }
+
+    #[test]
+    fn distinct_depths_are_distinct_entries() {
+        let f = fix();
+        let w = f.w;
+        let pred = Specification::new(
+            "≤2 W",
+            [f.o],
+            alpha(&f, &[f.ow, f.w, f.cw]),
+            TraceSet::predicate("≤2 W", move |h: &Trace| h.count_method(w) <= 2),
+        )
+        .unwrap();
+        let cache = DfaCache::new();
+        let d4 = cache.traceset_dfa(&f.u, pred.trace_set(), pred.alphabet(), 4);
+        let d6 = cache.traceset_dfa(&f.u, pred.trace_set(), pred.alphabet(), 6);
+        assert!(!Arc::ptr_eq(&d4, &d6), "depth is part of the key");
+        let d4_again = cache.traceset_dfa(&f.u, pred.trace_set(), pred.alphabet(), 4);
+        assert!(Arc::ptr_eq(&d4, &d4_again), "same key interns one automaton");
+    }
+
+    #[test]
+    fn structurally_equal_alphabets_share_enumeration() {
+        let f = fix();
+        let a1 = alpha(&f, &[f.ow, f.w]);
+        let a2 = alpha(&f, &[f.w, f.ow]);
+        let cache = DfaCache::new();
+        let s1 = cache.alphabet(&a1);
+        let s2 = cache.alphabet(&a2);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(cache.stats().alphabet_misses, 1);
+        assert_eq!(cache.stats().alphabet_hits, 1);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_matrix_shape() {
+        let f = fix();
+        let w = write_spec(&f);
+        let any = universal_spec(&f);
+        let cache = DfaCache::new();
+        let specs = vec![w.clone(), any.clone()];
+        let matrix = check_all_pairs(&cache, &specs, 6);
+        assert_eq!(matrix.len(), 2);
+        assert_eq!(matrix[0].len(), 2);
+        for (i, c) in specs.iter().enumerate() {
+            for (j, a) in specs.iter().enumerate() {
+                let direct = check_refinement(c, a, 6);
+                assert_eq!(matrix[i][j].holds(), direct.holds(), "[{i}][{j}]");
+            }
+        }
+        // Write ⊑ Any, Any ⋢ Write, both reflexive.
+        assert!(matrix[0][0].holds() && matrix[0][1].holds() && matrix[1][1].holds());
+        assert!(!matrix[1][0].holds());
+    }
+
+    #[test]
+    fn clear_resets_entries_but_not_counters() {
+        let f = fix();
+        let w = write_spec(&f);
+        let cache = DfaCache::new();
+        cache.traceset_dfa(&f.u, w.trace_set(), w.alphabet(), 6);
+        assert!(!cache.is_empty());
+        let misses = cache.stats().misses();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses(), misses);
+    }
+}

@@ -141,8 +141,7 @@ impl Component {
         for o in self.objects.values() {
             let sigma_o: Arc<Vec<Event>> =
                 Arc::new(sigma.iter().filter(|e| e.involves(o.id)).copied().collect());
-            let dfa =
-                traceset_dfa(u, &o.traces, sigma_o, pred_depth).lift_to(Arc::clone(&sigma));
+            let dfa = traceset_dfa(u, &o.traces, sigma_o, pred_depth).lift_to(Arc::clone(&sigma));
             acc = acc.intersect(&dfa);
         }
         acc
@@ -160,17 +159,13 @@ impl Component {
     /// behaviour must project into `T(Γ)`.  Returns a joint counterexample
     /// trace on failure.  Exact over the finitization for regular trace
     /// sets, exact up to `pred_depth` otherwise.
-    pub fn check_soundness(
-        &self,
-        spec: &Specification,
-        pred_depth: usize,
-    ) -> Result<(), Trace> {
+    pub fn check_soundness(&self, spec: &Specification, pred_depth: usize) -> Result<(), Trace> {
         let u = spec.universe();
         let sigma = Arc::new(self.joint_alphabet(u).enumerate_concrete());
         let joint = self.joint_dfa(u, Arc::clone(&sigma), pred_depth);
         let sigma_spec = Arc::new(spec.alphabet().enumerate_concrete());
-        let spec_dfa = traceset_dfa(u, spec.trace_set(), sigma_spec, pred_depth)
-            .lift_to(Arc::clone(&sigma));
+        let spec_dfa =
+            traceset_dfa(u, spec.trace_set(), sigma_spec, pred_depth).lift_to(Arc::clone(&sigma));
         match joint.included_in(&spec_dfa) {
             Ok(()) => Ok(()),
             Err(w) => Err(Trace::from_events(w)),
@@ -209,7 +204,12 @@ mod tests {
     /// `o` answers every `ping` from anywhere with a `pong` to `c`.
     fn responder(f: &Fix) -> SemanticObject {
         let re = Re::seq([
-            Re::lit(Template { caller: pospec_regex::TObj::Any, callee: f.o.into(), method: Some(f.ping), arg: Default::default() }),
+            Re::lit(Template {
+                caller: pospec_regex::TObj::Any,
+                callee: f.o.into(),
+                method: Some(f.ping),
+                arg: Default::default(),
+            }),
             Re::lit(Template::call(f.o, f.c, f.pong)),
         ])
         .star();
@@ -245,10 +245,8 @@ mod tests {
         let f = fix();
         let comp = Component::new([responder(&f), SemanticObject::chaotic(f.c)]);
         let wit = f.u.class_witnesses(f.objects).next().unwrap();
-        let good = Trace::from_events(vec![
-            Event::call(wit, f.o, f.ping),
-            Event::call(f.o, f.c, f.pong),
-        ]);
+        let good =
+            Trace::from_events(vec![Event::call(wit, f.o, f.ping), Event::call(f.o, f.c, f.pong)]);
         assert!(comp.joint_contains(&f.u, &good));
         let bad = Trace::from_events(vec![Event::call(f.o, f.c, f.pong)]);
         assert!(!comp.joint_contains(&f.u, &bad), "pong before ping violates T^o");
@@ -259,7 +257,8 @@ mod tests {
         let f = fix();
         let comp = Component::new([responder(&f)]);
         // Spec considering only ping events: universal over them — sound.
-        let alpha_ping = EventPattern::call(pospec_alphabet::ObjSpec::Any, f.o, f.ping).to_set(&f.u);
+        let alpha_ping =
+            EventPattern::call(pospec_alphabet::ObjSpec::Any, f.o, f.ping).to_set(&f.u);
         let spec =
             Specification::new("Pings", [f.o], alpha_ping.clone(), TraceSet::Universal).unwrap();
         assert!(comp.check_soundness(&spec, 6).is_ok());
@@ -288,10 +287,7 @@ mod tests {
         let ping_only = Trace::from_events(vec![Event::call(wit, f.o, f.ping)]);
         assert!(dfa.contains_trace(&ping_only));
         // The pong to c is hidden, so it cannot appear.
-        assert!(dfa
-            .alphabet()
-            .iter()
-            .all(|e| !(e.caller == f.o && e.callee == f.c)));
+        assert!(dfa.alphabet().iter().all(|e| !(e.caller == f.o && e.callee == f.c)));
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub fn is_composable(gamma: &Specification, delta: &Specification) -> bool {
 
 /// Compose two specifications (Def. 4 / Def. 11), checking Def.-10
 /// composability first.
-pub fn compose(gamma: &Specification, delta: &Specification) -> Result<Specification, ComposeError> {
+pub fn compose(
+    gamma: &Specification,
+    delta: &Specification,
+) -> Result<Specification, ComposeError> {
     let u = gamma.universe();
     let i_delta = internal_of_set(u, delta.objects());
     let i_gamma = internal_of_set(u, gamma.objects());
@@ -78,8 +81,7 @@ pub fn compose(gamma: &Specification, delta: &Specification) -> Result<Specifica
 /// `EXPERIMENTS.md`).
 pub fn compose_unchecked(gamma: &Specification, delta: &Specification) -> Specification {
     let u = gamma.universe();
-    let objects: BTreeSet<ObjectId> =
-        gamma.objects().union(delta.objects()).copied().collect();
+    let objects: BTreeSet<ObjectId> = gamma.objects().union(delta.objects()).copied().collect();
     let i_o = internal_of_set(u, &objects);
     let visible = gamma.alphabet().union(delta.alphabet()).difference(&i_o);
     let ts = TraceSet::Composed(Arc::new(ComposedSet::new(
@@ -96,10 +98,7 @@ pub fn compose_unchecked(gamma: &Specification, delta: &Specification) -> Specif
 /// refinement `Γ′` but no object of the original `Γ` — exactly the events
 /// a context `∆` would lose to hiding if the new objects entered its
 /// communication environment.
-pub fn properness_offending_events(
-    refined: &Specification,
-    original: &Specification,
-) -> EventSet {
+pub fn properness_offending_events(refined: &Specification, original: &Specification) -> EventSet {
     let u = refined.universe();
     let in_set = |g: ObjGranule, s: &BTreeSet<ObjectId>| match g {
         ObjGranule::Named(o) => s.contains(&o),
@@ -274,8 +273,7 @@ mod tests {
         assert!(!composed.alphabet().contains(&Event::call(f.c, f.o, fresh)));
         // Fig. 1: the hidden set minus both alphabets is non-empty.
         let joint = write_acc(&f).alphabet().union(client(&f).alphabet());
-        let hidden_unseen =
-            internal_of_set(&f.u, composed.objects()).difference(&joint);
+        let hidden_unseen = internal_of_set(&f.u, composed.objects()).difference(&joint);
         assert!(!hidden_unseen.is_empty());
         assert!(hidden_unseen.is_infinite());
     }
@@ -334,9 +332,8 @@ mod tests {
         // none of O(WriteAcc) = {o}: they are in α₀, and they appear in
         // α(Client): improper.
         let refined = {
-            let alpha = wa
-                .alphabet()
-                .union(&EventPattern::call(f.objects, f.oprime, f.ok).to_set(&f.u));
+            let alpha =
+                wa.alphabet().union(&EventPattern::call(f.objects, f.oprime, f.ok).to_set(&f.u));
             // Keep WriteAcc's protocol on the old alphabet (OK events are
             // simply forbidden by the prs set, which is a legal narrowing).
             Specification::new("WriteAcc+Mon", [f.o, f.oprime], alpha, wa.trace_set().clone())
@@ -382,9 +379,8 @@ mod tests {
         // Client2 of Example 5: OW happens *after* W — opposite of
         // WriteAcc's order.
         let client2 = {
-            let alpha = client(&f)
-                .alphabet()
-                .union(&EventPattern::call(f.c, f.o, f.ow).to_set(&f.u));
+            let alpha =
+                client(&f).alphabet().union(&EventPattern::call(f.c, f.o, f.ow).to_set(&f.u));
             let re = Re::seq([
                 Re::lit(Template::call(f.c, f.o, f.w)),
                 Re::lit(Template::call(f.c, f.oprime, f.ok)),

@@ -29,21 +29,29 @@
 
 pub mod assume_guarantee;
 pub mod async_model;
+pub mod cache;
 pub mod component;
 pub mod compose;
 pub mod morphism;
+pub mod parallel;
 pub mod refine;
 pub mod spec;
 pub mod traceset;
 
 pub use assume_guarantee::{ag_specification, assume_guarantee, direction_of, Direction};
 pub use async_model::{split_method, AsyncSplitError};
+pub use cache::{
+    check_all_pairs, check_refinement_batch, check_refinement_cached, CacheStats, DfaCache,
+};
 pub use component::{Component, SemanticObject};
 pub use compose::{
     compose, compose_unchecked, is_composable, is_proper_refinement, language_equiv,
     observable_deadlock, observable_equiv, properness_offending_events, ComposeError,
 };
 pub use morphism::{check_refinement_upto, Morphism};
+pub use parallel::{
+    parallel_find_first, parallel_flat_map_ref, parallel_map, parallel_map_ref, worker_count,
+};
 pub use refine::{
     check_refinement, check_traditional_refinement, refinement_conditions, refines,
     FailedCondition, RefinementConditions, Verdict,

@@ -191,9 +191,9 @@ impl Morphism {
             .filter_map(|g| {
                 let method = match g.method {
                     MethodGranule::Named(m) if self.erase_methods.contains(&m) => return None,
-                    MethodGranule::Named(m) => MethodGranule::Named(
-                        self.method_map.get(&m).copied().unwrap_or(m),
-                    ),
+                    MethodGranule::Named(m) => {
+                        MethodGranule::Named(self.method_map.get(&m).copied().unwrap_or(m))
+                    }
                     other => other,
                 };
                 let arg = match (g.method, g.arg) {
@@ -376,7 +376,7 @@ mod tests {
     fn violations_survive_the_morphism_with_witness() {
         let f = fix();
         let c = concrete(&f); // unrestricted puts
-        // Abstract: at most one put_any ever.
+                              // Abstract: at most one put_any ever.
         let put_abs = f.put_abs;
         let a = Specification::new(
             "OnePut",

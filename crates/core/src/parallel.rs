@@ -1,0 +1,161 @@
+//! Deterministic-order data parallelism over OS threads.
+//!
+//! A tiny scoped-thread work engine used everywhere the workspace fans
+//! independent work items out: frontier expansion in bounded
+//! exploration, theorem fuzzing, and the batch refinement-checking API
+//! of [`crate::cache`].  Results always come back in input order, and a
+//! single-item (or single-CPU) workload runs inline on the caller's
+//! thread, so parallel and sequential execution are observationally
+//! identical apart from wall-clock time.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for `n` independent items.
+pub fn worker_count(n: usize) -> usize {
+    let cpus = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    cpus.min(n).max(1)
+}
+
+/// Map `f` over `items` on a scoped thread pool, preserving input order.
+///
+/// Falls back to a plain sequential map when the workload or the machine
+/// has no parallelism to offer.
+pub fn parallel_map_ref<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for (i, u) in parts.drain(..).flatten() {
+        out[i] = Some(u);
+    }
+    out.into_iter().map(|slot| slot.expect("every index mapped")).collect()
+}
+
+/// Map `f` over owned items, preserving input order.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    // Hand each worker exclusive ownership of its item through the index
+    // protocol: each index is claimed exactly once.
+    let cells: Vec<std::sync::Mutex<Option<T>>> =
+        slots.drain(..).map(std::sync::Mutex::new).collect();
+    parallel_map_ref(&cells, |cell| {
+        let item = cell.lock().unwrap_or_else(|e| e.into_inner()).take().expect("claimed once");
+        f(item)
+    })
+}
+
+/// Parallel `flat_map` preserving the order of `items` (each item's
+/// output block appears in input position).
+pub fn parallel_flat_map_ref<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> Vec<U> + Sync,
+{
+    parallel_map_ref(items, f).into_iter().flatten().collect()
+}
+
+/// First item (in input order) satisfying `pred`, searched in parallel.
+///
+/// Matches rayon's `find_first`: the result is the *earliest* match,
+/// not merely the first one discovered, so callers relying on
+/// shortest-first/BFS witness order keep that guarantee.
+pub fn parallel_find_first<T, F>(items: Vec<T>, pred: F) -> Option<T>
+where
+    T: Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.into_iter().find(|t| pred(t));
+    }
+    let next = AtomicUsize::new(0);
+    let best = AtomicUsize::new(usize::MAX);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                // Indices past the best known match can never win.
+                if i >= n || i >= best.load(Ordering::Acquire) {
+                    break;
+                }
+                if pred(&items[i]) {
+                    best.fetch_min(i, Ordering::AcqRel);
+                }
+            });
+        }
+    });
+    let found = best.load(Ordering::Acquire);
+    if found == usize::MAX {
+        None
+    } else {
+        items.into_iter().nth(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled = parallel_map_ref(&input, |x| x * 2);
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        let owned = parallel_map(input, |x| x + 1);
+        assert_eq!(owned, (1..1001).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_keeps_block_order() {
+        let input = vec![3usize, 0, 2];
+        let out = parallel_flat_map_ref(&input, |&k| (0..k).map(|i| (k, i)).collect());
+        assert_eq!(out, vec![(3, 0), (3, 1), (3, 2), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn find_first_returns_earliest_match() {
+        let items: Vec<usize> = (0..10_000).collect();
+        assert_eq!(parallel_find_first(items.clone(), |&x| x % 977 == 3), Some(3));
+        assert_eq!(parallel_find_first(items, |&x| x > 10_000), None);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(parallel_map_ref::<u8, u8, _>(&[], |x| *x), Vec::<u8>::new());
+        assert_eq!(parallel_map_ref(&[7], |x| x + 1), vec![8]);
+        assert_eq!(parallel_find_first(Vec::<u8>::new(), |_| true), None);
+    }
+}

@@ -17,8 +17,9 @@
 //! involved.  On failure a shortest counterexample trace is produced.
 
 use crate::spec::Specification;
-use crate::traceset::{traceset_dfa, DEFAULT_PREDICATE_DEPTH};
-use pospec_trace::Trace;
+use crate::traceset::{traceset_dfa, TraceSet, DEFAULT_PREDICATE_DEPTH};
+use pospec_regex::ConcreteDfa;
+use pospec_trace::{Event, Trace};
 use std::fmt;
 use std::sync::Arc;
 
@@ -50,7 +51,7 @@ pub enum FailedCondition {
 }
 
 /// The result of a refinement check.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
     /// The refinement holds.  `exact` is true when every trace set
     /// involved is regular, making the automaton check a decision
@@ -112,6 +113,83 @@ pub fn refinement_conditions(
     }
 }
 
+/// Decide condition 3 from already-built automata.
+///
+/// `a` is the concrete trace set's view over the finitized `α(Γ′)`;
+/// `b_lifted` is the abstract view lifted (inverse projection) to the
+/// same alphabet.  Shared by the uncached [`check_refinement`] and the
+/// cached [`crate::cache::check_refinement_cached`] paths, so both
+/// produce identical verdicts and counterexamples.
+///
+/// Inexact (predicate-trie) views are compared only on the *symmetric*
+/// comparison region where both sides are exact:
+///
+/// * if the concrete side is inexact, words longer than `pred_depth`
+///   are excluded (the concrete trie is silent about them);
+/// * if the abstract side is inexact, words whose **projection** onto
+///   `α(Γ)` is longer than `pred_depth` are excluded (the abstract trie
+///   is silent about those projections) — a strictly larger region than
+///   truncating by total concrete length, so counterexamples whose
+///   concrete length exceeds the depth but whose projection does not are
+///   still found.
+///
+/// Within the region both tries answer membership exactly, so a verdict
+/// is reported `exact` whenever nothing was clipped away: every view is
+/// regular or trie-exact, no word of `a` fell outside the region, and —
+/// when the concrete side is a trie — no member sits *on* the depth
+/// horizon (by prefix-closedness, a deeper member would have a
+/// horizon-length prefix in the trie, so an empty horizon proves the
+/// whole language was explored).
+pub(crate) fn condition3_verdict(
+    concrete_ts: &TraceSet,
+    abstract_ts: &TraceSet,
+    a: &ConcreteDfa,
+    b_lifted: &ConcreteDfa,
+    sigma_conc: &Arc<Vec<Event>>,
+    sigma_abs: &Arc<Vec<Event>>,
+    pred_depth: usize,
+) -> Verdict {
+    let conc_regular = concrete_ts.is_regular();
+    let abs_regular = abstract_ts.is_regular();
+    if conc_regular && abs_regular {
+        return match a.included_in(b_lifted) {
+            Ok(()) => Verdict::Holds { exact: true },
+            Err(word) => Verdict::Fails {
+                reason: FailedCondition::Traces,
+                counterexample: Some(Trace::from_events(word)),
+            },
+        };
+    }
+    let mut region = ConcreteDfa::universal(Arc::clone(sigma_conc));
+    if !conc_regular {
+        region = region.intersect(&ConcreteDfa::length_at_most(Arc::clone(sigma_conc), pred_depth));
+    }
+    if !abs_regular {
+        region = region.intersect(
+            &ConcreteDfa::length_at_most(Arc::clone(sigma_abs), pred_depth)
+                .lift_to(Arc::clone(sigma_conc)),
+        );
+    }
+    let mut clipped = a.included_in(&region).is_err();
+    if !conc_regular && !clipped {
+        // Members on the horizon may have unexplored extensions.
+        clipped = pred_depth == 0
+            || a.included_in(&ConcreteDfa::length_at_most(Arc::clone(sigma_conc), pred_depth - 1))
+                .is_err();
+    }
+    match a.intersect(&region).included_in(b_lifted) {
+        Ok(()) => Verdict::Holds {
+            exact: !clipped
+                && concrete_ts.trie_exact_to_depth()
+                && abstract_ts.trie_exact_to_depth(),
+        },
+        Err(word) => Verdict::Fails {
+            reason: FailedCondition::Traces,
+            counterexample: Some(Trace::from_events(word)),
+        },
+    }
+}
+
 /// Full refinement check `concrete ⊑ abstract_` (Def. 2).
 ///
 /// `pred_depth` bounds the trie unfolding of opaque predicate trace sets;
@@ -131,26 +209,18 @@ pub fn check_refinement(
     let u = concrete.universe();
     let sigma_conc = Arc::new(concrete.alphabet().enumerate_concrete());
     let sigma_abs = Arc::new(abstract_.alphabet().enumerate_concrete());
-    let exact = concrete.trace_set().is_regular() && abstract_.trace_set().is_regular();
-    let mut a = traceset_dfa(u, concrete.trace_set(), Arc::clone(&sigma_conc), pred_depth);
-    if !exact {
-        // A predicate trie only represents its language up to `pred_depth`;
-        // truncate the other side to the same depth so that longer traces
-        // cannot masquerade as counterexamples.
-        a = a.intersect(&pospec_regex::ConcreteDfa::length_at_most(
-            Arc::clone(&sigma_conc),
-            pred_depth,
-        ));
-    }
-    let b = traceset_dfa(u, abstract_.trace_set(), sigma_abs, pred_depth)
+    let a = traceset_dfa(u, concrete.trace_set(), Arc::clone(&sigma_conc), pred_depth);
+    let b = traceset_dfa(u, abstract_.trace_set(), Arc::clone(&sigma_abs), pred_depth)
         .lift_to(Arc::clone(&sigma_conc));
-    match a.included_in(&b) {
-        Ok(()) => Verdict::Holds { exact },
-        Err(word) => Verdict::Fails {
-            reason: FailedCondition::Traces,
-            counterexample: Some(Trace::from_events(word)),
-        },
-    }
+    condition3_verdict(
+        concrete.trace_set(),
+        abstract_.trace_set(),
+        &a,
+        &b,
+        &sigma_conc,
+        &sigma_abs,
+        pred_depth,
+    )
 }
 
 /// Convenience: does `concrete ⊑ abstract_` hold with default settings?
@@ -270,10 +340,7 @@ mod tests {
     fn read_does_not_refine_read2_alphabet_condition() {
         let f = fix();
         let v = check_refinement(&read(&f), &read2(&f), 5);
-        assert!(matches!(
-            v,
-            Verdict::Fails { reason: FailedCondition::Alphabet, .. }
-        ));
+        assert!(matches!(v, Verdict::Fails { reason: FailedCondition::Alphabet, .. }));
     }
 
     #[test]
@@ -334,6 +401,74 @@ mod tests {
         let v = check_refinement(&s, &wit_spec, 3);
         assert!(matches!(v, Verdict::Fails { reason: FailedCondition::Objects, .. }));
         let _ = other;
+    }
+
+    #[test]
+    fn counterexample_beyond_depth_horizon_is_found() {
+        let f = fix();
+        // Concrete: traces must follow OR·OR·OR·R·R (prefixes thereof).
+        // Abstract: at most one R, as an opaque predicate over the
+        // R-only alphabet, with trie depth 3.  The shortest violating
+        // trace has *concrete* length 5 > 3, but its projection R·R has
+        // length 2 ≤ 3 — truncating by total concrete length (the old
+        // asymmetric rule) would have clipped it and wrongly reported
+        // that the refinement holds.
+        let x = pospec_regex::VarId(0);
+        let alpha_conc = EventPattern::call(f.objects, f.o, f.or_)
+            .to_set(&f.u)
+            .union(&EventPattern::call(f.objects, f.o, f.r).to_set(&f.u));
+        let re = Re::seq([
+            Re::lit(Template::call(x, f.o, f.or_)),
+            Re::lit(Template::call(x, f.o, f.or_)),
+            Re::lit(Template::call(x, f.o, f.or_)),
+            Re::lit(Template::call(x, f.o, f.r)),
+            Re::lit(Template::call(x, f.o, f.r)),
+        ])
+        .bind(x, f.objects);
+        let concrete = Specification::new("Burst", [f.o], alpha_conc, TraceSet::prs(re)).unwrap();
+        let abstract_ = {
+            let alpha = EventPattern::call(f.objects, f.o, f.r).to_set(&f.u);
+            let r = f.r;
+            let ts = TraceSet::predicate("≤1 R", move |h: &Trace| h.count_method(r) <= 1);
+            Specification::new("ReadOnce", [f.o], alpha, ts).unwrap()
+        };
+        let v = check_refinement(&concrete, &abstract_, 3);
+        match v {
+            Verdict::Fails { reason: FailedCondition::Traces, counterexample: Some(c) } => {
+                assert_eq!(c.len(), 5, "full concrete burst, beyond the depth horizon");
+                assert!(concrete.contains_trace(&c));
+            }
+            other => panic!("expected a trace counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finite_predicate_within_depth_is_exact() {
+        let f = fix();
+        let alpha = EventPattern::call(f.objects, f.o, f.r).to_set(&f.u);
+        let r = f.r;
+        let restricted = Specification::new(
+            "ReadOnce",
+            [f.o],
+            alpha.clone(),
+            TraceSet::predicate("≤1 R", move |h: &Trace| h.count_method(r) <= 1),
+        )
+        .unwrap();
+        let any = Specification::new("Read", [f.o], alpha, TraceSet::Universal).unwrap();
+        // Every member has length ≤ 1, strictly inside depth 4: the trie
+        // explored the whole language, so the verdict is a decision.
+        let v = check_refinement(&restricted, &any, 4);
+        assert!(matches!(v, Verdict::Holds { exact: true }), "{v:?}");
+        // A predicate whose members reach the horizon stays inexact.
+        let loose = Specification::new(
+            "ReadFive",
+            [f.o],
+            restricted.alphabet().clone(),
+            TraceSet::predicate("≤5 R", move |h: &Trace| h.count_method(r) <= 5),
+        )
+        .unwrap();
+        let v = check_refinement(&loose, &any, 3);
+        assert!(matches!(v, Verdict::Holds { exact: false }), "{v:?}");
     }
 
     #[test]

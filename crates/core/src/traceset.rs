@@ -108,6 +108,25 @@ impl TraceSet {
             TraceSet::Dfa(_) => true,
         }
     }
+
+    /// Is the automaton view of [`traceset_dfa`] *exact on every word it
+    /// can represent* — i.e. correct for all traces up to the trie depth?
+    ///
+    /// Regular backends are exact everywhere.  A top-level predicate trie
+    /// (and conjunctions of such) decides membership exactly for traces
+    /// no longer than the depth, so a refinement check whose comparison
+    /// provably never left that horizon may report an exact verdict.
+    /// Composed sets with non-regular components build their inner tries
+    /// *before* hiding, so no per-depth exactness claim survives the
+    /// erasure — they report `false`.
+    pub fn trie_exact_to_depth(&self) -> bool {
+        match self {
+            TraceSet::Universal | TraceSet::Prs(_) | TraceSet::Dfa(_) => true,
+            TraceSet::Predicate { .. } => true,
+            TraceSet::Conj(parts) => parts.iter().all(|t| t.trie_exact_to_depth()),
+            TraceSet::Composed(_) => self.is_regular(),
+        }
+    }
 }
 
 impl fmt::Debug for TraceSet {
@@ -153,25 +172,31 @@ impl ComposedSet {
     /// The observable-language automaton of the composition, over the
     /// canonical finitization of the visible alphabet: lift both component
     /// automata to the joint alphabet, intersect, erase the hidden events.
+    ///
+    /// Component automata and their lifts come from the process-wide
+    /// [`crate::DfaCache`], so a specification taking part in several
+    /// compositions is finitized and lifted once; the product and the
+    /// erasure (which depend on this instance's hiding set) stay in the
+    /// per-instance `OnceLock`.
     pub fn dfa(&self) -> &ConcreteDfa {
         self.dfa.get_or_init(|| {
+            let cache = crate::cache::DfaCache::global();
             let u = self.left.universe();
             let joint_alpha = self.left.alphabet().union(self.right.alphabet());
-            let sigma_joint = Arc::new(joint_alpha.enumerate_concrete());
-            let a = traceset_dfa(
+            let a = cache.lifted_dfa(
                 u,
                 self.left.trace_set(),
-                Arc::new(self.left.alphabet().enumerate_concrete()),
+                self.left.alphabet(),
+                &joint_alpha,
                 DEFAULT_PREDICATE_DEPTH,
-            )
-            .lift_to(Arc::clone(&sigma_joint));
-            let b = traceset_dfa(
+            );
+            let b = cache.lifted_dfa(
                 u,
                 self.right.trace_set(),
-                Arc::new(self.right.alphabet().enumerate_concrete()),
+                self.right.alphabet(),
+                &joint_alpha,
                 DEFAULT_PREDICATE_DEPTH,
-            )
-            .lift_to(Arc::clone(&sigma_joint));
+            );
             let joint = a.intersect(&b);
             let hidden = self.hidden.clone();
             joint.erase(move |e| hidden.contains(e))
@@ -212,19 +237,16 @@ impl TraceSetRunner {
     fn new(u: Arc<pospec_alphabet::Universe>, ts: &TraceSet) -> Self {
         let state = match ts {
             TraceSet::Universal => RunnerState::Universal,
-            TraceSet::Prs(re) => {
-                RunnerState::Prs { re: Arc::clone(re), sim: re.nfa().initial() }
-            }
+            TraceSet::Prs(re) => RunnerState::Prs { re: Arc::clone(re), sim: re.nfa().initial() },
             TraceSet::Conj(parts) => RunnerState::Conj(
                 parts.iter().map(|p| TraceSetRunner::new(Arc::clone(&u), p)).collect(),
             ),
             TraceSet::Dfa(d) => {
                 RunnerState::Dfa { dfa: Arc::clone(d), state: Some(d.start_state()) }
             }
-            TraceSet::Composed(c) => RunnerState::Composed {
-                set: Arc::clone(c),
-                state: Some(c.dfa().start_state()),
-            },
+            TraceSet::Composed(c) => {
+                RunnerState::Composed { set: Arc::clone(c), state: Some(c.dfa().start_state()) }
+            }
             TraceSet::Predicate { pred, .. } => {
                 RunnerState::Predicate { pred: Arc::clone(pred), seen: Vec::new() }
             }
@@ -242,9 +264,7 @@ impl TraceSetRunner {
             RunnerState::Universal => true,
             RunnerState::Prs { re, sim } => re.nfa().any_live(sim),
             RunnerState::Conj(parts) => parts.iter().all(|p| !p.dead && p.currently_member()),
-            RunnerState::Dfa { dfa, state } => {
-                state.map(|s| dfa.is_accepting(s)).unwrap_or(false)
-            }
+            RunnerState::Dfa { dfa, state } => state.map(|s| dfa.is_accepting(s)).unwrap_or(false),
             RunnerState::Composed { set, state } => {
                 state.map(|s| set.dfa().is_accepting(s)).unwrap_or(false)
             }
@@ -276,20 +296,14 @@ impl TraceSetRunner {
             }
             RunnerState::Dfa { dfa, state } => {
                 *state = state.and_then(|s| {
-                    dfa.alphabet()
-                        .iter()
-                        .position(|x| x == e)
-                        .and_then(|sym| dfa.successor(s, sym))
+                    dfa.alphabet().iter().position(|x| x == e).and_then(|sym| dfa.successor(s, sym))
                 });
                 state.map(|s| dfa.is_accepting(s)).unwrap_or(false)
             }
             RunnerState::Composed { set, state } => {
                 let dfa = set.dfa();
                 *state = state.and_then(|s| {
-                    dfa.alphabet()
-                        .iter()
-                        .position(|x| x == e)
-                        .and_then(|sym| dfa.successor(s, sym))
+                    dfa.alphabet().iter().position(|x| x == e).and_then(|sym| dfa.successor(s, sym))
                 });
                 state.map(|s| dfa.is_accepting(s)).unwrap_or(false)
             }
@@ -419,10 +433,7 @@ mod tests {
         let f = fix();
         // P(h) = "length is not exactly 1" — not prefix closed as given.
         let ts = TraceSet::predicate("len≠1", |h: &Trace| h.len() != 1);
-        let t2 = Trace::from_events(vec![
-            Event::call(f.c, f.o, f.ow),
-            Event::call(f.c, f.o, f.cw),
-        ]);
+        let t2 = Trace::from_events(vec![Event::call(f.c, f.o, f.ow), Event::call(f.c, f.o, f.cw)]);
         // Though P(t2) holds, the prefix of length 1 fails: not a member.
         assert!(!ts.contains(&f.u, &t2));
         assert!(ts.contains(&f.u, &Trace::empty()));
@@ -434,15 +445,12 @@ mod tests {
         let f = fix();
         let ws = write_set(&f);
         let cw = f.cw;
-        let no_cw =
-            TraceSet::predicate("no CW", move |h: &Trace| h.iter().all(|e| e.method != cw));
+        let no_cw = TraceSet::predicate("no CW", move |h: &Trace| h.iter().all(|e| e.method != cw));
         let both = TraceSet::conj([ws.clone(), no_cw]);
         let open = Trace::from_events(vec![Event::call(f.c, f.o, f.ow)]);
         assert!(both.contains(&f.u, &open));
-        let closed = Trace::from_events(vec![
-            Event::call(f.c, f.o, f.ow),
-            Event::call(f.c, f.o, f.cw),
-        ]);
+        let closed =
+            Trace::from_events(vec![Event::call(f.c, f.o, f.ow), Event::call(f.c, f.o, f.cw)]);
         assert!(ws.contains(&f.u, &closed));
         assert!(!both.contains(&f.u, &closed), "CW is banned by the second conjunct");
     }
@@ -465,11 +473,7 @@ mod tests {
             }
             for w in &next {
                 let t = Trace::from_events(w.clone());
-                assert_eq!(
-                    dfa.contains_trace(&t),
-                    ws.contains(&f.u, &t),
-                    "disagreement on {t}"
-                );
+                assert_eq!(dfa.contains_trace(&t), ws.contains(&f.u, &t), "disagreement on {t}");
             }
             frontier = next;
         }

@@ -1,7 +1,9 @@
 //! Elaboration: name resolution and construction of `pospec-core` values.
 
 use crate::lexer::{LangError, Span};
-use crate::parser::{parse, ArgAst, Ast, ReAst, SpecDecl, TemplateAst, TracesAst, UDecl, WitnessTarget};
+use crate::parser::{
+    parse, ArgAst, Ast, ReAst, SpecDecl, TemplateAst, TracesAst, UDecl, WitnessTarget,
+};
 use pospec_alphabet::{ArgSpec, EventPattern, EventSet, ObjSpec, Universe, UniverseBuilder};
 use pospec_core::{Specification, TraceSet};
 use pospec_regex::{Re, TArg, TObj, Template, VarId};
@@ -117,8 +119,7 @@ pub fn elaborate(ast: &Ast) -> Result<Document, LangError> {
                     b.anon_witnesses(*count as usize).map_err(|e| err(origin, e.to_string()))?;
                 }
                 WitnessTarget::Methods => {
-                    b.method_witnesses(*count as usize)
-                        .map_err(|e| err(origin, e.to_string()))?;
+                    b.method_witnesses(*count as usize).map_err(|e| err(origin, e.to_string()))?;
                 }
                 WitnessTarget::Class(cn) => {
                     let c = *class_names
@@ -217,8 +218,7 @@ fn resolve_obj(u: &Universe, name: &str) -> ObjName {
 }
 
 fn resolve_method(u: &Universe, t: &TemplateAst) -> Result<MethodId, LangError> {
-    u.method_by_name(&t.method)
-        .ok_or_else(|| err(t.span, format!("unknown method `{}`", t.method)))
+    u.method_by_name(&t.method).ok_or_else(|| err(t.span, format!("unknown method `{}`", t.method)))
 }
 
 /// Resolve the argument slot for the pattern (alphabet) context.
@@ -416,14 +416,9 @@ mod tests {
         let bad = Trace::from_events(vec![Event::call_with(c, o, w, d)]);
         assert!(!write.contains_trace(&bad), "write without opening is rejected");
         // The binder pins the session to one caller.
-        let wit = u
-            .class_witnesses(u.class_by_name("Objects").unwrap())
-            .next()
-            .unwrap();
-        let interleaved = Trace::from_events(vec![
-            Event::call(c, o, ow),
-            Event::call_with(wit, o, w, d),
-        ]);
+        let wit = u.class_witnesses(u.class_by_name("Objects").unwrap()).next().unwrap();
+        let interleaved =
+            Trace::from_events(vec![Event::call(c, o, ow), Event::call_with(wit, o, w, d)]);
         assert!(!write.contains_trace(&interleaved));
     }
 

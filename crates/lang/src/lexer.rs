@@ -276,10 +276,7 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let toks = kinds("a // everything here is ignored <>{}\nb");
-        assert_eq!(
-            toks,
-            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
-        );
+        assert_eq!(toks, vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
     }
 
     #[test]

@@ -46,10 +46,12 @@
 //! ```
 
 pub mod elab;
-pub mod pretty;
 pub mod lexer;
 pub mod parser;
+pub mod pretty;
 
 pub use elab::{parse_document, Document};
 pub use lexer::{LangError, Span};
-pub use pretty::{print_development, print_document, print_full_document, print_spec, print_universe, PrettyError};
+pub use pretty::{
+    print_development, print_document, print_full_document, print_spec, print_universe, PrettyError,
+};

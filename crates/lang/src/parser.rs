@@ -247,7 +247,9 @@ impl Parser {
                 self.next();
                 Ok((s, span))
             }
-            other => Err(LangError::new(self.peek().span, format!("expected identifier, found {other}"))),
+            other => {
+                Err(LangError::new(self.peek().span, format!("expected identifier, found {other}")))
+            }
         }
     }
 
@@ -294,8 +296,8 @@ impl Parser {
                     return Err(LangError::new(
                         self.peek().span,
                         format!(
-                            "expected `universe`, `spec`, `component` or `development`, found {other}"
-                        ),
+                        "expected `universe`, `spec`, `component` or `development`, found {other}"
+                    ),
                     ))
                 }
             }
@@ -485,10 +487,8 @@ impl Parser {
     }
 
     fn starts_atom(&self) -> bool {
-        matches!(
-            &self.peek().tok,
-            Tok::Lt | Tok::LParen | Tok::LBracket
-        ) || matches!(&self.peek().tok, Tok::Ident(s) if s == "eps")
+        matches!(&self.peek().tok, Tok::Lt | Tok::LParen | Tok::LBracket)
+            || matches!(&self.peek().tok, Tok::Ident(s) if s == "eps")
     }
 
     fn seq(&mut self) -> Result<ReAst, LangError> {
@@ -581,14 +581,8 @@ mod tests {
             ast.universe[3],
             UDecl::Object { name: "c".into(), class: Some("Objects".into()) }
         );
-        assert_eq!(
-            ast.universe[4],
-            UDecl::Method { name: "R".into(), param: Some("Data".into()) }
-        );
-        assert_eq!(
-            ast.universe[8],
-            UDecl::Witnesses { target: WitnessTarget::Anon, count: 1 }
-        );
+        assert_eq!(ast.universe[4], UDecl::Method { name: "R".into(), param: Some("Data".into()) });
+        assert_eq!(ast.universe[8], UDecl::Witnesses { target: WitnessTarget::Anon, count: 1 });
         assert!(ast.specs.is_empty());
     }
 

@@ -142,14 +142,10 @@ fn print_re(u: &Universe, vars: &mut VarNames, re: &Re, prec: u8) -> Result<Stri
         Re::Empty => return Err("the empty language ∅ has no surface form".to_string()),
         Re::Eps => ("eps".to_string(), 2),
         Re::Lit(t) => (print_template(u, vars, t)?, 2),
-        Re::Seq(a, b) => (
-            format!("{} {}", print_re(u, vars, a, 1)?, print_re(u, vars, b, 1)?),
-            1,
-        ),
-        Re::Alt(a, b) => (
-            format!("{} | {}", print_re(u, vars, a, 0)?, print_re(u, vars, b, 0)?),
-            0,
-        ),
+        Re::Seq(a, b) => (format!("{} {}", print_re(u, vars, a, 1)?, print_re(u, vars, b, 1)?), 1),
+        Re::Alt(a, b) => {
+            (format!("{} | {}", print_re(u, vars, a, 0)?, print_re(u, vars, b, 0)?), 0)
+        }
         Re::Star(a) => (format!("{}*", print_re(u, vars, a, 2)?), 2),
         Re::Bind { var, class, body } => {
             let v = vars.get(*var);
@@ -211,8 +207,7 @@ pub fn print_spec(spec: &Specification) -> Result<String, PrettyError> {
         }
         TraceSet::Prs(re) => {
             let mut vars = VarNames::new();
-            let printed = print_re(u, &mut vars, re.re(), 0)
-                .map_err(|what| unprintable(&what))?;
+            let printed = print_re(u, &mut vars, re.re(), 0).map_err(|what| unprintable(&what))?;
             let _ = writeln!(out, "  traces prs {printed};");
         }
         other => {
@@ -247,10 +242,7 @@ pub fn print_development(stmts: &[crate::parser::DevStmt]) -> String {
 }
 
 /// Print a full document (universe + printable specs).
-pub fn print_document(
-    u: &Universe,
-    specs: &[Specification],
-) -> Result<String, PrettyError> {
+pub fn print_document(u: &Universe, specs: &[Specification]) -> Result<String, PrettyError> {
     let mut out = print_universe(u);
     for s in specs {
         out.push('\n');

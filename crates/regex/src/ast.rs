@@ -8,11 +8,10 @@
 
 use pospec_alphabet::Universe;
 use pospec_trace::{Arg, ClassId, DataId, Event, MethodId, ObjectId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A bound object variable (the `x` of `[… • x ∈ Objects]`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub u32);
 
 impl fmt::Display for VarId {
@@ -22,7 +21,7 @@ impl fmt::Display for VarId {
 }
 
 /// An object position of a template.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TObj {
     /// A fixed object identity.
     Id(ObjectId),
@@ -47,7 +46,7 @@ impl From<VarId> for TObj {
 }
 
 /// The argument position of a template.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TArg {
     /// Whatever the method signature admits (`W(_)` in Example 4).
     #[default]
@@ -58,7 +57,7 @@ pub enum TArg {
 
 /// An event template `⟨caller, callee, m(arg)⟩` with possibly-variable
 /// object positions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Template {
     /// Caller position.
     pub caller: TObj,
@@ -73,7 +72,12 @@ pub struct Template {
 impl Template {
     /// `⟨caller, callee, m(·)⟩` with signature-driven argument.
     pub fn call(caller: impl Into<TObj>, callee: impl Into<TObj>, method: MethodId) -> Self {
-        Template { caller: caller.into(), callee: callee.into(), method: Some(method), arg: TArg::Auto }
+        Template {
+            caller: caller.into(),
+            callee: callee.into(),
+            method: Some(method),
+            arg: TArg::Auto,
+        }
     }
 
     /// `⟨caller, callee, m(d)⟩` with a fixed argument value.
@@ -83,7 +87,12 @@ impl Template {
         method: MethodId,
         d: DataId,
     ) -> Self {
-        Template { caller: caller.into(), callee: callee.into(), method: Some(method), arg: TArg::Value(d) }
+        Template {
+            caller: caller.into(),
+            callee: callee.into(),
+            method: Some(method),
+            arg: TArg::Value(d),
+        }
     }
 
     /// Is the template *statically* unsatisfiable — can it never match any
@@ -177,7 +186,7 @@ fn match_obj(
 }
 
 /// A variable environment: a small sorted map from variables to objects.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Env(Vec<(VarId, ObjectId)>);
 
 impl Env {
@@ -188,10 +197,7 @@ impl Env {
 
     /// Look up a binding.
     pub fn get(&self, v: VarId) -> Option<ObjectId> {
-        self.0
-            .binary_search_by_key(&v, |&(k, _)| k)
-            .ok()
-            .map(|i| self.0[i].1)
+        self.0.binary_search_by_key(&v, |&(k, _)| k).ok().map(|i| self.0[i].1)
     }
 
     /// Add or overwrite a binding.
@@ -221,7 +227,7 @@ impl Env {
 }
 
 /// A trace regular expression.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Re {
     /// The empty language ∅.
     Empty,
@@ -352,20 +358,16 @@ impl Re {
             Re::Eps => Re::Eps,
             Re::Lit(t) if t.is_unsatisfiable() => Re::Empty,
             Re::Lit(t) => Re::Lit(*t),
-            Re::Seq(a, b) => {
-                match (a.simplify_with(used_vars), b.simplify_with(used_vars)) {
-                    (Re::Empty, _) | (_, Re::Empty) => Re::Empty,
-                    (Re::Eps, x) | (x, Re::Eps) => x,
-                    (x, y) => Re::Seq(Box::new(x), Box::new(y)),
-                }
-            }
-            Re::Alt(a, b) => {
-                match (a.simplify_with(used_vars), b.simplify_with(used_vars)) {
-                    (Re::Empty, x) | (x, Re::Empty) => x,
-                    (x, y) if x == y => x,
-                    (x, y) => Re::Alt(Box::new(x), Box::new(y)),
-                }
-            }
+            Re::Seq(a, b) => match (a.simplify_with(used_vars), b.simplify_with(used_vars)) {
+                (Re::Empty, _) | (_, Re::Empty) => Re::Empty,
+                (Re::Eps, x) | (x, Re::Eps) => x,
+                (x, y) => Re::Seq(Box::new(x), Box::new(y)),
+            },
+            Re::Alt(a, b) => match (a.simplify_with(used_vars), b.simplify_with(used_vars)) {
+                (Re::Empty, x) | (x, Re::Empty) => x,
+                (x, y) if x == y => x,
+                (x, y) => Re::Alt(Box::new(x), Box::new(y)),
+            },
             Re::Star(a) => match a.simplify_with(used_vars) {
                 Re::Empty | Re::Eps => Re::Eps,
                 Re::Star(inner) => Re::Star(inner),
@@ -489,7 +491,12 @@ mod tests {
         assert!(!Template::call(c, o, m).is_unsatisfiable());
         let x = VarId(0);
         assert!(Template::call(x, x, m).is_unsatisfiable());
-        let t = Template { caller: TObj::Var(x), callee: TObj::Var(VarId(1)), method: Some(m), arg: TArg::Auto };
+        let t = Template {
+            caller: TObj::Var(x),
+            callee: TObj::Var(VarId(1)),
+            method: Some(m),
+            arg: TArg::Auto,
+        };
         assert!(!t.is_unsatisfiable());
     }
 
@@ -530,12 +537,8 @@ mod tests {
         assert_eq!(unused.simplify(), l.clone());
         // …but survives when the variable is used elsewhere.
         let lv = Re::lit(Template::call(VarId(7), o, m));
-        let outer = Re::seq([
-            lv.clone(),
-            l.clone().bind(VarId(7), objects),
-            lv.clone(),
-        ])
-        .bind(VarId(7), objects);
+        let outer = Re::seq([lv.clone(), l.clone().bind(VarId(7), objects), lv.clone()])
+            .bind(VarId(7), objects);
         let simplified = outer.simplify();
         // The inner binder must still be present: count Bind nodes.
         fn binds(re: &Re) -> usize {

@@ -129,10 +129,8 @@ impl ConcreteDfa {
     /// viewed over a larger alphabet.
     pub fn symbol_filter(alphabet: Arc<Vec<Event>>, allowed: impl Fn(&Event) -> bool) -> Self {
         let index = index_of(&alphabet);
-        let trans = vec![alphabet
-            .iter()
-            .map(|e| if allowed(e) { Some(0) } else { None })
-            .collect()];
+        let trans =
+            vec![alphabet.iter().map(|e| if allowed(e) { Some(0) } else { None }).collect()];
         ConcreteDfa { alphabet, index, trans, accepting: vec![true], start: 0 }
     }
 
@@ -426,22 +424,11 @@ impl ConcreteDfa {
     /// language of `Γ‖∆` over `α` is the erasure of the joint language
     /// over `α(Γ) ∪ α(∆)` by `I(O)`.
     pub fn erase(&self, hidden: impl Fn(&Event) -> bool) -> ConcreteDfa {
-        let visible: Vec<Event> =
-            self.alphabet.iter().filter(|e| !hidden(e)).copied().collect();
-        let hidden_syms: Vec<usize> = self
-            .alphabet
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| hidden(e))
-            .map(|(i, _)| i)
-            .collect();
-        let visible_syms: Vec<usize> = self
-            .alphabet
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| !hidden(e))
-            .map(|(i, _)| i)
-            .collect();
+        let visible: Vec<Event> = self.alphabet.iter().filter(|e| !hidden(e)).copied().collect();
+        let hidden_syms: Vec<usize> =
+            self.alphabet.iter().enumerate().filter(|(_, e)| hidden(e)).map(|(i, _)| i).collect();
+        let visible_syms: Vec<usize> =
+            self.alphabet.iter().enumerate().filter(|(_, e)| !hidden(e)).map(|(i, _)| i).collect();
 
         // ε-closure over hidden transitions.
         let closure = |set: &BTreeSet<u32>| -> BTreeSet<u32> {
@@ -517,8 +504,7 @@ impl ConcreteDfa {
             .iter()
             .map(|e| map(e).and_then(|e2| target_index.get(&e2).copied()))
             .collect();
-        let erased: Vec<bool> =
-            self.alphabet.iter().map(|e| map(e).is_none()).collect();
+        let erased: Vec<bool> = self.alphabet.iter().map(|e| map(e).is_none()).collect();
 
         let closure = |set: &BTreeSet<u32>| -> BTreeSet<u32> {
             let mut out = set.clone();
@@ -836,9 +822,8 @@ mod tests {
     fn lift_allows_foreign_symbols_freely() {
         let f = fix();
         // DFA over only c's symbols, lifted to the full alphabet.
-        let small: Arc<Vec<Event>> = Arc::new(
-            f.sigma.iter().filter(|e| e.caller == f.c).copied().collect(),
-        );
+        let small: Arc<Vec<Event>> =
+            Arc::new(f.sigma.iter().filter(|e| e.caller == f.c).copied().collect());
         let re = Re::seq([
             Re::lit(Template::call(f.c, f.o, f.ow)),
             Re::lit(Template::call(f.c, f.o, f.cw)),
@@ -863,9 +848,8 @@ mod tests {
     fn restrict_drops_foreign_words() {
         let f = fix();
         let uni = ConcreteDfa::universal(Arc::clone(&f.sigma));
-        let small: Arc<Vec<Event>> = Arc::new(
-            f.sigma.iter().filter(|e| e.caller == f.c).copied().collect(),
-        );
+        let small: Arc<Vec<Event>> =
+            Arc::new(f.sigma.iter().filter(|e| e.caller == f.c).copied().collect());
         let r = uni.restrict_to(Arc::clone(&small));
         assert!(r.accepts([Event::call(f.c, f.o, f.w)].iter()));
         assert_eq!(r.alphabet().len(), 3);
@@ -906,9 +890,7 @@ mod tests {
         };
         let dfa = ConcreteDfa::from_membership(Arc::clone(&f.sigma), 3, member);
         assert!(dfa.accepts([Event::call(f.c, f.o, f.ow)].iter()));
-        assert!(!dfa.accepts(
-            [Event::call(f.c, f.o, f.ow), Event::call(f.w1, f.o, f.ow)].iter()
-        ));
+        assert!(!dfa.accepts([Event::call(f.c, f.o, f.ow), Event::call(f.w1, f.o, f.ow)].iter()));
         assert!(dfa.accepts(
             [
                 Event::call(f.c, f.o, f.ow),
@@ -938,8 +920,7 @@ mod tests {
         let only_c = ConcreteDfa::symbol_filter(Arc::clone(&f.sigma), |e| e.caller == f.c);
         assert!(only_c.accepts([Event::call(f.c, f.o, f.w)].iter()));
         assert!(!only_c.accepts([Event::call(f.w1, f.o, f.w)].iter()));
-        assert!(!only_c
-            .accepts([Event::call(f.c, f.o, f.w), Event::call(f.w1, f.o, f.w)].iter()));
+        assert!(!only_c.accepts([Event::call(f.c, f.o, f.w), Event::call(f.w1, f.o, f.w)].iter()));
         assert!(only_c.accepts(std::iter::empty()));
     }
 
@@ -985,10 +966,7 @@ mod tests {
         let ow_sym = f.sigma.iter().position(|e| *e == Event::call(f.c, f.o, f.ow)).unwrap();
         let s1 = dfa.successor(s0, ow_sym).expect("OW opens a session");
         assert!(dfa.is_accepting(s1));
-        assert_eq!(
-            dfa.state_after([Event::call(f.c, f.o, f.ow)].iter()),
-            Some(s1)
-        );
+        assert_eq!(dfa.state_after([Event::call(f.c, f.o, f.ow)].iter()), Some(s1));
         let w_sym = f.sigma.iter().position(|e| *e == Event::call(f.w1, f.o, f.w)).unwrap();
         assert_eq!(dfa.successor(s1, w_sym), None, "wrong writer has no successor");
     }

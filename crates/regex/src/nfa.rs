@@ -64,14 +64,7 @@ impl Nfa {
         let accept = b.fresh();
         b.emit(re, start, accept);
         let live = b.liveness(accept);
-        Nfa {
-            templates: b.templates,
-            var_class: b.var_class,
-            edges: b.edges,
-            start,
-            accept,
-            live,
-        }
+        Nfa { templates: b.templates, var_class: b.var_class, edges: b.edges, start, accept, live }
     }
 
     /// Number of NFA states.
@@ -122,9 +115,7 @@ impl Nfa {
             for edge in &self.edges[*s] {
                 if let Edge::Lit(ti, t) = edge {
                     let template = &self.templates[*ti as usize];
-                    if let Some(env2) =
-                        template.match_event(u, env, e, |v| self.class_of_var(v))
-                    {
+                    if let Some(env2) = template.match_event(u, env, e, |v| self.class_of_var(v)) {
                         next.insert((*t, env2));
                     }
                 }

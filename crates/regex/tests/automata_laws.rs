@@ -22,8 +22,7 @@ fn fix() -> Fix {
     let mut b = UniverseBuilder::new();
     let env = b.object_class("Env").unwrap();
     let o = b.object("o").unwrap();
-    let methods: Vec<MethodId> =
-        (0..3).map(|i| b.method(&format!("m{i}")).unwrap()).collect();
+    let methods: Vec<MethodId> = (0..3).map(|i| b.method(&format!("m{i}")).unwrap()).collect();
     let wits = b.class_witnesses(env, 2).unwrap();
     let u = b.freeze();
     let mut sigma = Vec::new();

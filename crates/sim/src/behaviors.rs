@@ -398,9 +398,7 @@ mod tests {
             DataId(0),
         );
         let mut rng = SmallRng::seed_from_u64(0);
-        let seq: Vec<MethodId> = (0..6)
-            .map(|_| c.on_tick(&mut rng)[0].method)
-            .collect();
+        let seq: Vec<MethodId> = (0..6).map(|_| c.on_tick(&mut rng)[0].method).collect();
         assert_eq!(
             seq,
             vec![MethodId(0), MethodId(1), MethodId(0), MethodId(1), MethodId(0), MethodId(1)]

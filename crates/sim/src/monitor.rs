@@ -127,11 +127,7 @@ mod tests {
     fn well_behaved_run_stays_ok() {
         let (spec, o, c, ow, w, cw) = write_spec();
         let mut m = Monitor::new(spec);
-        for e in [
-            Event::call(c, o, ow),
-            Event::call(c, o, w),
-            Event::call(c, o, cw),
-        ] {
+        for e in [Event::call(c, o, ow), Event::call(c, o, w), Event::call(c, o, cw)] {
             assert_eq!(m.observe(&e), MonitorVerdict::Ok);
         }
         assert!(!m.violated());

@@ -27,7 +27,11 @@ use std::time::Duration;
 
 #[derive(Debug, Clone, Copy)]
 enum Msg {
-    Call { from: ObjectId, method: MethodId, arg: Arg },
+    Call {
+        from: ObjectId,
+        method: MethodId,
+        arg: Arg,
+    },
     /// Spontaneous-step request.
     Tick,
 }

@@ -10,12 +10,11 @@
 
 use pospec_alphabet::Universe;
 use pospec_trace::{Arg, Event, Trace};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{BufRead, Write};
 
 /// One serialized event.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EventRecord {
     /// Caller name.
     pub caller: String,
@@ -24,8 +23,46 @@ pub struct EventRecord {
     /// Method name.
     pub method: String,
     /// Argument value name, if any.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub arg: Option<String>,
+}
+
+impl EventRecord {
+    /// One compact JSON line; `arg` is omitted when absent.
+    fn to_json_line(&self) -> String {
+        pospec_json::ObjBuilder::new()
+            .field("caller", self.caller.as_str())
+            .field("callee", self.callee.as_str())
+            .field("method", self.method.as_str())
+            .field_opt("arg", self.arg.as_deref())
+            .build()
+            .to_compact()
+    }
+
+    fn from_json_line(line: &str) -> Result<Self, pospec_json::JsonError> {
+        let v = pospec_json::parse(line)?;
+        let field = |key: &str| -> Result<String, pospec_json::JsonError> {
+            v.get(key).and_then(|f| f.as_str()).map(str::to_string).ok_or_else(|| {
+                pospec_json::JsonError {
+                    pos: 0,
+                    message: format!("missing or non-string field `{key}`"),
+                }
+            })
+        };
+        Ok(EventRecord {
+            caller: field("caller")?,
+            callee: field("callee")?,
+            method: field("method")?,
+            arg: match v.get("arg") {
+                None | Some(pospec_json::Value::Null) => None,
+                Some(other) => Some(other.as_str().map(str::to_string).ok_or_else(|| {
+                    pospec_json::JsonError {
+                        pos: 0,
+                        message: "field `arg` must be a string".to_string(),
+                    }
+                })?),
+            },
+        })
+    }
 }
 
 /// Errors while reading a trace file.
@@ -38,7 +75,7 @@ pub enum TraceFileError {
         /// 1-based line number.
         line: usize,
         /// The parse error.
-        error: serde_json::Error,
+        error: pospec_json::JsonError,
     },
     /// A name did not resolve in the universe.
     UnknownName {
@@ -86,7 +123,7 @@ pub fn write_trace(u: &Universe, t: &Trace, mut w: impl Write) -> std::io::Resul
             method: u.method_name(e.method).to_string(),
             arg: e.arg.data().map(|d| u.data_name(d).to_string()),
         };
-        serde_json::to_writer(&mut w, &rec)?;
+        w.write_all(rec.to_json_line().as_bytes())?;
         writeln!(w)?;
     }
     Ok(())
@@ -101,7 +138,7 @@ pub fn read_trace(u: &Universe, r: impl BufRead) -> Result<Trace, TraceFileError
         if line.trim().is_empty() {
             continue;
         }
-        let rec: EventRecord = serde_json::from_str(&line)
+        let rec = EventRecord::from_json_line(&line)
             .map_err(|error| TraceFileError::Json { line: lineno, error })?;
         let caller = u.object_by_name(&rec.caller).ok_or(TraceFileError::UnknownName {
             line: lineno,
@@ -120,9 +157,11 @@ pub fn read_trace(u: &Universe, r: impl BufRead) -> Result<Trace, TraceFileError
         })?;
         let arg = match rec.arg {
             None => Arg::None,
-            Some(name) => Arg::Data(u.data_by_name(&name).ok_or(
-                TraceFileError::UnknownName { line: lineno, name, kind: "data value" },
-            )?),
+            Some(name) => Arg::Data(u.data_by_name(&name).ok_or(TraceFileError::UnknownName {
+                line: lineno,
+                name,
+                kind: "data value",
+            })?),
         };
         let e = Event::new(caller, callee, method, arg)
             .map_err(|_| TraceFileError::SelfCall { line: lineno })?;
@@ -155,10 +194,7 @@ mod tests {
         let ow = u.method_by_name("OW").unwrap();
         let w = u.method_by_name("W").unwrap();
         let d0 = u.data_by_name("d0").unwrap();
-        let t = Trace::from_events(vec![
-            Event::call(c, o, ow),
-            Event::call_with(c, o, w, d0),
-        ]);
+        let t = Trace::from_events(vec![Event::call(c, o, ow), Event::call_with(c, o, w, d0)]);
         let mut buf = Vec::new();
         write_trace(&u, &t, &mut buf).unwrap();
         let back = read_trace(&u, buf.as_slice()).unwrap();

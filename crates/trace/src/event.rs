@@ -7,7 +7,6 @@
 //! which the paper treats informally via parameterised alphabets.
 
 use crate::ident::{DataId, MethodId, ObjectId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The argument slot of an event.
@@ -16,9 +15,7 @@ use std::fmt;
 /// `⟨x, o, W(d)⟩ | d ∈ Data` alongside unparameterised ones like
 /// `⟨x, o, OW⟩`; the two are distinguished here by [`Arg::None`] vs
 /// [`Arg::Data`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Arg {
     /// No parameter (e.g. `OW`, `CW`).
     #[default]
@@ -71,9 +68,7 @@ impl std::error::Error for EventError {}
 /// The paper writes this `⟨o₂, o₁, m⟩` with `o₂` the caller and `o₁` the
 /// provider of the method; we use named fields to avoid the positional
 /// ambiguity.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Event {
     /// The object issuing the remote call (`o₂`).
     pub caller: ObjectId,

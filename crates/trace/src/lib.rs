@@ -26,7 +26,7 @@ pub mod trace;
 
 pub use event::{Arg, Event, EventError};
 pub use ident::{ClassId, DataId, MethodId, ObjectId};
-pub use trace::{Trace, TraceBuilder};
+pub use trace::{IdSet, Trace, TraceBuilder};
 
 /// Anything that can decide membership of a concrete [`Event`].
 ///

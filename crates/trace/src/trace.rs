@@ -10,30 +10,14 @@
 use crate::event::Event;
 use crate::ident::{MethodId, ObjectId};
 use crate::EventFilter;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// An immutable finite trace of communication events.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Trace {
-    #[serde(with = "arc_events")]
     events: Arc<[Event]>,
     len: usize,
-}
-
-mod arc_events {
-    use super::*;
-    use serde::{Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &Arc<[Event]>, s: S) -> Result<S::Ok, S::Error> {
-        serde::Serialize::serialize(&v[..], s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Arc<[Event]>, D::Error> {
-        let v: Vec<Event> = serde::Deserialize::deserialize(d)?;
-        Ok(v.into())
-    }
 }
 
 impl Trace {
@@ -111,16 +95,12 @@ impl Trace {
 
     /// Projection `h/S`: the subtrace of events contained in `S`.
     pub fn project<S: EventFilter + ?Sized>(&self, s: &S) -> Trace {
-        Trace::from_events(
-            self.iter().filter(|e| s.contains_event(e)).copied().collect(),
-        )
+        Trace::from_events(self.iter().filter(|e| s.contains_event(e)).copied().collect())
     }
 
     /// Deletion `h\S`: the subtrace of events *not* contained in `S`.
     pub fn delete<S: EventFilter + ?Sized>(&self, s: &S) -> Trace {
-        Trace::from_events(
-            self.iter().filter(|e| !s.contains_event(e)).copied().collect(),
-        )
+        Trace::from_events(self.iter().filter(|e| !s.contains_event(e)).copied().collect())
     }
 
     /// Per-object projection `h/o`: the events involving `o` as caller or
@@ -151,21 +131,29 @@ impl Trace {
     }
 
     /// The set of distinct caller identities occurring in the trace.
-    pub fn callers(&self) -> Vec<ObjectId> {
-        let mut v: Vec<ObjectId> = self.iter().map(|e| e.caller).collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+    ///
+    /// Returned as an [`IdSet`]: a sorted, duplicate-free small-vec that
+    /// stays on the stack for up to [`IdSet::INLINE_CAP`] distinct
+    /// identities.  Predicate trace sets call this once per *membership
+    /// query*, so the common few-objects case must not allocate.
+    pub fn callers(&self) -> IdSet {
+        let mut set = IdSet::new();
+        for e in self.iter() {
+            set.insert(e.caller);
+        }
+        set
     }
 
     /// The set of distinct object identities occurring in the trace
-    /// (callers and callees).
-    pub fn objects(&self) -> Vec<ObjectId> {
-        let mut v: Vec<ObjectId> =
-            self.iter().flat_map(|e| [e.caller, e.callee]).collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+    /// (callers and callees).  See [`Trace::callers`] for the
+    /// representation.
+    pub fn objects(&self) -> IdSet {
+        let mut set = IdSet::new();
+        for e in self.iter() {
+            set.insert(e.caller);
+            set.insert(e.callee);
+        }
+        set
     }
 
     /// Is `self` a prefix of `other`?
@@ -173,6 +161,178 @@ impl Trace {
         self.len <= other.len && self.events() == &other.events()[..self.len]
     }
 }
+
+/// A sorted, duplicate-free set of [`ObjectId`]s with inline storage.
+///
+/// [`Trace::callers`] and [`Trace::objects`] are called once per
+/// membership query by predicate trace sets, and the traces the
+/// exploration engine feeds them rarely mention more than a handful of
+/// distinct identities.  `IdSet` keeps up to [`IdSet::INLINE_CAP`]
+/// identities in an inline array — no heap allocation — and spills to a
+/// `Vec` only beyond that.  It dereferences to a sorted `[ObjectId]`
+/// slice, so `contains`, `iter`, indexing and slice patterns all work,
+/// and it compares equal to a `Vec<ObjectId>`/`&[ObjectId]` with the
+/// same elements.
+#[derive(Clone)]
+pub struct IdSet {
+    inline: [ObjectId; IdSet::INLINE_CAP],
+    /// Number of live entries in `inline`; meaningless once spilled.
+    len: usize,
+    /// Heap storage, used only when the set outgrows `inline`.
+    spill: Vec<ObjectId>,
+}
+
+impl IdSet {
+    /// Distinct identities held without touching the heap.
+    pub const INLINE_CAP: usize = 8;
+
+    /// The empty set.
+    pub fn new() -> Self {
+        IdSet { inline: [ObjectId(0); Self::INLINE_CAP], len: 0, spill: Vec::new() }
+    }
+
+    /// Insert `id`, keeping the storage sorted and duplicate-free.
+    pub fn insert(&mut self, id: ObjectId) {
+        if !self.spill.is_empty() {
+            if let Err(i) = self.spill.binary_search(&id) {
+                self.spill.insert(i, id);
+            }
+            return;
+        }
+        match self.inline[..self.len].binary_search(&id) {
+            Ok(_) => {}
+            Err(i) if self.len < Self::INLINE_CAP => {
+                self.inline.copy_within(i..self.len, i + 1);
+                self.inline[i] = id;
+                self.len += 1;
+            }
+            Err(i) => {
+                let mut v = Vec::with_capacity(Self::INLINE_CAP * 2);
+                v.extend_from_slice(&self.inline[..i]);
+                v.push(id);
+                v.extend_from_slice(&self.inline[i..self.len]);
+                self.spill = v;
+            }
+        }
+    }
+
+    /// The elements as a sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[ObjectId] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Has the set outgrown its inline storage?  Exposed so benchmarks
+    /// and tests can assert the no-allocation fast path was taken.
+    #[inline]
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+
+    /// Iterate over the identities in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl Default for IdSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for IdSet {
+    type Target = [ObjectId];
+    #[inline]
+    fn deref(&self) -> &[ObjectId] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for IdSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for IdSet {}
+
+impl PartialEq<Vec<ObjectId>> for IdSet {
+    fn eq(&self, other: &Vec<ObjectId>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[ObjectId]> for IdSet {
+    fn eq(&self, other: &&[ObjectId]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[ObjectId; N]> for IdSet {
+    fn eq(&self, other: &[ObjectId; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for IdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.as_slice()).finish()
+    }
+}
+
+impl IntoIterator for IdSet {
+    type Item = ObjectId;
+    type IntoIter = IdSetIntoIter;
+    fn into_iter(self) -> IdSetIntoIter {
+        IdSetIntoIter { set: self, next: 0 }
+    }
+}
+
+impl<'a> IntoIterator for &'a IdSet {
+    type Item = ObjectId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ObjectId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl FromIterator<ObjectId> for IdSet {
+    fn from_iter<I: IntoIterator<Item = ObjectId>>(iter: I) -> Self {
+        let mut set = IdSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+/// Owning iterator over an [`IdSet`], in ascending order.
+pub struct IdSetIntoIter {
+    set: IdSet,
+    next: usize,
+}
+
+impl Iterator for IdSetIntoIter {
+    type Item = ObjectId;
+    fn next(&mut self) -> Option<ObjectId> {
+        let item = self.set.as_slice().get(self.next).copied();
+        if item.is_some() {
+            self.next += 1;
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.set.as_slice().len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for IdSetIntoIter {}
 
 impl PartialEq for Trace {
     fn eq(&self, other: &Self) -> bool {
@@ -387,6 +547,55 @@ mod tests {
         let t = sample();
         assert_eq!(t.objects(), vec![o(1), o(2), o(3)]);
         assert_eq!(t.callers(), vec![o(1), o(2), o(3)]);
+    }
+
+    #[test]
+    fn id_sets_stay_inline_for_few_distinct_ids() {
+        // A long trace over few identities: the common case in bounded
+        // exploration.  The set must not touch the heap.
+        let mut events = Vec::new();
+        for i in 0..200u32 {
+            events.push(ev(1 + (i % 3), 4 + (i % 2), 0));
+        }
+        let t = Trace::from_events(events);
+        let objs = t.objects();
+        assert!(!objs.spilled(), "5 distinct ids must stay inline");
+        assert_eq!(objs, vec![o(1), o(2), o(3), o(4), o(5)]);
+        let callers = t.callers();
+        assert!(!callers.spilled());
+        assert_eq!(callers, vec![o(1), o(2), o(3)]);
+    }
+
+    #[test]
+    fn id_set_spills_correctly_past_inline_capacity() {
+        let n = (IdSet::INLINE_CAP as u32) * 3;
+        // Insert in descending order to exercise sorted insertion.
+        let set: IdSet = (0..n).rev().map(o).collect();
+        assert!(set.spilled());
+        assert_eq!(set.len(), n as usize);
+        let expect: Vec<ObjectId> = (0..n).map(o).collect();
+        assert_eq!(set, expect);
+        // Duplicate insertion after the spill is still a no-op.
+        let mut set = set;
+        set.insert(o(1));
+        assert_eq!(set.len(), n as usize);
+        // Owning iteration yields ascending ids and honours size_hint.
+        let iter = set.clone().into_iter();
+        assert_eq!(iter.len(), n as usize);
+        assert_eq!(iter.collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn id_set_slice_views_and_contains() {
+        let t = sample();
+        let objs = t.objects();
+        assert!(objs.contains(&o(2)));
+        assert!(!objs.contains(&o(9)));
+        assert_eq!(objs.as_slice(), &[o(1), o(2), o(3)]);
+        assert_eq!(objs.first(), Some(&o(1)));
+        assert_eq!(objs.iter().count(), 3);
+        assert_eq!(IdSet::default().len(), 0);
+        assert!(IdSet::new().is_empty());
     }
 
     #[test]

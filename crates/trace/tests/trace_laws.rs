@@ -9,10 +9,9 @@ use proptest::prelude::*;
 
 /// A small concrete universe for generated traces.
 fn arb_event() -> impl Strategy<Value = Event> {
-    (0u32..5, 0u32..5, 0u32..4)
-        .prop_filter_map("no self-calls", |(c, t, m)| {
-            Event::new(ObjectId(c), ObjectId(t), MethodId(m), Arg::None).ok()
-        })
+    (0u32..5, 0u32..5, 0u32..4).prop_filter_map("no self-calls", |(c, t, m)| {
+        Event::new(ObjectId(c), ObjectId(t), MethodId(m), Arg::None).ok()
+    })
 }
 
 fn arb_trace() -> impl Strategy<Value = Trace> {

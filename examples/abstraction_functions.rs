@@ -106,10 +106,7 @@ fn main() {
         ),
     )
     .unwrap();
-    println!(
-        "OpAck ⊑ AckDiscipline : {}",
-        check_refinement(&alternating, &ag, 5)
-    );
+    println!("OpAck ⊑ AckDiscipline : {}", check_refinement(&alternating, &ag, 5));
 
     println!("\n== chaining both: implementation ⊑_φ AG viewpoint ==");
     // The concrete parameterised store, mapped through φ and extended

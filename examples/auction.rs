@@ -9,10 +9,9 @@ use pospec::prelude::*;
 use pospec_sim::behaviors::{EagerBidder, PassiveServer, RoundSeller};
 
 fn main() {
-    let source = std::fs::read_to_string(
-        format!("{}/specs/auction.pos", env!("CARGO_MANIFEST_DIR")),
-    )
-    .expect("specs/auction.pos present");
+    let source =
+        std::fs::read_to_string(format!("{}/specs/auction.pos", env!("CARGO_MANIFEST_DIR")))
+            .expect("specs/auction.pos present");
     let doc = parse_document(&source).expect("parses");
 
     println!("== 1. verify the development block ==");
@@ -55,10 +54,7 @@ fn main() {
         Event::call(seller, auct, close),
     ]);
     let mut monitor = Monitor::new(bidding.clone());
-    println!(
-        "  scripted round violation: {:?}",
-        monitor.observe_trace(&scripted)
-    );
+    println!("  scripted round violation: {:?}", monitor.observe_trace(&scripted));
 
     println!("\n== 4. coverage of the Bidding viewpoint by the scripted round ==");
     let report = pospec_check::state_coverage(&bidding, std::slice::from_ref(&scripted), 6);

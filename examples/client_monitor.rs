@@ -82,9 +82,7 @@ fn client2(wd: &World) -> Specification {
     Specification::new(
         "Client2",
         [wd.c],
-        client(wd)
-            .alphabet()
-            .union(&EventPattern::call(wd.c, wd.o, wd.ow).to_set(&wd.u)),
+        client(wd).alphabet().union(&EventPattern::call(wd.c, wd.o, wd.ow).to_set(&wd.u)),
         TraceSet::prs(
             Re::seq([
                 Re::lit(Template::call(wd.c, wd.o, wd.w)),
@@ -134,10 +132,7 @@ fn main() {
     );
     println!("deadlocked? {}", observable_deadlock(&composed));
     let w_event = Event::call_with(wd.c, wd.o, wd.w, wd.d);
-    println!(
-        "⟨c,o,W⟩ hidden by composition? {}",
-        !composed.alphabet().contains(&w_event)
-    );
+    println!("⟨c,o,W⟩ hidden by composition? {}", !composed.alphabet().contains(&w_event));
 
     println!("\n== Example 5: refinement can introduce deadlock ==");
     let cl2 = client2(&wd);
@@ -154,10 +149,7 @@ fn main() {
     println!("RW2 ⊑ WriteAcc : {}", check_refinement(&rw2, &wa, depth));
     let lhs = compose(&rw2, &cl).unwrap();
     let rhs = compose(&wa, &cl).unwrap();
-    println!(
-        "T(RW2‖Client) = T(WriteAcc‖Client)? {}",
-        language_equiv(&lhs, &rhs, depth)
-    );
+    println!("T(RW2‖Client) = T(WriteAcc‖Client)? {}", language_equiv(&lhs, &rhs, depth));
     println!(
         "(Theorem 7 instance) RW2‖Client ⊑ WriteAcc‖Client: {}",
         check_refinement(&lhs, &rhs, depth)
@@ -167,15 +159,11 @@ fn main() {
     let refined = Specification::new(
         "WriteAcc+o_mon",
         [wd.o, wd.o_mon],
-        wa.alphabet()
-            .union(&EventPattern::call(wd.objects, wd.o_mon, wd.ok).to_set(&wd.u)),
+        wa.alphabet().union(&EventPattern::call(wd.objects, wd.o_mon, wd.ok).to_set(&wd.u)),
         wa.trace_set().clone(),
     )
     .unwrap();
-    println!(
-        "WriteAcc+o_mon ⊑ WriteAcc : {}",
-        check_refinement(&refined, &wa, depth)
-    );
+    println!("WriteAcc+o_mon ⊑ WriteAcc : {}", check_refinement(&refined, &wa, depth));
     println!(
         "proper w.r.t. Client? {}  (it absorbs the monitor Client talks to)",
         is_proper_refinement(&refined, &wa, &cl)

@@ -77,10 +77,9 @@ fn per_caller_spec(wd: &World) -> Specification {
 
 /// The exclusive-writer viewpoint (`Write` of Example 1).
 fn exclusive_writer_spec(wd: &World) -> Specification {
-    let alpha = [wd.m.ow, wd.m.w, wd.m.cw].iter().fold(
-        EventSet::empty(&wd.u),
-        |acc, &mth| acc.union(&EventPattern::call(wd.objects, wd.o, mth).to_set(&wd.u)),
-    );
+    let alpha = [wd.m.ow, wd.m.w, wd.m.cw].iter().fold(EventSet::empty(&wd.u), |acc, &mth| {
+        acc.union(&EventPattern::call(wd.objects, wd.o, mth).to_set(&wd.u))
+    });
     let x = VarId(0);
     let re = Re::seq([
         Re::lit(Template::call(x, wd.o, wd.m.ow)),
@@ -95,7 +94,11 @@ fn exclusive_writer_spec(wd: &World) -> Specification {
 fn report(name: &str, trace: &Trace, spec: Specification) {
     let mut monitor = Monitor::new(spec);
     match monitor.observe_trace(trace) {
-        None => println!("  [{name}] viewpoint `{}`: ok over {} events", monitor.spec().name(), trace.len()),
+        None => println!(
+            "  [{name}] viewpoint `{}`: ok over {} events",
+            monitor.spec().name(),
+            trace.len()
+        ),
         Some(at) => println!(
             "  [{name}] viewpoint `{}`: VIOLATION at event #{at}: {}",
             monitor.spec().name(),

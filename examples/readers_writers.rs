@@ -95,11 +95,8 @@ fn rw(wd: &World) -> Specification {
             let re = Re::alt([
                 Re::seq([
                     Re::lit(Template::call(x, o, ow)),
-                    Re::alt([
-                        Re::lit(Template::call(x, o, w)),
-                        Re::lit(Template::call(x, o, r)),
-                    ])
-                    .star(),
+                    Re::alt([Re::lit(Template::call(x, o, w)), Re::lit(Template::call(x, o, r))])
+                        .star(),
                     Re::lit(Template::call(x, o, cw)),
                 ]),
                 Re::seq([
@@ -158,9 +155,8 @@ fn main() {
     println!("RW ⊑ Read‖Write : {}", check_refinement(&rw, &joint, depth));
 
     println!("\n== bounded exploration of the RW state space ==");
-    for (len, count) in pospec_check::count_members_by_len(&rw, 4, Parallelism::Rayon)
-        .iter()
-        .enumerate()
+    for (len, count) in
+        pospec_check::count_members_by_len(&rw, 4, Parallelism::Threads).iter().enumerate()
     {
         println!("  members of length {len}: {count}");
     }

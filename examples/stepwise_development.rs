@@ -83,7 +83,10 @@ fn main() {
     println!("== a three-step development, each step machine-checked ==");
     println!("SessionService   ⊑ Service        : {}", check_refinement(session, service, depth));
     println!("ReadWriteService ⊑ SessionService : {}", check_refinement(rw, session, depth));
-    println!("ReadWriteService ⊑ Service        : {} (transitivity)", check_refinement(rw, service, depth));
+    println!(
+        "ReadWriteService ⊑ Service        : {} (transitivity)",
+        check_refinement(rw, service, depth)
+    );
 
     println!("\n== aspect-wise development: merge with the replication viewpoint ==");
     let merged = compose(rw, replication).expect("same-object viewpoints compose");
@@ -107,10 +110,7 @@ fn main() {
     .unwrap();
     let lhs = compose(session, &context).expect("composable");
     let rhs = compose(service, &context).expect("composable");
-    println!(
-        "SessionService‖Ctx ⊑ Service‖Ctx : {}",
-        check_refinement(&lhs, &rhs, depth)
-    );
+    println!("SessionService‖Ctx ⊑ Service‖Ctx : {}", check_refinement(&lhs, &rhs, depth));
 
     println!("\n== the meta-theory behind those steps (mechanized, seed 1) ==");
     for outcome in theorems::run_all(1, 25) {

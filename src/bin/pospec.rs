@@ -53,10 +53,7 @@ fn find<'a>(doc: &'a Document, name: &str) -> Result<&'a Specification, ExitCode
 }
 
 fn depth_arg(args: &[String]) -> usize {
-    args.windows(2)
-        .find(|w| w[0] == "--depth")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(6)
+    args.windows(2).find(|w| w[0] == "--depth").and_then(|w| w[1].parse().ok()).unwrap_or(6)
 }
 
 fn main() -> ExitCode {
@@ -246,11 +243,7 @@ fn main() -> ExitCode {
                     failed += 1;
                 }
             }
-            println!(
-                "{}/{} obligation(s) discharged",
-                reports.len() - failed,
-                reports.len()
-            );
+            println!("{}/{} obligation(s) discharged", reports.len() - failed, reports.len());
             if failed == 0 {
                 ExitCode::SUCCESS
             } else {

@@ -110,8 +110,7 @@ pub mod prelude {
         ArgSpec, EventPattern, EventSet, ObjSpec, Universe, UniverseBuilder,
     };
     pub use pospec_check::{
-        check_refinement_with, enumerate_spec_traces, is_deadlocked_bounded, Parallelism,
-        Strategy,
+        check_refinement_with, enumerate_spec_traces, is_deadlocked_bounded, Parallelism, Strategy,
     };
     pub use pospec_core::{
         check_refinement, compose, is_composable, is_proper_refinement, observable_deadlock,

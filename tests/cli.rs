@@ -10,10 +10,7 @@ fn specs(name: &str) -> String {
 }
 
 fn run(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_pospec"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_pospec")).args(args).output().expect("binary runs")
 }
 
 fn stdout(o: &Output) -> String {

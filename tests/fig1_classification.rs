@@ -61,10 +61,7 @@ fn fig1_event_classification_between_two_interface_specs() {
     // Composition hides exactly `between`, regardless of the alphabets.
     let composed = compose(&f, &g).expect("composable interface specs");
     for set in [&in_f, &in_g, &in_neither] {
-        assert!(
-            set.is_disjoint(composed.alphabet()),
-            "hidden events must not survive composition"
-        );
+        assert!(set.is_disjoint(composed.alphabet()), "hidden events must not survive composition");
     }
     // Environment-facing events survive.
     let wit = p.env_obj(0);
@@ -89,7 +86,9 @@ fn fig1_partition_granule_counts_are_stable() {
     let g_only = g_alpha.difference(&f_alpha).intersect(&between);
     let neither = between.difference(&f_alpha).difference(&g_alpha);
     assert_eq!(
-        both.granule_count() + f_only.granule_count() + g_only.granule_count()
+        both.granule_count()
+            + f_only.granule_count()
+            + g_only.granule_count()
             + neither.granule_count(),
         between.granule_count(),
         "the four regions partition I(o₁,o₂)"

@@ -47,10 +47,7 @@ fn run_all_covers_the_complete_meta_theory() {
         "monotone",
         "Necessity",
     ] {
-        assert!(
-            names.iter().any(|n| n.contains(expected)),
-            "missing `{expected}` in {names:?}"
-        );
+        assert!(names.iter().any(|n| n.contains(expected)), "missing `{expected}` in {names:?}");
     }
     assert_eq!(outcomes.len(), 12);
 }
@@ -81,13 +78,9 @@ fn property_17_boundary_case_with_overlapping_object_sets() {
     let u = b.freeze();
 
     // Γ: a spec of {o} over environment events only.
-    let gamma = Specification::new(
-        "Γ",
-        [o],
-        EventPattern::call(env, o, m).to_set(&u),
-        TraceSet::Universal,
-    )
-    .unwrap();
+    let gamma =
+        Specification::new("Γ", [o], EventPattern::call(env, o, m).to_set(&u), TraceSet::Universal)
+            .unwrap();
     // ∆: a *component* spec sharing the object o with Γ.
     let delta = Specification::new(
         "Δ",
@@ -121,8 +114,7 @@ fn property_17_boundary_case_with_overlapping_object_sets() {
 fn properness_necessity_probe_finds_breakage_across_seeds() {
     // At least one of several seeds must exhibit an improper refinement
     // that genuinely breaks Theorem 16 (typically most do).
-    let found = [11u64, 12, 13]
-        .iter()
-        .any(|&seed| theorems::necessity_of_properness(seed, 60).holds());
+    let found =
+        [11u64, 12, 13].iter().any(|&seed| theorems::necessity_of_properness(seed, 60).holds());
     assert!(found, "no seed produced a properness counterexample");
 }

@@ -61,10 +61,7 @@ fn ex1_write_enforces_exclusive_bracketed_sessions() {
     ]);
     assert!(write.admits_trace(&good));
     // Sequential write access: a second opener must wait.
-    let bad = Trace::from_events(vec![
-        p.ev(x, p.o, p.ow),
-        p.ev(y, p.o, p.ow),
-    ]);
+    let bad = Trace::from_events(vec![p.ev(x, p.o, p.ow), p.ev(y, p.o, p.ow)]);
     assert!(!write.contains_trace(&bad));
     // Writing without access is forbidden.
     let bare = Trace::from_events(vec![p.evd(x, p.o, p.w)]);
@@ -335,8 +332,7 @@ fn improper_refinement_on_paper_specs_is_detected() {
     let refined = Specification::new(
         "WriteAcc+o′",
         [p.o, p.o_mon],
-        wa.alphabet()
-            .union(&EventPattern::call(p.objects, p.o_mon, p.ok).to_set(&p.u)),
+        wa.alphabet().union(&EventPattern::call(p.objects, p.o_mon, p.ok).to_set(&p.u)),
         wa.trace_set().clone(),
     )
     .unwrap();

@@ -39,7 +39,9 @@ fn refinement_is_transitive_along_abstraction_chains() {
 #[test]
 fn mutual_refinement_implies_observable_equivalence() {
     let arena = Arena::new(2, 2);
-    let mut g = SpecGen::new(arena.clone(), 303);
+    // Seed chosen so the vendored `rand` stream yields several mutually
+    // refining pairs within 40 draws (seed 11 produces five).
+    let mut g = SpecGen::new(arena.clone(), 11);
     let mut mutual = 0;
     for _ in 0..40 {
         let a = g.random_env_spec(&[arena.objs[0]], "A");

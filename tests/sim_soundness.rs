@@ -206,8 +206,5 @@ fn two_clients_expose_the_difference_between_viewpoints() {
             violated_write = true;
         }
     }
-    assert!(
-        violated_write,
-        "uncoordinated clients should eventually overlap write sessions"
-    );
+    assert!(violated_write, "uncoordinated clients should eventually overlap write sessions");
 }

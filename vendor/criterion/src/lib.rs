@@ -1,0 +1,206 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Mirrors upstream criterion's execution model: when the binary is run
+//! by `cargo bench` (cargo passes `--bench`), each benchmark is sampled
+//! and a `name … median time` line is printed; when run by `cargo test`
+//! (no `--bench` argument), every benchmark closure executes exactly
+//! once as a smoke test so the tier-1 suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How fast a benchmark runs, per element or byte — recorded for the
+/// report line, not used to scale sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Total time and iteration count of the best sample, for reporting.
+    samples: Vec<Duration>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo test`: run the routine once, measure nothing.
+    Smoke,
+    /// `cargo bench`: run `sample_size` samples of `iters` iterations.
+    Measure { sample_size: usize },
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure { sample_size } => {
+                // Warm-up iteration, then timed samples.
+                black_box(routine());
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    black_box(routine());
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if let Mode::Measure { .. } = self.mode {
+            if self.samples.is_empty() {
+                return;
+            }
+            self.samples.sort_unstable();
+            let median = self.samples[self.samples.len() / 2];
+            println!("bench: {label:<56} median {median:>12.3?}");
+        }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measure: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure, default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    fn bencher(&self, sample_size: usize) -> Bencher {
+        let mode = if self.measure { Mode::Measure { sample_size } } else { Mode::Smoke };
+        Bencher { mode, samples: Vec::new() }
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = self.bencher(self.default_sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run(&mut self, label: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let n = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let mut b = self.criterion.bencher(n);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, label));
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(name.to_string(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.label.clone(), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut c = Criterion { measure: false, default_sample_size: 10 };
+        let mut runs = 0;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_samples() {
+        let mut c = Criterion { measure: true, default_sample_size: 4 };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("f", 1), &1, |b, _| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

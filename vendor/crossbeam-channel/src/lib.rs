@@ -1,0 +1,52 @@
+//! Offline drop-in subset of `crossbeam-channel`, backed by
+//! `std::sync::mpsc`.
+//!
+//! Only the surface this workspace uses is provided: [`unbounded`]
+//! channels with cloneable senders, blocking [`Receiver::recv`],
+//! [`Receiver::recv_timeout`], and the matching error types.  `std`'s
+//! MPSC queue has the same single-consumer shape the simulator uses
+//! (one receiver thread per object), so no semantics change.
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+pub type Sender<T> = std::sync::mpsc::Sender<T>;
+pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+/// An unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn timeout_and_disconnect_are_distinguished() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(5));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

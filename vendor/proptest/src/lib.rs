@@ -1,0 +1,427 @@
+//! Offline drop-in subset of the `proptest` property-testing API.
+//!
+//! Supports the surface this workspace's law suites use: the
+//! [`proptest!`] macro over `name in strategy` bindings, [`any`] for
+//! primitive types, half-open integer ranges and tuples as strategies,
+//! `prop::collection::vec`, [`Strategy::prop_map`] /
+//! [`Strategy::prop_filter_map`], `prop_assert*` / `prop_assume!`, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Unlike upstream there is no shrinking: a failing case reports its
+//! case number and seed, and the deterministic per-test RNG means a
+//! failure replays exactly by re-running the test.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Per-suite configuration; only `cases` is interpreted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a generated case did not complete.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws a new case.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+/// The RNG handed to strategies (deterministic per test name).
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name gives every test its own stream
+        // while keeping runs reproducible.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner { rng: SmallRng::seed_from_u64(h) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..hi)
+        }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, f, whence }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f, whence }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).generate(runner)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.inner.generate(runner)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map({:?}) rejected 10000 candidates in a row", self.whence);
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(runner);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}) rejected 10000 candidates in a row", self.whence);
+    }
+}
+
+/// `any::<T>()` — uniform arbitrary values for primitives.
+pub trait Arbitrary: Sized {
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// Half-open integer ranges are strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (self.start, self.end);
+                assert!(lo < hi, "empty range strategy");
+                lo + (runner.next_u64() % ((hi - lo) as u64)) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRunner};
+
+        /// Sizes accepted by [`vec`]: a fixed length or a half-open range.
+        pub trait SizeRange {
+            fn pick(&self, runner: &mut TestRunner) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn pick(&self, _: &mut TestRunner) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for std::ops::Range<usize> {
+            fn pick(&self, runner: &mut TestRunner) -> usize {
+                runner.gen_range_usize(self.start, self.end)
+            }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Box<dyn SizeRange>,
+        }
+
+        pub fn vec<S: Strategy>(element: S, size: impl SizeRange + 'static) -> VecStrategy<S> {
+            VecStrategy { element, size: Box::new(size) }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+                let n = self.size.pick(runner);
+                (0..n).map(|_| self.element.generate(runner)).collect()
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::TestRunner::deterministic(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut drawn: u32 = 0;
+                while accepted < config.cases {
+                    drawn += 1;
+                    if drawn > config.cases.saturating_mul(20).max(1000) {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                            stringify!($name), accepted, config.cases
+                        );
+                    }
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut runner);)+
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::TestCaseError::Reject(_)) => continue,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest {} failed on case {}: {}", stringify!($name), accepted, msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..9, v in prop::collection::vec(any::<u8>(), 0..5)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn maps_and_assumes_work(x in (0u32..10).prop_map(|v| v * 2)) {
+            prop_assume!(x != 6);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 6);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(t in (0u8..4, any::<bool>())) {
+            let (a, _b) = t;
+            prop_assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn filter_map_retries() {
+        let s = (0u32..100).prop_filter_map("even only", |v| (v % 2 == 0).then_some(v));
+        let mut r = crate::TestRunner::deterministic("filter_map_retries");
+        for _ in 0..100 {
+            assert_eq!(crate::Strategy::generate(&s, &mut r) % 2, 0);
+        }
+    }
+}
