@@ -45,4 +45,4 @@ pub use internal::{
 };
 pub use pattern::{ArgSpec, EventPattern, ObjSpec};
 pub use set::EventSet;
-pub use universe::{Universe, UniverseBuilder, UniverseError};
+pub use universe::{MethodSig, Universe, UniverseBuilder, UniverseError};

@@ -1,0 +1,72 @@
+//! FAULT — fault-injection overhead and campaign throughput.
+//!
+//! Measures (a) the per-run cost a fault plan adds to the deterministic
+//! scheduler — the fault-free plan should be near-zero overhead since
+//! decisions are keyed hashes, never RNG draws — and (b) whole
+//! seeds × drop-rates campaign cells.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pospec_bench::campaign::fault_campaign;
+use pospec_bench::paper::Paper;
+use pospec_sim::behaviors::ChaosClient;
+use pospec_sim::{FaultPlan, FaultRates, RunConfig, SupervisedRun};
+use std::hint::black_box;
+
+const EVENTS: usize = 150;
+
+fn supervised_run(p: &Paper, seed: u64, plan: &FaultPlan) -> usize {
+    let mut sup = SupervisedRun::new(seed);
+    for obj in
+        p.u.declared_objects()
+            .chain(p.u.object_classes().flat_map(|c| p.u.class_witnesses(c)))
+            .collect::<Vec<_>>()
+    {
+        sup.add_object(Box::new(ChaosClient::new(obj, &p.u)));
+    }
+    for spec in p.interface_specs() {
+        sup.add_monitor(spec);
+    }
+    let out = sup.run(&RunConfig::budget(EVENTS).faults(plan.clone()));
+    out.run.trace.len() + out.run.fault_log.len()
+}
+
+fn bench_fault_overhead(c: &mut Criterion) {
+    let p = Paper::new();
+    let mut g = c.benchmark_group("faults/supervised-run");
+    g.throughput(Throughput::Elements(EVENTS as u64));
+    g.sample_size(20);
+    let mut seed = 0u64;
+    g.bench_function("fault-free-plan", |b| {
+        b.iter(|| {
+            seed += 1;
+            supervised_run(black_box(&p), seed, &FaultPlan::new(seed))
+        })
+    });
+    let mut seed2 = 0u64;
+    g.bench_function("lossy-plan-250permille", |b| {
+        b.iter(|| {
+            seed2 += 1;
+            let plan = FaultPlan::new(seed2)
+                .rates(FaultRates { drop: 150, delay: 80, duplicate: 20, ..Default::default() })
+                .expect("valid rates");
+            supervised_run(black_box(&p), seed2, &plan)
+        })
+    });
+    g.finish();
+}
+
+fn bench_campaign_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("faults/campaign");
+    g.sample_size(10);
+    g.bench_function("one-cell-two-runs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            fault_campaign(black_box(&[seed]), &[250], 80).runs
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_overhead, bench_campaign_cell);
+criterion_main!(benches);

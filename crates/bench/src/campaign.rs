@@ -1,0 +1,160 @@
+//! FAULT — the fault-injection campaign of EXPERIMENTS.md.
+//!
+//! Sweeps a grid of seeds × drop rates over the paper's running example:
+//! every cell runs a supervised chaos simulation (one [`ChaosClient`]
+//! per declared object, online monitors for each interface
+//! specification) **twice** with identical inputs and asserts the two
+//! runs agree byte for byte — the determinism contract of the
+//! fault-injection layer, measured rather than assumed.
+
+use crate::paper::Paper;
+use pospec_sim::behaviors::ChaosClient;
+use pospec_sim::{FaultPlan, FaultRates, RunConfig, SupervisedOutcome, SupervisedRun};
+
+/// One grid cell of the campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// Scheduler and fault seed.
+    pub seed: u64,
+    /// Drop rate for this cell (‰).
+    pub drop_rate: u32,
+    /// Observable events the run produced.
+    pub events: usize,
+    /// Faults injected.
+    pub faults: usize,
+    /// Monitors that latched a violation.
+    pub violations: usize,
+    /// Why the run stopped (stable label).
+    pub stop_reason: &'static str,
+    /// Did the same-seed repeat agree exactly?
+    pub deterministic: bool,
+}
+
+impl CampaignCell {
+    /// The cell as a JSON object.
+    pub fn to_json(&self) -> pospec_json::Value {
+        pospec_json::ObjBuilder::new()
+            .field("seed", self.seed)
+            .field("drop_rate", self.drop_rate as u64)
+            .field("events", self.events)
+            .field("faults", self.faults)
+            .field("violations", self.violations)
+            .field("stop_reason", self.stop_reason)
+            .field("deterministic", self.deterministic)
+            .build()
+    }
+}
+
+/// Aggregated campaign counters.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// Every grid cell, in sweep order.
+    pub cells: Vec<CampaignCell>,
+    /// Total runs executed (two per cell).
+    pub runs: usize,
+    /// Total faults injected across first runs.
+    pub faults_injected: usize,
+    /// Total violations latched across first runs.
+    pub violations_latched: usize,
+}
+
+impl CampaignSummary {
+    /// Did every cell's same-seed repeat reproduce exactly?
+    pub fn all_deterministic(&self) -> bool {
+        self.cells.iter().all(|c| c.deterministic)
+    }
+
+    /// The summary (with per-cell detail) as a JSON object — the
+    /// `"sim"` key of `paper_report.json`.
+    pub fn to_json(&self) -> pospec_json::Value {
+        pospec_json::ObjBuilder::new()
+            .field("runs", self.runs)
+            .field("faults_injected", self.faults_injected)
+            .field("violations_latched", self.violations_latched)
+            .field("deterministic", self.all_deterministic())
+            .field("cells", self.cells.iter().map(|c| c.to_json()).collect::<Vec<_>>())
+            .build()
+    }
+}
+
+/// One supervised chaos run over the paper world.
+fn one_run(p: &Paper, seed: u64, plan: &FaultPlan, budget: usize) -> (SupervisedOutcome, String) {
+    let mut sup = SupervisedRun::new(seed);
+    let cast: Vec<_> =
+        p.u.declared_objects()
+            .chain(p.u.object_classes().flat_map(|c| p.u.class_witnesses(c)))
+            .collect();
+    for &obj in &cast {
+        sup.add_object(Box::new(ChaosClient::new(obj, &p.u)));
+    }
+    for spec in p.interface_specs() {
+        sup.add_monitor(spec);
+    }
+    let out = sup.run(&RunConfig::budget(budget).faults(plan.clone()));
+    let bytes = out.run.fault_log.to_json(&p.u).to_compact();
+    (out, bytes)
+}
+
+/// Run the seeds × drop-rates campaign; each cell is executed twice and
+/// checked for exact same-seed reproduction.
+pub fn fault_campaign(seeds: &[u64], drop_rates: &[u32], budget: usize) -> CampaignSummary {
+    let p = Paper::new();
+    let mut cells = Vec::new();
+    let mut faults_injected = 0usize;
+    let mut violations_latched = 0usize;
+    for &seed in seeds {
+        for &drop in drop_rates {
+            let plan = FaultPlan::new(seed)
+                .rates(FaultRates { drop, delay: drop / 2, ..FaultRates::default() })
+                .expect("campaign rates stay in range");
+            let (a, a_log) = one_run(&p, seed, &plan, budget);
+            let (b, b_log) = one_run(&p, seed, &plan, budget);
+            let deterministic = a_log == b_log
+                && a.run.trace == b.run.trace
+                && a.reports == b.reports
+                && a.run.stop_reason == b.run.stop_reason;
+            faults_injected += a.run.fault_log.len();
+            violations_latched += a.violations();
+            cells.push(CampaignCell {
+                seed,
+                drop_rate: drop,
+                events: a.run.trace.len(),
+                faults: a.run.fault_log.len(),
+                violations: a.violations(),
+                stop_reason: a.run.stop_reason.label(),
+                deterministic,
+            });
+        }
+    }
+    CampaignSummary { runs: cells.len() * 2, cells, faults_injected, violations_latched }
+}
+
+/// The default grid used by `paper_report` and EXPERIMENTS.md: three
+/// seeds × four drop rates (0‰, 100‰, 250‰, 500‰), 120-event budget.
+pub fn default_campaign() -> CampaignSummary {
+    fault_campaign(&[1, 7, 42], &[0, 100, 250, 500], 120)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_cells_reproduce_and_count() {
+        let s = fault_campaign(&[3, 9], &[0, 300], 60);
+        assert_eq!(s.cells.len(), 4);
+        assert_eq!(s.runs, 8);
+        assert!(s.all_deterministic(), "same-seed cells must reproduce");
+        // The zero-rate cells inject nothing; the 300‰ cells must.
+        for c in &s.cells {
+            if c.drop_rate == 0 {
+                assert_eq!(c.faults, 0, "seed {}: fault-free cell logged faults", c.seed);
+            } else {
+                assert!(c.faults > 0, "seed {}: lossy cell injected nothing", c.seed);
+            }
+        }
+        assert!(s.faults_injected > 0);
+        let json = s.to_json().to_compact();
+        assert!(json.contains("\"deterministic\":true"), "{json}");
+    }
+}

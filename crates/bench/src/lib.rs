@@ -4,7 +4,11 @@
 //! * [`paper`] — the universe and specifications of the paper's running
 //!   example (Examples 1–6);
 //! * [`scale`] — parameterized universes and specifications for the
-//!   performance sweeps (PERF1–PERF4 in EXPERIMENTS.md).
+//!   performance sweeps (PERF1–PERF4 in EXPERIMENTS.md);
+//! * [`campaign`] — the FAULT fault-injection campaign: seeds × drop
+//!   rates over supervised chaos runs, with same-seed reproduction
+//!   checked per cell.
 
+pub mod campaign;
 pub mod paper;
 pub mod scale;

@@ -50,7 +50,8 @@ pub use compose::{
 };
 pub use morphism::{check_refinement_upto, Morphism};
 pub use parallel::{
-    parallel_find_first, parallel_flat_map_ref, parallel_map, parallel_map_ref, worker_count,
+    parallel_find_first, parallel_flat_map_ref, parallel_map, parallel_map_ref,
+    parallel_try_map_ref, worker_count, WorkerPanic,
 };
 pub use refine::{
     check_refinement, check_traditional_refinement, refinement_conditions, refines,

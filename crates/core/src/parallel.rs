@@ -8,6 +8,7 @@
 //! thread, so parallel and sequential execution are observationally
 //! identical apart from wall-clock time.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use for `n` independent items.
@@ -16,11 +17,43 @@ pub fn worker_count(n: usize) -> usize {
     cpus.min(n).max(1)
 }
 
-/// Map `f` over `items` on a scoped thread pool, preserving input order.
+/// One work item panicked inside a parallel map.
 ///
-/// Falls back to a plain sequential map when the workload or the machine
-/// has no parallelism to offer.
-pub fn parallel_map_ref<T, U, F>(items: &[T], f: F) -> Vec<U>
+/// The panic is caught *per item*: the worker that hit it keeps claiming
+/// and processing further items, so a single bad item never costs the
+/// results of its siblings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Input index of the offending item.
+    pub index: usize,
+    /// Best-effort rendering of the panic payload.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work item {} panicked: {}", self.index, self.message)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Map `f` over `items` on a scoped thread pool, preserving input order
+/// and isolating per-item panics.
+///
+/// Every item is attempted; an item whose `f` panics yields
+/// `Err(WorkerPanic)` in its slot while all other slots carry their
+/// results.  Falls back to a plain sequential map when the workload or
+/// the machine has no parallelism to offer.
+pub fn parallel_try_map_ref<T, U, F>(items: &[T], f: F) -> Vec<Result<U, WorkerPanic>>
 where
     T: Sync,
     U: Send,
@@ -28,11 +61,15 @@ where
 {
     let n = items.len();
     let workers = worker_count(n);
+    let run_one = |i: usize| -> Result<U, WorkerPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(&items[i])))
+            .map_err(|p| WorkerPanic { index: i, message: panic_message(p) })
+    };
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return (0..n).map(run_one).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut parts: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+    let mut parts: Vec<Vec<(usize, Result<U, WorkerPanic>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -42,19 +79,42 @@ where
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        local.push((i, run_one(i)));
                     }
                     local
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        // Item panics are caught inside run_one, so a join failure can
+        // only mean a panic in the claiming loop itself.
+        handles.into_iter().map(|h| h.join().expect("worker survives item panics")).collect()
     });
-    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let mut out: Vec<Option<Result<U, WorkerPanic>>> = (0..n).map(|_| None).collect();
     for (i, u) in parts.drain(..).flatten() {
         out[i] = Some(u);
     }
     out.into_iter().map(|slot| slot.expect("every index mapped")).collect()
+}
+
+/// Map `f` over `items` on a scoped thread pool, preserving input order.
+///
+/// Panics (after all items have been attempted) if any item's `f`
+/// panicked, naming the earliest offending index.  Use
+/// [`parallel_try_map_ref`] to observe per-item panics instead.
+pub fn parallel_map_ref<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for r in parallel_try_map_ref(items, f) {
+        match r {
+            Ok(u) => out.push(u),
+            Err(p) => panic!("{}", p),
+        }
+    }
+    out
 }
 
 /// Map `f` over owned items, preserving input order.
@@ -150,6 +210,39 @@ mod tests {
         let items: Vec<usize> = (0..10_000).collect();
         assert_eq!(parallel_find_first(items.clone(), |&x| x % 977 == 3), Some(3));
         assert_eq!(parallel_find_first(items, |&x| x > 10_000), None);
+    }
+
+    #[test]
+    fn a_panicking_item_does_not_lose_other_results() {
+        let input: Vec<usize> = (0..64).collect();
+        let results = parallel_try_map_ref(&input, |&x| {
+            if x == 13 {
+                panic!("unlucky {x}");
+            }
+            x * 2
+        });
+        assert_eq!(results.len(), 64);
+        for (i, r) in results.iter().enumerate() {
+            if i == 13 {
+                let p = r.as_ref().expect_err("item 13 must fail");
+                assert_eq!(p.index, 13);
+                assert!(p.message.contains("unlucky 13"), "got: {}", p.message);
+            } else {
+                assert_eq!(r.as_ref().expect("sibling items survive"), &(i * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn map_ref_panics_with_the_earliest_offending_index() {
+        let input = vec![0usize, 1, 2, 3];
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map_ref(&input, |&x| if x >= 2 { panic!("bad {x}") } else { x })
+        });
+        let payload = caught.expect_err("must propagate the panic");
+        let msg = super::panic_message(payload);
+        assert!(msg.contains("work item 2 panicked"), "got: {msg}");
+        assert!(msg.contains("bad 2"), "got: {msg}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!   the callers' event order).
 
 use crate::behavior::{Action, ObjectBehavior};
+use pospec_alphabet::{MethodSig, Universe};
 use pospec_trace::{Arg, DataId, MethodId, ObjectId};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -266,6 +267,73 @@ impl ObjectBehavior for EagerBidder {
     }
 }
 
+/// A specification-agnostic stress client for fault-injection runs.
+///
+/// Its menu is built once from a frozen [`Universe`]: every declared
+/// method aimed at every other declared object (and class witness), with
+/// a declared or witness data value supplied where the method signature
+/// requires one.  Each tick fires one menu entry picked uniformly by the
+/// scheduler's RNG — no protocol discipline whatsoever, which is the
+/// point: online monitors attached to the run latch whatever violations
+/// the chaos produces.
+pub struct ChaosClient {
+    me: ObjectId,
+    menu: Vec<Action>,
+}
+
+impl ChaosClient {
+    /// A chaos client acting as `me` against everything `universe`
+    /// declares.
+    pub fn new(me: ObjectId, universe: &Universe) -> Self {
+        let mut menu = Vec::new();
+        let targets: Vec<ObjectId> = universe
+            .declared_objects()
+            .chain(universe.object_classes().flat_map(|c| universe.class_witnesses(c)))
+            .filter(|&o| o != me)
+            .collect();
+        for &to in &targets {
+            for m in universe.declared_methods() {
+                match universe.method_sig(m) {
+                    MethodSig::None => menu.push(Action::call(to, m)),
+                    MethodSig::Data(class) => {
+                        let datum = universe
+                            .declared_data_in(class)
+                            .next()
+                            .or_else(|| universe.data_witnesses(class).next());
+                        if let Some(d) = datum {
+                            menu.push(Action::call_with(to, m, d));
+                        }
+                    }
+                }
+            }
+        }
+        ChaosClient { me, menu }
+    }
+
+    /// How many distinct calls the client can issue.
+    pub fn menu_len(&self) -> usize {
+        self.menu.len()
+    }
+}
+
+impl ObjectBehavior for ChaosClient {
+    fn id(&self) -> ObjectId {
+        self.me
+    }
+
+    fn on_call(&mut self, _: ObjectId, _: MethodId, _: Arg) -> Vec<Action> {
+        Vec::new()
+    }
+
+    fn on_tick(&mut self, rng: &mut SmallRng) -> Vec<Action> {
+        if self.menu.is_empty() {
+            return Vec::new();
+        }
+        let i = rng.gen_range(0..self.menu.len());
+        vec![self.menu[i]]
+    }
+}
+
 /// Answers every `ping` with a `pong` to the caller.
 pub struct PingResponder {
     me: ObjectId,
@@ -432,6 +500,37 @@ mod tests {
             assert_eq!(a.len(), 1);
             assert_eq!(a[0].method, MethodId(2));
             assert_eq!(a[0].arg, Arg::Data(DataId(0)));
+        }
+    }
+
+    #[test]
+    fn chaos_client_fires_only_declared_calls() {
+        use pospec_alphabet::UniverseBuilder;
+        let mut b = UniverseBuilder::new();
+        let clients = b.object_class("Clients").unwrap();
+        let _o = b.object("o").unwrap();
+        let c = b.object_in("c", clients).unwrap();
+        let data = b.data_class("Data").unwrap();
+        let d = b.data_value("d", data).unwrap();
+        let ping = b.method("Ping").unwrap();
+        let w = b.method_with("W", data).unwrap();
+        b.class_witnesses(clients, 1).unwrap();
+        let u = b.freeze();
+        let mut chaos = ChaosClient::new(c, &u);
+        // Targets: o + the Clients witness (not c itself); methods: Ping, W.
+        assert_eq!(chaos.menu_len(), 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let actions = chaos.on_tick(&mut rng);
+            assert_eq!(actions.len(), 1);
+            let a = actions[0];
+            assert_ne!(a.to, c, "no self-calls in the menu");
+            assert!(a.method == ping || a.method == w);
+            if a.method == w {
+                assert_eq!(a.arg, Arg::Data(d), "data-carrying methods get the declared value");
+            } else {
+                assert_eq!(a.arg, Arg::None);
+            }
         }
     }
 

@@ -11,6 +11,7 @@
 //! experiments replayable.
 
 use crate::behavior::{Action, ObjectBehavior};
+use crate::fault::{FaultDecision, FaultKind, FaultLog, FaultPlan, FaultRecord};
 use pospec_trace::{Arg, Event, MethodId, ObjectId, Trace, TraceBuilder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -38,6 +39,22 @@ pub struct DeterministicRuntime {
     /// delivery time — fault injection for unreliable networks.  The
     /// dropped call never happens: it is not logged and not delivered.
     loss_rate: u32,
+    /// The structured fault layer (None = perfectly reliable network).
+    /// Decisions are keyed on message identity, not on `rng`, so a
+    /// fault-free plan leaves the scheduler's stream — and hence the
+    /// run — byte-identical to a plan-less runtime.
+    plan: Option<FaultPlan>,
+    faults: FaultLog,
+    /// Scheduling steps taken so far (the clock delays are measured in).
+    step_no: u64,
+    /// Per-(sender, receiver) message sequence numbers for the plan.
+    pair_seq: BTreeMap<(ObjectId, ObjectId), u64>,
+    /// Delayed messages, with the step at which they re-enter the queue.
+    delayed: Vec<(u64, Message)>,
+    /// Crashed objects and the step at which each restarts.
+    down_until: BTreeMap<ObjectId, u64>,
+    /// Deliveries handled per object (the crash-decision key).
+    handled: BTreeMap<ObjectId, u64>,
 }
 
 impl DeterministicRuntime {
@@ -51,6 +68,13 @@ impl DeterministicRuntime {
             rng: SmallRng::seed_from_u64(seed),
             tick_bias: 30,
             loss_rate: 0,
+            plan: None,
+            faults: FaultLog::new(),
+            step_no: 0,
+            pair_seq: BTreeMap::new(),
+            delayed: Vec::new(),
+            down_until: BTreeMap::new(),
+            handled: BTreeMap::new(),
         }
     }
 
@@ -76,6 +100,30 @@ impl DeterministicRuntime {
         self.loss_rate = percent.min(100);
     }
 
+    /// Attach a deterministic fault plan consulted for every delivery.
+    ///
+    /// A fault-free plan is observationally identical to no plan at all:
+    /// plan decisions are keyed hashes of message identity and never
+    /// touch the scheduler's RNG stream.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Every fault injected so far, in order.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.faults
+    }
+
+    /// Scheduling steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step_no
+    }
+
+    /// The events logged so far (no copy — the live log).
+    pub fn events(&self) -> &[Event] {
+        self.log.as_slice()
+    }
+
     /// The trace recorded so far.
     pub fn trace(&self) -> Trace {
         self.log.snapshot()
@@ -93,17 +141,59 @@ impl DeterministicRuntime {
         }
     }
 
+    /// Release delayed messages that are due and restart objects whose
+    /// downtime has elapsed.  No-ops on a fault-free runtime.
+    fn fault_housekeeping(&mut self) {
+        if !self.delayed.is_empty() {
+            let now = self.step_no;
+            // Stable partition: due messages re-enter the queue in the
+            // order they were delayed (their cross-pair position still
+            // changed — that is the injected reordering).
+            let mut still = Vec::with_capacity(self.delayed.len());
+            for (ready, msg) in self.delayed.drain(..) {
+                if ready <= now {
+                    self.queue.push_back(msg);
+                } else {
+                    still.push((ready, msg));
+                }
+            }
+            self.delayed = still;
+        }
+        if !self.down_until.is_empty() {
+            let now = self.step_no;
+            let back_up: Vec<ObjectId> = self
+                .down_until
+                .iter()
+                .filter(|(_, &until)| until <= now)
+                .map(|(&o, _)| o)
+                .collect();
+            for o in back_up {
+                self.down_until.remove(&o);
+                self.faults.push(FaultRecord::lifecycle(now, FaultKind::Restart, o));
+            }
+        }
+    }
+
     /// Run one scheduling step; returns false when nothing can happen.
     pub fn step(&mut self) -> bool {
+        self.step_no += 1;
+        self.fault_housekeeping();
         let can_deliver = !self.queue.is_empty();
         let can_tick = !self.order.is_empty();
         if !can_deliver && !can_tick {
-            return false;
+            // Delayed messages keep the system alive: time must pass
+            // until they become deliverable again.
+            return !self.delayed.is_empty();
         }
         let do_tick = can_tick && (!can_deliver || self.rng.gen_range(0..100) < self.tick_bias);
         if do_tick {
             let idx = self.rng.gen_range(0..self.order.len());
             let id = self.order[idx];
+            if self.down_until.contains_key(&id) {
+                // A crashed object takes no spontaneous steps; the
+                // scheduling slot is simply lost.
+                return true;
+            }
             let actions = {
                 let obj = self.objects.get_mut(&id).expect("registered object");
                 obj.on_tick(&mut self.rng)
@@ -127,6 +217,65 @@ impl DeterministicRuntime {
                 // The message is lost in transit: no event, no delivery.
                 return true;
             }
+            // The structured fault layer.  Decisions are keyed on the
+            // message identity (sender, receiver, method, per-pair
+            // sequence number) and never consume scheduler randomness.
+            if let Some(plan) = self.plan.clone() {
+                let seq = {
+                    let counter = self.pair_seq.entry((msg.from, msg.to)).or_insert(0);
+                    let s = *counter;
+                    *counter += 1;
+                    s
+                };
+                let now = self.step_no;
+                match plan.decide(msg.from, msg.to, msg.method, seq) {
+                    FaultDecision::Deliver => {}
+                    FaultDecision::Drop => {
+                        self.faults.push(FaultRecord::message(
+                            now,
+                            FaultKind::Drop,
+                            msg.from,
+                            msg.to,
+                            msg.method,
+                        ));
+                        return true;
+                    }
+                    FaultDecision::Delay(steps) => {
+                        self.faults.push(FaultRecord::message(
+                            now,
+                            FaultKind::Delay { steps },
+                            msg.from,
+                            msg.to,
+                            msg.method,
+                        ));
+                        self.delayed.push((now + steps as u64, msg));
+                        return true;
+                    }
+                    FaultDecision::Duplicate => {
+                        self.faults.push(FaultRecord::message(
+                            now,
+                            FaultKind::Duplicate,
+                            msg.from,
+                            msg.to,
+                            msg.method,
+                        ));
+                        // Deliver now *and* once more later.
+                        self.queue.push_back(msg);
+                    }
+                }
+                if self.down_until.contains_key(&msg.to) {
+                    // The receiver is crashed: the message is discarded
+                    // without an observable event.
+                    self.faults.push(FaultRecord::message(
+                        now,
+                        FaultKind::DeadLetter,
+                        msg.from,
+                        msg.to,
+                        msg.method,
+                    ));
+                    return true;
+                }
+            }
             // The call event is observable the moment it happens.
             self.log.push(
                 Event::new(msg.from, msg.to, msg.method, msg.arg).expect("no self-calls queued"),
@@ -134,6 +283,22 @@ impl DeterministicRuntime {
             if let Some(target) = self.objects.get_mut(&msg.to) {
                 let actions = target.on_call(msg.from, msg.method, msg.arg);
                 self.dispatch(msg.to, actions);
+            }
+            if let Some(plan) = &self.plan {
+                let handled = {
+                    let counter = self.handled.entry(msg.to).or_insert(0);
+                    *counter += 1;
+                    *counter
+                };
+                if plan.crashes_after(msg.to, handled) {
+                    let until = self.step_no + plan.downtime();
+                    self.down_until.insert(msg.to, until);
+                    self.faults.push(FaultRecord::lifecycle(
+                        self.step_no,
+                        FaultKind::Crash,
+                        msg.to,
+                    ));
+                }
             }
             true
         }

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 //! An executable open-distributed-system substrate.
 //!
 //! The paper's setting — *"open distributed systems where objects run in
@@ -13,6 +14,16 @@
 //!   trace of the run;
 //! * [`threaded`] — a genuinely concurrent runtime (one thread per object,
 //!   crossbeam channels, a linearizing shared event log);
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   consulted at each send decides (as a pure function of message
+//!   identity) whether to drop, duplicate, or delay the message or crash
+//!   the receiver, and a [`FaultLog`] records every injection;
+//! * [`run`] — explicit run bounds ([`RunConfig`]: event budget,
+//!   wall-clock deadline, quiescence window) and structured outcomes
+//!   ([`RunOutcome`]: trace + [`StopReason`] + fault log);
+//! * [`supervised`] — [`SupervisedRun`], the deterministic scheduler with
+//!   online monitors attached and faults injected, degrading to a partial
+//!   trace plus a reason instead of hanging;
 //! * [`monitor`] — an online safety monitor checking each observed event
 //!   against a [`Specification`](pospec_core::Specification): the first
 //!   projection that escapes the trace set is flagged with its position;
@@ -28,12 +39,21 @@
 pub mod behavior;
 pub mod behaviors;
 pub mod deterministic;
+pub mod fault;
 pub mod monitor;
+pub mod run;
+pub mod supervised;
 pub mod threaded;
 pub mod tracefile;
 
 pub use behavior::{Action, ObjectBehavior};
 pub use deterministic::DeterministicRuntime;
+pub use fault::{
+    FaultCounts, FaultDecision, FaultKind, FaultLog, FaultPlan, FaultPlanError, FaultRates,
+    FaultRecord,
+};
 pub use monitor::{Monitor, MonitorVerdict};
+pub use run::{RunConfig, RunOutcome, StopReason};
+pub use supervised::{MonitorReport, SupervisedOutcome, SupervisedRun};
 pub use threaded::ThreadedRuntime;
 pub use tracefile::{read_trace, write_trace, EventRecord, TraceFileError};

@@ -82,6 +82,16 @@ impl Monitor {
         self.violation.is_some()
     }
 
+    /// The latched first-violation index, if any.
+    pub fn violation(&self) -> Option<usize> {
+        self.violation
+    }
+
+    /// How many events have been observed (projected or not).
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
     /// The projected history seen so far.
     pub fn projected(&self) -> Trace {
         self.projected.snapshot()

@@ -1,0 +1,140 @@
+//! Run configuration and structured run outcomes.
+//!
+//! `ThreadedRuntime::run(max_events)` used to hard-code a 1 ms poll and a
+//! ~400 ms quiescence spin, and returned a bare `Trace` that said nothing
+//! about *why* the run ended.  [`RunConfig`] makes every bound explicit —
+//! an event budget, a wall-clock deadline, a quiescence window — and
+//! carries the [`FaultPlan`] the runtime consults per message;
+//! [`RunOutcome`] reports the linearized trace together with the
+//! [`StopReason`] and the [`FaultLog`] of everything that was injected.
+//! A starved or crashed system therefore degrades to a *partial trace
+//! plus a reason* instead of a hang.
+
+use crate::fault::{FaultLog, FaultPlan};
+use pospec_trace::Trace;
+use std::fmt;
+use std::time::Duration;
+
+/// Explicit bounds for one simulator run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Stop once this many observable events are logged.
+    pub max_events: usize,
+    /// Hard wall-clock bound: the run returns (with whatever partial
+    /// trace exists) no later than this, even if faults starve it.
+    pub deadline: Duration,
+    /// Poll interval of the threaded supervisor and its workers' channel
+    /// waits; also the wall-clock length of one "step" of delay there.
+    pub poll: Duration,
+    /// Threaded runtime: how long the log must stay unchanged (with no
+    /// delayed messages pending) before the run counts as quiesced.
+    pub quiescence: Duration,
+    /// Deterministic runtime: how many scheduler steps may pass without
+    /// a new event before the run counts as quiesced.
+    pub quiescent_steps: usize,
+    /// The fault plan consulted for every message.
+    pub faults: FaultPlan,
+}
+
+impl RunConfig {
+    /// A fault-free configuration with the given event budget and
+    /// defaults matching the historical runtime behaviour (1 ms poll,
+    /// 400 ms quiescence window, 30 s deadline).
+    pub fn budget(max_events: usize) -> RunConfig {
+        RunConfig {
+            max_events,
+            deadline: Duration::from_secs(30),
+            poll: Duration::from_millis(1),
+            quiescence: Duration::from_millis(400),
+            quiescent_steps: 2_000,
+            faults: FaultPlan::reliable(),
+        }
+    }
+
+    /// Replace the wall-clock deadline.
+    pub fn deadline(mut self, d: Duration) -> RunConfig {
+        self.deadline = d;
+        self
+    }
+
+    /// Replace the quiescence window (threaded) in wall-clock terms.
+    pub fn quiescence(mut self, d: Duration) -> RunConfig {
+        self.quiescence = d;
+        self
+    }
+
+    /// Replace the quiescence window (deterministic) in steps.
+    pub fn quiescent_steps(mut self, steps: usize) -> RunConfig {
+        self.quiescent_steps = steps;
+        self
+    }
+
+    /// Attach a fault plan.
+    pub fn faults(mut self, plan: FaultPlan) -> RunConfig {
+        self.faults = plan;
+        self
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event budget was reached.
+    BudgetFilled,
+    /// Nothing happened for the configured quiescence window.
+    Quiescent,
+    /// The wall-clock deadline expired; the trace is partial.
+    DeadlineExpired,
+}
+
+impl StopReason {
+    /// Stable lowercase label used by the JSON serialisation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StopReason::BudgetFilled => "budget",
+            StopReason::Quiescent => "quiescent",
+            StopReason::DeadlineExpired => "deadline",
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a bounded run produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The linearized communication trace (never longer than the
+    /// configured budget).
+    pub trace: Trace,
+    /// Why the run ended.
+    pub stop_reason: StopReason,
+    /// Every fault that was injected, in order.
+    pub fault_log: FaultLog,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_config_defaults_are_sane() {
+        let c = RunConfig::budget(50);
+        assert_eq!(c.max_events, 50);
+        assert!(c.faults.is_fault_free());
+        assert!(c.deadline >= c.quiescence);
+        let tightened = c.deadline(Duration::from_millis(5)).quiescent_steps(10);
+        assert_eq!(tightened.deadline, Duration::from_millis(5));
+        assert_eq!(tightened.quiescent_steps, 10);
+    }
+
+    #[test]
+    fn stop_reasons_have_stable_labels() {
+        assert_eq!(StopReason::BudgetFilled.label(), "budget");
+        assert_eq!(StopReason::Quiescent.to_string(), "quiescent");
+        assert_eq!(StopReason::DeadlineExpired.label(), "deadline");
+    }
+}

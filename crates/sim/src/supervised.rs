@@ -1,0 +1,285 @@
+//! Supervised, monitored, fault-injected runs.
+//!
+//! [`SupervisedRun`] drives the seeded deterministic scheduler under an
+//! explicit [`RunConfig`], attaches any number of online [`Monitor`]s,
+//! and returns a [`SupervisedOutcome`]: the structured [`RunOutcome`]
+//! (trace + stop reason + fault log) plus one latched [`MonitorReport`]
+//! per specification.  The driver degrades gracefully — if injected
+//! faults starve the system, the run ends with a partial trace and
+//! `Quiescent`/`DeadlineExpired` instead of hanging.
+//!
+//! Determinism: everything except the wall-clock deadline is a pure
+//! function of `(seed, objects, fault plan, config bounds)`.  As long as
+//! a run stops for a *logical* reason (budget or quiescence, which is
+//! the case for every bounded workload finishing well inside its
+//! deadline), repeated runs produce byte-identical fault logs, identical
+//! traces, and identical monitor verdicts.  The deadline is a safety net
+//! for regressions, not part of the specification of the run.
+
+use crate::behavior::ObjectBehavior;
+use crate::deterministic::DeterministicRuntime;
+use crate::monitor::Monitor;
+use crate::run::{RunConfig, RunOutcome, StopReason};
+use pospec_core::Specification;
+use pospec_trace::Trace;
+use std::time::Instant;
+
+/// The latched verdict of one monitor over one supervised run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorReport {
+    /// The monitored specification's name.
+    pub spec: String,
+    /// Index (in the observed stream) of the first violation, if any.
+    pub violation: Option<usize>,
+    /// How many events the monitor observed.
+    pub checked: usize,
+}
+
+impl MonitorReport {
+    /// The report as a JSON object.
+    pub fn to_json(&self) -> pospec_json::Value {
+        pospec_json::ObjBuilder::new()
+            .field("spec", self.spec.as_str())
+            .field(
+                "violation",
+                match self.violation {
+                    Some(at) => pospec_json::Value::Num(at as f64),
+                    None => pospec_json::Value::Null,
+                },
+            )
+            .field("checked", self.checked)
+            .build()
+    }
+}
+
+/// Everything a supervised run produced.
+#[derive(Debug, Clone)]
+pub struct SupervisedOutcome {
+    /// Trace, stop reason and fault log.
+    pub run: RunOutcome,
+    /// One latched report per attached monitor, in attachment order.
+    pub reports: Vec<MonitorReport>,
+    /// Scheduler steps taken.
+    pub steps: u64,
+}
+
+impl SupervisedOutcome {
+    /// How many monitors latched a violation.
+    pub fn violations(&self) -> usize {
+        self.reports.iter().filter(|r| r.violation.is_some()).count()
+    }
+}
+
+/// A deterministic runtime with online monitors and explicit bounds.
+pub struct SupervisedRun {
+    rt: DeterministicRuntime,
+    monitors: Vec<Monitor>,
+}
+
+impl SupervisedRun {
+    /// A supervised run over the seeded deterministic scheduler.
+    pub fn new(seed: u64) -> SupervisedRun {
+        SupervisedRun { rt: DeterministicRuntime::new(seed), monitors: Vec::new() }
+    }
+
+    /// Register an object.
+    pub fn add_object(&mut self, behavior: Box<dyn ObjectBehavior>) {
+        self.rt.add_object(behavior);
+    }
+
+    /// Attach an online monitor for `spec`.
+    pub fn add_monitor(&mut self, spec: Specification) {
+        self.monitors.push(Monitor::new(spec));
+    }
+
+    /// Adjust the scheduler's tick bias (see
+    /// [`DeterministicRuntime::set_tick_bias`]).
+    pub fn set_tick_bias(&mut self, percent: u32) {
+        self.rt.set_tick_bias(percent);
+    }
+
+    /// Run to completion under `config`; consumes the driver.
+    pub fn run(mut self, config: &RunConfig) -> SupervisedOutcome {
+        self.rt.set_fault_plan(config.faults.clone());
+        let started = Instant::now();
+        let mut fed = 0usize;
+        let mut idle_steps = 0usize;
+        let stop_reason = loop {
+            if self.rt.events().len() >= config.max_events {
+                break StopReason::BudgetFilled;
+            }
+            if started.elapsed() >= config.deadline {
+                break StopReason::DeadlineExpired;
+            }
+            let alive = self.rt.step();
+            let events = self.rt.events();
+            if events.len() > fed {
+                for e in &events[fed..] {
+                    for m in &mut self.monitors {
+                        // Verdicts latch inside the monitor; the first
+                        // violation per spec is preserved in the report.
+                        let _ = m.observe(e);
+                    }
+                }
+                fed = events.len();
+                idle_steps = 0;
+            } else {
+                idle_steps += 1;
+            }
+            if !alive {
+                break StopReason::Quiescent;
+            }
+            if idle_steps >= config.quiescent_steps {
+                break StopReason::Quiescent;
+            }
+        };
+        // One step logs at most one event, and the budget is checked
+        // before every step — the defensive truncation below can only
+        // fire if that invariant is ever broken.
+        let events = self.rt.events();
+        let cut = events.len().min(config.max_events);
+        let trace = Trace::from_events(events[..cut].to_vec());
+        let reports = self
+            .monitors
+            .iter()
+            .map(|m| MonitorReport {
+                spec: m.spec().name().to_string(),
+                violation: m.violation(),
+                checked: m.observed(),
+            })
+            .collect();
+        SupervisedOutcome {
+            run: RunOutcome { trace, stop_reason, fault_log: self.rt.fault_log().clone() },
+            reports,
+            steps: self.rt.steps(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Action;
+    use crate::fault::{FaultPlan, FaultRates};
+    use pospec_alphabet::{EventPattern, UniverseBuilder};
+    use pospec_core::TraceSet;
+    use pospec_regex::{Re, Template, VarId};
+    use pospec_trace::{Arg, MethodId, ObjectId};
+    use rand::rngs::SmallRng;
+    use std::time::Duration;
+
+    struct Pinger {
+        me: ObjectId,
+        target: ObjectId,
+        m: MethodId,
+    }
+
+    impl ObjectBehavior for Pinger {
+        fn id(&self) -> ObjectId {
+            self.me
+        }
+        fn on_call(&mut self, _: ObjectId, _: MethodId, _: Arg) -> Vec<Action> {
+            Vec::new()
+        }
+        fn on_tick(&mut self, _: &mut SmallRng) -> Vec<Action> {
+            vec![Action::call(self.target, self.m)]
+        }
+    }
+
+    /// The bracketed-write world from the monitor tests, with a client
+    /// that opens a session and a chaotic one that does not.
+    fn write_spec() -> (Specification, ObjectId, ObjectId, MethodId, MethodId, MethodId) {
+        let mut b = UniverseBuilder::new();
+        let objects = b.object_class("Objects").unwrap();
+        let o = b.object("o").unwrap();
+        let c = b.object_in("c", objects).unwrap();
+        let ow = b.method("OW").unwrap();
+        let w = b.method("W").unwrap();
+        let cw = b.method("CW").unwrap();
+        b.class_witnesses(objects, 1).unwrap();
+        let u = b.freeze();
+        let alpha = EventPattern::call(objects, o, ow)
+            .to_set(&u)
+            .union(&EventPattern::call(objects, o, w).to_set(&u))
+            .union(&EventPattern::call(objects, o, cw).to_set(&u));
+        let x = VarId(0);
+        let re = Re::seq([
+            Re::lit(Template::call(x, o, ow)),
+            Re::lit(Template::call(x, o, w)).star(),
+            Re::lit(Template::call(x, o, cw)),
+        ])
+        .bind(x, objects)
+        .star();
+        let spec = Specification::new("Write", [o], alpha, TraceSet::prs(re)).unwrap();
+        (spec, o, c, ow, w, cw)
+    }
+
+    #[test]
+    fn budget_run_latches_violations_online() {
+        let (spec, o, c, _, w, _) = write_spec();
+        let mut sup = SupervisedRun::new(11);
+        // A client that writes without ever opening: instant violation.
+        sup.add_object(Box::new(Pinger { me: c, target: o, m: w }));
+        sup.add_monitor(spec);
+        let out = sup.run(&RunConfig::budget(20));
+        assert_eq!(out.run.stop_reason, StopReason::BudgetFilled);
+        assert_eq!(out.run.trace.len(), 20);
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(out.reports[0].violation, Some(0), "bare W violates at event 0");
+        assert_eq!(out.violations(), 1);
+        assert!(out.run.fault_log.is_empty(), "fault-free by default");
+    }
+
+    #[test]
+    fn silent_system_quiesces_with_partial_trace() {
+        let (spec, ..) = write_spec();
+        let mut sup = SupervisedRun::new(0);
+        sup.add_monitor(spec);
+        // No objects: nothing can ever happen.
+        let out = sup.run(&RunConfig::budget(10));
+        assert_eq!(out.run.stop_reason, StopReason::Quiescent);
+        assert!(out.run.trace.is_empty());
+        assert_eq!(out.reports[0].violation, None);
+    }
+
+    #[test]
+    fn total_message_loss_degrades_to_quiescence_not_a_hang() {
+        let (spec, o, c, ow, ..) = write_spec();
+        let plan =
+            FaultPlan::new(5).rates(FaultRates { drop: 1000, ..FaultRates::default() }).unwrap();
+        let mut sup = SupervisedRun::new(5);
+        sup.add_object(Box::new(Pinger { me: c, target: o, m: ow }));
+        sup.add_monitor(spec);
+        let config = RunConfig::budget(50)
+            .faults(plan)
+            .quiescent_steps(300)
+            .deadline(Duration::from_secs(10));
+        let out = sup.run(&config);
+        assert_eq!(out.run.stop_reason, StopReason::Quiescent, "starved, not hung");
+        assert!(out.run.trace.is_empty(), "every message was dropped");
+        assert!(out.run.fault_log.counts().dropped > 0);
+        assert_eq!(out.reports[0].violation, None);
+    }
+
+    #[test]
+    fn same_seed_supervised_runs_are_identical() {
+        let build = || {
+            let (spec, o, c, _, w, _) = write_spec();
+            let plan = FaultPlan::new(9)
+                .rates(FaultRates { drop: 150, delay: 200, duplicate: 50, crash: 30 })
+                .unwrap();
+            let mut sup = SupervisedRun::new(9);
+            sup.add_object(Box::new(Pinger { me: c, target: o, m: w }));
+            sup.add_monitor(spec);
+            sup.run(&RunConfig::budget(40).faults(plan))
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.run.trace, b.run.trace);
+        assert_eq!(a.run.fault_log, b.run.fault_log);
+        assert_eq!(a.run.stop_reason, b.run.stop_reason);
+        assert_eq!(a.reports, b.reports);
+        assert_eq!(a.steps, b.steps);
+        assert!(!a.run.fault_log.is_empty(), "rates this high must inject something");
+    }
+}

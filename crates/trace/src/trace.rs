@@ -426,6 +426,12 @@ impl TraceBuilder {
         self.events.is_empty()
     }
 
+    /// The events pushed so far, without copying (used by online
+    /// monitoring loops that feed each new event incrementally).
+    pub fn as_slice(&self) -> &[Event] {
+        &self.events
+    }
+
     /// A snapshot of the current contents as an immutable [`Trace`].
     pub fn snapshot(&self) -> Trace {
         Trace::from_events(self.events.clone())

@@ -8,6 +8,9 @@
 //! pospec quiesce <file.pos> <spec> [--depth N] quiescence/dead-end analysis
 //! pospec monitor <file.pos> <spec> <trace.jsonl>
 //!                                              replay a recorded trace
+//! pospec simulate <file.pos> [--seed N] [--faults SPEC] [--deadline-ms N]
+//!                 [--events N] [--json PATH|-]
+//!                                              fault-injected supervised run
 //! pospec verify <file.pos>                     run the development block
 //! pospec print <file.pos>                      parse and pretty-print back
 //! ```
@@ -27,6 +30,8 @@ fn usage() -> ExitCode {
          pospec compose <file.pos> <a> <b> [--deadlock] [--depth N]\n  \
          pospec quiesce <file.pos> <spec> [--depth N]\n  \
          pospec monitor <file.pos> <spec> <trace.jsonl>\n  \
+         pospec simulate <file.pos> [--seed N] [--faults drop=P,dup=P,delay=P,crash=P] \
+[--deadline-ms N] [--events N] [--json PATH|-]\n  \
          pospec verify <file.pos>\n  \
          pospec print <file.pos>"
     );
@@ -54,6 +59,99 @@ fn find<'a>(doc: &'a Document, name: &str) -> Result<&'a Specification, ExitCode
 
 fn depth_arg(args: &[String]) -> usize {
     args.windows(2).find(|w| w[0] == "--depth").and_then(|w| w[1].parse().ok()).unwrap_or(6)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].as_str())
+}
+
+/// Run every spec in `doc` under a fault-injected, monitored simulation.
+fn simulate(file: &str, doc: &Document, args: &[String]) -> ExitCode {
+    use pospec_sim::behaviors::ChaosClient;
+    use pospec_sim::{FaultPlan, RunConfig, SupervisedRun};
+    use std::time::Duration;
+
+    let seed: u64 = flag_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let events: usize = flag_value(args, "--events").and_then(|s| s.parse().ok()).unwrap_or(200);
+    let deadline_ms: u64 =
+        flag_value(args, "--deadline-ms").and_then(|s| s.parse().ok()).unwrap_or(5_000);
+    let plan = match flag_value(args, "--faults") {
+        Some(spec) => match FaultPlan::parse(seed, spec) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => FaultPlan::new(seed),
+    };
+
+    let u = &doc.universe;
+    let mut sup = SupervisedRun::new(seed);
+    let cast: Vec<_> =
+        u.declared_objects().chain(u.object_classes().flat_map(|c| u.class_witnesses(c))).collect();
+    for &o in &cast {
+        sup.add_object(Box::new(ChaosClient::new(o, u)));
+    }
+    for s in &doc.specs {
+        sup.add_monitor(s.clone());
+    }
+    let config =
+        RunConfig::budget(events).deadline(Duration::from_millis(deadline_ms)).faults(plan.clone());
+    let out = sup.run(&config);
+
+    let counts = out.run.fault_log.counts();
+    let verdicts: Vec<pospec_json::Value> = out.reports.iter().map(|r| r.to_json()).collect();
+    let json = pospec_json::ObjBuilder::new()
+        .field("file", file)
+        .field("seed", seed)
+        .field("faults", plan.fault_rates().to_json())
+        .field("stop_reason", out.run.stop_reason.label())
+        .field("events", out.run.trace.len())
+        .field("steps", out.steps)
+        .field("objects", cast.len())
+        .field("fault_counts", counts.to_json())
+        .field("fault_log", out.run.fault_log.to_json(u))
+        .field("verdicts", pospec_json::Value::Arr(verdicts))
+        .build();
+
+    let mut human = String::new();
+    human.push_str(&format!(
+        "simulated `{file}` with seed {seed}: {} event(s) over {} step(s), {} object(s), stopped: {}\n",
+        out.run.trace.len(),
+        out.steps,
+        cast.len(),
+        out.run.stop_reason
+    ));
+    human.push_str(&format!("  faults injected: {counts}\n"));
+    for r in &out.reports {
+        match r.violation {
+            Some(at) => human.push_str(&format!("  {}: VIOLATION at event #{at}\n", r.spec)),
+            None => human.push_str(&format!(
+                "  {}: no violation ({} event(s) checked)\n",
+                r.spec, r.checked
+            )),
+        }
+    }
+
+    match flag_value(args, "--json") {
+        // `-`: machine output on stdout (byte-comparable across same-seed
+        // runs), human summary on stderr.
+        Some("-") => {
+            println!("{}", json.to_compact());
+            eprint!("{human}");
+        }
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, json.to_pretty() + "\n") {
+                eprintln!("error: cannot write `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+            print!("{human}");
+            println!("  fault log written to {path}");
+        }
+        None => print!("{human}"),
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -218,6 +316,13 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        ("simulate", [file, extra @ ..]) => {
+            let doc = match load(file) {
+                Ok(d) => d,
+                Err(c) => return c,
+            };
+            simulate(file, &doc, extra)
         }
         ("verify", [file, ..]) => {
             let doc = match load(file) {

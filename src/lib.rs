@@ -119,7 +119,10 @@ pub mod prelude {
     };
     pub use pospec_lang::parse_document;
     pub use pospec_regex::{prs, Re, Template, VarId};
-    pub use pospec_sim::{DeterministicRuntime, Monitor, MonitorVerdict, ThreadedRuntime};
+    pub use pospec_sim::{
+        DeterministicRuntime, FaultPlan, FaultRates, Monitor, MonitorVerdict, RunConfig,
+        RunOutcome, StopReason, SupervisedRun, ThreadedRuntime,
+    };
     pub use pospec_trace::{Arg, Event, Trace};
 }
 

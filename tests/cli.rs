@@ -129,6 +129,72 @@ fn verify_fails_on_false_obligations() {
 }
 
 #[test]
+fn simulate_runs_every_shipped_spec_within_its_deadline() {
+    for name in ["readers_writers.pos", "auction.pos", "rw_component.pos", "session_service.pos"] {
+        let started = std::time::Instant::now();
+        let out = run(&[
+            "simulate",
+            &specs(name),
+            "--seed",
+            "7",
+            "--faults",
+            "drop=0.1,delay=0.2",
+            "--deadline-ms",
+            "2000",
+        ]);
+        assert!(out.status.success(), "{name}: {}", stdout(&out));
+        // Generous slack over the 2 s deadline for process startup.
+        assert!(started.elapsed() < std::time::Duration::from_secs(10), "{name} overran");
+        let text = stdout(&out);
+        assert!(text.contains("faults injected"), "{name}: {text}");
+        assert!(text.contains("stopped:"), "{name}: {text}");
+    }
+}
+
+#[test]
+fn simulate_same_seed_runs_emit_identical_json() {
+    let file = specs("readers_writers.pos");
+    let args = [
+        "simulate",
+        file.as_str(),
+        "--seed",
+        "42",
+        "--faults",
+        "drop=0.15,dup=0.05,delay=0.2,crash=0.02",
+        "--deadline-ms",
+        "2000",
+        "--json",
+        "-",
+    ];
+    let a = run(&args);
+    let b = run(&args);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(a.stdout, b.stdout, "same-seed fault logs and verdicts must be byte-identical");
+    let json = stdout(&a);
+    assert!(json.contains("\"fault_log\":["), "{json}");
+    assert!(json.contains("\"verdicts\":["), "{json}");
+    assert!(json.contains("\"stop_reason\""), "{json}");
+    // A different seed injures different messages.
+    let mut other = args;
+    other[3] = "43";
+    let c = run(&other);
+    assert_ne!(a.stdout, c.stdout, "different seeds should diverge");
+}
+
+#[test]
+fn simulate_rejects_malformed_fault_specs() {
+    let out = run(&[
+        "simulate",
+        &specs("readers_writers.pos"),
+        "--faults",
+        "drop=2.0", // > 1.0: out of range
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid fault plan"), "{err}");
+}
+
+#[test]
 fn unknown_names_and_files_exit_2() {
     let file = specs("readers_writers.pos");
     let missing = run(&["refine", &file, "Nope", "Write"]);

@@ -1,0 +1,149 @@
+//! Property-based determinism guarantees of the fault-injection layer.
+//!
+//! The contract (ISSUE: "same (seed, FaultPlan, behaviors) in, identical
+//! fault logs and monitor verdicts out"): a supervised run is a pure
+//! function of its inputs, so repeating it three times must give
+//! byte-identical serialized fault logs, identical traces, and identical
+//! [`MonitorVerdict`] sequences — and a *fault-free* plan must be fully
+//! transparent, reproducing the legacy `DeterministicRuntime` run
+//! event for event.
+
+use pospec_alphabet::{EventPattern, Universe, UniverseBuilder};
+use pospec_core::{Specification, TraceSet};
+use pospec_regex::{Re, Template, VarId};
+use pospec_sim::behaviors::ChaosClient;
+use pospec_sim::{
+    DeterministicRuntime, FaultPlan, FaultRates, Monitor, MonitorVerdict, RunConfig,
+    SupervisedOutcome, SupervisedRun,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The bracketed-write world: `OW W* CW`, repeated, per client.
+fn write_world() -> (Arc<Universe>, Specification) {
+    let mut b = UniverseBuilder::new();
+    let clients = b.object_class("Clients").unwrap();
+    let o = b.object("o").unwrap();
+    let _c = b.object_in("c", clients).unwrap();
+    let ow = b.method("OW").unwrap();
+    let w = b.method("W").unwrap();
+    let cw = b.method("CW").unwrap();
+    b.class_witnesses(clients, 1).unwrap();
+    let u = b.freeze();
+    let alpha = EventPattern::call(clients, o, ow)
+        .to_set(&u)
+        .union(&EventPattern::call(clients, o, w).to_set(&u))
+        .union(&EventPattern::call(clients, o, cw).to_set(&u));
+    let x = VarId(0);
+    let re = Re::seq([
+        Re::lit(Template::call(x, o, ow)),
+        Re::lit(Template::call(x, o, w)).star(),
+        Re::lit(Template::call(x, o, cw)),
+    ])
+    .bind(x, clients)
+    .star();
+    let spec = Specification::new("Write", [o], alpha, TraceSet::prs(re)).unwrap();
+    (u, spec)
+}
+
+/// One full supervised chaos run and its serialized fault log.
+fn chaos_run(
+    u: &Arc<Universe>,
+    spec: &Specification,
+    seed: u64,
+    plan: &FaultPlan,
+    budget: usize,
+) -> (SupervisedOutcome, String) {
+    let mut sup = SupervisedRun::new(seed);
+    for obj in u
+        .declared_objects()
+        .chain(u.object_classes().flat_map(|c| u.class_witnesses(c)))
+        .collect::<Vec<_>>()
+    {
+        sup.add_object(Box::new(ChaosClient::new(obj, u)));
+    }
+    sup.add_monitor(spec.clone());
+    let out = sup.run(&RunConfig::budget(budget).faults(plan.clone()));
+    let log_bytes = out.run.fault_log.to_json(u).to_compact();
+    (out, log_bytes)
+}
+
+/// The verdict sequence a fresh monitor produces over a trace.
+fn verdicts(spec: &Specification, out: &SupervisedOutcome) -> Vec<MonitorVerdict> {
+    let mut m = Monitor::new(spec.clone());
+    out.run.trace.iter().map(|e| m.observe(e)).collect()
+}
+
+fn arb_rates() -> impl Strategy<Value = FaultRates> {
+    (0u32..300, 0u32..150, 0u32..300, 0u32..50)
+        .prop_map(|(drop, duplicate, delay, crash)| FaultRates { drop, duplicate, delay, crash })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Three same-input runs: byte-identical fault logs, identical
+    /// traces, stop reasons, monitor reports, and verdict sequences.
+    #[test]
+    fn same_inputs_same_run_three_times(
+        seed in any::<u64>(),
+        rates in arb_rates(),
+        budget in 1usize..60,
+    ) {
+        let (u, spec) = write_world();
+        let plan = FaultPlan::new(seed).rates(rates).expect("rates are in range");
+        let (a, a_log) = chaos_run(&u, &spec, seed, &plan, budget);
+        let (b, b_log) = chaos_run(&u, &spec, seed, &plan, budget);
+        let (c, c_log) = chaos_run(&u, &spec, seed, &plan, budget);
+        prop_assert_eq!(&a_log, &b_log, "fault logs must be byte-identical");
+        prop_assert_eq!(&a_log, &c_log, "fault logs must be byte-identical");
+        prop_assert_eq!(&a.run.trace, &b.run.trace);
+        prop_assert_eq!(&a.run.trace, &c.run.trace);
+        prop_assert_eq!(a.run.stop_reason, b.run.stop_reason);
+        prop_assert_eq!(&a.reports, &b.reports);
+        prop_assert_eq!(&a.reports, &c.reports);
+        prop_assert_eq!(a.steps, b.steps);
+        let (va, vb, vc) = (verdicts(&spec, &a), verdicts(&spec, &b), verdicts(&spec, &c));
+        prop_assert_eq!(&va, &vb, "verdict sequences must match");
+        prop_assert_eq!(&va, &vc, "verdict sequences must match");
+    }
+
+    /// A fault-free plan is invisible: the supervised run reproduces the
+    /// legacy `DeterministicRuntime` trace event for event, and injects
+    /// nothing.
+    #[test]
+    fn fault_free_plan_is_transparent(seed in any::<u64>(), budget in 1usize..60) {
+        let (u, spec) = write_world();
+        let cast: Vec<_> = u
+            .declared_objects()
+            .chain(u.object_classes().flat_map(|c| u.class_witnesses(c)))
+            .collect();
+
+        // Legacy path: no fault plan at all.
+        let mut legacy = DeterministicRuntime::new(seed);
+        for &obj in &cast {
+            legacy.add_object(Box::new(ChaosClient::new(obj, &u)));
+        }
+        let legacy_trace = legacy.run(budget);
+
+        // New path: explicitly fault-free plan through the supervisor.
+        let plan = FaultPlan::new(seed);
+        prop_assert!(plan.is_fault_free());
+        let (out, _) = chaos_run(&u, &spec, seed, &plan, budget);
+        prop_assert_eq!(out.run.trace, legacy_trace, "fault-free plan must be transparent");
+        prop_assert!(out.run.fault_log.is_empty(), "nothing to log without faults");
+    }
+
+    /// Drop rate 1000‰ starves the run: empty trace, and every decided
+    /// message accounted for in the log.
+    #[test]
+    fn total_drop_starves_but_terminates(seed in any::<u64>()) {
+        let (u, spec) = write_world();
+        let plan = FaultPlan::new(seed)
+            .rates(FaultRates { drop: 1000, ..FaultRates::default() })
+            .expect("valid");
+        let (out, _) = chaos_run(&u, &spec, seed, &plan, 40);
+        prop_assert!(out.run.trace.is_empty());
+        prop_assert_eq!(out.run.fault_log.counts().dropped, out.run.fault_log.len());
+    }
+}
