@@ -13,11 +13,11 @@
 
 use pospec_alphabet::internal_of_pair;
 use pospec_bench::paper::Paper;
-use pospec_check::report::{markdown_table, ExperimentRecord, Outcome};
+use pospec_check::report::{cache_stats_json, markdown_table, ExperimentRecord, Outcome};
 use pospec_check::theorems;
 use pospec_core::{
     check_all_pairs, check_refinement, compose, language_equiv, observable_deadlock,
-    observable_equiv, CacheStats, DfaCache,
+    observable_equiv, DfaCache,
 };
 use pospec_trace::Trace;
 use std::time::Instant;
@@ -344,6 +344,30 @@ fn main() {
         });
     }
 
+    // SERVE — the resident service: the same pair matrix checked twice
+    // over TCP, warm pass answered from the shared automaton cache.
+    // Gated on verdict agreement and cache hits, not on timing.
+    let serve = pospec_bench::service::run();
+    {
+        let ok = serve.verdicts_agree && serve.warm_dfa_hits > 0;
+        rows.push(ExperimentRecord {
+            id: "SERVE".into(),
+            claim: "the resident service answers warm checks from the shared cache".into(),
+            measured: format!(
+                "{} pairs over TCP: cold {:.2?} (p50 {:.2?}), warm {:.2?} (p50 {:.2?}, {:.1}x); {} warm DFA hits; verdicts match in-process checker: {}",
+                serve.pairs,
+                serve.cold,
+                serve.cold_p50,
+                serve.warm,
+                serve.warm_p50,
+                serve.speedup(),
+                serve.warm_dfa_hits,
+                serve.verdicts_agree,
+            ),
+            outcome: if ok { Outcome::Reproduced } else { Outcome::Failed },
+        });
+    }
+
     // The mechanized meta-theory (PVS substitute).
     println!("running the mechanized meta-theory (seed 2026, 60 instances each)…");
     for outcome in theorems::run_all(2026, 60) {
@@ -372,6 +396,7 @@ fn main() {
         .field("rows", rows.iter().map(|r| r.to_json()).collect::<Vec<_>>())
         .field("cache", cache_stats_json(&global))
         .field("sim", sim.to_json())
+        .field("serve", serve.to_json())
         .build();
     std::fs::write("paper_report.json", doc.to_pretty()).expect("writable cwd");
     println!(
@@ -387,17 +412,4 @@ fn main() {
         eprintln!("{failed} row(s) FAILED");
         std::process::exit(1);
     }
-}
-
-/// The hit/miss/build-time counters as a JSON object.
-fn cache_stats_json(s: &CacheStats) -> pospec_json::Value {
-    pospec_json::ObjBuilder::new()
-        .field("alphabet_hits", s.alphabet_hits)
-        .field("alphabet_misses", s.alphabet_misses)
-        .field("dfa_hits", s.dfa_hits)
-        .field("dfa_misses", s.dfa_misses)
-        .field("lift_hits", s.lift_hits)
-        .field("lift_misses", s.lift_misses)
-        .field("build_nanos", s.build_nanos)
-        .build()
 }

@@ -7,8 +7,11 @@
 //!   performance sweeps (PERF1–PERF4 in EXPERIMENTS.md);
 //! * [`campaign`] — the FAULT fault-injection campaign: seeds × drop
 //!   rates over supervised chaos runs, with same-seed reproduction
-//!   checked per cell.
+//!   checked per cell;
+//! * [`service`] — the SERVE campaign: cold-vs-warm refinement checks
+//!   against an in-process `pospec-serve` instance over real TCP.
 
 pub mod campaign;
 pub mod paper;
 pub mod scale;
+pub mod service;

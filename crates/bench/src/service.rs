@@ -1,0 +1,178 @@
+//! SERVE — the resident-service campaign of EXPERIMENTS.md.
+//!
+//! Starts an in-process [`pospec_serve::Server`] on an ephemeral port,
+//! registers the paper's running example, and drives the full ordered
+//! pair matrix of refinement checks over the real TCP socket **twice**:
+//! a cold pass that builds every automaton, then a warm pass answered
+//! from the shared [`DfaCache`](pospec_core::DfaCache).  The campaign
+//! records per-pass wall-clock latency and the cache's hit counters, and
+//! checks the service verdicts against the in-process checker — the
+//! correctness gate; the timing columns are reported, not gated, so the
+//! row stays robust on loaded CI machines.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use pospec_json::{ObjBuilder, Value};
+use pospec_serve::{response_ok, Client, Server, ServerConfig};
+
+/// The readers/writers document the service campaign registers.
+pub const SPEC_SOURCE: &str = include_str!("../../../specs/readers_writers.pos");
+
+/// Specs whose ordered pairs form the check matrix.
+pub const SPEC_NAMES: [&str; 5] = ["Read", "Write", "WriteAcc", "Client", "Client2"];
+
+/// Aggregate result of the cold-then-warm service sweep.
+#[derive(Debug, Clone)]
+pub struct ServiceSummary {
+    /// Ordered pairs checked per pass.
+    pub pairs: usize,
+    /// Wall-clock total of the cold pass (cache empty).
+    pub cold: Duration,
+    /// Wall-clock total of the warm pass (cache primed).
+    pub warm: Duration,
+    /// Median per-request latency of the cold pass.
+    pub cold_p50: Duration,
+    /// Median per-request latency of the warm pass.
+    pub warm_p50: Duration,
+    /// DFA cache hits accumulated by the warm pass.
+    pub warm_dfa_hits: u64,
+    /// Did both passes return identical verdicts, matching the
+    /// in-process checker?
+    pub verdicts_agree: bool,
+    /// `holds` per pair (pass-1 order), for the report line.
+    pub holds: Vec<bool>,
+}
+
+impl ServiceSummary {
+    /// Warm-pass speedup over the cold pass (wall clock).
+    pub fn speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.warm.as_secs_f64().max(1e-9)
+    }
+
+    /// The summary as a JSON object — the `"serve"` key of
+    /// `paper_report.json`.
+    pub fn to_json(&self) -> Value {
+        ObjBuilder::new()
+            .field("pairs", self.pairs)
+            .field("cold_us", self.cold.as_micros() as u64)
+            .field("warm_us", self.warm.as_micros() as u64)
+            .field("cold_p50_us", self.cold_p50.as_micros() as u64)
+            .field("warm_p50_us", self.warm_p50.as_micros() as u64)
+            .field("speedup", self.speedup())
+            .field("warm_dfa_hits", self.warm_dfa_hits)
+            .field("verdicts_agree", self.verdicts_agree)
+            .field("holding", self.holds.iter().filter(|h| **h).count())
+            .build()
+    }
+}
+
+fn check_request(concrete: &str, abstract_: &str) -> Value {
+    ObjBuilder::new()
+        .field("op", "check")
+        .field("doc", "readers_writers")
+        .field("concrete", concrete)
+        .field("abstract", abstract_)
+        .build()
+}
+
+fn dfa_hits(client: &mut Client) -> u64 {
+    let stats = client.call(&ObjBuilder::new().field("op", "stats").build()).expect("stats");
+    stats
+        .get("result")
+        .and_then(|r| r.get("metrics"))
+        .and_then(|m| m.get("cache"))
+        .and_then(|c| c.get("dfa_hits"))
+        .and_then(Value::as_u64)
+        .expect("dfa_hits counter")
+}
+
+/// One pass over every ordered spec pair; returns (total, p50, holds).
+fn pass(client: &mut Client) -> (Duration, Duration, Vec<bool>) {
+    let mut latencies = Vec::new();
+    let mut holds = Vec::new();
+    let started = Instant::now();
+    for concrete in SPEC_NAMES {
+        for abstract_ in SPEC_NAMES {
+            let t0 = Instant::now();
+            let response = client.call(&check_request(concrete, abstract_)).expect("check");
+            latencies.push(t0.elapsed());
+            assert!(response_ok(&response), "service check failed: {response:?}");
+            let verdict = response
+                .get("result")
+                .and_then(|r| r.get("holds"))
+                .and_then(Value::as_bool)
+                .expect("holds field");
+            holds.push(verdict);
+        }
+    }
+    let total = started.elapsed();
+    latencies.sort();
+    (total, latencies[latencies.len() / 2], holds)
+}
+
+/// Run the cold-then-warm campaign against a private in-process server.
+pub fn run() -> ServiceSummary {
+    let config =
+        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, queue: 32, preload: None };
+    let server = Server::bind(&config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.shutdown_handle();
+    let serving = thread::spawn(move || server.serve());
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.set_timeout(Some(Duration::from_secs(120))).expect("timeout");
+    let load = ObjBuilder::new()
+        .field("op", "load_spec")
+        .field("name", "readers_writers")
+        .field("source", SPEC_SOURCE)
+        .build();
+    let response = client.call(&load).expect("load_spec");
+    assert!(response_ok(&response), "load_spec failed: {response:?}");
+
+    let hits_before = dfa_hits(&mut client);
+    let (cold, cold_p50, cold_holds) = pass(&mut client);
+    let (warm, warm_p50, warm_holds) = pass(&mut client);
+    let warm_dfa_hits = dfa_hits(&mut client).saturating_sub(hits_before);
+
+    // Reference verdicts from the in-process checker, same depth.
+    let doc = pospec_lang::parse_document(SPEC_SOURCE).expect("paper spec parses");
+    let mut reference = Vec::new();
+    for concrete in SPEC_NAMES {
+        for abstract_ in SPEC_NAMES {
+            let c = doc.spec(concrete).expect("spec");
+            let a = doc.spec(abstract_).expect("spec");
+            reference.push(pospec_core::check_refinement(c, a, 6).holds());
+        }
+    }
+    let verdicts_agree = cold_holds == reference && warm_holds == reference;
+
+    handle.shutdown();
+    serving.join().expect("serve thread").expect("serve result");
+
+    ServiceSummary {
+        pairs: SPEC_NAMES.len() * SPEC_NAMES.len(),
+        cold,
+        warm,
+        cold_p50,
+        warm_p50,
+        warm_dfa_hits,
+        verdicts_agree,
+        holds: cold_holds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_verdicts_agree_and_warm_pass_hits_the_cache() {
+        let summary = run();
+        assert_eq!(summary.pairs, 25);
+        assert!(summary.verdicts_agree);
+        assert!(summary.warm_dfa_hits > 0, "warm pass must be served from cache");
+        let json = summary.to_json();
+        assert_eq!(json.get("verdicts_agree"), Some(&Value::Bool(true)));
+    }
+}

@@ -90,6 +90,27 @@ impl ExperimentRecord {
     }
 }
 
+/// The automaton-cache hit/miss/build-time counters as a JSON object.
+///
+/// The single serialisation of [`CacheStats`](pospec_core::CacheStats)
+/// used by both `paper_report` (the `"cache"` key of
+/// `paper_report.json`) and the service's `stats` response, so the two
+/// surfaces can never drift apart.
+pub fn cache_stats_json(s: &pospec_core::CacheStats) -> pospec_json::Value {
+    pospec_json::ObjBuilder::new()
+        .field("alphabet_hits", s.alphabet_hits)
+        .field("alphabet_misses", s.alphabet_misses)
+        .field("dfa_hits", s.dfa_hits)
+        .field("dfa_misses", s.dfa_misses)
+        .field("lift_hits", s.lift_hits)
+        .field("lift_misses", s.lift_misses)
+        .field("hits", s.hits())
+        .field("misses", s.misses())
+        .field("builds", s.builds())
+        .field("build_nanos", s.build_nanos)
+        .build()
+}
+
 /// Render a full markdown table.
 pub fn markdown_table(records: &[ExperimentRecord]) -> String {
     let mut out = String::from("| Id | Paper claim | Measured | Outcome |\n|---|---|---|---|\n");

@@ -111,6 +111,12 @@ impl CacheStats {
         self.alphabet_misses + self.dfa_misses + self.lift_misses
     }
 
+    /// Entries built — every miss claims its slot and builds exactly
+    /// once (concurrent racers block on the winner's `OnceLock`).
+    pub fn builds(&self) -> u64 {
+        self.misses()
+    }
+
     /// Time spent building entries.
     pub fn build_time(&self) -> Duration {
         Duration::from_nanos(self.build_nanos)

@@ -70,7 +70,7 @@ impl Value {
     /// Compact one-line rendering (no spaces), `serde_json::to_string` style.
     pub fn to_compact(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, None, 0);
+        self.write(&mut out, None, 0).expect("String never fails to write");
         out
     }
 
@@ -78,14 +78,40 @@ impl Value {
     /// `serde_json::to_string_pretty` style.
     pub fn to_pretty(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
+        self.write(&mut out, Some(2), 0).expect("String never fails to write");
         out
     }
 
-    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+    /// Stream the compact rendering straight into an `io::Write` (a
+    /// socket, a file) without building an intermediate `String`.
+    pub fn to_writer<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut adapter = IoFmt { inner: w, error: None };
+        match self.write(&mut adapter, None, 0) {
+            Ok(()) => Ok(()),
+            // fmt::Error carries no detail; recover the io error we stashed.
+            Err(_) => Err(adapter
+                .error
+                .unwrap_or_else(|| std::io::Error::other("formatter error while writing JSON"))),
+        }
+    }
+
+    /// Stream the compact rendering plus a trailing `\n` — one record of
+    /// a JSON-lines stream (the wire format of `pospec-serve` and the
+    /// trace files).
+    pub fn write_line<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.to_writer(w)?;
+        w.write_all(b"\n")
+    }
+
+    fn write<W: fmt::Write>(
+        &self,
+        out: &mut W,
+        indent: Option<usize>,
+        level: usize,
+    ) -> fmt::Result {
         match self {
-            Value::Null => out.push_str("null"),
-            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Null => out.write_str("null"),
+            Value::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
             Value::Num(n) => write_number(out, *n),
             Value::Str(s) => write_string(out, s),
             Value::Arr(items) => write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
@@ -94,77 +120,107 @@ impl Value {
             Value::Obj(fields) => {
                 write_seq(out, indent, level, '{', '}', fields.len(), |out, i| {
                     let (k, v) = &fields[i];
-                    write_string(out, k);
-                    out.push(':');
+                    write_string(out, k)?;
+                    out.write_char(':')?;
                     if indent.is_some() {
-                        out.push(' ');
+                        out.write_char(' ')?;
                     }
-                    v.write(out, indent, level + 1);
+                    v.write(out, indent, level + 1)
                 })
             }
         }
     }
 }
 
-fn write_seq(
-    out: &mut String,
+/// Adapts `io::Write` to `fmt::Write`, stashing the first io error
+/// (`fmt::Error` itself is unit-like).
+struct IoFmt<'a, W: std::io::Write> {
+    inner: &'a mut W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> fmt::Write for IoFmt<'_, W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            fmt::Error
+        })
+    }
+}
+
+fn write_seq<W: fmt::Write>(
+    out: &mut W,
     indent: Option<usize>,
     level: usize,
     open: char,
     close: char,
     len: usize,
-    mut item: impl FnMut(&mut String, usize),
-) {
-    out.push(open);
+    mut item: impl FnMut(&mut W, usize) -> fmt::Result,
+) -> fmt::Result {
+    out.write_char(open)?;
     if len == 0 {
-        out.push(close);
-        return;
+        return out.write_char(close);
     }
     for i in 0..len {
         if i > 0 {
-            out.push(',');
+            out.write_char(',')?;
         }
         if let Some(w) = indent {
-            out.push('\n');
-            out.extend(std::iter::repeat_n(' ', w * (level + 1)));
+            out.write_char('\n')?;
+            for _ in 0..w * (level + 1) {
+                out.write_char(' ')?;
+            }
         }
-        item(out, i);
+        item(out, i)?;
     }
     if let Some(w) = indent {
-        out.push('\n');
-        out.extend(std::iter::repeat_n(' ', w * level));
-    }
-    out.push(close);
-}
-
-fn write_number(out: &mut String, n: f64) {
-    if !n.is_finite() {
-        out.push_str("null");
-    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
-        fmt::Write::write_fmt(out, format_args!("{}", n as i64)).unwrap();
-    } else {
-        fmt::Write::write_fmt(out, format_args!("{n}")).unwrap();
-    }
-}
-
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0C}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32)).unwrap()
-            }
-            c => out.push(c),
+        out.write_char('\n')?;
+        for _ in 0..w * level {
+            out.write_char(' ')?;
         }
     }
-    out.push('"');
+    out.write_char(close)
+}
+
+/// Write `n` so that writing, parsing, and writing again is
+/// byte-identical (needed for same-request byte-identical responses):
+///
+/// * non-finite values have no JSON form and render as `null`;
+/// * `-0.0` is normalised to `0` (it compares equal to `0.0`, but the
+///   `i64` cast used by the integer path would print plain `0` while a
+///   sign-preserving shortest form would print `-0` — pick one);
+/// * whole numbers of magnitude below 2^53 print as integers;
+/// * everything else uses Rust's shortest round-trip `Display`, whose
+///   output `str::parse::<f64>` maps back to the identical bits.
+fn write_number<W: fmt::Write>(out: &mut W, n: f64) -> fmt::Result {
+    if !n.is_finite() {
+        out.write_str("null")
+    } else if n == 0.0 {
+        // Covers +0.0 and -0.0 uniformly.
+        out.write_char('0')
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        out.write_fmt(format_args!("{}", n as i64))
+    } else {
+        out.write_fmt(format_args!("{n}"))
+    }
+}
+
+fn write_string<W: fmt::Write>(out: &mut W, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            '\u{08}' => out.write_str("\\b")?,
+            '\u{0C}' => out.write_str("\\f")?,
+            c if (c as u32) < 0x20 => out.write_fmt(format_args!("\\u{:04x}", c as u32))?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
 }
 
 /// Parse failure with byte position.
@@ -524,5 +580,75 @@ mod tests {
     #[test]
     fn unicode_escapes_parse() {
         assert_eq!(parse(r#""A\t""#).unwrap(), Value::Str("A\t".into()));
+    }
+
+    /// write ∘ parse must be the identity on written output: the service
+    /// relies on repeated identical requests producing byte-identical
+    /// response lines.
+    #[test]
+    fn number_formatting_is_byte_stable() {
+        let tricky = [
+            0.0,
+            -0.0,
+            1.0,
+            -5.0,
+            0.1,
+            0.1 + 0.2, // 0.30000000000000004
+            1.0 / 3.0,
+            std::f64::consts::PI,
+            1e-7,
+            5e-324,       // smallest subnormal
+            f64::MAX,     // ~1.8e308
+            9.0e15 - 1.0, // top of the i64 fast path
+            9.0e15,       // first value past it
+            1e20,
+            123456789012345.7,
+            -2.2250738585072014e-308,
+        ];
+        for n in tricky {
+            let first = Value::Num(n).to_compact();
+            let reparsed = parse(&first).unwrap();
+            let second = reparsed.to_compact();
+            assert_eq!(first, second, "unstable rendering for {n:?}");
+            // And the parsed value is bit-identical (modulo -0 normalising).
+            match reparsed {
+                Value::Num(m) => assert!(m == n, "value drift for {n:?}: got {m:?}"),
+                other => panic!("number reparsed as {other:?}"),
+            }
+        }
+        // Non-finite numbers degrade to null (no JSON form).
+        assert_eq!(Value::Num(f64::NAN).to_compact(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_compact(), "null");
+        // Negative zero normalises to plain 0.
+        assert_eq!(Value::Num(-0.0).to_compact(), "0");
+    }
+
+    #[test]
+    fn to_writer_matches_to_compact_and_write_line_appends_newline() {
+        let v = ObjBuilder::new()
+            .field("name", "Γ‖∆")
+            .field("xs", Value::Arr(vec![Value::Num(1.5), Value::Null]))
+            .build();
+        let mut buf = Vec::new();
+        v.to_writer(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), v.to_compact());
+        let mut line = Vec::new();
+        v.write_line(&mut line).unwrap();
+        assert_eq!(String::from_utf8(line).unwrap(), v.to_compact() + "\n");
+    }
+
+    #[test]
+    fn to_writer_surfaces_io_errors() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = Value::Bool(true).to_writer(&mut Broken).unwrap_err();
+        assert!(err.to_string().contains("disk on fire"));
     }
 }

@@ -1,0 +1,85 @@
+//! A tiny blocking client for the wire protocol.
+//!
+//! Used by `pospec call`, the integration tests, and the bench
+//! campaign.  One [`Client`] owns one connection; [`Client::call`]
+//! writes a request line and blocks for the matching response line
+//! (the protocol answers in order per connection).
+
+use pospec_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a call failed on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, or write).
+    Io(std::io::Error),
+    /// The server closed the connection before answering.
+    Disconnected,
+    /// The response line was not valid JSON.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::BadResponse(e) => write!(f, "malformed response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a `pospec-serve` instance.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7077`).
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { writer, reader: BufReader::new(stream) })
+    }
+
+    /// Bound how long a single call may wait for its response.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_write_timeout(timeout)?;
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Send one request object and wait for its response object.
+    pub fn call(&mut self, request: &Value) -> Result<Value, ClientError> {
+        request.to_writer(&mut self.writer)?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Disconnected);
+        }
+        pospec_json::parse(line.trim_end()).map_err(|e| ClientError::BadResponse(e.to_string()))
+    }
+}
+
+/// Did the response report success?
+pub fn response_ok(response: &Value) -> bool {
+    response.get("ok").and_then(Value::as_bool) == Some(true)
+}
+
+/// The `error.kind` of a failed response, if any.
+pub fn error_kind(response: &Value) -> Option<&str> {
+    response.get("error").and_then(|e| e.get("kind")).and_then(Value::as_str)
+}

@@ -1,0 +1,301 @@
+//! Live service counters: request counts by kind, queue high-water,
+//! backpressure rejections, and a fixed-bucket latency histogram.
+//!
+//! Everything is lock-free (`AtomicU64` throughout) so recording a
+//! request costs a handful of relaxed stores; `stats` takes a coherent
+//! *snapshot* ([`MetricsSnapshot`]) and serialises it together with the
+//! automaton cache's own [`CacheStats`] counters — the same snapshot
+//! type `paper_report` uses, serialised by the same
+//! [`pospec_check::report::cache_stats_json`] helper.
+
+use pospec_check::report::cache_stats_json;
+use pospec_core::CacheStats;
+use pospec_json::{ObjBuilder, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The request kinds the service counts (order fixed for reporting).
+pub const KINDS: [&str; 8] =
+    ["load_spec", "check", "compose", "batch_check", "ping", "stats", "clear_cache", "shutdown"];
+
+/// Index of `kind` in [`KINDS`], if known.
+pub fn kind_index(kind: &str) -> Option<usize> {
+    KINDS.iter().position(|k| *k == kind)
+}
+
+/// Power-of-two microsecond latency buckets: bucket `i` counts requests
+/// with latency in `[2^i, 2^(i+1))` µs (bucket 0 also takes sub-µs).
+/// 32 buckets cover everything up to ~71 minutes.
+const BUCKETS: usize = 32;
+
+fn bucket_of(latency: Duration) -> usize {
+    let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+    (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1)
+}
+
+/// Upper bound (µs) of bucket `i`, used as the quantile estimate.
+fn bucket_upper_us(i: usize) -> u64 {
+    1u64 << (i + 1)
+}
+
+#[derive(Default)]
+struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    fn record(&self, latency: Duration) {
+        self.buckets[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Estimate the `q`-quantile (0 < q ≤ 1) from bucket counts, as the
+/// upper bound of the bucket containing that rank — a deliberately
+/// coarse, allocation-free estimate with ≤ 2x error.
+fn quantile_us(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_upper_us(i);
+        }
+    }
+    bucket_upper_us(BUCKETS - 1)
+}
+
+/// Live counters; shared by every connection and worker thread.
+pub struct ServerMetrics {
+    started: Instant,
+    requests: [AtomicU64; KINDS.len()],
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    connections: AtomicU64,
+    queue_highwater: AtomicU64,
+    latency: Histogram,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics {
+            started: Instant::now(),
+            requests: Default::default(),
+            errors: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            queue_highwater: AtomicU64::new(0),
+            latency: Histogram::default(),
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh counters, with the uptime clock starting now.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics::default()
+    }
+
+    /// Count one request of `kind` (unknown kinds count as errors when
+    /// the protocol layer rejects them; see [`ServerMetrics::error`]).
+    pub fn request(&self, kind: &str) {
+        if let Some(i) = kind_index(kind) {
+            self.requests[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one error response (any kind).
+    pub fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one backpressure rejection.
+    pub fn overloaded(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request dropped because its deadline expired in queue.
+    pub fn deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one accepted connection.
+    pub fn connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the queue depth observed after an accepted submission.
+    pub fn queue_depth(&self, depth: usize) {
+        self.queue_highwater.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Record one completed request's wall-clock latency.
+    pub fn latency(&self, elapsed: Duration) {
+        self.latency.record(elapsed);
+    }
+
+    /// A coherent copy of all counters, pairing them with the given
+    /// automaton-cache counters.
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime: self.started.elapsed(),
+            requests: KINDS
+                .iter()
+                .zip(&self.requests)
+                .map(|(k, c)| (*k, c.load(Ordering::Relaxed)))
+                .collect(),
+            errors: self.errors.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            queue_highwater: self.queue_highwater.load(Ordering::Relaxed),
+            latency_buckets: self.latency.snapshot(),
+            cache,
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServerMetrics`], ready to serialise.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Time since the metrics (the server) started.
+    pub uptime: Duration,
+    /// `(kind, count)` in [`KINDS`] order.
+    pub requests: Vec<(&'static str, u64)>,
+    /// Error responses of any kind (overloaded and deadline included).
+    pub errors: u64,
+    /// Backpressure rejections.
+    pub overloaded: u64,
+    /// Requests expired in queue.
+    pub deadline_exceeded: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Highest queue depth observed at submission time.
+    pub queue_highwater: u64,
+    /// Latency histogram bucket counts (power-of-two µs buckets).
+    pub latency_buckets: Vec<u64>,
+    /// Automaton-cache counters at snapshot time.
+    pub cache: CacheStats,
+}
+
+impl MetricsSnapshot {
+    /// Total requests across all kinds.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Estimated p50 latency in microseconds.
+    pub fn p50_us(&self) -> u64 {
+        quantile_us(&self.latency_buckets, 0.50)
+    }
+
+    /// Estimated p99 latency in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        quantile_us(&self.latency_buckets, 0.99)
+    }
+
+    /// The `stats` response body.
+    pub fn to_json(&self) -> Value {
+        let mut requests = ObjBuilder::new();
+        for (kind, count) in &self.requests {
+            requests = requests.field(kind, *count);
+        }
+        ObjBuilder::new()
+            .field("uptime_ms", self.uptime.as_millis().min(u128::from(u64::MAX)) as u64)
+            .field("requests", requests.build())
+            .field("errors", self.errors)
+            .field("overloaded", self.overloaded)
+            .field("deadline_exceeded", self.deadline_exceeded)
+            .field("connections", self.connections)
+            .field("queue_highwater", self.queue_highwater)
+            .field(
+                "latency",
+                ObjBuilder::new()
+                    .field("count", self.latency_buckets.iter().sum::<u64>())
+                    .field("p50_us", self.p50_us())
+                    .field("p99_us", self.p99_us())
+                    .build(),
+            )
+            .field("cache", cache_stats_json(&self.cache))
+            .build()
+    }
+
+    /// The one-line summary printed at graceful shutdown.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "served {} request(s) over {} connection(s) in {:.1?}: {} error(s) ({} overloaded, {} expired), queue high-water {}, p50 {} µs, p99 {} µs, cache {} hit(s) / {} miss(es)",
+            self.total_requests(),
+            self.connections,
+            self.uptime,
+            self.errors,
+            self.overloaded,
+            self.deadline_exceeded,
+            self.queue_highwater,
+            self.p50_us(),
+            self.p99_us(),
+            self.cache.hits(),
+            self.cache.misses(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two_microseconds() {
+        assert_eq!(bucket_of(Duration::from_micros(0)), 0);
+        assert_eq!(bucket_of(Duration::from_micros(1)), 0);
+        assert_eq!(bucket_of(Duration::from_micros(2)), 1);
+        assert_eq!(bucket_of(Duration::from_micros(3)), 1);
+        assert_eq!(bucket_of(Duration::from_micros(1024)), 10);
+        assert_eq!(bucket_of(Duration::from_secs(36_000)), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_histogram() {
+        let mut buckets = vec![0u64; BUCKETS];
+        buckets[0] = 98; // ≤2 µs
+        buckets[10] = 2; // ~2 ms outliers
+        assert_eq!(quantile_us(&buckets, 0.50), 2);
+        assert_eq!(quantile_us(&buckets, 0.99), 2048);
+        assert_eq!(quantile_us(&[0; BUCKETS], 0.99), 0);
+    }
+
+    #[test]
+    fn snapshot_counts_and_serialises() {
+        let m = ServerMetrics::new();
+        m.request("check");
+        m.request("check");
+        m.request("stats");
+        m.overloaded();
+        m.connection();
+        m.queue_depth(3);
+        m.queue_depth(1);
+        m.latency(Duration::from_micros(5));
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.total_requests(), 3);
+        assert_eq!(s.queue_highwater, 3);
+        assert_eq!((s.errors, s.overloaded), (1, 1));
+        let json = s.to_json();
+        assert_eq!(
+            json.get("requests").and_then(|r| r.get("check")).and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(json.get("queue_highwater").and_then(Value::as_u64), Some(3));
+        assert!(json.get("cache").is_some());
+        assert!(s.summary_line().contains("3 request(s)"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Named, versioned specification documents behind an `RwLock`.
+//!
+//! A registered document is the unit of loading and lookup: `load_spec`
+//! elaborates one `.pos` source through `pospec-lang` and registers the
+//! resulting [`Document`] under a name.  Checks and compositions always
+//! name two specifications *of the same document* — specifications from
+//! different documents live in different universes, so a cross-document
+//! refinement question is ill-posed (Def. 2 compares trace sets over one
+//! universe's events).
+//!
+//! Reloading a name replaces the document and bumps its version; the
+//! old `Arc` stays alive for requests already holding it, so in-flight
+//! checks never observe a half-swapped registry.
+
+use pospec_lang::{parse_document, Document};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One registered `.pos` document.
+#[derive(Debug)]
+pub struct RegisteredDoc {
+    /// Registry name (for preloaded files, the file stem).
+    pub name: String,
+    /// 1-based version, bumped on each reload of the same name.
+    pub version: u64,
+    /// The elaborated document (universe + specifications).
+    pub doc: Document,
+}
+
+impl RegisteredDoc {
+    /// The specification names of this document, in declaration order.
+    pub fn spec_names(&self) -> Vec<&str> {
+        self.doc.specs.iter().map(|s| s.name()).collect()
+    }
+}
+
+/// The server's shared table of registered documents.
+#[derive(Default)]
+pub struct SpecRegistry {
+    docs: RwLock<HashMap<String, Arc<RegisteredDoc>>>,
+    loads: AtomicU64,
+}
+
+impl SpecRegistry {
+    /// An empty registry.
+    pub fn new() -> SpecRegistry {
+        SpecRegistry::default()
+    }
+
+    /// Elaborate `source` and register it under `name`, replacing (and
+    /// version-bumping) any previous document of that name.  Returns the
+    /// new entry on success and the elaboration error otherwise.
+    pub fn load_source(&self, name: &str, source: &str) -> Result<Arc<RegisteredDoc>, String> {
+        let doc = parse_document(source).map_err(|e| e.to_string())?;
+        let mut docs = self.docs.write().unwrap_or_else(|e| e.into_inner());
+        let version = docs.get(name).map(|d| d.version + 1).unwrap_or(1);
+        let entry = Arc::new(RegisteredDoc { name: name.to_string(), version, doc });
+        docs.insert(name.to_string(), Arc::clone(&entry));
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        Ok(entry)
+    }
+
+    /// Register every `*.pos` file of `dir` (file stem as name, sorted
+    /// for determinism).  Any unreadable or ill-formed file fails the
+    /// whole preload — a service must not start with a partial registry.
+    pub fn preload_dir(&self, dir: &Path) -> Result<Vec<Arc<RegisteredDoc>>, String> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read `{}`: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "pos"))
+            .collect();
+        paths.sort();
+        let mut loaded = Vec::new();
+        for path in paths {
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("non-UTF-8 file name: {}", path.display()))?
+                .to_string();
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+            let entry =
+                self.load_source(&name, &source).map_err(|e| format!("{}: {e}", path.display()))?;
+            loaded.push(entry);
+        }
+        Ok(loaded)
+    }
+
+    /// The current document registered under `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<RegisteredDoc>> {
+        self.docs.read().unwrap_or_else(|e| e.into_inner()).get(name).cloned()
+    }
+
+    /// `(name, version, spec count)` for every registered document,
+    /// sorted by name.
+    pub fn list(&self) -> Vec<(String, u64, usize)> {
+        let docs = self.docs.read().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<_> =
+            docs.values().map(|d| (d.name.clone(), d.version, d.doc.specs.len())).collect();
+        out.sort();
+        out
+    }
+
+    /// Number of registered documents.
+    pub fn len(&self) -> usize {
+        self.docs.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of specifications across all registered documents.
+    pub fn spec_count(&self) -> usize {
+        self.docs
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .map(|d| d.doc.specs.len())
+            .sum()
+    }
+
+    /// Total successful `load_source` calls (reloads included).
+    pub fn loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "universe { class C; object o; method A; witnesses C 1; }\n\
+                        spec S { objects { o } alphabet { <C, o, A>; } traces any; }\n";
+
+    #[test]
+    fn load_and_version_bump() {
+        let r = SpecRegistry::new();
+        let v1 = r.load_source("tiny", TINY).expect("well-formed");
+        assert_eq!((v1.version, v1.spec_names()), (1, vec!["S"]));
+        let v2 = r.load_source("tiny", TINY).expect("well-formed");
+        assert_eq!(v2.version, 2);
+        assert_eq!(r.get("tiny").expect("registered").version, 2);
+        assert_eq!(r.list(), vec![("tiny".to_string(), 2, 1)]);
+        assert_eq!((r.len(), r.spec_count(), r.loads()), (1, 1, 2));
+    }
+
+    #[test]
+    fn bad_source_is_rejected_and_keeps_old_version() {
+        let r = SpecRegistry::new();
+        r.load_source("tiny", TINY).expect("well-formed");
+        assert!(r.load_source("tiny", "universe { garbage").is_err());
+        assert_eq!(r.get("tiny").expect("still registered").version, 1);
+    }
+}

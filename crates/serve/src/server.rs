@@ -1,0 +1,436 @@
+//! The TCP accept loop, request execution, and graceful shutdown.
+//!
+//! One lightweight thread per connection reads newline-delimited JSON
+//! requests.  Control-plane operations (`stats`, `clear_cache`,
+//! `shutdown`) are answered inline so they stay responsive even when
+//! the service is saturated; everything else is submitted to the
+//! bounded [`WorkerPool`] and executed on a worker thread, with the
+//! connection thread streaming the response back when it arrives.
+//! Backpressure is explicit: a full queue answers `overloaded`
+//! immediately rather than buffering.
+//!
+//! Shutdown is graceful by construction: the `shutdown` op (or
+//! [`Server::shutdown_handle`]) flips a flag; the accept loop stops
+//! taking connections, the pool drains every job it already accepted,
+//! and [`Server::serve`] returns a final [`MetricsSnapshot`] for the
+//! closing log line.
+
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::pool::{SubmitError, WorkerPool};
+use crate::protocol::{error_response, ok_response, parse_request, Envelope, Request};
+use crate::registry::SpecRegistry;
+use pospec_alphabet::display_trace;
+use pospec_core::refine::FailedCondition;
+use pospec_core::{
+    check_refinement_batch, check_refinement_cached, compose, observable_deadlock, DfaCache,
+    Specification, Verdict,
+};
+use pospec_json::{ObjBuilder, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Server tunables; every field has a serviceable default.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing heavy requests.
+    pub workers: usize,
+    /// Bounded queue capacity (pending requests beyond the workers).
+    pub queue: usize,
+    /// Directory of `*.pos` files to preload into the registry.
+    pub preload: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
+        ServerConfig { addr: "127.0.0.1:7077".into(), workers, queue: 64, preload: None }
+    }
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    registry: SpecRegistry,
+    cache: Arc<DfaCache>,
+    metrics: ServerMetrics,
+    pool: WorkerPool,
+    stopping: AtomicBool,
+}
+
+/// A handle that asks a running server to stop accepting and drain.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Request a graceful stop (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A bound (but not yet serving) refinement-checking service.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `config.addr`, spawn the worker pool, and preload the
+    /// registry.  Nothing is accepted until [`Server::serve`] runs.
+    pub fn bind(config: &ServerConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind `{}`: {e}", config.addr))?;
+        let shared = Arc::new(Shared {
+            registry: SpecRegistry::new(),
+            cache: Arc::new(DfaCache::new()),
+            metrics: ServerMetrics::new(),
+            pool: WorkerPool::new(config.workers, config.queue),
+            stopping: AtomicBool::new(false),
+        });
+        if let Some(dir) = &config.preload {
+            let loaded = shared.registry.preload_dir(dir)?;
+            for d in &loaded {
+                eprintln!(
+                    "preloaded `{}` v{} ({} spec(s))",
+                    d.name,
+                    d.version,
+                    d.spec_names().len()
+                );
+            }
+        }
+        Ok(Server { listener, shared })
+    }
+
+    /// The actually bound address (resolves `:0` to the ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// The server's spec registry (for in-process embedding).
+    pub fn registry(&self) -> &SpecRegistry {
+        &self.shared.registry
+    }
+
+    /// Accept and serve connections until a `shutdown` request (or
+    /// [`ShutdownHandle`]) arrives, then drain in-flight work and
+    /// return the final metrics snapshot.
+    pub fn serve(self) -> Result<MetricsSnapshot, String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set listener non-blocking: {e}"))?;
+        while !self.shared.stopping.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared.metrics.connection();
+                    let shared = Arc::clone(&self.shared);
+                    let _ = std::thread::Builder::new()
+                        .name("pospec-serve-conn".into())
+                        .spawn(move || handle_connection(stream, &shared));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+        }
+        // Drain: the pool finishes every accepted job; connection
+        // threads deliver those responses and exit with their peers.
+        self.shared.pool.shutdown();
+        Ok(self.shared.metrics.snapshot(self.shared.cache.stats()))
+    }
+}
+
+/// Serve one connection: read request lines, answer response lines.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // peer went away mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(&line, shared);
+        if write_line(&mut writer, &response).is_err() {
+            break;
+        }
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn write_line(w: &mut TcpStream, v: &Value) -> std::io::Result<()> {
+    v.to_writer(w)?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Decode and dispatch one request line, producing the response value.
+fn handle_line(line: &str, shared: &Arc<Shared>) -> Value {
+    let started = Instant::now();
+    let envelope = match parse_request(line) {
+        Ok(e) => e,
+        Err(e) => {
+            shared.metrics.error();
+            return error_response(None, e.kind, &e.message);
+        }
+    };
+    shared.metrics.request(envelope.req.kind());
+    let response = dispatch(envelope, started, shared);
+    if response.get("ok") == Some(&Value::Bool(false)) {
+        shared.metrics.error();
+    }
+    shared.metrics.latency(started.elapsed());
+    response
+}
+
+/// Inline ops answer directly; heavy ops go through the bounded pool.
+fn dispatch(envelope: Envelope, started: Instant, shared: &Arc<Shared>) -> Value {
+    let id = envelope.id.clone();
+    match &envelope.req {
+        Request::Stats => {
+            let snapshot = shared.metrics.snapshot(shared.cache.stats());
+            let result = ObjBuilder::new()
+                .field("metrics", snapshot.to_json())
+                .field("registry", registry_json(&shared.registry))
+                .build();
+            ok_response(id.as_ref(), "stats", result)
+        }
+        Request::ClearCache => {
+            let entries = shared.cache.len();
+            shared.cache.clear();
+            ok_response(
+                id.as_ref(),
+                "clear_cache",
+                ObjBuilder::new().field("dropped", entries).build(),
+            )
+        }
+        Request::Shutdown => {
+            shared.stopping.store(true, Ordering::SeqCst);
+            ok_response(id.as_ref(), "shutdown", ObjBuilder::new().field("stopping", true).build())
+        }
+        _ => {
+            let (tx, rx) = mpsc::channel::<Value>();
+            let shared_for_job = Arc::clone(shared);
+            let deadline = envelope.deadline_ms.map(Duration::from_millis);
+            let kind = envelope.req.kind();
+            let job = Box::new(move || {
+                let response = if deadline.is_some_and(|d| started.elapsed() > d) {
+                    shared_for_job.metrics.deadline_exceeded();
+                    error_response(
+                        envelope.id.as_ref(),
+                        "deadline",
+                        &format!("request expired after {:?} in queue", started.elapsed()),
+                    )
+                } else {
+                    execute(&envelope, &shared_for_job)
+                };
+                let _ = tx.send(response);
+            });
+            match shared.pool.try_submit(job) {
+                Ok(depth) => {
+                    shared.metrics.queue_depth(depth);
+                    match rx.recv() {
+                        Ok(response) => response,
+                        // The worker panicked mid-request and dropped the
+                        // sender; the request is lost but the service lives.
+                        Err(_) => error_response(
+                            id.as_ref(),
+                            "internal",
+                            &format!("worker failed while executing `{kind}`"),
+                        ),
+                    }
+                }
+                Err(SubmitError::Overloaded { queued }) => {
+                    shared.metrics.overloaded();
+                    error_response(
+                        id.as_ref(),
+                        "overloaded",
+                        &format!("queue full ({queued} request(s) queued); retry later"),
+                    )
+                }
+                Err(SubmitError::ShuttingDown) => error_response(
+                    id.as_ref(),
+                    "shutting_down",
+                    "server is draining; reconnect later",
+                ),
+            }
+        }
+    }
+}
+
+/// Execute a heavy request on a worker thread.
+fn execute(envelope: &Envelope, shared: &Arc<Shared>) -> Value {
+    let id = envelope.id.as_ref();
+    match &envelope.req {
+        Request::LoadSpec { name, source } => match shared.registry.load_source(name, source) {
+            Ok(doc) => ok_response(
+                id,
+                "load_spec",
+                ObjBuilder::new()
+                    .field("name", doc.name.as_str())
+                    .field("version", doc.version)
+                    .field(
+                        "specs",
+                        Value::Arr(doc.spec_names().into_iter().map(Value::from).collect()),
+                    )
+                    .build(),
+            ),
+            Err(e) => error_response(id, "parse", &e),
+        },
+        Request::Check { doc, concrete, abstract_, depth } => {
+            let entry = match shared.registry.get(doc) {
+                Some(d) => d,
+                None => return NotFound::doc(doc).into_response(id),
+            };
+            let (c, a) = match (entry.doc.spec(concrete), entry.doc.spec(abstract_)) {
+                (Some(c), Some(a)) => (c, a),
+                (None, _) => return NotFound::spec(doc, concrete).into_response(id),
+                (_, None) => return NotFound::spec(doc, abstract_).into_response(id),
+            };
+            let verdict = check_refinement_cached(&shared.cache, c, a, *depth);
+            ok_response(id, "check", verdict_json(c, a, &verdict))
+        }
+        Request::BatchCheck { doc, pairs, depth } => {
+            let entry = match shared.registry.get(doc) {
+                Some(d) => d,
+                None => return NotFound::doc(doc).into_response(id),
+            };
+            let mut resolved: Vec<(&Specification, &Specification)> = Vec::new();
+            for (c, a) in pairs {
+                match (entry.doc.spec(c), entry.doc.spec(a)) {
+                    (Some(c), Some(a)) => resolved.push((c, a)),
+                    (None, _) => return NotFound::spec(doc, c).into_response(id),
+                    (_, None) => return NotFound::spec(doc, a).into_response(id),
+                }
+            }
+            let verdicts = check_refinement_batch(&shared.cache, &resolved, *depth);
+            let all_hold = verdicts.iter().all(Verdict::holds);
+            let rows: Vec<Value> =
+                resolved.iter().zip(&verdicts).map(|((c, a), v)| verdict_json(c, a, v)).collect();
+            ok_response(
+                id,
+                "batch_check",
+                ObjBuilder::new()
+                    .field("count", rows.len())
+                    .field("holds_all", all_hold)
+                    .field("verdicts", Value::Arr(rows))
+                    .build(),
+            )
+        }
+        Request::Compose { doc, left, right, deadlock } => {
+            let entry = match shared.registry.get(doc) {
+                Some(d) => d,
+                None => return NotFound::doc(doc).into_response(id),
+            };
+            let (l, r) = match (entry.doc.spec(left), entry.doc.spec(right)) {
+                (Some(l), Some(r)) => (l, r),
+                (None, _) => return NotFound::spec(doc, left).into_response(id),
+                (_, None) => return NotFound::spec(doc, right).into_response(id),
+            };
+            match compose(l, r) {
+                Err(e) => error_response(id, "bad_request", &e.to_string()),
+                Ok(composed) => {
+                    let mut b = ObjBuilder::new()
+                        .field("name", composed.name())
+                        .field("objects", composed.objects().len())
+                        .field("alphabet_granules", composed.alphabet().granule_count());
+                    if *deadlock {
+                        b = b.field("deadlocked", observable_deadlock(&composed));
+                    }
+                    ok_response(id, "compose", b.build())
+                }
+            }
+        }
+        Request::Ping { delay_ms } => {
+            if *delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(*delay_ms));
+            }
+            ok_response(id, "ping", ObjBuilder::new().field("pong", true).build())
+        }
+        // Inline ops never reach the pool.
+        Request::Stats | Request::ClearCache | Request::Shutdown => {
+            error_response(id, "internal", "control op routed to a worker")
+        }
+    }
+}
+
+/// `not_found` error detail for a missing document or spec.
+struct NotFound {
+    message: String,
+}
+
+impl NotFound {
+    fn doc(doc: &str) -> NotFound {
+        NotFound { message: format!("no document `{doc}` registered (load_spec it first)") }
+    }
+
+    fn spec(doc: &str, spec: &str) -> NotFound {
+        NotFound { message: format!("document `{doc}` has no spec `{spec}`") }
+    }
+
+    fn into_response(self, id: Option<&Value>) -> Value {
+        error_response(id, "not_found", &self.message)
+    }
+}
+
+/// Serialise a refinement verdict (with names and explanation).
+fn verdict_json(concrete: &Specification, abstract_: &Specification, v: &Verdict) -> Value {
+    let mut b = ObjBuilder::new()
+        .field("concrete", concrete.name())
+        .field("abstract", abstract_.name())
+        .field("holds", v.holds());
+    match v {
+        Verdict::Holds { exact } => b = b.field("exact", *exact),
+        Verdict::Fails { reason, counterexample } => {
+            let reason = match reason {
+                FailedCondition::Objects => "objects",
+                FailedCondition::Alphabet => "alphabet",
+                FailedCondition::Traces => "traces",
+            };
+            b = b.field("reason", reason);
+            if let Some(cex) = counterexample {
+                b = b.field("counterexample", display_trace(concrete.universe(), cex).to_string());
+            }
+        }
+    }
+    b.field("explanation", pospec_check::explain_verdict(concrete, abstract_, v)).build()
+}
+
+fn registry_json(registry: &SpecRegistry) -> Value {
+    let docs: Vec<Value> = registry
+        .list()
+        .into_iter()
+        .map(|(name, version, specs)| {
+            ObjBuilder::new()
+                .field("name", name)
+                .field("version", version)
+                .field("specs", specs)
+                .build()
+        })
+        .collect();
+    ObjBuilder::new()
+        .field("documents", Value::Arr(docs))
+        .field("spec_count", registry.spec_count())
+        .field("loads", registry.loads())
+        .build()
+}

@@ -1,0 +1,244 @@
+//! End-to-end tests for the refinement-checking service: a real server
+//! on an ephemeral port, driven by the blocking [`Client`] over TCP.
+
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use pospec_json::{ObjBuilder, Value};
+use pospec_serve::{error_kind, response_ok, Client, Server, ServerConfig};
+
+/// The workspace `specs/` directory, resolved relative to this crate.
+fn specs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../specs")
+}
+
+/// A running server plus the thread driving its accept loop.
+struct Fixture {
+    addr: String,
+    handle: pospec_serve::server::ShutdownHandle,
+    thread: thread::JoinHandle<Result<pospec_serve::MetricsSnapshot, String>>,
+}
+
+fn start(workers: usize, queue: usize, preload: bool) -> Fixture {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue,
+        preload: preload.then(specs_dir),
+    };
+    let server = Server::bind(&config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.shutdown_handle();
+    let thread = thread::spawn(move || server.serve());
+    Fixture { addr, handle, thread }
+}
+
+impl Fixture {
+    fn client(&self) -> Client {
+        let client = Client::connect(&self.addr).expect("connect");
+        client.set_timeout(Some(Duration::from_secs(30))).expect("timeout");
+        client
+    }
+
+    /// Stop the server and return the final metrics snapshot.
+    fn stop(self) -> pospec_serve::MetricsSnapshot {
+        self.handle.shutdown();
+        self.thread.join().expect("serve thread").expect("serve result")
+    }
+}
+
+fn op(name: &str) -> ObjBuilder {
+    ObjBuilder::new().field("op", name)
+}
+
+fn check_request(doc: &str, concrete: &str, abstract_: &str) -> Value {
+    op("check").field("doc", doc).field("concrete", concrete).field("abstract", abstract_).build()
+}
+
+fn result<'a>(response: &'a Value, key: &str) -> Option<&'a Value> {
+    response.get("result").and_then(|r| r.get(key))
+}
+
+fn cache_counter(stats: &Value, key: &str) -> f64 {
+    result(stats, "metrics")
+        .and_then(|m| m.get("cache"))
+        .and_then(|c| c.get(key))
+        .and_then(Value::as_f64)
+        .expect("cache counter")
+}
+
+#[test]
+fn full_session_over_tcp() {
+    let fixture = start(2, 16, true);
+    let mut client = fixture.client();
+
+    // load_spec: register a fresh document from inline source.
+    let source = std::fs::read_to_string(specs_dir().join("readers_writers.pos")).expect("spec");
+    let response = client
+        .call(&op("load_spec").field("name", "rw_live").field("source", source).build())
+        .expect("load_spec");
+    assert!(response_ok(&response), "load_spec failed: {response:?}");
+    assert_eq!(result(&response, "version"), Some(&Value::Num(1.0)));
+
+    // check against the freshly loaded document; ids are echoed back.
+    let request = op("check")
+        .field("id", 7.0)
+        .field("doc", "rw_live")
+        .field("concrete", "WriteAcc")
+        .field("abstract", "Write")
+        .build();
+    let response = client.call(&request).expect("check");
+    assert!(response_ok(&response));
+    assert_eq!(response.get("id"), Some(&Value::Num(7.0)));
+    assert_eq!(result(&response, "holds"), Some(&Value::Bool(true)));
+
+    // The same check again must be answered from the automaton cache.
+    let stats_before = client.call(&op("stats").build()).expect("stats");
+    let hits_before = cache_counter(&stats_before, "dfa_hits");
+    let response = client.call(&check_request("rw_live", "WriteAcc", "Write")).expect("recheck");
+    assert_eq!(result(&response, "holds"), Some(&Value::Bool(true)));
+    let stats_after = client.call(&op("stats").build()).expect("stats");
+    assert!(
+        cache_counter(&stats_after, "dfa_hits") > hits_before,
+        "repeated check must hit the DFA cache: {stats_after:?}"
+    );
+
+    // batch_check fans a pair list into the parallel checker.
+    let pairs = Value::Arr(vec![
+        Value::Arr(vec![Value::from("WriteAcc"), Value::from("Write")]),
+        Value::Arr(vec![Value::from("Read"), Value::from("Write")]),
+    ]);
+    let response = client
+        .call(&op("batch_check").field("doc", "readers_writers").field("pairs", pairs).build())
+        .expect("batch_check");
+    assert!(response_ok(&response));
+    assert_eq!(result(&response, "count"), Some(&Value::Num(2.0)));
+    assert_eq!(result(&response, "holds_all"), Some(&Value::Bool(false)));
+
+    // compose reports the composite's shape.
+    let response = client
+        .call(
+            &op("compose")
+                .field("doc", "readers_writers")
+                .field("left", "Read")
+                .field("right", "Write")
+                .build(),
+        )
+        .expect("compose");
+    assert!(response_ok(&response));
+    assert!(result(&response, "objects").is_some());
+
+    // Unknown documents and specs come back as structured not_found.
+    let response = client.call(&check_request("no_such_doc", "A", "B")).expect("call");
+    assert!(!response_ok(&response));
+    assert_eq!(error_kind(&response), Some("not_found"));
+
+    // An expired deadline is reported instead of executed.
+    let request = op("ping").field("deadline_ms", 0.0).field("delay_ms", 0.0).build();
+    thread::sleep(Duration::from_millis(5));
+    let response = client.call(&request).expect("ping");
+    // deadline_ms of 0 expires before the worker picks the job up.
+    assert!(!response_ok(&response));
+    assert_eq!(error_kind(&response), Some("deadline"));
+
+    let snapshot = fixture.stop();
+    assert!(snapshot.total_requests() >= 8, "snapshot: {}", snapshot.summary_line());
+}
+
+#[test]
+fn preload_registers_every_spec_file() {
+    let fixture = start(1, 4, true);
+    let mut client = fixture.client();
+    let response = client.call(&op("stats").build()).expect("stats");
+    let documents = result(&response, "registry")
+        .and_then(|r| r.get("documents"))
+        .and_then(Value::as_arr)
+        .expect("documents");
+    let names: Vec<&str> =
+        documents.iter().filter_map(|d| d.get("name").and_then(Value::as_str)).collect();
+    assert!(names.contains(&"readers_writers"), "preloaded docs: {names:?}");
+    assert!(names.contains(&"auction"), "preloaded docs: {names:?}");
+    fixture.stop();
+}
+
+#[test]
+fn saturated_queue_reports_overloaded_without_panicking() {
+    // One worker, queue capacity one: park the worker on a slow ping,
+    // fill the single queue slot, and every further submission must be
+    // rejected with a structured `overloaded` error.
+    let fixture = start(1, 1, false);
+
+    let slow = op("ping").field("delay_ms", 400.0).build();
+    let mut blocker = fixture.client();
+    let parked = thread::spawn(move || blocker.call(&slow).expect("slow ping"));
+    thread::sleep(Duration::from_millis(50));
+
+    let (tx, rx) = mpsc::channel();
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let tx = tx.clone();
+            let addr = fixture.addr.clone();
+            thread::spawn(move || {
+                let client = Client::connect(&addr).expect("connect");
+                client.set_timeout(Some(Duration::from_secs(30))).expect("timeout");
+                let mut client = client;
+                let response =
+                    client.call(&op("ping").field("delay_ms", 50.0).build()).expect("ping");
+                tx.send(response).expect("send");
+            })
+        })
+        .collect();
+    drop(tx);
+
+    let responses: Vec<Value> = rx.iter().collect();
+    for handle in clients {
+        handle.join().expect("client thread");
+    }
+    assert_eq!(responses.len(), 8);
+    let overloaded = responses.iter().filter(|r| error_kind(r) == Some("overloaded")).count();
+    let succeeded = responses.iter().filter(|r| response_ok(r)).count();
+    assert!(overloaded > 0, "expected rejections from a cap-1 queue: {responses:?}");
+    assert_eq!(overloaded + succeeded, 8, "only ok/overloaded expected: {responses:?}");
+
+    assert!(response_ok(&parked.join().expect("parked thread")));
+    let snapshot = fixture.stop();
+    assert!(snapshot.total_requests() >= 9);
+}
+
+#[test]
+fn control_plane_answers_while_workers_are_busy() {
+    let fixture = start(1, 1, false);
+    let slow = op("ping").field("delay_ms", 300.0).build();
+    let mut blocker = fixture.client();
+    let parked = thread::spawn(move || blocker.call(&slow).expect("slow ping"));
+    thread::sleep(Duration::from_millis(50));
+
+    // stats bypasses the worker queue, so it answers immediately even
+    // though the only worker is parked.
+    let mut client = fixture.client();
+    let response = client.call(&op("stats").build()).expect("stats");
+    assert!(response_ok(&response));
+
+    assert!(response_ok(&parked.join().expect("parked thread")));
+    fixture.stop();
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_and_the_connection_survives() {
+    let fixture = start(1, 4, false);
+    let mut client = fixture.client();
+
+    let response = client.call(&Value::from("just a string")).expect("call");
+    assert!(!response_ok(&response));
+    assert_eq!(error_kind(&response), Some("bad_request"));
+
+    let response = client.call(&op("check").field("doc", "x").build()).expect("call");
+    assert_eq!(error_kind(&response), Some("bad_request"));
+
+    // The connection is still usable after both errors.
+    let response = client.call(&op("ping").build()).expect("ping");
+    assert!(response_ok(&response));
+    fixture.stop();
+}

@@ -13,10 +13,14 @@
 //!                                              fault-injected supervised run
 //! pospec verify <file.pos>                     run the development block
 //! pospec print <file.pos>                      parse and pretty-print back
+//! pospec serve [--addr A] [--workers N] [--queue N] [--preload DIR]
+//!                                              long-running checking service
+//! pospec call [--addr A] <op> [args…]          one request against a server
 //! ```
 //!
 //! Exit code 0 on success / verdict "holds"; 1 on a negative verdict; 2 on
-//! usage or language errors.
+//! usage, language, or transport errors — uniformly: any flag given an
+//! unparsable value exits 2 with a message on stderr.
 
 use pospec::prelude::*;
 use pospec_core::compose as compose_specs;
@@ -33,7 +37,11 @@ fn usage() -> ExitCode {
          pospec simulate <file.pos> [--seed N] [--faults drop=P,dup=P,delay=P,crash=P] \
 [--deadline-ms N] [--events N] [--json PATH|-]\n  \
          pospec verify <file.pos>\n  \
-         pospec print <file.pos>"
+         pospec print <file.pos>\n  \
+         pospec serve [--addr HOST:PORT] [--workers N] [--queue N] [--preload DIR]\n  \
+         pospec call [--addr HOST:PORT] <op> [args...]   (ops: load_spec <name> <file>, \
+check <doc> <concrete> <abstract>, compose <doc> <a> <b> [--deadlock], \
+batch_check <doc> <c a>..., ping, stats, clear_cache, shutdown, or a raw JSON object)"
     );
     ExitCode::from(2)
 }
@@ -57,12 +65,34 @@ fn find<'a>(doc: &'a Document, name: &str) -> Result<&'a Specification, ExitCode
     })
 }
 
-fn depth_arg(args: &[String]) -> usize {
-    args.windows(2).find(|w| w[0] == "--depth").and_then(|w| w[1].parse().ok()).unwrap_or(6)
-}
-
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.windows(2).find(|w| w[0] == name).map(|w| w[1].as_str())
+}
+
+/// The value of `--name` parsed as `T`, or `default` when the flag is
+/// absent.  A flag with a missing or unparsable value is a uniform usage
+/// error: message on stderr, exit code 2 — every subcommand shares this
+/// convention (`tests/cli.rs` asserts it).
+fn parsed_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, ExitCode> {
+    match flag_value(args, name) {
+        Some(raw) => raw.parse().map_err(|_| {
+            eprintln!("error: invalid value `{raw}` for `{name}`");
+            ExitCode::from(2)
+        }),
+        None if args.iter().any(|a| a == name) => {
+            eprintln!("error: `{name}` requires a value");
+            Err(ExitCode::from(2))
+        }
+        None => Ok(default),
+    }
+}
+
+fn depth_arg(args: &[String]) -> Result<usize, ExitCode> {
+    parsed_flag(args, "--depth", 6)
 }
 
 /// Run every spec in `doc` under a fault-injected, monitored simulation.
@@ -71,10 +101,18 @@ fn simulate(file: &str, doc: &Document, args: &[String]) -> ExitCode {
     use pospec_sim::{FaultPlan, RunConfig, SupervisedRun};
     use std::time::Duration;
 
-    let seed: u64 = flag_value(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(0);
-    let events: usize = flag_value(args, "--events").and_then(|s| s.parse().ok()).unwrap_or(200);
-    let deadline_ms: u64 =
-        flag_value(args, "--deadline-ms").and_then(|s| s.parse().ok()).unwrap_or(5_000);
+    let seed: u64 = match parsed_flag(args, "--seed", 0) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let events: usize = match parsed_flag(args, "--events", 200) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let deadline_ms: u64 = match parsed_flag(args, "--deadline-ms", 5_000) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
     let plan = match flag_value(args, "--faults") {
         Some(spec) => match FaultPlan::parse(seed, spec) {
             Ok(p) => p,
@@ -154,6 +192,183 @@ fn simulate(file: &str, doc: &Document, args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `pospec serve`: run the long-lived refinement-checking service until
+/// a client sends `shutdown`, then print the final metrics line.
+fn serve_cmd(args: &[String]) -> ExitCode {
+    use pospec_serve::{Server, ServerConfig};
+
+    let defaults = ServerConfig::default();
+    let workers = match parsed_flag(args, "--workers", defaults.workers) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let queue = match parsed_flag(args, "--queue", defaults.queue) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    if workers == 0 || queue == 0 {
+        eprintln!("error: `--workers` and `--queue` must be at least 1");
+        return ExitCode::from(2);
+    }
+    let config = ServerConfig {
+        addr: flag_value(args, "--addr").unwrap_or(&defaults.addr).to_string(),
+        workers,
+        queue,
+        preload: flag_value(args, "--preload").map(std::path::PathBuf::from),
+    };
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // Parsed by scripts and the CI smoke job; keep the shape stable.
+            println!("pospec-serve listening on {addr} ({workers} worker(s), queue {queue})");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match server.serve() {
+        Ok(snapshot) => {
+            println!("{}", snapshot.summary_line());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Build the request object for `pospec call` from positional words.
+fn call_request(words: &[&String], args: &[String]) -> Result<pospec_json::Value, String> {
+    use pospec_json::ObjBuilder;
+    // A raw JSON object passes through untouched (full protocol access).
+    if let [single] = words {
+        if single.trim_start().starts_with('{') {
+            return pospec_json::parse(single).map_err(|e| e.to_string());
+        }
+    }
+    let depth = args
+        .windows(2)
+        .find(|w| w[0] == "--depth")
+        .map(|w| w[1].parse::<u64>().map_err(|_| format!("invalid value `{}` for `--depth`", w[1])))
+        .transpose()?;
+    match words {
+        [op] if ["ping", "stats", "clear_cache", "shutdown"].contains(&op.as_str()) => {
+            Ok(ObjBuilder::new().field("op", op.as_str()).build())
+        }
+        [op, name, file] if op.as_str() == "load_spec" => {
+            let source = std::fs::read_to_string(file.as_str())
+                .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+            Ok(ObjBuilder::new()
+                .field("op", "load_spec")
+                .field("name", name.as_str())
+                .field("source", source)
+                .build())
+        }
+        [op, doc, concrete, abstract_] if op.as_str() == "check" => Ok(ObjBuilder::new()
+            .field("op", "check")
+            .field("doc", doc.as_str())
+            .field("concrete", concrete.as_str())
+            .field("abstract", abstract_.as_str())
+            .field_opt("depth", depth)
+            .build()),
+        [op, doc, left, right] if op.as_str() == "compose" => Ok(ObjBuilder::new()
+            .field("op", "compose")
+            .field("doc", doc.as_str())
+            .field("left", left.as_str())
+            .field("right", right.as_str())
+            .field("deadlock", args.iter().any(|a| a == "--deadlock"))
+            .build()),
+        [op, doc, pairs @ ..] if op.as_str() == "batch_check" && !pairs.is_empty() => {
+            if pairs.len() % 2 != 0 {
+                return Err("batch_check needs an even number of spec names".to_string());
+            }
+            let pairs: Vec<pospec_json::Value> = pairs
+                .chunks(2)
+                .map(|p| pospec_json::Value::Arr(vec![p[0].as_str().into(), p[1].as_str().into()]))
+                .collect();
+            Ok(ObjBuilder::new()
+                .field("op", "batch_check")
+                .field("doc", doc.as_str())
+                .field("pairs", pospec_json::Value::Arr(pairs))
+                .field_opt("depth", depth)
+                .build())
+        }
+        _ => Err("unrecognised call; see `pospec` usage".to_string()),
+    }
+}
+
+/// `pospec call`: one request against a running server, response JSON on
+/// stdout.  Exit 0 on a positive result, 1 on a negative verdict
+/// (`holds`/`holds_all` false or a detected deadlock), 2 on any error.
+fn call_cmd(args: &[String]) -> ExitCode {
+    use pospec_json::Value;
+    use pospec_serve::{response_ok, Client};
+
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7077").to_string();
+    let value_flags = ["--addr", "--depth"];
+    let mut words: Vec<&String> = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+        } else if value_flags.contains(&a.as_str()) {
+            skip = true;
+        } else if !a.starts_with("--") {
+            words.push(a);
+        }
+    }
+    if words.is_empty() {
+        return usage();
+    }
+    let request = match call_request(&words, args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let response = Client::connect(&addr)
+        .and_then(|mut c| {
+            c.set_timeout(Some(std::time::Duration::from_secs(120)))?;
+            c.call(&request)
+        })
+        .map_err(|e| format!("{addr}: {e}"));
+    match response {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+        Ok(response) => {
+            println!("{}", response.to_compact());
+            if !response_ok(&response) {
+                return ExitCode::from(2);
+            }
+            let result = response.get("result");
+            let negative = |key: &str, bad: bool| {
+                result.and_then(|r| r.get(key)).and_then(Value::as_bool) == Some(bad)
+            };
+            if negative("holds", false)
+                || negative("holds_all", false)
+                || negative("deadlocked", true)
+            {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -200,7 +415,11 @@ fn main() -> ExitCode {
                 (Ok(c), Ok(a)) => (c, a),
                 (Err(e), _) | (_, Err(e)) => return e,
             };
-            let v = check_refinement(c, a, depth_arg(extra));
+            let depth = match depth_arg(extra) {
+                Ok(d) => d,
+                Err(c) => return c,
+            };
+            let v = check_refinement(c, a, depth);
             println!("{}", pospec_check::explain_verdict(c, a, &v));
             if v.holds() {
                 ExitCode::SUCCESS
@@ -243,7 +462,11 @@ fn main() -> ExitCode {
                 Ok(s) => s,
                 Err(e) => return e,
             };
-            let r = pospec_check::quiescence(spec, depth_arg(extra));
+            let depth = match depth_arg(extra) {
+                Ok(d) => d,
+                Err(c) => return c,
+            };
+            let r = pospec_check::quiescence(spec, depth);
             println!("quiescence analysis of `{spec_name}`:");
             println!("  reachable histories sampled: {}", r.reachable_states);
             println!("  dead ends found: {}", r.quiescent_states);
@@ -317,6 +540,8 @@ fn main() -> ExitCode {
                 }
             }
         }
+        ("serve", extra) => serve_cmd(extra),
+        ("call", extra) => call_cmd(extra),
         ("simulate", [file, extra @ ..]) => {
             let doc = match load(file) {
                 Ok(d) => d,

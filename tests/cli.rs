@@ -204,3 +204,28 @@ fn unknown_names_and_files_exit_2() {
     let nousage = run(&["frobnicate"]);
     assert_eq!(nousage.status.code(), Some(2));
 }
+
+#[test]
+fn malformed_flag_values_exit_2_with_a_message() {
+    let file = specs("readers_writers.pos");
+    // Every numeric flag shares the same strict parser: a garbage value
+    // is a usage error (exit 2) with the offending flag named on stderr.
+    for args in [
+        vec!["simulate", file.as_str(), "--seed", "abc"],
+        vec!["simulate", file.as_str(), "--events", "many"],
+        vec!["simulate", file.as_str(), "--deadline-ms", "soon"],
+        vec!["refine", file.as_str(), "WriteAcc", "Write", "--depth", "abc"],
+        vec!["quiesce", file.as_str(), "Write", "--depth", "-3"],
+        vec!["serve", "--workers", "lots"],
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("invalid value"), "args: {args:?}, stderr: {err}");
+        assert!(err.contains(args[args.len() - 2]), "args: {args:?}, stderr: {err}");
+    }
+    // A flag given without any value is also a usage error.
+    let out = run(&["simulate", &file, "--seed"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
+}

@@ -1,0 +1,73 @@
+//! End-to-end test of `pospec serve` + `pospec call`: the real binary on
+//! both sides of the socket, the same pairing the CI smoke job uses.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+fn specs_dir() -> String {
+    let p: PathBuf = [env!("CARGO_MANIFEST_DIR"), "specs"].iter().collect();
+    p.to_string_lossy().into_owned()
+}
+
+fn call(addr: &str, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pospec"))
+        .args(["call", "--addr", addr])
+        .args(args)
+        .output()
+        .expect("call runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+/// Start `pospec serve` on an ephemeral port and parse the bound
+/// address out of its announcement line.
+fn spawn_server() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pospec"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2", "--preload", &specs_dir()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let mut line = String::new();
+    BufReader::new(child.stdout.as_mut().expect("stdout piped"))
+        .read_line(&mut line)
+        .expect("announcement line");
+    let addr = line
+        .strip_prefix("pospec-serve listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn serve_and_call_round_trip_through_the_binary() {
+    let (mut child, addr) = spawn_server();
+
+    let holds = call(&addr, &["check", "readers_writers", "WriteAcc", "Write"]);
+    assert_eq!(holds.status.code(), Some(0), "{}", stdout(&holds));
+    assert!(stdout(&holds).contains("\"holds\":true"), "{}", stdout(&holds));
+
+    let fails = call(&addr, &["check", "readers_writers", "Write", "WriteAcc"]);
+    assert_eq!(fails.status.code(), Some(1), "negative verdicts exit 1");
+    assert!(stdout(&fails).contains("\"holds\":false"));
+
+    // The repeated positive check above must show up as cache hits.
+    let stats = call(&addr, &["stats"]);
+    assert_eq!(stats.status.code(), Some(0));
+    let text = stdout(&stats);
+    assert!(text.contains("\"dfa_hits\":"), "{text}");
+    assert!(!text.contains("\"dfa_hits\":0,"), "second check should hit: {text}");
+
+    let missing = call(&addr, &["check", "readers_writers", "Nope", "Write"]);
+    assert_eq!(missing.status.code(), Some(2), "transport/protocol errors exit 2");
+    assert!(stdout(&missing).contains("not_found"));
+
+    let down = call(&addr, &["shutdown"]);
+    assert_eq!(down.status.code(), Some(0), "{}", stdout(&down));
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "graceful shutdown exits 0: {status:?}");
+}
