@@ -113,8 +113,13 @@ fn pass(client: &mut Client) -> (Duration, Duration, Vec<bool>) {
 
 /// Run the cold-then-warm campaign against a private in-process server.
 pub fn run() -> ServiceSummary {
-    let config =
-        ServerConfig { addr: "127.0.0.1:0".to_string(), workers: 2, queue: 32, preload: None };
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue: 32,
+        preload: None,
+        strict: false,
+    };
     let server = Server::bind(&config).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
     let handle = server.shutdown_handle();

@@ -41,19 +41,23 @@ impl Document {
     }
 }
 
-/// Parse and elaborate a source text.
+/// Parse and elaborate a source text.  Errors carry the offending
+/// source line so their `Display` renders a caret underline.
 pub fn parse_document(src: &str) -> Result<Document, LangError> {
-    let ast = parse(src)?;
-    elaborate(&ast)
+    let ast = parse(src).map_err(|e| e.with_source(src))?;
+    elaborate(&ast).map_err(|e| e.with_source(src))
 }
 
 fn err(span: Span, msg: impl Into<String>) -> LangError {
     LangError::new(span, msg)
 }
 
-/// Elaborate a parsed AST.
-pub fn elaborate(ast: &Ast) -> Result<Document, LangError> {
-    let origin = Span { line: 1, col: 1 };
+/// Elaborate just the `universe { … }` block of a parsed AST into a
+/// frozen universe.  Exposed so analysis tools (the linter) can recover
+/// from per-spec errors while keeping every specification in the *same*
+/// universe — separately elaborated documents do not share object ids.
+pub fn elaborate_universe(ast: &Ast) -> Result<Arc<Universe>, LangError> {
+    let origin = Span::ORIGIN;
     let mut b = UniverseBuilder::new();
     // Pass 1: classes, so later declarations can reference them.
     for d in &ast.universe {
@@ -138,7 +142,12 @@ pub fn elaborate(ast: &Ast) -> Result<Document, LangError> {
             },
         }
     }
-    let u = b.freeze();
+    Ok(b.freeze())
+}
+
+/// Elaborate a parsed AST.
+pub fn elaborate(ast: &Ast) -> Result<Document, LangError> {
+    let u = elaborate_universe(ast)?;
     let mut specs = Vec::new();
     for sd in &ast.specs {
         specs.push(elaborate_spec(&u, sd)?);
@@ -320,22 +329,23 @@ fn regex(u: &Universe, vars: &mut VarTable, re: &ReAst) -> Result<Re, LangError>
         ReAst::Plus(r) => regex(u, vars, r)?.plus(),
         ReAst::Opt(r) => regex(u, vars, r)?.opt(),
         ReAst::Group(r) => regex(u, vars, r)?,
-        ReAst::Bind { body, var, class } => {
+        ReAst::Bind { body, var, class, span } => {
             let c = u
                 .class_by_name(class)
-                .ok_or_else(|| err(Span { line: 0, col: 0 }, format!("unknown class `{class}`")))?;
+                .ok_or_else(|| err(*span, format!("unknown class `{class}`")))?;
             let v = vars.get(var);
             regex(u, vars, body)?.bind(v, c)
         }
     })
 }
 
-fn elaborate_spec(u: &Arc<Universe>, sd: &SpecDecl) -> Result<Specification, LangError> {
+/// Elaborate a single `spec` block against an already-frozen universe.
+pub fn elaborate_spec(u: &Arc<Universe>, sd: &SpecDecl) -> Result<Specification, LangError> {
     let mut objects = Vec::new();
-    for name in &sd.objects {
+    for (name, nspan) in &sd.objects {
         let o = u
             .object_by_name(name)
-            .ok_or_else(|| err(sd.span, format!("unknown object `{name}`")))?;
+            .ok_or_else(|| err(*nspan, format!("unknown object `{name}`")))?;
         objects.push(o);
     }
     let mut alpha = EventSet::empty(u);

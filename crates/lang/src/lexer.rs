@@ -2,19 +2,63 @@
 
 use std::fmt;
 
-/// A half-open byte range with line/column of its start.
+/// A source location: 1-based line/column of the start plus the byte
+/// offset and byte length of the spanned text, so diagnostics can both
+/// name a position and underline the exact snippet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Span {
     /// 1-based line.
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// Byte offset of the span start in the source text.
+    pub offset: u32,
+    /// Byte length of the spanned text (0 for end-of-input).
+    pub len: u32,
+}
+
+impl Span {
+    /// The start-of-file position, used for errors with no better anchor.
+    pub const ORIGIN: Span = Span { line: 1, col: 1, offset: 0, len: 0 };
+
+    /// A span covering this one's start through `end`'s end (for
+    /// multi-token constructs such as a whole `<…>` template).
+    pub fn through(self, end: Span) -> Span {
+        let stop = end.offset.saturating_add(end.len);
+        Span { len: stop.saturating_sub(self.offset).max(self.len), ..self }
+    }
+
+    /// The source line containing this span together with the caret
+    /// padding and caret width (both in characters) needed to underline
+    /// it, or `None` when the span does not fall inside `src`.
+    pub fn underline<'a>(&self, src: &'a str) -> Option<(&'a str, usize, usize)> {
+        let off = self.offset as usize;
+        if off > src.len() || !src.is_char_boundary(off) {
+            return None;
+        }
+        let start = src[..off].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let end = src[off..].find('\n').map(|i| off + i).unwrap_or(src.len());
+        let text = &src[start..end];
+        let pad = src[start..off].chars().count();
+        let stop = (off + self.len as usize).min(end);
+        let width = if src.is_char_boundary(stop) { src[off..stop].chars().count() } else { 0 };
+        Some((text, pad, width.max(1)))
+    }
 }
 
 impl fmt::Display for Span {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}", self.line, self.col)
     }
+}
+
+/// The source line an error points into, pre-rendered so `Display`
+/// needs no access to the original text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Snippet {
+    text: String,
+    pad: usize,
+    width: usize,
 }
 
 /// A lexical or syntactic error with its location.
@@ -24,17 +68,40 @@ pub struct LangError {
     pub span: Span,
     /// What went wrong.
     pub message: String,
+    snippet: Option<Snippet>,
 }
 
 impl LangError {
     pub(crate) fn new(span: Span, message: impl Into<String>) -> Self {
-        LangError { span, message: message.into() }
+        LangError { span, message: message.into(), snippet: None }
+    }
+
+    /// Attach the offending source line so `Display` renders it with a
+    /// caret underline.  Called at the parse boundary, where the source
+    /// text is still in hand.
+    pub fn with_source(mut self, src: &str) -> Self {
+        if let Some((text, pad, width)) = self.span.underline(src) {
+            self.snippet = Some(Snippet { text: text.to_string(), pad, width });
+        }
+        self
     }
 }
 
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", self.span, self.message)
+        write!(f, "{}: {}", self.span, self.message)?;
+        if let Some(s) = &self.snippet {
+            let gutter = self.span.line.to_string();
+            write!(
+                f,
+                "\n {gutter} | {}\n {} | {}{}",
+                s.text,
+                " ".repeat(gutter.len()),
+                " ".repeat(s.pad),
+                "^".repeat(s.width)
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -126,32 +193,41 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
     let mut out = Vec::new();
     let mut line: u32 = 1;
     let mut col: u32 = 1;
+    let mut off: u32 = 0;
     let mut chars = src.chars().peekable();
     while let Some(&ch) = chars.peek() {
-        let span = Span { line, col };
+        let (sl, sc, so) = (line, col, off);
         match ch {
             '\n' => {
                 chars.next();
                 line += 1;
                 col = 1;
+                off += 1;
             }
             c if c.is_whitespace() => {
                 chars.next();
                 col += 1;
+                off += c.len_utf8() as u32;
             }
             '/' => {
                 chars.next();
                 col += 1;
+                off += 1;
                 if chars.peek() == Some(&'/') {
                     for c in chars.by_ref() {
+                        off += c.len_utf8() as u32;
                         if c == '\n' {
                             line += 1;
                             col = 1;
                             break;
                         }
+                        col += 1;
                     }
                 } else {
-                    return Err(LangError::new(span, "expected `//` comment"));
+                    return Err(LangError::new(
+                        Span { line: sl, col: sc, offset: so, len: 1 },
+                        "expected `//` comment",
+                    ));
                 }
             }
             c if c.is_ascii_alphabetic() => {
@@ -161,10 +237,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                         s.push(c2);
                         chars.next();
                         col += 1;
+                        off += 1;
                     } else {
                         break;
                     }
                 }
+                let span = Span { line: sl, col: sc, offset: so, len: off - so };
                 out.push(Token { tok: Tok::Ident(s), span });
             }
             c if c.is_ascii_digit() => {
@@ -174,15 +252,18 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                         n = n * 10 + d as u64;
                         chars.next();
                         col += 1;
+                        off += 1;
                     } else {
                         break;
                     }
                 }
+                let span = Span { line: sl, col: sc, offset: so, len: off - so };
                 out.push(Token { tok: Tok::Num(n), span });
             }
             '_' => {
                 chars.next();
                 col += 1;
+                off += 1;
                 // A lone underscore is the wildcard; an underscore followed
                 // by alphanumerics is an identifier.
                 if chars.peek().map(|c| c.is_ascii_alphanumeric()).unwrap_or(false) {
@@ -192,18 +273,23 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                             s.push(c2);
                             chars.next();
                             col += 1;
+                            off += 1;
                         } else {
                             break;
                         }
                     }
+                    let span = Span { line: sl, col: sc, offset: so, len: off - so };
                     out.push(Token { tok: Tok::Ident(s), span });
                 } else {
+                    let span = Span { line: sl, col: sc, offset: so, len: 1 };
                     out.push(Token { tok: Tok::Underscore, span });
                 }
             }
             _ => {
                 chars.next();
                 col += 1;
+                off += ch.len_utf8() as u32;
+                let span = Span { line: sl, col: sc, offset: so, len: off - so };
                 let tok = match ch {
                     '{' => Tok::LBrace,
                     '}' => Tok::RBrace,
@@ -229,7 +315,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, span: Span { line, col } });
+    out.push(Token { tok: Tok::Eof, span: Span { line, col, offset: off, len: 0 } });
     Ok(out)
 }
 
@@ -283,8 +369,17 @@ mod tests {
     fn numbers_and_spans() {
         let ts = lex("  42\n x").unwrap();
         assert_eq!(ts[0].tok, Tok::Num(42));
-        assert_eq!(ts[0].span, Span { line: 1, col: 3 });
-        assert_eq!(ts[1].span, Span { line: 2, col: 2 });
+        assert_eq!(ts[0].span, Span { line: 1, col: 3, offset: 2, len: 2 });
+        assert_eq!(ts[1].span, Span { line: 2, col: 2, offset: 6, len: 1 });
+    }
+
+    #[test]
+    fn offsets_track_bytes_across_lines_and_comments() {
+        let ts = lex("ab // c\n  xyz;").unwrap();
+        assert_eq!(ts[0].span, Span { line: 1, col: 1, offset: 0, len: 2 });
+        assert_eq!(ts[1].span, Span { line: 2, col: 3, offset: 10, len: 3 });
+        assert_eq!(ts[2].span, Span { line: 2, col: 6, offset: 13, len: 1 });
+        assert_eq!(ts[3].span, Span { line: 2, col: 7, offset: 14, len: 0 });
     }
 
     #[test]
@@ -292,6 +387,7 @@ mod tests {
         let err = lex("a # b").unwrap_err();
         assert!(err.message.contains("unexpected character"));
         assert_eq!(err.span.line, 1);
+        assert_eq!((err.span.offset, err.span.len), (2, 1));
     }
 
     #[test]
@@ -299,5 +395,32 @@ mod tests {
         let toks = kinds("_ _x");
         assert_eq!(toks[0], Tok::Underscore);
         assert_eq!(toks[1], Tok::Ident("_x".into()));
+    }
+
+    #[test]
+    fn spans_through_and_underline() {
+        let src = "ab cd\nef gh";
+        let ts = lex(src).unwrap();
+        // "cd" through "gh" covers both tokens' bytes.
+        let joined = ts[1].span.through(ts[3].span);
+        assert_eq!((joined.offset, joined.len), (3, 8));
+        let (text, pad, width) = ts[2].span.underline(src).unwrap();
+        assert_eq!((text, pad, width), ("ef gh", 0, 2));
+    }
+
+    #[test]
+    fn display_renders_a_caret_line_with_source() {
+        let src = "ab cd\nef gh";
+        let err = LangError::new(lex(src).unwrap()[3].span, "bad name").with_source(src);
+        let shown = err.to_string();
+        assert!(shown.starts_with("2:4: bad name\n"), "{shown}");
+        assert!(shown.contains(" 2 | ef gh\n"), "{shown}");
+        assert!(shown.contains("   |    ^^"), "{shown}");
+    }
+
+    #[test]
+    fn display_without_source_stays_single_line() {
+        let err = LangError::new(Span::ORIGIN, "boom");
+        assert_eq!(err.to_string(), "1:1: boom");
     }
 }

@@ -120,8 +120,8 @@ pub enum WitnessTarget {
 pub struct SpecDecl {
     /// Specification name.
     pub name: String,
-    /// Object names in `objects { … }`.
-    pub objects: Vec<String>,
+    /// Object names in `objects { … }`, each with its own span.
+    pub objects: Vec<(String, Span)>,
     /// Alphabet comprehensions.
     pub alphabet: Vec<TemplateAst>,
     /// The trace set.
@@ -190,6 +190,8 @@ pub enum ReAst {
         var: String,
         /// The class the variable ranges over.
         class: String,
+        /// The class name's source position.
+        span: Span,
     },
     /// `[ R ]` — plain grouping.
     Group(Box<ReAst>),
@@ -410,7 +412,7 @@ impl Parser {
         self.expect(Tok::LBrace)?;
         let mut objects = Vec::new();
         while let Tok::Ident(_) = self.peek().tok {
-            objects.push(self.ident()?.0);
+            objects.push(self.ident()?);
             self.eat(&Tok::Comma);
         }
         self.expect(Tok::RBrace)?;
@@ -470,8 +472,8 @@ impl Parser {
         } else {
             ArgAst::Absent
         };
-        self.expect(Tok::Gt)?;
-        Ok(TemplateAst { caller, callee, method, arg, span: open.span })
+        let close = self.expect(Tok::Gt)?;
+        Ok(TemplateAst { caller, callee, method, arg, span: open.span.through(close.span) })
     }
 
     fn regex(&mut self) -> Result<ReAst, LangError> {
@@ -534,8 +536,8 @@ impl Parser {
                 let re = if self.eat(&Tok::Dot) {
                     let var = self.ident()?.0;
                     self.keyword("in")?;
-                    let class = self.ident()?.0;
-                    ReAst::Bind { body: Box::new(body), var, class }
+                    let (class, span) = self.ident()?;
+                    ReAst::Bind { body: Box::new(body), var, class, span }
                 } else {
                     ReAst::Group(Box::new(body))
                 };
@@ -600,7 +602,9 @@ mod tests {
         assert_eq!(ast.specs.len(), 1);
         let s = &ast.specs[0];
         assert_eq!(s.name, "Write");
-        assert_eq!(s.objects, vec!["o"]);
+        assert_eq!(s.objects.len(), 1);
+        assert_eq!(s.objects[0].0, "o");
+        assert_eq!((s.objects[0].1.line, s.objects[0].1.col), (3, 26));
         assert_eq!(s.alphabet.len(), 2);
         match &s.traces {
             TracesAst::Prs(ReAst::Star(inner)) => match &**inner {

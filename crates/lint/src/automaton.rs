@@ -1,0 +1,94 @@
+//! Small reachability helpers over [`ConcreteDfa`].
+//!
+//! All surface trace sets are prefix closed (Def. 1), so a word is
+//! accepted iff every state on its path is accepting: reachability
+//! *through accepting states* is exactly reachability along accepted
+//! prefixes, and a symbol is "live" iff some accepted word uses it.
+
+use pospec_regex::ConcreteDfa;
+
+/// Per-symbol liveness: `live[sym]` iff some accepted word contains
+/// the symbol (i.e. an accepting→accepting transition on it is
+/// reachable from the start through accepting states).
+pub(crate) fn live_symbols(dfa: &ConcreteDfa) -> Vec<bool> {
+    let nsym = dfa.alphabet().len();
+    let mut live = vec![false; nsym];
+    for s in accepting_reachable(dfa) {
+        for (sym, flag) in live.iter_mut().enumerate() {
+            if let Some(t) = dfa.successor(s, sym) {
+                if dfa.is_accepting(t) {
+                    *flag = true;
+                }
+            }
+        }
+    }
+    live
+}
+
+/// A shortest accepted word leading to a *quiescent* state — a
+/// reachable accepting state with no accepting successor, i.e. a point
+/// where the system can never again communicate (Ex. 4/5).  `None`
+/// when every reachable accepting state can continue.
+pub(crate) fn quiescent_witness(dfa: &ConcreteDfa) -> Option<Vec<usize>> {
+    let start = dfa.start_state();
+    if !dfa.is_accepting(start) {
+        return None;
+    }
+    let nsym = dfa.alphabet().len();
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; dfa.state_count()];
+    let mut seen = vec![false; dfa.state_count()];
+    let mut queue = std::collections::VecDeque::from([start]);
+    seen[start] = true;
+    while let Some(s) = queue.pop_front() {
+        let mut can_continue = false;
+        for sym in 0..nsym {
+            if let Some(t) = dfa.successor(s, sym) {
+                if dfa.is_accepting(t) {
+                    can_continue = true;
+                    if !seen[t] {
+                        seen[t] = true;
+                        parent[t] = Some((s, sym));
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        if !can_continue {
+            let mut word = Vec::new();
+            let mut at = s;
+            while let Some((prev, sym)) = parent[at] {
+                word.push(sym);
+                at = prev;
+            }
+            word.reverse();
+            return Some(word);
+        }
+    }
+    None
+}
+
+/// The accepting states reachable from the start through accepting
+/// states (empty when the start itself rejects, i.e. empty language).
+fn accepting_reachable(dfa: &ConcreteDfa) -> Vec<usize> {
+    let start = dfa.start_state();
+    if !dfa.is_accepting(start) {
+        return Vec::new();
+    }
+    let nsym = dfa.alphabet().len();
+    let mut seen = vec![false; dfa.state_count()];
+    let mut stack = vec![start];
+    let mut out = Vec::new();
+    seen[start] = true;
+    while let Some(s) = stack.pop() {
+        out.push(s);
+        for sym in 0..nsym {
+            if let Some(t) = dfa.successor(s, sym) {
+                if dfa.is_accepting(t) && !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,111 @@
+//! Shared analysis state: per-spec elaboration with error recovery.
+//!
+//! Unlike `pospec_lang::elaborate`, which aborts at the first error,
+//! the linter elaborates every `spec` block *independently* against the
+//! one shared universe, so a broken spec does not hide findings in its
+//! neighbours.  Elaboration failures of specs the names pass judged
+//! clean are exactly Def.-1 violations and surface as `P009`.
+
+use crate::diag::{Code, DiagSink, Diagnostic};
+use pospec_alphabet::{ArgSpec, EventPattern, EventSet, ObjSpec, Universe};
+use pospec_core::{DfaCache, Specification};
+use pospec_lang::elab::elaborate_spec;
+use pospec_lang::parser::{ArgAst, Ast, TemplateAst};
+use pospec_regex::ConcreteDfa;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One `spec` block's analysis state.
+pub(crate) struct SpecInfo {
+    /// Index into `ast.specs`.
+    pub decl: usize,
+    /// The elaborated specification, when elaboration succeeded.
+    pub spec: Option<Specification>,
+    /// The event set of each alphabet template, in declaration order
+    /// (`None` when the template did not resolve).
+    pub template_sets: Vec<Option<EventSet>>,
+}
+
+/// Everything the semantic passes share.
+pub(crate) struct Ctx<'a> {
+    pub ast: &'a Ast,
+    pub universe: Arc<Universe>,
+    pub specs: Vec<SpecInfo>,
+    /// Specifications the development statements can reference: every
+    /// elaborated spec (first declaration wins) plus successfully
+    /// composed `compose` results, inserted by the composition pass.
+    pub dev: BTreeMap<String, Specification>,
+    pub depth: usize,
+    pub cache: &'a DfaCache,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn build(
+        ast: &'a Ast,
+        universe: Arc<Universe>,
+        dirty: &[bool],
+        depth: usize,
+        cache: &'a DfaCache,
+        sink: &mut DiagSink,
+    ) -> Ctx<'a> {
+        let mut specs = Vec::new();
+        let mut dev = BTreeMap::new();
+        for (i, sd) in ast.specs.iter().enumerate() {
+            let spec = if dirty[i] {
+                None
+            } else {
+                match elaborate_spec(&universe, sd) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        sink.push(Diagnostic::new(Code::P009, e.message).at(e.span));
+                        None
+                    }
+                }
+            };
+            if let Some(s) = &spec {
+                dev.entry(sd.name.clone()).or_insert_with(|| s.clone());
+            }
+            let template_sets = sd.alphabet.iter().map(|t| pattern_set(&universe, t)).collect();
+            specs.push(SpecInfo { decl: i, spec, template_sets });
+        }
+        Ctx { ast, universe, specs, dev, depth, cache }
+    }
+
+    /// The cached automaton of `spec`'s trace set over its own
+    /// alphabet, or `None` when the set has no exact automaton view.
+    pub fn dfa(&self, spec: &Specification) -> Option<Arc<ConcreteDfa>> {
+        if !spec.trace_set().is_regular() {
+            return None;
+        }
+        Some(self.cache.traceset_dfa(&self.universe, spec.trace_set(), spec.alphabet(), self.depth))
+    }
+}
+
+/// The event set one alphabet template denotes (the linter's own
+/// resolution, tolerant of unknown names: those return `None` and were
+/// already reported by the names pass).
+fn pattern_set(u: &Arc<Universe>, t: &TemplateAst) -> Option<EventSet> {
+    let endpoint = |name: &str| {
+        if let Some(o) = u.object_by_name(name) {
+            Some(ObjSpec::Id(o))
+        } else {
+            u.class_by_name(name).map(ObjSpec::Class)
+        }
+    };
+    let caller = endpoint(&t.caller)?;
+    let callee = endpoint(&t.callee)?;
+    let method = u.method_by_name(&t.method)?;
+    let arg = match &t.arg {
+        ArgAst::Absent | ArgAst::Wild => ArgSpec::Auto,
+        ArgAst::Name(n) => {
+            if let Some(d) = u.data_by_name(n) {
+                ArgSpec::Value(d)
+            } else if u.class_by_name(n).is_some() {
+                ArgSpec::Auto
+            } else {
+                return None;
+            }
+        }
+    };
+    Some(EventPattern { caller, callee, method: Some(method), arg }.to_set(u))
+}

@@ -1,0 +1,509 @@
+//! Diagnostic codes, severities, configuration, the shared sink, and
+//! the human/JSON renderers.
+
+use pospec_json::{ObjBuilder, Value};
+use pospec_lang::Span;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A stable diagnostic code: `P0xx` are errors, `P1xx` warnings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum Code {
+    /// Lexical or syntactic error.
+    P001,
+    /// Universe elaboration error (ill-formed `universe { … }` block).
+    P002,
+    /// Duplicate specification, component or composition name.
+    P003,
+    /// Unknown object (or variable where none is allowed).
+    P004,
+    /// Unknown method.
+    P005,
+    /// Unknown data value or class.
+    P006,
+    /// Unknown specification or component reference.
+    P007,
+    /// Self-communication event the trace semantics can never emit.
+    P008,
+    /// Def. 1 violation: the spec does not elaborate to a partial
+    /// object specification (e.g. an alphabet internal to its objects).
+    P009,
+    /// `compose` operands are not composable (Def. 10).
+    P020,
+    /// `refine` statically fails Def. 2 conditions 1–2.
+    P021,
+    /// Alphabet pattern shadowed by the preceding patterns.
+    P101,
+    /// Universe declaration matched by no specification.
+    P102,
+    /// Alphabet-expanding refinement whose new events are unreachable.
+    P103,
+    /// Finite alphabet pattern contributing no accepting trace.
+    P104,
+    /// Deadlock-prone composition (Ex. 4/5).
+    P105,
+    /// Vacuously-holding refinement obligation.
+    P106,
+    /// Specification admitting only the empty trace.
+    P107,
+    /// Free variable in a trace template (likely a typo).
+    P108,
+    /// Improper refinement in the context of a composition (Def. 14).
+    P120,
+}
+
+/// Every code, in ascending order.
+pub const ALL_CODES: &[Code] = &[
+    Code::P001,
+    Code::P002,
+    Code::P003,
+    Code::P004,
+    Code::P005,
+    Code::P006,
+    Code::P007,
+    Code::P008,
+    Code::P009,
+    Code::P020,
+    Code::P021,
+    Code::P101,
+    Code::P102,
+    Code::P103,
+    Code::P104,
+    Code::P105,
+    Code::P106,
+    Code::P107,
+    Code::P108,
+    Code::P120,
+];
+
+impl Code {
+    /// The stable textual form, e.g. `"P101"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::P001 => "P001",
+            Code::P002 => "P002",
+            Code::P003 => "P003",
+            Code::P004 => "P004",
+            Code::P005 => "P005",
+            Code::P006 => "P006",
+            Code::P007 => "P007",
+            Code::P008 => "P008",
+            Code::P009 => "P009",
+            Code::P020 => "P020",
+            Code::P021 => "P021",
+            Code::P101 => "P101",
+            Code::P102 => "P102",
+            Code::P103 => "P103",
+            Code::P104 => "P104",
+            Code::P105 => "P105",
+            Code::P106 => "P106",
+            Code::P107 => "P107",
+            Code::P108 => "P108",
+            Code::P120 => "P120",
+        }
+    }
+
+    /// The severity a code carries unless reconfigured.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Code::P001
+            | Code::P002
+            | Code::P003
+            | Code::P004
+            | Code::P005
+            | Code::P006
+            | Code::P007
+            | Code::P008
+            | Code::P009
+            | Code::P020
+            | Code::P021 => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Code {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Code, String> {
+        ALL_CODES
+            .iter()
+            .copied()
+            .find(|c| c.as_str() == s)
+            .ok_or_else(|| format!("unknown lint code `{s}`"))
+    }
+}
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; exit code stays 0 unless warnings are denied.
+    Warning,
+    /// The document is broken; `pospec lint` exits 1.
+    Error,
+}
+
+impl Severity {
+    /// `"error"` / `"warning"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Per-code reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Drop the diagnostic entirely.
+    Allow,
+    /// Report as a warning.
+    Warn,
+    /// Report as an error.
+    Deny,
+}
+
+/// Lint configuration: finitization depth plus per-code allow/warn/deny
+/// overrides and a blanket `--deny warnings`.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Predicate/finitization depth used when building automata for the
+    /// reachability and vacuity passes.
+    pub depth: usize,
+    /// Promote every warning-level diagnostic to an error.  Explicit
+    /// per-code overrides are promoted too — `deny warnings` means what
+    /// it says.
+    pub deny_warnings: bool,
+    overrides: BTreeMap<Code, Level>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig { depth: 6, deny_warnings: false, overrides: BTreeMap::new() }
+    }
+}
+
+impl LintConfig {
+    /// The default configuration.
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Override one code's level.
+    pub fn set(&mut self, code: Code, level: Level) {
+        self.overrides.insert(code, level);
+    }
+
+    /// The severity a diagnostic of `code` is reported at, or `None`
+    /// when it is allowed (dropped).
+    pub fn effective(&self, code: Code) -> Option<Severity> {
+        let level = self.overrides.get(&code).copied().unwrap_or(match code.default_severity() {
+            Severity::Error => Level::Deny,
+            Severity::Warning => Level::Warn,
+        });
+        match level {
+            Level::Allow => None,
+            Level::Deny => Some(Severity::Error),
+            Level::Warn => {
+                Some(if self.deny_warnings { Severity::Error } else { Severity::Warning })
+            }
+        }
+    }
+}
+
+/// A secondary message attached to a diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Note {
+    /// Optional source position the note points at.
+    pub span: Option<Span>,
+    /// The note text.
+    pub message: String,
+}
+
+/// One reported problem: code, severity, primary message and span,
+/// plus any number of notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity after configuration is applied.
+    pub severity: Severity,
+    /// The primary message.
+    pub message: String,
+    /// The primary source position, when one exists.
+    pub span: Option<Span>,
+    /// Secondary notes.
+    pub notes: Vec<Note>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at its code's default severity (the sink applies
+    /// the configuration).
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach the primary span.
+    pub fn at(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach a span-less note.
+    pub fn note(mut self, message: impl Into<String>) -> Diagnostic {
+        self.notes.push(Note { span: None, message: message.into() });
+        self
+    }
+
+    /// Attach a note pointing at a source position.
+    pub fn note_at(mut self, span: Span, message: impl Into<String>) -> Diagnostic {
+        self.notes.push(Note { span: Some(span), message: message.into() });
+        self
+    }
+}
+
+/// The sink every pass reports into.  Applies the [`LintConfig`] at
+/// push time: allowed codes are dropped, severities are rewritten.
+#[derive(Debug)]
+pub struct DiagSink {
+    config: LintConfig,
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagSink {
+    /// A sink applying `config`.
+    pub fn new(config: LintConfig) -> DiagSink {
+        DiagSink { config, diags: Vec::new() }
+    }
+
+    /// Report one diagnostic (dropped when its code is allowed).
+    pub fn push(&mut self, mut d: Diagnostic) {
+        match self.config.effective(d.code) {
+            None => {}
+            Some(sev) => {
+                d.severity = sev;
+                self.diags.push(d);
+            }
+        }
+    }
+
+    /// Sort by source position and wrap up into a report for `file`.
+    pub fn finish(mut self, file: &str) -> LintReport {
+        self.diags.sort_by_key(|d| {
+            (
+                d.span.map(|s| (s.offset, s.line, s.col)).unwrap_or((u32::MAX, u32::MAX, u32::MAX)),
+                d.code,
+            )
+        });
+        LintReport { file: file.to_string(), diagnostics: self.diags }
+    }
+}
+
+/// Everything the linter found in one document.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// The file (or pseudo-name) that was linted.
+    pub file: String,
+    /// Diagnostics in source order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Any errors?
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// Nothing at all?
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render every diagnostic in the rustc-like human format, with
+    /// caret underlines cut from `src`.
+    pub fn render_human(&self, src: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{}[{}]: {}\n", d.severity.as_str(), d.code, d.message));
+            if let Some(span) = d.span {
+                out.push_str(&format!("  --> {}:{}:{}\n", self.file, span.line, span.col));
+                if let Some((text, pad, width)) = span.underline(src) {
+                    let gutter = span.line.to_string();
+                    out.push_str(&format!(" {gutter} | {text}\n"));
+                    out.push_str(&format!(
+                        " {} | {}{}\n",
+                        " ".repeat(gutter.len()),
+                        " ".repeat(pad),
+                        "^".repeat(width)
+                    ));
+                }
+            } else {
+                out.push_str(&format!("  --> {}\n", self.file));
+            }
+            for n in &d.notes {
+                match n.span {
+                    Some(s) => out.push_str(&format!(
+                        "  = note: {} (at {}:{}:{})\n",
+                        n.message, self.file, s.line, s.col
+                    )),
+                    None => out.push_str(&format!("  = note: {}\n", n.message)),
+                }
+            }
+        }
+        out
+    }
+
+    /// The structured form shared verbatim by `pospec lint --json` and
+    /// the serve `lint` request.
+    pub fn to_json(&self) -> Value {
+        let span_json = |s: Span| {
+            ObjBuilder::new()
+                .field("line", s.line as u64)
+                .field("col", s.col as u64)
+                .field("offset", s.offset as u64)
+                .field("len", s.len as u64)
+                .build()
+        };
+        let diags: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let notes: Vec<Value> = d
+                    .notes
+                    .iter()
+                    .map(|n| {
+                        ObjBuilder::new()
+                            .field("message", n.message.as_str())
+                            .field("span", n.span.map(span_json).unwrap_or(Value::Null))
+                            .build()
+                    })
+                    .collect();
+                ObjBuilder::new()
+                    .field("code", d.code.as_str())
+                    .field("severity", d.severity.as_str())
+                    .field("message", d.message.as_str())
+                    .field("span", d.span.map(span_json).unwrap_or(Value::Null))
+                    .field("notes", Value::Arr(notes))
+                    .build()
+            })
+            .collect();
+        ObjBuilder::new()
+            .field("file", self.file.as_str())
+            .field("clean", self.is_clean())
+            .field("errors", self.errors() as u64)
+            .field("warnings", self.warnings() as u64)
+            .field("diagnostics", Value::Arr(diags))
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_split_by_severity() {
+        for &c in ALL_CODES {
+            assert_eq!(c.as_str().parse::<Code>().unwrap(), c);
+            let is_error = c.as_str().starts_with("P0");
+            assert_eq!(c.default_severity() == Severity::Error, is_error, "{c}");
+        }
+        assert!("P999".parse::<Code>().is_err());
+        assert!("p101".parse::<Code>().is_err());
+    }
+
+    #[test]
+    fn config_allow_warn_deny_and_deny_warnings() {
+        let mut cfg = LintConfig::new();
+        assert_eq!(cfg.effective(Code::P101), Some(Severity::Warning));
+        assert_eq!(cfg.effective(Code::P001), Some(Severity::Error));
+        cfg.set(Code::P101, Level::Allow);
+        cfg.set(Code::P102, Level::Deny);
+        cfg.set(Code::P001, Level::Warn);
+        assert_eq!(cfg.effective(Code::P101), None);
+        assert_eq!(cfg.effective(Code::P102), Some(Severity::Error));
+        assert_eq!(cfg.effective(Code::P001), Some(Severity::Warning));
+        cfg.deny_warnings = true;
+        assert_eq!(cfg.effective(Code::P001), Some(Severity::Error));
+        assert_eq!(cfg.effective(Code::P103), Some(Severity::Error));
+        assert_eq!(cfg.effective(Code::P101), None, "allow survives deny_warnings");
+    }
+
+    #[test]
+    fn sink_applies_config_and_sorts_by_position() {
+        let mut cfg = LintConfig::new();
+        cfg.set(Code::P104, Level::Allow);
+        let mut sink = DiagSink::new(cfg);
+        let late = Span { line: 3, col: 1, offset: 40, len: 2 };
+        let early = Span { line: 1, col: 5, offset: 4, len: 3 };
+        sink.push(Diagnostic::new(Code::P101, "later").at(late));
+        sink.push(Diagnostic::new(Code::P104, "dropped").at(early));
+        sink.push(Diagnostic::new(Code::P004, "earlier").at(early).note("why"));
+        sink.push(Diagnostic::new(Code::P102, "file-level"));
+        let report = sink.finish("x.pos");
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, vec!["P004", "P101", "P102"]);
+        assert_eq!((report.errors(), report.warnings()), (1, 2));
+        assert!(report.has_errors() && !report.is_clean());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut sink = DiagSink::new(LintConfig::new());
+        sink.push(
+            Diagnostic::new(Code::P101, "shadowed")
+                .at(Span { line: 2, col: 3, offset: 10, len: 5 })
+                .note("covered earlier"),
+        );
+        let j = sink.finish("a.pos").to_json();
+        assert_eq!(j.get("file").and_then(|v| v.as_str()), Some("a.pos"));
+        assert_eq!(j.get("clean").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(j.get("warnings").and_then(|v| v.as_u64()), Some(1));
+        let d = &j.get("diagnostics").and_then(|v| v.as_arr()).unwrap()[0];
+        assert_eq!(d.get("code").and_then(|v| v.as_str()), Some("P101"));
+        assert_eq!(d.get("severity").and_then(|v| v.as_str()), Some("warning"));
+        let span = d.get("span").unwrap();
+        assert_eq!(span.get("offset").and_then(|v| v.as_u64()), Some(10));
+    }
+
+    #[test]
+    fn human_rendering_underlines_the_snippet() {
+        let src = "spec S {\n  bad here\n}\n";
+        let mut sink = DiagSink::new(LintConfig::new());
+        sink.push(Diagnostic::new(Code::P004, "unknown object `here`").at(Span {
+            line: 2,
+            col: 7,
+            offset: 15,
+            len: 4,
+        }));
+        let out = sink.finish("t.pos").render_human(src);
+        assert!(out.contains("error[P004]: unknown object `here`"), "{out}");
+        assert!(out.contains("  --> t.pos:2:7"), "{out}");
+        assert!(out.contains(" 2 |   bad here"), "{out}");
+        assert!(out.contains("^^^^"), "{out}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Pass 1 — name and identity resolution.
+//!
+//! Reports *every* unknown name with its own span (the elaborator stops
+//! at the first), duplicate spec/component/composition names (which the
+//! elaborator accepts for specs), and self-communication events: the
+//! trace semantics treats an object calling itself as internal activity
+//! (paper §2), so a template whose caller and callee resolve to the
+//! same named object denotes no observable event at all.
+
+use crate::diag::{Code, DiagSink, Diagnostic};
+use pospec_alphabet::Universe;
+use pospec_lang::parser::{ArgAst, Ast, DevStmt, ReAst, TemplateAst};
+use std::collections::BTreeSet;
+
+/// Which specs had name errors (their later elaboration failures are
+/// already explained and must not be re-reported as P009).
+pub(crate) fn run(ast: &Ast, u: &Universe, sink: &mut DiagSink) -> Vec<bool> {
+    let mut dirty = vec![false; ast.specs.len()];
+
+    // Duplicate specification names (the elaborator does not reject
+    // these; every later by-name reference silently means the first).
+    let mut seen: std::collections::BTreeMap<&str, usize> = Default::default();
+    for (i, sd) in ast.specs.iter().enumerate() {
+        if let Some(&first) = seen.get(sd.name.as_str()) {
+            sink.push(
+                Diagnostic::new(Code::P003, format!("duplicate specification name `{}`", sd.name))
+                    .at(sd.span)
+                    .note_at(ast.specs[first].span, "first declared here"),
+            );
+        } else {
+            seen.insert(&sd.name, i);
+        }
+    }
+
+    for (i, sd) in ast.specs.iter().enumerate() {
+        for (name, nspan) in &sd.objects {
+            if u.object_by_name(name).is_none() {
+                dirty[i] = true;
+                sink.push(
+                    Diagnostic::new(Code::P004, format!("unknown object `{name}`")).at(*nspan),
+                );
+            }
+        }
+        for t in &sd.alphabet {
+            dirty[i] |= check_template(u, t, sink, None);
+        }
+        if let pospec_lang::parser::TracesAst::Prs(re) = &sd.traces {
+            let mut scope = Vec::new();
+            dirty[i] |= check_regex(u, re, sink, &mut scope);
+        }
+    }
+
+    let spec_names: BTreeSet<&str> = ast.specs.iter().map(|s| s.name.as_str()).collect();
+    let mut component_names: BTreeSet<&str> = BTreeSet::new();
+    for cd in &ast.components {
+        if spec_names.contains(cd.name.as_str()) || !component_names.insert(&cd.name) {
+            sink.push(
+                Diagnostic::new(Code::P003, format!("duplicate name `{}`", cd.name)).at(cd.span),
+            );
+        }
+        for (obj, behav) in &cd.members {
+            if u.object_by_name(obj).is_none() {
+                sink.push(
+                    Diagnostic::new(
+                        Code::P004,
+                        format!("unknown object `{obj}` in component `{}`", cd.name),
+                    )
+                    .at(cd.span),
+                );
+            }
+            if !spec_names.contains(behav.as_str()) {
+                sink.push(
+                    Diagnostic::new(
+                        Code::P007,
+                        format!("unknown specification `{behav}` in component `{}`", cd.name),
+                    )
+                    .at(cd.span),
+                );
+            }
+        }
+    }
+
+    // Development statements; `compose` introduces names usable later.
+    let mut known: BTreeSet<String> = ast.specs.iter().map(|s| s.name.clone()).collect();
+    for stmt in &ast.development {
+        match stmt {
+            DevStmt::Refine { concrete, abstract_, span } => {
+                for n in [concrete, abstract_] {
+                    if !known.contains(n) {
+                        sink.push(
+                            Diagnostic::new(Code::P007, format!("unknown specification `{n}`"))
+                                .at(*span),
+                        );
+                    }
+                }
+            }
+            DevStmt::Compose { name, left, right, span } => {
+                for n in [left, right] {
+                    if !known.contains(n) {
+                        sink.push(
+                            Diagnostic::new(Code::P007, format!("unknown specification `{n}`"))
+                                .at(*span),
+                        );
+                    }
+                }
+                if component_names.contains(name.as_str()) || !known.insert(name.clone()) {
+                    sink.push(
+                        Diagnostic::new(Code::P003, format!("duplicate name `{name}`")).at(*span),
+                    );
+                }
+            }
+            DevStmt::Sound { spec, component, span } => {
+                if !known.contains(spec) {
+                    sink.push(
+                        Diagnostic::new(Code::P007, format!("unknown specification `{spec}`"))
+                            .at(*span),
+                    );
+                }
+                if !component_names.contains(component.as_str()) {
+                    sink.push(
+                        Diagnostic::new(Code::P007, format!("unknown component `{component}`"))
+                            .at(*span),
+                    );
+                }
+            }
+        }
+    }
+
+    dirty
+}
+
+/// Check one template; `scope` is `Some(bound vars)` in trace position
+/// (where free variables are legal-but-suspect) and `None` in alphabet
+/// position (where variables are not allowed at all).  Returns whether
+/// an error was reported.
+fn check_template(
+    u: &Universe,
+    t: &TemplateAst,
+    sink: &mut DiagSink,
+    scope: Option<&[String]>,
+) -> bool {
+    let mut bad = false;
+    let mut endpoint = |name: &str, bad: &mut bool| {
+        if u.object_by_name(name).is_some() || u.class_by_name(name).is_some() {
+            return;
+        }
+        match scope {
+            None => {
+                *bad = true;
+                sink.push(
+                    Diagnostic::new(
+                        Code::P004,
+                        format!("unknown object or class `{name}` (variables are not allowed in an alphabet)"),
+                    )
+                    .at(t.span),
+                );
+            }
+            Some(bound) if !bound.iter().any(|v| v == name) => {
+                sink.push(
+                    Diagnostic::new(
+                        Code::P108,
+                        format!("`{name}` is a free variable here (no enclosing `[ … . {name} in C ]` binds it); it matches any object — if that is intended, bind it explicitly"),
+                    )
+                    .at(t.span),
+                );
+            }
+            Some(_) => {}
+        }
+    };
+    endpoint(&t.caller, &mut bad);
+    endpoint(&t.callee, &mut bad);
+    if let (Some(a), Some(b)) = (u.object_by_name(&t.caller), u.object_by_name(&t.callee)) {
+        if a == b {
+            sink.push(
+                Diagnostic::new(
+                    Code::P008,
+                    format!(
+                        "self-communication `<{0}, {0}, {1}>` denotes no observable event: an object calling itself is internal activity (paper §2)",
+                        t.caller, t.method
+                    ),
+                )
+                .at(t.span),
+            );
+        }
+    }
+    if u.method_by_name(&t.method).is_none() {
+        bad = true;
+        sink.push(Diagnostic::new(Code::P005, format!("unknown method `{}`", t.method)).at(t.span));
+    }
+    if let ArgAst::Name(n) = &t.arg {
+        if u.data_by_name(n).is_none() && u.class_by_name(n).is_none() {
+            bad = true;
+            sink.push(
+                Diagnostic::new(Code::P006, format!("unknown data value or class `{n}`"))
+                    .at(t.span),
+            );
+        }
+    }
+    bad
+}
+
+fn check_regex(u: &Universe, re: &ReAst, sink: &mut DiagSink, scope: &mut Vec<String>) -> bool {
+    match re {
+        ReAst::Eps => false,
+        ReAst::Lit(t) => check_template(u, t, sink, Some(scope)),
+        ReAst::Seq(parts) | ReAst::Alt(parts) => {
+            let mut bad = false;
+            for p in parts {
+                bad |= check_regex(u, p, sink, scope);
+            }
+            bad
+        }
+        ReAst::Star(r) | ReAst::Plus(r) | ReAst::Opt(r) | ReAst::Group(r) => {
+            check_regex(u, r, sink, scope)
+        }
+        ReAst::Bind { body, var, class, span } => {
+            let mut bad = false;
+            if u.class_by_name(class).is_none() {
+                bad = true;
+                sink.push(
+                    Diagnostic::new(Code::P006, format!("unknown class `{class}`")).at(*span),
+                );
+            }
+            scope.push(var.clone());
+            bad |= check_regex(u, body, sink, scope);
+            scope.pop();
+            bad
+        }
+    }
+}

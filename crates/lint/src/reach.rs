@@ -1,0 +1,118 @@
+//! Pass 4 — automaton reachability.
+//!
+//! * `P107` — a specification whose trace set is `{ε}`: legal (Def. 1
+//!   only requires nonemptiness and prefix closure) but it permits no
+//!   communication at all;
+//! * `P104` — a finite alphabet pattern none of whose events occurs in
+//!   any accepted trace: the pattern enlarges the alphabet (and thereby
+//!   the refinement obligation, Def. 2 condition 3) without ever being
+//!   exercised;
+//! * `P105` — a declared composition that can reach a quiescent state:
+//!   an accepted trace after which no event can ever be appended.  For
+//!   a single spec that is often intentional (finite protocols end),
+//!   but for a composition it is the paper's deadlock shape (Ex. 4/5):
+//!   both sides are individually willing, yet the conjunction stalls.
+
+use crate::automaton::{live_symbols, quiescent_witness};
+use crate::context::Ctx;
+use crate::diag::{Code, DiagSink, Diagnostic};
+use pospec_lang::parser::DevStmt;
+
+pub(crate) fn run(ctx: &Ctx<'_>, sink: &mut DiagSink) {
+    epsilon_and_dead_patterns(ctx, sink);
+    deadlocked_compositions(ctx, sink);
+}
+
+fn epsilon_and_dead_patterns(ctx: &Ctx<'_>, sink: &mut DiagSink) {
+    for info in &ctx.specs {
+        let sd = &ctx.ast.specs[info.decl];
+        let Some(spec) = &info.spec else { continue };
+        let Some(dfa) = ctx.dfa(spec) else { continue };
+        if dfa.accepts_only_epsilon() {
+            sink.push(
+                Diagnostic::new(
+                    Code::P107,
+                    format!(
+                        "`{}` accepts only the empty trace: it satisfies Def. 1 but permits no communication",
+                        sd.name
+                    ),
+                )
+                .at(sd.span),
+            );
+            // Every pattern is trivially dead in an ε-only spec; the
+            // one P107 explains it better than a P104 per pattern.
+            continue;
+        }
+        let live = live_symbols(&dfa);
+        let sigma = dfa.alphabet();
+        for (i, set) in info.template_sets.iter().enumerate() {
+            let Some(s) = set else { continue };
+            // Only finite patterns: an open-environment comprehension
+            // (class caller, wildcard argument over an infinite class)
+            // legitimately over-approximates what traces exercise.
+            if s.is_empty() || s.is_infinite() {
+                continue;
+            }
+            let exercised = sigma.iter().enumerate().any(|(sym, e)| live[sym] && s.contains(e));
+            if !exercised {
+                sink.push(
+                    Diagnostic::new(
+                        Code::P104,
+                        format!(
+                            "pattern {} of `{}`'s alphabet contributes no event to any accepted trace",
+                            i + 1,
+                            sd.name
+                        ),
+                    )
+                    .at(sd.alphabet[i].span)
+                    .note(
+                        "dead alphabet widens every refinement obligation over this spec (Def. 2, condition 3) without constraining behaviour",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn deadlocked_compositions(ctx: &Ctx<'_>, sink: &mut DiagSink) {
+    let u = &ctx.universe;
+    for stmt in &ctx.ast.development {
+        let DevStmt::Compose { name, left, right, span } = stmt else { continue };
+        let Some(spec) = ctx.dev.get(name) else { continue };
+        let Some(dfa) = ctx.dfa(spec) else { continue };
+        if dfa.accepts_only_epsilon() {
+            sink.push(
+                Diagnostic::new(
+                    Code::P105,
+                    format!(
+                        "composition `{name}` deadlocks immediately: `{left}` and `{right}` agree on no non-empty trace (Ex. 5)"
+                    ),
+                )
+                .at(*span),
+            );
+            continue;
+        }
+        if let Some(word) = quiescent_witness(&dfa) {
+            let sigma = dfa.alphabet();
+            let trace = word
+                .iter()
+                .map(|&sym| pospec_alphabet::display_event(u, &sigma[sym]).to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            sink.push(
+                Diagnostic::new(
+                    Code::P105,
+                    format!(
+                        "composition `{name}` is deadlock-prone: after an accepted trace no further event is possible (Ex. 4)"
+                    ),
+                )
+                .at(*span)
+                .note(if trace.is_empty() {
+                    "shortest stalling trace: ε".to_string()
+                } else {
+                    format!("shortest stalling trace: {trace}")
+                }),
+            );
+        }
+    }
+}

@@ -69,6 +69,18 @@ pub enum Request {
         /// Predicate-trie depth.
         depth: usize,
     },
+    /// Run the static analyzer (`pospec-lint`) over a registered
+    /// document's stored source or over inline source text.
+    Lint {
+        /// Registered document name (exactly one of `doc`/`source`).
+        doc: Option<String>,
+        /// Inline `.pos` source text (exactly one of `doc`/`source`).
+        source: Option<String>,
+        /// Predicate-trie depth for the automaton passes.
+        depth: usize,
+        /// Promote warnings to errors in the report.
+        deny_warnings: bool,
+    },
     /// Liveness/diagnostic no-op; `delay_ms` parks a worker, which the
     /// tests use to saturate the bounded queue deterministically.
     Ping {
@@ -92,6 +104,7 @@ impl Request {
             Request::Check { .. } => "check",
             Request::Compose { .. } => "compose",
             Request::BatchCheck { .. } => "batch_check",
+            Request::Lint { .. } => "lint",
             Request::Ping { .. } => "ping",
             Request::Stats => "stats",
             Request::ClearCache => "clear_cache",
@@ -189,6 +202,19 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtoError> {
                 .collect::<Result<Vec<_>, _>>()?;
             Request::BatchCheck { doc: str_field(&v, "doc")?, pairs, depth: depth_field(&v)? }
         }
+        "lint" => {
+            let doc = v.get("doc").and_then(Value::as_str).map(str::to_string);
+            let source = v.get("source").and_then(Value::as_str).map(str::to_string);
+            if doc.is_some() == source.is_some() {
+                return Err(ProtoError::bad("lint needs exactly one of `doc` or `source`"));
+            }
+            Request::Lint {
+                doc,
+                source,
+                depth: depth_field(&v)?,
+                deny_warnings: v.get("deny_warnings").and_then(Value::as_bool).unwrap_or(false),
+            }
+        }
         "ping" => Request::Ping {
             delay_ms: v
                 .get("delay_ms")
@@ -279,6 +305,35 @@ mod tests {
             let err = parse_request(line).expect_err(line);
             assert_eq!(err.kind, "bad_request", "{line}");
             assert!(err.message.contains(needle), "{line}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn lint_request_accepts_doc_or_source_but_not_both() {
+        let e = parse_request(r#"{"op":"lint","doc":"rw","deny_warnings":true}"#).expect("doc");
+        assert_eq!(
+            e.req,
+            Request::Lint {
+                doc: Some("rw".into()),
+                source: None,
+                depth: DEFAULT_DEPTH,
+                deny_warnings: true
+            }
+        );
+        assert_eq!(e.req.kind(), "lint");
+        let e = parse_request(r#"{"op":"lint","source":"universe { }","depth":3}"#).expect("src");
+        assert_eq!(
+            e.req,
+            Request::Lint {
+                doc: None,
+                source: Some("universe { }".into()),
+                depth: 3,
+                deny_warnings: false
+            }
+        );
+        for line in [r#"{"op":"lint"}"#, r#"{"op":"lint","doc":"rw","source":"x"}"#] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.message.contains("exactly one"), "{line}: {}", err.message);
         }
     }
 

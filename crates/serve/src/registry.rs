@@ -11,11 +11,16 @@
 //! Reloading a name replaces the document and bumps its version; the
 //! old `Arc` stays alive for requests already holding it, so in-flight
 //! checks never observe a half-swapped registry.
+//!
+//! A registry can be made *strict*: every load then also runs the
+//! static analyzer (`pospec-lint`) and refuses documents with
+//! error-severity diagnostics — a resident service should not hold
+//! specifications that are already known to be broken.
 
 use pospec_lang::{parse_document, Document};
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// One registered `.pos` document.
@@ -27,6 +32,9 @@ pub struct RegisteredDoc {
     pub version: u64,
     /// The elaborated document (universe + specifications).
     pub doc: Document,
+    /// The raw source text, kept so `lint` requests can analyse the
+    /// registered document with exact spans.
+    pub source: String,
 }
 
 impl RegisteredDoc {
@@ -41,6 +49,7 @@ impl RegisteredDoc {
 pub struct SpecRegistry {
     docs: RwLock<HashMap<String, Arc<RegisteredDoc>>>,
     loads: AtomicU64,
+    strict: AtomicBool,
 }
 
 impl SpecRegistry {
@@ -49,14 +58,45 @@ impl SpecRegistry {
         SpecRegistry::default()
     }
 
+    /// Make every subsequent load also pass the static analyzer:
+    /// documents with error-severity lint diagnostics are refused.
+    pub fn set_strict(&self, on: bool) {
+        self.strict.store(on, Ordering::Relaxed);
+    }
+
+    /// Is the lint gate on?
+    pub fn is_strict(&self) -> bool {
+        self.strict.load(Ordering::Relaxed)
+    }
+
     /// Elaborate `source` and register it under `name`, replacing (and
     /// version-bumping) any previous document of that name.  Returns the
     /// new entry on success and the elaboration error otherwise.
     pub fn load_source(&self, name: &str, source: &str) -> Result<Arc<RegisteredDoc>, String> {
         let doc = parse_document(source).map_err(|e| e.to_string())?;
+        if self.is_strict() {
+            let report = pospec_lint::lint_document(name, source, &Default::default());
+            if report.has_errors() {
+                let first = report
+                    .diagnostics
+                    .iter()
+                    .find(|d| d.severity == pospec_lint::Severity::Error)
+                    .map(|d| format!("{}: {}", d.code, d.message))
+                    .unwrap_or_default();
+                return Err(format!(
+                    "refused by strict lint gate ({} error(s); first: {first})",
+                    report.errors()
+                ));
+            }
+        }
         let mut docs = self.docs.write().unwrap_or_else(|e| e.into_inner());
         let version = docs.get(name).map(|d| d.version + 1).unwrap_or(1);
-        let entry = Arc::new(RegisteredDoc { name: name.to_string(), version, doc });
+        let entry = Arc::new(RegisteredDoc {
+            name: name.to_string(),
+            version,
+            doc,
+            source: source.to_string(),
+        });
         docs.insert(name.to_string(), Arc::clone(&entry));
         self.loads.fetch_add(1, Ordering::Relaxed);
         Ok(entry)
@@ -154,5 +194,31 @@ mod tests {
         r.load_source("tiny", TINY).expect("well-formed");
         assert!(r.load_source("tiny", "universe { garbage").is_err());
         assert_eq!(r.get("tiny").expect("still registered").version, 1);
+    }
+
+    #[test]
+    fn registered_docs_keep_their_source() {
+        let r = SpecRegistry::new();
+        r.load_source("tiny", TINY).expect("well-formed");
+        assert_eq!(r.get("tiny").expect("registered").source, TINY);
+    }
+
+    #[test]
+    fn strict_registry_refuses_lint_errors_but_not_warnings() {
+        // Two specs named `S`: the elaborator accepts this (later
+        // references silently mean the first), but it is a P003 lint
+        // error, so the strict gate refuses the load.
+        let broken = "universe { class C; object o; method A; witnesses C 1; }\n\
+                      spec S { objects { o } alphabet { <C, o, A>; } traces any; }\n\
+                      spec S { objects { o } alphabet { <C, o, A>; } traces any; }\n";
+        let r = SpecRegistry::new();
+        r.set_strict(true);
+        assert!(r.is_strict());
+        let err = r.load_source("broken", broken).expect_err("gated");
+        assert!(err.contains("strict lint gate"), "{err}");
+        assert!(err.contains("P003"), "{err}");
+        assert!(r.is_empty());
+        // Warning-severity findings do not gate.
+        r.load_source("tiny", TINY).expect("warnings pass the gate");
     }
 }

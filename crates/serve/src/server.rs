@@ -44,12 +44,21 @@ pub struct ServerConfig {
     pub queue: usize,
     /// Directory of `*.pos` files to preload into the registry.
     pub preload: Option<PathBuf>,
+    /// Refuse to register documents with lint errors (see
+    /// [`SpecRegistry::set_strict`]); also applies to the preload.
+    pub strict: bool,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(2);
-        ServerConfig { addr: "127.0.0.1:7077".into(), workers, queue: 64, preload: None }
+        ServerConfig {
+            addr: "127.0.0.1:7077".into(),
+            workers,
+            queue: 64,
+            preload: None,
+            strict: false,
+        }
     }
 }
 
@@ -94,6 +103,7 @@ impl Server {
             pool: WorkerPool::new(config.workers, config.queue),
             stopping: AtomicBool::new(false),
         });
+        shared.registry.set_strict(config.strict);
         if let Some(dir) = &config.preload {
             let loaded = shared.registry.preload_dir(dir)?;
             for d in &loaded {
@@ -360,6 +370,24 @@ fn execute(envelope: &Envelope, shared: &Arc<Shared>) -> Value {
                     ok_response(id, "compose", b.build())
                 }
             }
+        }
+        Request::Lint { doc, source, depth, deny_warnings } => {
+            let mut config = pospec_lint::LintConfig::default();
+            config.depth = *depth;
+            config.deny_warnings = *deny_warnings;
+            let (label, src) = match (doc, source) {
+                (Some(name), None) => match shared.registry.get(name) {
+                    Some(d) => (d.name.clone(), d.source.clone()),
+                    None => return NotFound::doc(name).into_response(id),
+                },
+                (None, Some(src)) => ("<inline>".to_string(), src.clone()),
+                // parse_request guarantees exactly one of the two.
+                _ => return error_response(id, "bad_request", "lint needs `doc` xor `source`"),
+            };
+            // Shares the server's automaton cache, so linting a
+            // registered document reuses DFAs built by `check`.
+            let report = pospec_lint::lint_document_cached(&label, &src, &config, &shared.cache);
+            ok_response(id, "lint", report.to_json())
         }
         Request::Ping { delay_ms } => {
             if *delay_ms > 0 {

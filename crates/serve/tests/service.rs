@@ -27,6 +27,7 @@ fn start(workers: usize, queue: usize, preload: bool) -> Fixture {
         workers,
         queue,
         preload: preload.then(specs_dir),
+        strict: false,
     };
     let server = Server::bind(&config).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -161,6 +162,89 @@ fn preload_registers_every_spec_file() {
     assert!(names.contains(&"readers_writers"), "preloaded docs: {names:?}");
     assert!(names.contains(&"auction"), "preloaded docs: {names:?}");
     fixture.stop();
+}
+
+#[test]
+fn lint_requests_match_the_library_report_json() {
+    let fixture = start(2, 8, true);
+    let mut client = fixture.client();
+
+    // Linting a registered document analyses its stored source.
+    let response = client.call(&op("lint").field("doc", "readers_writers").build()).expect("lint");
+    assert!(response_ok(&response), "lint failed: {response:?}");
+    assert_eq!(result(&response, "clean"), Some(&Value::Bool(true)));
+    assert_eq!(result(&response, "errors"), Some(&Value::Num(0.0)));
+
+    // Inline source: the response is byte-for-byte the library's
+    // report JSON (the CLI's --json `files[]` elements), so the two
+    // front-ends can never drift apart.
+    let flawed = "universe { class C; object c : C; object srv; method REQ; witnesses C 1; }\n\
+                  spec S { objects { srv } alphabet { <C, srv, REQ>; <c, srv, REQ>; } traces any; }\n";
+    let response = client.call(&op("lint").field("source", flawed).build()).expect("lint");
+    assert!(response_ok(&response));
+    let expected =
+        pospec_lint::lint_document("<inline>", flawed, &pospec_lint::LintConfig::default());
+    assert_eq!(response.get("result"), Some(&expected.to_json()), "serve/CLI JSON parity");
+    assert_eq!(result(&response, "clean"), Some(&Value::Bool(false)));
+    assert_eq!(result(&response, "warnings"), Some(&Value::Num(1.0)));
+    let diag = result(&response, "diagnostics")
+        .and_then(Value::as_arr)
+        .and_then(|a| a.first())
+        .expect("one diagnostic");
+    assert_eq!(diag.get("code").and_then(Value::as_str), Some("P101"));
+
+    // deny_warnings is honoured per-request.
+    let response = client
+        .call(&op("lint").field("source", flawed).field("deny_warnings", true).build())
+        .expect("lint");
+    assert_eq!(result(&response, "errors"), Some(&Value::Num(1.0)));
+
+    // Unknown documents are structured not_found errors.
+    let response = client.call(&op("lint").field("doc", "no_such_doc").build()).expect("lint");
+    assert_eq!(error_kind(&response), Some("not_found"));
+    fixture.stop();
+}
+
+#[test]
+fn strict_server_refuses_documents_with_lint_errors() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue: 4,
+        preload: None,
+        strict: true,
+    };
+    let server = Server::bind(&config).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.shutdown_handle();
+    let thread = thread::spawn(move || server.serve());
+    let mut client = Client::connect(&addr).expect("connect");
+    client.set_timeout(Some(Duration::from_secs(30))).expect("timeout");
+
+    // Duplicate spec names parse and elaborate, but lint as P003.
+    let broken = "universe { class C; object o; method A; witnesses C 1; }\n\
+                  spec S { objects { o } alphabet { <C, o, A>; } traces any; }\n\
+                  spec S { objects { o } alphabet { <C, o, A>; } traces any; }\n";
+    let response = client
+        .call(&op("load_spec").field("name", "broken").field("source", broken).build())
+        .expect("load_spec");
+    assert!(!response_ok(&response), "strict server must refuse: {response:?}");
+    let message = response
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Value::as_str)
+        .expect("message");
+    assert!(message.contains("P003"), "{message}");
+
+    // Clean documents still load.
+    let clean = std::fs::read_to_string(specs_dir().join("readers_writers.pos")).expect("spec");
+    let response = client
+        .call(&op("load_spec").field("name", "rw").field("source", clean).build())
+        .expect("load_spec");
+    assert!(response_ok(&response), "clean doc refused: {response:?}");
+
+    handle.shutdown();
+    thread.join().expect("serve thread").expect("serve result");
 }
 
 #[test]

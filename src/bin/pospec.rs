@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! pospec check <file.pos>                      validate every spec (Def. 1)
+//! pospec lint <path>… [--json] [--depth N] [--deny warnings|CODE]
+//!             [--warn CODE] [--allow CODE]     static analysis (codes P0xx/P1xx)
 //! pospec list <file.pos>                       list specs with alphabets
 //! pospec refine <file.pos> <concrete> <abstract> [--depth N]
 //! pospec compose <file.pos> <a> <b> [--deadlock] [--depth N]
@@ -29,7 +31,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pospec check <file.pos>\n  pospec list <file.pos>\n  \
+        "usage:\n  pospec check <file.pos>\n  \
+         pospec lint <file.pos|dir>... [--json] [--depth N] [--deny warnings|CODE] \
+[--warn CODE] [--allow CODE]\n  pospec list <file.pos>\n  \
          pospec refine <file.pos> <concrete> <abstract> [--depth N]\n  \
          pospec compose <file.pos> <a> <b> [--deadlock] [--depth N]\n  \
          pospec quiesce <file.pos> <spec> [--depth N]\n  \
@@ -38,10 +42,11 @@ fn usage() -> ExitCode {
 [--deadline-ms N] [--events N] [--json PATH|-]\n  \
          pospec verify <file.pos>\n  \
          pospec print <file.pos>\n  \
-         pospec serve [--addr HOST:PORT] [--workers N] [--queue N] [--preload DIR]\n  \
+         pospec serve [--addr HOST:PORT] [--workers N] [--queue N] [--preload DIR] [--strict]\n  \
          pospec call [--addr HOST:PORT] <op> [args...]   (ops: load_spec <name> <file>, \
 check <doc> <concrete> <abstract>, compose <doc> <a> <b> [--deadlock], \
-batch_check <doc> <c a>..., ping, stats, clear_cache, shutdown, or a raw JSON object)"
+batch_check <doc> <c a>..., lint <doc> [--deny-warnings], ping, stats, clear_cache, \
+shutdown, or a raw JSON object)"
     );
     ExitCode::from(2)
 }
@@ -93,6 +98,146 @@ fn parsed_flag<T: std::str::FromStr>(
 
 fn depth_arg(args: &[String]) -> Result<usize, ExitCode> {
     parsed_flag(args, "--depth", 6)
+}
+
+/// Every value of a repeatable `--name VALUE` flag, with the same
+/// strict-parsing convention as [`parsed_flag`].
+fn flag_values<'a>(args: &'a [String], name: &str) -> Result<Vec<&'a str>, ExitCode> {
+    let mut out = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if a == name {
+            match it.next() {
+                Some(v) => out.push(v.as_str()),
+                None => {
+                    eprintln!("error: `{name}` requires a value");
+                    return Err(ExitCode::from(2));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `pospec lint`: run the static analyzer over every given `.pos` file
+/// (directories are expanded non-recursively).  Exit 0 when no
+/// error-severity diagnostics, 1 when errors, 2 on usage/IO errors.
+fn lint_cmd(args: &[String]) -> ExitCode {
+    use pospec_lint::{Code, Level, LintConfig};
+
+    let mut config = LintConfig::default();
+    config.depth = match parsed_flag(args, "--depth", config.depth) {
+        Ok(d) => d,
+        Err(c) => return c,
+    };
+    for (flag, level) in
+        [("--deny", Level::Deny), ("--warn", Level::Warn), ("--allow", Level::Allow)]
+    {
+        let values = match flag_values(args, flag) {
+            Ok(v) => v,
+            Err(c) => return c,
+        };
+        for raw in values {
+            if raw == "warnings" && flag == "--deny" {
+                config.deny_warnings = true;
+                continue;
+            }
+            match raw.parse::<Code>() {
+                Ok(code) => config.set(code, level),
+                Err(_) => {
+                    eprintln!("error: invalid value `{raw}` for `{flag}`");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let value_flags = ["--depth", "--deny", "--warn", "--allow"];
+    let mut paths: Vec<String> = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+        } else if value_flags.contains(&a.as_str()) {
+            skip = true;
+        } else if !a.starts_with("--") {
+            paths.push(a.clone());
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+
+    // Expand directories to their (sorted) `.pos` files, non-recursively.
+    let mut files: Vec<String> = Vec::new();
+    for p in &paths {
+        let meta = match std::fs::metadata(p) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: cannot read `{p}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if meta.is_dir() {
+            let entries = match std::fs::read_dir(p) {
+                Ok(es) => es,
+                Err(e) => {
+                    eprintln!("error: cannot read `{p}`: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut found: Vec<String> = entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|q| q.is_file() && q.extension().is_some_and(|x| x == "pos"))
+                .map(|q| q.display().to_string())
+                .collect();
+            found.sort();
+            files.extend(found);
+        } else {
+            files.push(p.clone());
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: no `.pos` files found under {}", paths.join(", "));
+        return ExitCode::from(2);
+    }
+
+    let json_mode = args.iter().any(|a| a == "--json");
+    let mut reports = Vec::new();
+    let mut errors = 0;
+    let mut warnings = 0;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read `{file}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = pospec_lint::lint_document(file, &src, &config);
+        errors += report.errors();
+        warnings += report.warnings();
+        if !json_mode {
+            print!("{}", report.render_human(&src));
+        }
+        reports.push(report);
+    }
+    if json_mode {
+        let json = pospec_json::ObjBuilder::new()
+            .field("files", pospec_json::Value::Arr(reports.iter().map(|r| r.to_json()).collect()))
+            .field("errors", errors as u64)
+            .field("warnings", warnings as u64)
+            .build();
+        println!("{}", json.to_compact());
+    } else {
+        println!("{} file(s) linted: {} error(s), {} warning(s)", files.len(), errors, warnings);
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Run every spec in `doc` under a fault-injected, monitored simulation.
@@ -215,6 +360,7 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         workers,
         queue,
         preload: flag_value(args, "--preload").map(std::path::PathBuf::from),
+        strict: args.iter().any(|a| a == "--strict"),
     };
     let server = match Server::bind(&config) {
         Ok(s) => s,
@@ -279,6 +425,12 @@ fn call_request(words: &[&String], args: &[String]) -> Result<pospec_json::Value
             .field("doc", doc.as_str())
             .field("concrete", concrete.as_str())
             .field("abstract", abstract_.as_str())
+            .field_opt("depth", depth)
+            .build()),
+        [op, doc] if op.as_str() == "lint" => Ok(ObjBuilder::new()
+            .field("op", "lint")
+            .field("doc", doc.as_str())
+            .field("deny_warnings", args.iter().any(|a| a == "--deny-warnings"))
             .field_opt("depth", depth)
             .build()),
         [op, doc, left, right] if op.as_str() == "compose" => Ok(ObjBuilder::new()
@@ -360,6 +512,7 @@ fn call_cmd(args: &[String]) -> ExitCode {
             if negative("holds", false)
                 || negative("holds_all", false)
                 || negative("deadlocked", true)
+                || negative("clean", false)
             {
                 ExitCode::FAILURE
             } else {
@@ -540,6 +693,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        ("lint", extra) => lint_cmd(extra),
         ("serve", extra) => serve_cmd(extra),
         ("call", extra) => call_cmd(extra),
         ("simulate", [file, extra @ ..]) => {

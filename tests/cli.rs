@@ -195,6 +195,68 @@ fn simulate_rejects_malformed_fault_specs() {
 }
 
 #[test]
+fn lint_clean_specs_and_flawed_fixtures() {
+    // The four shipping specs are clean even under --deny warnings.
+    let strict = run(&["lint", &specs(""), "--deny", "warnings"]);
+    assert!(strict.status.success(), "{}", String::from_utf8_lossy(&strict.stderr));
+    assert!(stdout(&strict).contains("0 error(s), 0 warning(s)"), "{}", stdout(&strict));
+
+    // The flawed fixtures: shadowed.pos is warnings-only (exit 0), but
+    // --deny warnings promotes it to a failure (exit 1).
+    let fixture = specs("lint_fixtures/shadowed.pos");
+    let relaxed = run(&["lint", &fixture]);
+    assert!(relaxed.status.success(), "{}", stdout(&relaxed));
+    assert!(stdout(&relaxed).contains("warning[P101]"), "{}", stdout(&relaxed));
+    let denied = run(&["lint", &fixture, "--deny", "warnings"]);
+    assert_eq!(denied.status.code(), Some(1));
+    assert!(stdout(&denied).contains("error[P101]"), "{}", stdout(&denied));
+    // ...unless the code is individually allowed.
+    let allowed = run(&["lint", &fixture, "--deny", "warnings", "--allow", "P101"]);
+    assert!(allowed.status.success(), "{}", stdout(&allowed));
+
+    // non_composable.pos has a hard error whatever the config.
+    let out = run(&["lint", &specs("lint_fixtures/non_composable.pos")]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("error[P020]"), "{text}");
+    assert!(text.contains("Def. 10"), "{text}");
+
+    // --json emits one report per file plus totals, and carries spans.
+    let json = run(&["lint", &specs("lint_fixtures"), "--json"]);
+    assert_eq!(json.status.code(), Some(1), "directory contains an erroring fixture");
+    let text = stdout(&json);
+    assert!(text.contains("\"files\":["), "{text}");
+    assert!(text.contains("\"code\":\"P020\""), "{text}");
+    assert!(text.contains("\"code\":\"P101\""), "{text}");
+    assert!(text.contains("\"offset\":"), "{text}");
+}
+
+#[test]
+fn lint_flags_share_the_strict_parsing_convention() {
+    let file = specs("readers_writers.pos");
+    for args in [
+        vec!["lint", file.as_str(), "--depth", "abc"],
+        vec!["lint", file.as_str(), "--deny", "P9X9"],
+        vec!["lint", file.as_str(), "--allow", "whatever"],
+        vec!["lint", file.as_str(), "--warn", "warnings"],
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("invalid value"), "args: {args:?}, stderr: {err}");
+        assert!(err.contains(args[args.len() - 2]), "args: {args:?}, stderr: {err}");
+    }
+    // Bare value-flags and missing paths are usage errors too.
+    let out = run(&["lint", &file, "--deny"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
+    let out = run(&["lint", "--json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["lint", "/nonexistent_dir"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn unknown_names_and_files_exit_2() {
     let file = specs("readers_writers.pos");
     let missing = run(&["refine", &file, "Nope", "Write"]);

@@ -1,0 +1,72 @@
+//! The shipping specs lint clean, and the deliberately flawed fixtures
+//! under `specs/lint_fixtures/` produce exactly their documented codes
+//! with spans pointing at the offending constructs.
+
+use pospec_lint::{lint_document, Code, LintConfig, Severity};
+
+fn lint_file(path: &str) -> (String, pospec_lint::LintReport) {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let report = lint_document(path, &src, &LintConfig::default());
+    (src, report)
+}
+
+#[test]
+fn every_shipping_spec_lints_clean() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir("specs").expect("read specs/") {
+        let path = entry.expect("dir entry").path();
+        if !path.is_file() || path.extension().is_none_or(|x| x != "pos") {
+            continue;
+        }
+        let path = path.display().to_string();
+        let (_, report) = lint_file(&path);
+        assert!(report.is_clean(), "{path} should lint clean, got: {:?}", report.diagnostics);
+        checked += 1;
+    }
+    assert_eq!(checked, 4, "expected the four shipping specs");
+}
+
+#[test]
+fn shadowed_fixture_reports_p101_at_the_shadowed_pattern() {
+    let (src, report) = lint_file("specs/lint_fixtures/shadowed.pos");
+    let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::P101], "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.severity, Severity::Warning);
+    let span = d.span.expect("P101 carries a span");
+    // The span points at `<c, srv, REQ>` — check against the source
+    // text itself so the fixture can be reformatted without breaking us.
+    let at = &src[span.offset as usize..(span.offset + span.len) as usize];
+    assert_eq!(at, "<c, srv, REQ>");
+    assert_eq!(d.notes.len(), 1, "names the covering prefix");
+    assert!(!report.has_errors(), "P101 is warning severity by default");
+}
+
+#[test]
+fn non_composable_fixture_reports_p020_naming_the_offender() {
+    let (src, report) = lint_file("specs/lint_fixtures/non_composable.pos");
+    let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::P020], "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("Def. 10"));
+    let span = d.span.expect("P020 carries a span");
+    let at = &src[span.offset as usize..(span.offset + span.len) as usize];
+    assert!(at.starts_with("compose"), "span covers the compose clause, got {at:?}");
+    assert!(
+        d.notes.iter().any(|n| n.message.contains("⟨o,b,OK⟩")),
+        "the offending internal event is named: {:?}",
+        d.notes
+    );
+    assert!(report.has_errors());
+}
+
+#[test]
+fn fixtures_fail_under_deny_warnings_like_ci_runs_them() {
+    let mut cfg = LintConfig::default();
+    cfg.deny_warnings = true;
+    let src = std::fs::read_to_string("specs/lint_fixtures/shadowed.pos").expect("fixture");
+    let report = lint_document("shadowed.pos", &src, &cfg);
+    assert!(report.has_errors(), "deny-warnings promotes P101 to an error");
+    assert_eq!(report.diagnostics[0].severity, Severity::Error);
+}
