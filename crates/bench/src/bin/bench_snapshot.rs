@@ -1,0 +1,38 @@
+//! Emit `BENCH_6.json`: the cold/warm automaton-cache rebuild snapshot.
+//!
+//! Runs the [`pospec_bench::cachebench`] campaign — the 36-pair paper
+//! refinement matrix plus a lift sweep, cold on an empty cache and warm
+//! with every specification re-derived from scratch — and writes the
+//! counters (build nanos, lift hit/miss, minimization shrinkage,
+//! on-the-fly early exits, matrix timings) to `BENCH_6.json` in the
+//! current directory.
+//!
+//! Exits non-zero when an acceptance gate fails: the cold and warm
+//! matrices must produce identical verdicts, warm lift hits must exceed
+//! lift misses, and the warm phase must build fewer automata than cold.
+
+use pospec_bench::cachebench::{cache_campaign, DEPTH};
+
+fn main() {
+    let campaign = cache_campaign(DEPTH);
+    let doc = campaign.to_json();
+    std::fs::write("BENCH_6.json", doc.to_pretty()).expect("writable cwd");
+    println!(
+        "wrote BENCH_6.json (depth {}): cold {:.2?} matrix / {} misses, warm {:.2?} matrix / {} lift hits vs {} lift misses; minimized {} automata ({} states removed); {} on-the-fly checks, {} early exits; verdicts agree: {}",
+        campaign.depth,
+        campaign.cold.matrix_time,
+        campaign.cold.stats.misses(),
+        campaign.warm.matrix_time,
+        campaign.warm.stats.lift_hits,
+        campaign.warm.stats.lift_misses,
+        campaign.cold.stats.min_builds + campaign.warm.stats.min_builds,
+        campaign.cold.stats.min_states_removed() + campaign.warm.stats.min_states_removed(),
+        campaign.cold.stats.otf_checks + campaign.warm.stats.otf_checks,
+        campaign.cold.stats.otf_early_exits + campaign.warm.stats.otf_early_exits,
+        campaign.verdicts_agree,
+    );
+    if !campaign.gates_pass() {
+        eprintln!("BENCH_6 gate failed: {}", doc.to_pretty());
+        std::process::exit(1);
+    }
+}

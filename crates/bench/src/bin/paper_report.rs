@@ -315,10 +315,16 @@ fn main() {
             id: "CACHE".into(),
             claim: "memoized batch checking matches the uncached verdicts, faster".into(),
             measured: format!(
-                "36-pair matrix: uncached {uncached:.2?}, cold {cold_time:.2?}, warm {warm_time:.2?} ({speedup:.1}x); {} hits / {} misses, {:.2?} building; verdicts agree: {agree}",
+                "36-pair matrix: uncached {uncached:.2?}, cold {cold_time:.2?}, warm {warm_time:.2?} ({speedup:.1}x); {} hits / {} misses, {:.2?} building; minimized {} automata ({}→{} states); on-the-fly: {} checks, {} early exits, {} product states; verdicts agree: {agree}",
                 stats.hits(),
                 stats.misses(),
                 stats.build_time(),
+                stats.min_builds,
+                stats.min_states_in,
+                stats.min_states_out,
+                stats.otf_checks,
+                stats.otf_early_exits,
+                stats.otf_explored,
             ),
             outcome: if ok { Outcome::Reproduced } else { Outcome::Failed },
         });

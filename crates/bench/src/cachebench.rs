@@ -1,0 +1,150 @@
+//! CACHE2 — the cold/warm rebuild campaign behind `BENCH_6.json`.
+//!
+//! The automaton cache keys regular backends by *content*, so a caller
+//! that rebuilds a structurally-equal specification from scratch (fresh
+//! `Arc`s, fresh `EventSet`s over the same universe) must land on the
+//! entries the first caller built.  This campaign measures exactly that:
+//!
+//! * **cold** — one fresh [`Paper`] fixture drives the full 36-pair
+//!   refinement matrix through an empty [`DfaCache`], followed by a lift
+//!   sweep (every abstract view lifted to every admissible concrete
+//!   alphabet — the composition pipeline's workload);
+//! * **warm** — the *same* fixture re-derives every specification
+//!   (`interface_specs` builds fresh `Arc`s each call) and reruns both.
+//!   Content-keyed backends hit; only the opaque predicate closures
+//!   (fresh identities by nature) rebuild.
+//!
+//! The campaign gates on the PR-6 acceptance criteria: warm-phase lift
+//! hits must exceed lift misses, the warm phase must build less than the
+//! cold one, and the two verdict matrices must be identical.
+
+use crate::paper::Paper;
+use pospec_check::report::cache_stats_json;
+use pospec_core::{check_all_pairs, refinement_conditions, CacheStats, DfaCache, Verdict};
+use std::time::{Duration, Instant};
+
+/// Predicate-trie depth used by the campaign (the repo-wide default of
+/// the experiment suite).
+pub const DEPTH: usize = 6;
+
+/// Timings and counter deltas of one phase (cold or warm).
+#[derive(Debug, Clone)]
+pub struct CachePhase {
+    /// Wall-clock time of the 36-pair refinement matrix.
+    pub matrix_time: Duration,
+    /// Wall-clock time of the lift sweep.
+    pub lift_time: Duration,
+    /// Cache counter deltas attributable to this phase.
+    pub stats: CacheStats,
+    /// Verdicts in the matrix that hold.
+    pub holds: usize,
+}
+
+impl CachePhase {
+    /// The phase as a JSON object.
+    pub fn to_json(&self) -> pospec_json::Value {
+        pospec_json::ObjBuilder::new()
+            .field("matrix_nanos", self.matrix_time.as_nanos().min(u128::from(u64::MAX)) as u64)
+            .field("lift_nanos", self.lift_time.as_nanos().min(u128::from(u64::MAX)) as u64)
+            .field("holds", self.holds)
+            .field("cache", cache_stats_json(&self.stats))
+            .build()
+    }
+}
+
+/// The full cold/warm campaign result.
+#[derive(Debug, Clone)]
+pub struct CacheCampaign {
+    /// Predicate-trie depth used throughout.
+    pub depth: usize,
+    /// First pass: empty cache, fresh specifications.
+    pub cold: CachePhase,
+    /// Second pass: same cache, re-derived (content-equal) specifications.
+    pub warm: CachePhase,
+    /// Did the two matrices produce identical verdicts (counterexamples
+    /// included)?
+    pub verdicts_agree: bool,
+}
+
+impl CacheCampaign {
+    /// The PR acceptance gates: identical verdicts, warm lift hits
+    /// exceeding misses, and a warm phase that builds less than cold.
+    pub fn gates_pass(&self) -> bool {
+        self.verdicts_agree
+            && self.warm.stats.lift_hits > self.warm.stats.lift_misses
+            && self.warm.stats.misses() < self.cold.stats.misses()
+    }
+
+    /// The campaign as the `BENCH_6.json` document.
+    pub fn to_json(&self) -> pospec_json::Value {
+        pospec_json::ObjBuilder::new()
+            .field("depth", self.depth)
+            .field("cold", self.cold.to_json())
+            .field("warm", self.warm.to_json())
+            .field("verdicts_agree", self.verdicts_agree)
+            .field("warm_lift_hits", self.warm.stats.lift_hits)
+            .field("warm_lift_misses", self.warm.stats.lift_misses)
+            .field("otf_checks", self.cold.stats.otf_checks + self.warm.stats.otf_checks)
+            .field(
+                "otf_early_exits",
+                self.cold.stats.otf_early_exits + self.warm.stats.otf_early_exits,
+            )
+            .field("gates_pass", self.gates_pass())
+            .build()
+    }
+}
+
+/// Run one matrix + lift-sweep pass with freshly derived specifications.
+fn run_phase(cache: &DfaCache, p: &Paper, depth: usize) -> (Vec<Vec<Verdict>>, CachePhase) {
+    // `interface_specs` constructs new `Arc`s every call — this IS the
+    // rebuild the content keys are meant to absorb.
+    let specs = p.interface_specs();
+    let before = cache.stats();
+    let t = Instant::now();
+    let matrix = check_all_pairs(cache, &specs, depth);
+    let matrix_time = t.elapsed();
+    let t = Instant::now();
+    for c in &specs {
+        for a in &specs {
+            // The composition/morphism workload: the abstract view lifted
+            // (inverse projection) to each admissible larger alphabet.
+            if refinement_conditions(c, a).alphabet_ok {
+                cache.lifted_dfa(c.universe(), a.trace_set(), a.alphabet(), c.alphabet(), depth);
+            }
+        }
+    }
+    let lift_time = t.elapsed();
+    let stats = cache.stats().since(&before);
+    let holds = matrix.iter().flatten().filter(|v| v.holds()).count();
+    (matrix, CachePhase { matrix_time, lift_time, stats, holds })
+}
+
+/// The default campaign: cold then warm over the paper's six interface
+/// specifications, through one shared cache.
+pub fn cache_campaign(depth: usize) -> CacheCampaign {
+    let cache = DfaCache::new();
+    let p = Paper::new();
+    let (cold_matrix, cold) = run_phase(&cache, &p, depth);
+    let (warm_matrix, warm) = run_phase(&cache, &p, depth);
+    CacheCampaign { depth, cold, warm, verdicts_agree: cold_matrix == warm_matrix }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_passes_its_own_gates() {
+        let c = cache_campaign(4);
+        assert!(c.verdicts_agree, "cold and warm matrices must agree");
+        assert!(
+            c.warm.stats.lift_hits > c.warm.stats.lift_misses,
+            "rebuilt lifts must predominantly hit: {:?}",
+            c.warm.stats
+        );
+        assert!(c.warm.stats.misses() < c.cold.stats.misses(), "warm phase must build less");
+        assert!(c.gates_pass());
+        let json = c.to_json();
+        assert_eq!(json.get("gates_pass").and_then(pospec_json::Value::as_bool), Some(true));
+    }
+}

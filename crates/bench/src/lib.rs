@@ -8,9 +8,13 @@
 //! * [`campaign`] — the FAULT fault-injection campaign: seeds × drop
 //!   rates over supervised chaos runs, with same-seed reproduction
 //!   checked per cell;
+//! * [`cachebench`] — the CACHE2 cold/warm rebuild campaign behind
+//!   `BENCH_6.json`: content-keyed cache hits for re-derived
+//!   specifications, minimization and on-the-fly inclusion counters;
 //! * [`service`] — the SERVE campaign: cold-vs-warm refinement checks
 //!   against an in-process `pospec-serve` instance over real TCP.
 
+pub mod cachebench;
 pub mod campaign;
 pub mod paper;
 pub mod scale;

@@ -259,11 +259,11 @@ impl Paper {
     }
 
     /// The interface specifications of Examples 1–6 over `o`, built
-    /// once.  The automaton cache ([`pospec_core::DfaCache`]) keys its
-    /// entries by trace-set *identity* (the backing `Arc`), so batch
-    /// checks should hold on to one `Vec` from this method rather than
-    /// re-deriving each specification per query — fresh derivations are
-    /// fresh cache keys.
+    /// once.  The automaton cache ([`pospec_core::DfaCache`]) keys
+    /// regular backends by *content*, so re-deriving these specifications
+    /// still hits — but the opaque predicate backends (`Read2`, `RW`)
+    /// are keyed by closure identity, so batch checks should prefer one
+    /// `Vec` from this method over per-query re-derivation.
     pub fn interface_specs(&self) -> Vec<Specification> {
         vec![self.read(), self.read2(), self.write(), self.rw(), self.write_acc(), self.rw2()]
     }

@@ -108,6 +108,12 @@ pub fn cache_stats_json(s: &pospec_core::CacheStats) -> pospec_json::Value {
         .field("misses", s.misses())
         .field("builds", s.builds())
         .field("build_nanos", s.build_nanos)
+        .field("min_builds", s.min_builds)
+        .field("min_states_in", s.min_states_in)
+        .field("min_states_out", s.min_states_out)
+        .field("otf_checks", s.otf_checks)
+        .field("otf_early_exits", s.otf_early_exits)
+        .field("otf_explored", s.otf_explored)
         .build()
 }
 

@@ -6,61 +6,82 @@
 //! building the automaton view of a trace set ([`traceset_dfa`]), and
 //! lifting that view to a larger alphabet (`lift_to`).  The meta-theory
 //! suite and `paper_report` issue hundreds of near-identical queries, so
-//! [`DfaCache`] interns all three behind `Arc`s — extending the
-//! per-instance `OnceLock` memoization of [`ComposedSet`] to a
-//! query-keyed map shared by every check.
+//! [`DfaCache`] interns all three — extending the per-instance `OnceLock`
+//! memoization of [`ComposedSet`](crate::ComposedSet) to a query-keyed
+//! map shared by every check.
 //!
-//! Keys combine *identity*, not structure:
+//! Keys are **structural wherever the backend permits**:
 //!
-//! * a trace set is keyed by the pointer identity of its backend `Arc`
-//!   (compiled regex, predicate closure, conjunction list, composed set,
-//!   or explicit DFA) — the cache holds a clone of each keyed set, so a
-//!   key can never be revived by a reallocated `Arc`;
-//! * an alphabet is keyed by its universe identity plus its exact
-//!   granule set (granules are canonical, so structurally equal alphabets
-//!   share one enumeration);
+//! * an alphabet is interned to a dense [`AlphaId`] keyed by its universe
+//!   identity plus its exact granule set (granules are canonical, so
+//!   structurally equal `EventSet`s rebuilt by different callers share
+//!   one id, one enumeration, and one `Arc` — making downstream alphabet
+//!   equality an O(1) pointer check);
+//! * a trace set is keyed by content: `prs` sets by their regex AST,
+//!   conjunctions and compositions recursively.  Rebuilding an equal
+//!   specification from scratch therefore *hits*.  Opaque predicate
+//!   closures and explicit DFAs have no inspectable structure and keep
+//!   `Arc`-pointer identity (the cache pins a clone of each keyed set, so
+//!   a key can never be revived by a reallocated `Arc`);
 //! * automaton entries additionally carry the predicate-trie depth.
+//!
+//! Every automaton is **Hopcroft-minimized** before it is cached
+//! ([`ConcreteDfa::minimize`]), so products, lifts and inclusion walks
+//! downstream run on the smallest equivalent machines.  The cached
+//! refinement check itself never materializes the lifted abstract
+//! automaton: [`check_refinement_cached`] runs the **on-the-fly**
+//! inclusion engine (`pospec_regex::lazy_lifted_inclusion`), which
+//! explores the product `A × ¬lift(B)` lazily and stops at the first
+//! counterexample — verdicts and witnesses stay identical to the eager
+//! [`crate::check_refinement`].
 //!
 //! Entries are `OnceLock`-guarded, so concurrent batch workers that race
 //! on the same key block on one build instead of duplicating it.
-//! Hit/miss/build-time counters are exported via [`CacheStats`] and
-//! surface in `paper_report.json`.
+//! Hit/miss/build-time, minimization, and on-the-fly search counters are
+//! exported via [`CacheStats`] and surface in `paper_report.json` and the
+//! service's `stats` response.
 
 use crate::parallel::parallel_map_ref;
-use crate::refine::{condition3_verdict, refinement_conditions, FailedCondition, Verdict};
+use crate::refine::{
+    condition3_verdict_lazy, refinement_conditions, FailedCondition, OtfOutcome, Verdict,
+};
 use crate::spec::Specification;
 use crate::traceset::{traceset_dfa, TraceSet};
 use pospec_alphabet::{EventGranule, EventSet, Universe};
-use pospec_regex::ConcreteDfa;
-use pospec_trace::Event;
+use pospec_regex::{ConcreteDfa, Re};
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Identity key of a trace-set backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Dense id of an interned alphabet (index into the cache's arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct AlphaId(u32);
+
+/// Key of a trace-set backend: structural where the backend is
+/// inspectable, `Arc` identity for opaque closures and explicit DFAs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum TsKey {
     Universal,
-    Prs(usize),
+    /// The regex AST itself: rebuilt-but-equal expressions share a key.
+    Prs(Re),
+    /// Closure identity (pinned).
     Predicate(usize),
-    Conj(usize),
-    Composed(usize),
+    Conj(Vec<TsKey>),
+    /// Operand keys, operand alphabets, and the hiding split — the full
+    /// structure of Def. 4/11, so an equal composition rebuilt from
+    /// scratch shares the entry.
+    Composed {
+        left: Box<TsKey>,
+        right: Box<TsKey>,
+        left_alpha: AlphaId,
+        right_alpha: AlphaId,
+        hidden: Vec<EventGranule>,
+        visible: Vec<EventGranule>,
+    },
+    /// Automaton identity (pinned).
     Dfa(usize),
-}
-
-fn ts_key(ts: &TraceSet) -> TsKey {
-    match ts {
-        TraceSet::Universal => TsKey::Universal,
-        TraceSet::Prs(re) => TsKey::Prs(Arc::as_ptr(re) as usize),
-        TraceSet::Predicate { pred, .. } => {
-            TsKey::Predicate(Arc::as_ptr(pred) as *const () as usize)
-        }
-        TraceSet::Conj(parts) => TsKey::Conj(Arc::as_ptr(parts) as usize),
-        TraceSet::Composed(c) => TsKey::Composed(Arc::as_ptr(c) as usize),
-        TraceSet::Dfa(d) => TsKey::Dfa(Arc::as_ptr(d) as usize),
-    }
 }
 
 /// Identity key of a finitized alphabet: universe pointer + exact
@@ -77,6 +98,22 @@ fn alpha_key(set: &EventSet) -> AlphaKey {
         universe: Arc::as_ptr(set.universe()) as usize,
         granules: set.granules().copied().collect(),
     }
+}
+
+/// One interned alphabet: the universe pin (keeping the pointer half of
+/// [`AlphaKey`] stable) and the lazily-built enumeration.
+struct AlphaEntry {
+    /// Held only to keep the universe address (half of the key) alive.
+    _universe: Arc<Universe>,
+    sigma: Option<Arc<Vec<Event>>>,
+}
+
+use pospec_trace::Event;
+
+#[derive(Default)]
+struct AlphaIntern {
+    ids: HashMap<AlphaKey, AlphaId>,
+    arena: Vec<AlphaEntry>,
 }
 
 type DfaSlot = Arc<OnceLock<Arc<ConcreteDfa>>>;
@@ -98,6 +135,18 @@ pub struct CacheStats {
     pub lift_misses: u64,
     /// Total nanoseconds spent building cache entries (misses only).
     pub build_nanos: u64,
+    /// Hopcroft minimization passes run while building entries.
+    pub min_builds: u64,
+    /// States entering minimization (sum over all passes).
+    pub min_states_in: u64,
+    /// States surviving minimization (sum over all passes).
+    pub min_states_out: u64,
+    /// On-the-fly inclusion searches run by the cached checker.
+    pub otf_checks: u64,
+    /// Searches that stopped early at a counterexample.
+    pub otf_early_exits: u64,
+    /// Product states explored across all on-the-fly searches.
+    pub otf_explored: u64,
 }
 
 impl CacheStats {
@@ -122,6 +171,11 @@ impl CacheStats {
         Duration::from_nanos(self.build_nanos)
     }
 
+    /// States removed by minimization across all builds.
+    pub fn min_states_removed(&self) -> u64 {
+        self.min_states_in.saturating_sub(self.min_states_out)
+    }
+
     /// Counter deltas since an earlier snapshot.
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
@@ -132,6 +186,12 @@ impl CacheStats {
             lift_hits: self.lift_hits - earlier.lift_hits,
             lift_misses: self.lift_misses - earlier.lift_misses,
             build_nanos: self.build_nanos - earlier.build_nanos,
+            min_builds: self.min_builds - earlier.min_builds,
+            min_states_in: self.min_states_in - earlier.min_states_in,
+            min_states_out: self.min_states_out - earlier.min_states_out,
+            otf_checks: self.otf_checks - earlier.otf_checks,
+            otf_early_exits: self.otf_early_exits - earlier.otf_early_exits,
+            otf_explored: self.otf_explored - earlier.otf_explored,
         }
     }
 }
@@ -139,13 +199,12 @@ impl CacheStats {
 /// Memoized automaton cache; see the module documentation.
 #[derive(Default)]
 pub struct DfaCache {
-    alphabets: Mutex<HashMap<AlphaKey, Arc<Vec<Event>>>>,
-    dfas: Mutex<HashMap<(TsKey, AlphaKey, usize), DfaSlot>>,
-    lifted: Mutex<HashMap<(TsKey, AlphaKey, AlphaKey, usize), DfaSlot>>,
-    /// Clones of every keyed trace set and universe, pinning the `Arc`s
-    /// whose addresses serve as keys.
+    alphabets: Mutex<AlphaIntern>,
+    dfas: Mutex<HashMap<(TsKey, AlphaId, usize), DfaSlot>>,
+    lifted: Mutex<HashMap<(TsKey, AlphaId, AlphaId, usize), DfaSlot>>,
+    /// Clones of every identity-keyed trace set, pinning the `Arc`s whose
+    /// addresses serve as keys (universes are pinned by the arena).
     pinned_sets: Mutex<Vec<TraceSet>>,
-    pinned_universes: Mutex<Vec<Arc<Universe>>>,
     alphabet_hits: AtomicU64,
     alphabet_misses: AtomicU64,
     dfa_hits: AtomicU64,
@@ -153,6 +212,12 @@ pub struct DfaCache {
     lift_hits: AtomicU64,
     lift_misses: AtomicU64,
     build_nanos: AtomicU64,
+    min_builds: AtomicU64,
+    min_states_in: AtomicU64,
+    min_states_out: AtomicU64,
+    otf_checks: AtomicU64,
+    otf_early_exits: AtomicU64,
+    otf_explored: AtomicU64,
 }
 
 impl DfaCache {
@@ -167,25 +232,71 @@ impl DfaCache {
         GLOBAL.get_or_init(DfaCache::new)
     }
 
-    /// The canonical finitization of `set`, interned.
-    pub fn alphabet(&self, set: &EventSet) -> Arc<Vec<Event>> {
+    /// Intern `set`'s structural key, without enumerating it.
+    fn alpha_id(&self, set: &EventSet) -> AlphaId {
         let key = alpha_key(set);
-        let mut map = self.alphabets.lock().unwrap_or_else(|e| e.into_inner());
-        match map.entry(key) {
-            MapEntry::Occupied(slot) => {
-                self.alphabet_hits.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(slot.get())
-            }
+        let mut intern = self.alphabets.lock().unwrap_or_else(|e| e.into_inner());
+        let AlphaIntern { ids, arena } = &mut *intern;
+        match ids.entry(key) {
+            MapEntry::Occupied(slot) => *slot.get(),
             MapEntry::Vacant(slot) => {
-                self.alphabet_misses.fetch_add(1, Ordering::Relaxed);
-                let start = Instant::now();
-                let sigma = Arc::new(set.enumerate_concrete());
-                self.build_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                self.pinned_universes
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push(Arc::clone(set.universe()));
-                Arc::clone(slot.insert(sigma))
+                let id = AlphaId(arena.len() as u32);
+                arena.push(AlphaEntry { _universe: Arc::clone(set.universe()), sigma: None });
+                *slot.insert(id)
+            }
+        }
+    }
+
+    /// The canonical finitization of `set`, interned: one `Arc` per
+    /// structural alphabet, so alphabet equality downstream is a pointer
+    /// comparison.
+    pub fn alphabet(&self, set: &EventSet) -> Arc<Vec<Event>> {
+        let id = self.alpha_id(set);
+        let mut intern = self.alphabets.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = &mut intern.arena[id.0 as usize];
+        if let Some(sigma) = &entry.sigma {
+            self.alphabet_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(sigma);
+        }
+        self.alphabet_misses.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let sigma = Arc::new(set.enumerate_concrete());
+        self.build_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        entry.sigma = Some(Arc::clone(&sigma));
+        sigma
+    }
+
+    /// The structural key of `ts`; interns component alphabets of
+    /// compositions along the way.
+    fn ts_key(&self, ts: &TraceSet) -> TsKey {
+        match ts {
+            TraceSet::Universal => TsKey::Universal,
+            TraceSet::Prs(re) => TsKey::Prs(re.re().clone()),
+            TraceSet::Predicate { pred, .. } => {
+                TsKey::Predicate(Arc::as_ptr(pred) as *const () as usize)
+            }
+            TraceSet::Conj(parts) => TsKey::Conj(parts.iter().map(|p| self.ts_key(p)).collect()),
+            TraceSet::Composed(c) => TsKey::Composed {
+                left: Box::new(self.ts_key(c.left.trace_set())),
+                right: Box::new(self.ts_key(c.right.trace_set())),
+                left_alpha: self.alpha_id(c.left.alphabet()),
+                right_alpha: self.alpha_id(c.right.alphabet()),
+                hidden: c.hidden.granules().copied().collect(),
+                visible: c.visible.granules().copied().collect(),
+            },
+            TraceSet::Dfa(d) => TsKey::Dfa(Arc::as_ptr(d) as usize),
+        }
+    }
+
+    /// Does `ts` contain an identity-keyed (unpinnable-by-content)
+    /// backend anywhere?
+    fn needs_pin(ts: &TraceSet) -> bool {
+        match ts {
+            TraceSet::Universal | TraceSet::Prs(_) => false,
+            TraceSet::Predicate { .. } | TraceSet::Dfa(_) => true,
+            TraceSet::Conj(parts) => parts.iter().any(Self::needs_pin),
+            TraceSet::Composed(c) => {
+                Self::needs_pin(c.left.trace_set()) || Self::needs_pin(c.right.trace_set())
             }
         }
     }
@@ -207,21 +318,37 @@ impl DfaCache {
             }
             MapEntry::Vacant(slot) => {
                 misses.fetch_add(1, Ordering::Relaxed);
-                self.pinned_sets.lock().unwrap_or_else(|e| e.into_inner()).push(pin.clone());
+                if Self::needs_pin(pin) {
+                    self.pinned_sets.lock().unwrap_or_else(|e| e.into_inner()).push(pin.clone());
+                }
                 Arc::clone(slot.insert(Arc::new(OnceLock::new())))
             }
         }
     }
 
+    /// Build an entry, Hopcroft-minimize it, and account for both.
     fn timed_build(&self, build: impl FnOnce() -> ConcreteDfa) -> Arc<ConcreteDfa> {
         let start = Instant::now();
-        let dfa = Arc::new(build());
+        let raw = build();
+        let min = raw.minimize();
+        self.min_builds.fetch_add(1, Ordering::Relaxed);
+        self.min_states_in.fetch_add(raw.state_count() as u64, Ordering::Relaxed);
+        self.min_states_out.fetch_add(min.state_count() as u64, Ordering::Relaxed);
         self.build_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        dfa
+        Arc::new(min)
+    }
+
+    fn record_otf(&self, otf: OtfOutcome) {
+        self.otf_checks.fetch_add(1, Ordering::Relaxed);
+        if otf.early_exit {
+            self.otf_early_exits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.otf_explored.fetch_add(otf.explored, Ordering::Relaxed);
     }
 
     /// The automaton view of `ts` over the finitization of `alpha`,
-    /// interned.  Equivalent to [`traceset_dfa`] on a miss.
+    /// interned and minimized.  Language-equal to [`traceset_dfa`] on a
+    /// miss.
     pub fn traceset_dfa(
         &self,
         u: &Arc<Universe>,
@@ -229,14 +356,16 @@ impl DfaCache {
         alpha: &EventSet,
         pred_depth: usize,
     ) -> Arc<ConcreteDfa> {
-        let key = (ts_key(ts), alpha_key(alpha), pred_depth);
+        let key = (self.ts_key(ts), self.alpha_id(alpha), pred_depth);
         let slot = self.slot(&self.dfas, key, &self.dfa_hits, &self.dfa_misses, ts);
         let sigma = self.alphabet(alpha);
         Arc::clone(slot.get_or_init(|| self.timed_build(|| traceset_dfa(u, ts, sigma, pred_depth))))
     }
 
     /// The automaton view of `ts` over `alpha`, lifted to the
-    /// finitization of `big` (inverse projection), interned.
+    /// finitization of `big` (inverse projection), interned and
+    /// minimized.  Keys are structural, so a composition rebuilding the
+    /// same component lift from fresh `Arc`s still hits.
     pub fn lifted_dfa(
         &self,
         u: &Arc<Universe>,
@@ -245,7 +374,7 @@ impl DfaCache {
         big: &EventSet,
         pred_depth: usize,
     ) -> Arc<ConcreteDfa> {
-        let key = (ts_key(ts), alpha_key(alpha), alpha_key(big), pred_depth);
+        let key = (self.ts_key(ts), self.alpha_id(alpha), self.alpha_id(big), pred_depth);
         let slot = self.slot(&self.lifted, key, &self.lift_hits, &self.lift_misses, ts);
         let base = self.traceset_dfa(u, ts, alpha, pred_depth);
         let sigma_big = self.alphabet(big);
@@ -262,6 +391,12 @@ impl DfaCache {
             lift_hits: self.lift_hits.load(Ordering::Relaxed),
             lift_misses: self.lift_misses.load(Ordering::Relaxed),
             build_nanos: self.build_nanos.load(Ordering::Relaxed),
+            min_builds: self.min_builds.load(Ordering::Relaxed),
+            min_states_in: self.min_states_in.load(Ordering::Relaxed),
+            min_states_out: self.min_states_out.load(Ordering::Relaxed),
+            otf_checks: self.otf_checks.load(Ordering::Relaxed),
+            otf_early_exits: self.otf_early_exits.load(Ordering::Relaxed),
+            otf_explored: self.otf_explored.load(Ordering::Relaxed),
         }
     }
 
@@ -280,18 +415,26 @@ impl DfaCache {
     /// should call this at workload boundaries so pinned trace sets and
     /// universes can be reclaimed.
     pub fn clear(&self) {
-        self.alphabets.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        // Lock order: alphabets before the automaton maps, matching the
+        // build path; stale `AlphaId`s cannot outlive this because every
+        // key embedding one is dropped with the maps.
+        let mut intern = self.alphabets.lock().unwrap_or_else(|e| e.into_inner());
+        intern.ids.clear();
+        intern.arena.clear();
+        drop(intern);
         self.dfas.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.lifted.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.pinned_sets.lock().unwrap_or_else(|e| e.into_inner()).clear();
-        self.pinned_universes.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
 
 /// Full refinement check `concrete ⊑ abstract_` (Def. 2) through the
-/// cache.  Verdicts (including counterexample traces) are identical to
-/// [`crate::check_refinement`]; only the automaton construction is
-/// shared and memoized.
+/// cache, with the **on-the-fly** condition-3 engine: both trace-set
+/// views are interned minimized automata over their *own* alphabets, and
+/// the inclusion explores the product `A × ¬lift(B)` lazily, stopping at
+/// the first counterexample.  Verdicts (including counterexample traces)
+/// are identical to [`crate::check_refinement`]; no lifted automaton is
+/// materialized on this path.
 pub fn check_refinement_cached(
     cache: &DfaCache,
     concrete: &Specification,
@@ -306,25 +449,12 @@ pub fn check_refinement_cached(
         return Verdict::Fails { reason: FailedCondition::Alphabet, counterexample: None };
     }
     let u = concrete.universe();
-    let sigma_conc = cache.alphabet(concrete.alphabet());
-    let sigma_abs = cache.alphabet(abstract_.alphabet());
     let a = cache.traceset_dfa(u, concrete.trace_set(), concrete.alphabet(), pred_depth);
-    let b = cache.lifted_dfa(
-        u,
-        abstract_.trace_set(),
-        abstract_.alphabet(),
-        concrete.alphabet(),
-        pred_depth,
-    );
-    condition3_verdict(
-        concrete.trace_set(),
-        abstract_.trace_set(),
-        &a,
-        &b,
-        &sigma_conc,
-        &sigma_abs,
-        pred_depth,
-    )
+    let b = cache.traceset_dfa(u, abstract_.trace_set(), abstract_.alphabet(), pred_depth);
+    let (verdict, otf) =
+        condition3_verdict_lazy(concrete.trace_set(), abstract_.trace_set(), &a, &b, pred_depth);
+    cache.record_otf(otf);
+    verdict
 }
 
 /// Check many refinement queries, fanning independent verdicts across
@@ -449,6 +579,66 @@ mod tests {
     }
 
     #[test]
+    fn structurally_equal_specs_rebuilt_from_scratch_hit() {
+        // The lift-cache miss-storm regression: every caller that rebuilds
+        // an equal spec used to get fresh Arc identities and could never
+        // hit.  Content keys make the rebuilt spec (and the rebuilt
+        // alphabet, and the rebuilt lift) find the original entries.
+        let f = fix();
+        let cache = DfaCache::new();
+        let first = write_spec(&f);
+        let d1 = cache.traceset_dfa(&f.u, first.trace_set(), first.alphabet(), 6);
+        let before = cache.stats();
+        let rebuilt = write_spec(&f); // fresh Arcs, equal content
+        let d2 = cache.traceset_dfa(&f.u, rebuilt.trace_set(), rebuilt.alphabet(), 6);
+        let delta = cache.stats().since(&before);
+        assert!(Arc::ptr_eq(&d1, &d2), "rebuilt spec must intern to the same automaton");
+        assert_eq!(delta.dfa_misses, 0, "no rebuild: {delta:?}");
+        assert_eq!(delta.dfa_hits, 1);
+
+        // Same for lifts: lift the rebuilt spec to a rebuilt bigger
+        // alphabet twice — second caller hits.
+        let big1 = alpha(&f, &[f.ow, f.w, f.cw]);
+        let small1 = alpha(&f, &[f.ow, f.cw]);
+        let ow_cw = Specification::new(
+            "Brackets",
+            [f.o],
+            small1.clone(),
+            TraceSet::prs(
+                Re::seq([
+                    Re::lit(Template::call(VarId(0), f.o, f.ow)),
+                    Re::lit(Template::call(VarId(0), f.o, f.cw)),
+                ])
+                .bind(VarId(0), f.objects)
+                .star(),
+            ),
+        )
+        .unwrap();
+        let l1 = cache.lifted_dfa(&f.u, ow_cw.trace_set(), ow_cw.alphabet(), &big1, 6);
+        let before = cache.stats();
+        let rebuilt2 = Specification::new(
+            "Brackets#2",
+            [f.o],
+            alpha(&f, &[f.cw, f.ow]), // same granules, different construction order
+            TraceSet::prs(
+                Re::seq([
+                    Re::lit(Template::call(VarId(0), f.o, f.ow)),
+                    Re::lit(Template::call(VarId(0), f.o, f.cw)),
+                ])
+                .bind(VarId(0), f.objects)
+                .star(),
+            ),
+        )
+        .unwrap();
+        let big2 = alpha(&f, &[f.w, f.cw, f.ow]);
+        let l2 = cache.lifted_dfa(&f.u, rebuilt2.trace_set(), rebuilt2.alphabet(), &big2, 6);
+        let delta = cache.stats().since(&before);
+        assert!(Arc::ptr_eq(&l1, &l2), "rebuilt lift must intern to the same automaton");
+        assert_eq!(delta.lift_misses, 0, "rebuilt lift must hit: {delta:?}");
+        assert_eq!(delta.lift_hits, 1);
+    }
+
+    #[test]
     fn distinct_depths_are_distinct_entries() {
         let f = fix();
         let w = f.w;
@@ -478,6 +668,38 @@ mod tests {
         assert!(Arc::ptr_eq(&s1, &s2));
         assert_eq!(cache.stats().alphabet_misses, 1);
         assert_eq!(cache.stats().alphabet_hits, 1);
+    }
+
+    #[test]
+    fn cached_automata_are_minimized() {
+        let f = fix();
+        let w = write_spec(&f);
+        let cache = DfaCache::new();
+        let cached = cache.traceset_dfa(&f.u, w.trace_set(), w.alphabet(), 6);
+        let sigma = cache.alphabet(w.alphabet());
+        let raw = traceset_dfa(&f.u, w.trace_set(), sigma, 6);
+        assert!(cached.equiv(&raw), "minimization preserves the language");
+        assert!(cached.state_count() <= raw.state_count());
+        let s = cache.stats();
+        assert!(s.min_builds >= 1);
+        assert!(s.min_states_in >= s.min_states_out);
+    }
+
+    #[test]
+    fn on_the_fly_counters_move() {
+        let f = fix();
+        let w = write_spec(&f);
+        let any = universal_spec(&f);
+        let cache = DfaCache::new();
+        // Holds: exhaustive search, no early exit.
+        check_refinement_cached(&cache, &w, &any, 6);
+        let s1 = cache.stats();
+        assert_eq!((s1.otf_checks, s1.otf_early_exits), (1, 0));
+        assert!(s1.otf_explored > 0);
+        // Fails: stops at the first counterexample.
+        check_refinement_cached(&cache, &any, &w, 6);
+        let s2 = cache.stats();
+        assert_eq!((s2.otf_checks, s2.otf_early_exits), (2, 1));
     }
 
     #[test]

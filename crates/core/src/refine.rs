@@ -18,7 +18,9 @@
 
 use crate::spec::Specification;
 use crate::traceset::{traceset_dfa, TraceSet, DEFAULT_PREDICATE_DEPTH};
-use pospec_regex::ConcreteDfa;
+use pospec_regex::{
+    accepts_outside_bounds, accepts_word_of_length_at_least, lazy_lifted_inclusion, ConcreteDfa,
+};
 use pospec_trace::{Event, Trace};
 use std::fmt;
 use std::sync::Arc;
@@ -172,10 +174,12 @@ pub(crate) fn condition3_verdict(
     }
     let mut clipped = a.included_in(&region).is_err();
     if !conc_regular && !clipped {
-        // Members on the horizon may have unexplored extensions.
-        clipped = pred_depth == 0
-            || a.included_in(&ConcreteDfa::length_at_most(Arc::clone(sigma_conc), pred_depth - 1))
-                .is_err();
+        // Members *on* the horizon may have unexplored extensions, so the
+        // language counts as fully explored only when every member is
+        // strictly shorter than the trie depth.  Asking for a member of
+        // length ≥ depth covers depth 0 uniformly: an empty language was
+        // explored completely even by a depth-0 trie.
+        clipped = accepts_word_of_length_at_least(a, pred_depth);
     }
     match a.intersect(&region).included_in(b_lifted) {
         Ok(()) => Verdict::Holds {
@@ -188,6 +192,62 @@ pub(crate) fn condition3_verdict(
             counterexample: Some(Trace::from_events(word)),
         },
     }
+}
+
+/// What the on-the-fly inclusion engine did for one condition-3 check —
+/// recorded into the cache's counters by the cached checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct OtfOutcome {
+    /// The search stopped at a counterexample instead of exhausting the
+    /// reachable product.
+    pub early_exit: bool,
+    /// Product states dequeued by the main inclusion search.
+    pub explored: u64,
+}
+
+/// Decide condition 3 **on the fly**: the same verdict (and witness) as
+/// [`condition3_verdict`], produced without materializing the lifted
+/// abstract automaton, the region automaton, or their product.
+///
+/// `a` is the concrete view over the finitized `α(Γ′)`; `b` is the
+/// abstract view over its *own* alphabet `α(Γ)` — the inverse projection
+/// is simulated per symbol by [`lazy_lifted_inclusion`], and the partial
+/// comparison region (concrete length / projected length at most
+/// `pred_depth` when the respective side is a predicate trie) becomes a
+/// pair of counters pruning the product walk.  The search is breadth-first
+/// in symbol order, so a failing check returns the identical shortest,
+/// lexicographically-least counterexample as the eager pipeline and stops
+/// at it — the early exit that makes failing checks cheap.
+pub(crate) fn condition3_verdict_lazy(
+    concrete_ts: &TraceSet,
+    abstract_ts: &TraceSet,
+    a: &ConcreteDfa,
+    b: &ConcreteDfa,
+    pred_depth: usize,
+) -> (Verdict, OtfOutcome) {
+    let conc_regular = concrete_ts.is_regular();
+    let abs_regular = abstract_ts.is_regular();
+    let conc_bound = if conc_regular { None } else { Some(pred_depth) };
+    let proj_bound = if abs_regular { None } else { Some(pred_depth) };
+    let outcome = lazy_lifted_inclusion(a, b, conc_bound, proj_bound);
+    let otf = OtfOutcome { early_exit: outcome.early_exit(), explored: outcome.explored };
+    if let Some(word) = outcome.counterexample {
+        return (
+            Verdict::Fails {
+                reason: FailedCondition::Traces,
+                counterexample: Some(Trace::from_events(word)),
+            },
+            otf,
+        );
+    }
+    // Inclusion holds on the comparison region; the verdict is exact only
+    // when nothing fell outside it (same rule as the eager path).
+    let mut clipped = accepts_outside_bounds(a, b, conc_bound, proj_bound);
+    if !conc_regular && !clipped {
+        clipped = accepts_word_of_length_at_least(a, pred_depth);
+    }
+    let exact = !clipped && concrete_ts.trie_exact_to_depth() && abstract_ts.trie_exact_to_depth();
+    (Verdict::Holds { exact }, otf)
 }
 
 /// Full refinement check `concrete ⊑ abstract_` (Def. 2).
@@ -469,6 +529,81 @@ mod tests {
         .unwrap();
         let v = check_refinement(&loose, &any, 3);
         assert!(matches!(v, Verdict::Holds { exact: false }), "{v:?}");
+    }
+
+    #[test]
+    fn horizon_edge_depths_zero_and_one() {
+        let f = fix();
+        let alpha = EventPattern::call(f.objects, f.o, f.r).to_set(&f.u);
+        let any = Specification::new("Read", [f.o], alpha.clone(), TraceSet::Universal).unwrap();
+        let r = f.r;
+
+        // Depth 0, empty predicate language: even a depth-0 trie explores
+        // an empty language completely, so the verdict is a decision.
+        // (Previously depth 0 was unconditionally clipped.)
+        let never = Specification::new(
+            "Never",
+            [f.o],
+            alpha.clone(),
+            TraceSet::predicate("false", |_h: &Trace| false),
+        )
+        .unwrap();
+        let v = check_refinement(&never, &any, 0);
+        assert!(matches!(v, Verdict::Holds { exact: true }), "{v:?}");
+
+        // Depth 0, non-empty language: ε itself sits on the horizon, so
+        // the verdict cannot claim exactness.
+        let eps_only = Specification::new(
+            "NoReads",
+            [f.o],
+            alpha.clone(),
+            TraceSet::predicate("no R", move |h: &Trace| h.count_method(r) == 0),
+        )
+        .unwrap();
+        let v = check_refinement(&eps_only, &any, 0);
+        assert!(matches!(v, Verdict::Holds { exact: false }), "{v:?}");
+
+        // Depth 1: the same language {ε} now lies strictly inside the
+        // horizon — exact again.
+        let v = check_refinement(&eps_only, &any, 1);
+        assert!(matches!(v, Verdict::Holds { exact: true }), "{v:?}");
+
+        // Cached on-the-fly path must agree verdict-for-verdict.
+        let cache = crate::DfaCache::new();
+        for (spec, depth) in [(&never, 0usize), (&eps_only, 0), (&eps_only, 1)] {
+            let cached = crate::check_refinement_cached(&cache, spec, &any, depth);
+            let plain = check_refinement(spec, &any, depth);
+            assert_eq!(cached, plain, "{} at depth {depth}", spec.name());
+        }
+    }
+
+    #[test]
+    fn horizon_length_members_block_exactness_exactly_at_the_boundary() {
+        let f = fix();
+        let alpha = EventPattern::call(f.objects, f.o, f.r).to_set(&f.u);
+        let any = Specification::new("Read", [f.o], alpha.clone(), TraceSet::Universal).unwrap();
+        let r = f.r;
+        // Members have length ≤ 3 (one witness caller, R only).
+        let three = Specification::new(
+            "ReadThrice",
+            [f.o],
+            alpha,
+            TraceSet::predicate("≤3 R", move |h: &Trace| h.count_method(r) <= 3),
+        )
+        .unwrap();
+        // Longest member exactly on the horizon: not off by one — still
+        // inexact at depth 3...
+        let v = check_refinement(&three, &any, 3);
+        assert!(matches!(v, Verdict::Holds { exact: false }), "{v:?}");
+        // ...and exact from depth 4 on, where every member is strictly
+        // inside the trie.
+        let v = check_refinement(&three, &any, 4);
+        assert!(matches!(v, Verdict::Holds { exact: true }), "{v:?}");
+        let cache = crate::DfaCache::new();
+        for depth in [3usize, 4] {
+            let cached = crate::check_refinement_cached(&cache, &three, &any, depth);
+            assert_eq!(cached, check_refinement(&three, &any, depth), "depth {depth}");
+        }
     }
 
     #[test]

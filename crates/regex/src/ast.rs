@@ -21,7 +21,7 @@ impl fmt::Display for VarId {
 }
 
 /// An object position of a template.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TObj {
     /// A fixed object identity.
     Id(ObjectId),
@@ -46,7 +46,7 @@ impl From<VarId> for TObj {
 }
 
 /// The argument position of a template.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TArg {
     /// Whatever the method signature admits (`W(_)` in Example 4).
     #[default]
@@ -57,7 +57,7 @@ pub enum TArg {
 
 /// An event template `⟨caller, callee, m(arg)⟩` with possibly-variable
 /// object positions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Template {
     /// Caller position.
     pub caller: TObj,
@@ -227,7 +227,11 @@ impl Env {
 }
 
 /// A trace regular expression.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Structural equality and hashing let callers key memoization on the
+/// expression *content* (e.g. the automaton cache), so rebuilding the
+/// same expression in a different allocation still finds the entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Re {
     /// The empty language ∅.
     Empty,

@@ -44,12 +44,12 @@ pub enum AcceptMode {
 /// all its extensions are rejected.
 #[derive(Debug, Clone)]
 pub struct ConcreteDfa {
-    alphabet: Arc<Vec<Event>>,
-    index: HashMap<Event, usize>,
+    pub(crate) alphabet: Arc<Vec<Event>>,
+    pub(crate) index: HashMap<Event, usize>,
     /// `trans[state][symbol]`.
-    trans: Vec<Vec<Option<u32>>>,
-    accepting: Vec<bool>,
-    start: usize,
+    pub(crate) trans: Vec<Vec<Option<u32>>>,
+    pub(crate) accepting: Vec<bool>,
+    pub(crate) start: usize,
 }
 
 fn index_of(alphabet: &[Event]) -> HashMap<Event, usize> {
@@ -200,10 +200,21 @@ impl ConcreteDfa {
     }
 
     fn assert_same_alphabet(&self, other: &ConcreteDfa) {
+        // Interned alphabets (the automaton cache hands out one `Arc` per
+        // structural alphabet) make this an O(1) pointer check; the content
+        // comparison only runs for automata built outside the cache.
+        if Arc::ptr_eq(&self.alphabet, &other.alphabet) {
+            return;
+        }
         assert_eq!(
             &*self.alphabet, &*other.alphabet,
             "automata over different alphabets cannot be combined"
         );
+    }
+
+    /// The position of `e` in the alphabet, if present.
+    pub fn symbol_index(&self, e: &Event) -> Option<usize> {
+        self.index.get(e).copied()
     }
 
     /// Run the automaton; `None` means the word fell off the graph.

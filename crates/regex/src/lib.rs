@@ -31,10 +31,16 @@
 
 pub mod ast;
 pub mod dfa;
+pub mod inclusion;
+pub mod minimize;
 pub mod nfa;
 pub mod prs;
 
 pub use ast::{Env, Re, TArg, TObj, Template, VarId};
 pub use dfa::{AcceptMode, ConcreteDfa};
+pub use inclusion::{
+    accepts_outside_bounds, accepts_word_of_length_at_least, lazy_lifted_inclusion,
+    InclusionOutcome,
+};
 pub use nfa::Nfa;
 pub use prs::{in_lang, prs, CompiledRe};

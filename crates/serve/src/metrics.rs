@@ -61,7 +61,11 @@ fn quantile_us(buckets: &[u64], q: f64) -> u64 {
     if total == 0 {
         return 0;
     }
-    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    // The f64 product can round past `total` (counts above 2^53 are not
+    // exactly representable), which would walk off the end and report the
+    // top bucket's bound for a histogram that never touched it; clamping
+    // keeps the rank inside the recorded mass.
+    let rank = (((total as f64) * q).ceil().max(1.0) as u64).min(total);
     let mut seen = 0u64;
     for (i, &count) in buckets.iter().enumerate() {
         seen += count;
@@ -265,6 +269,25 @@ mod tests {
     }
 
     #[test]
+    fn exact_power_of_two_latencies_land_in_their_own_bucket() {
+        // Bucket i is [2^i, 2^(i+1)) µs, so a latency of exactly 2^i µs
+        // must open bucket i, not close bucket i-1.
+        for i in 0..20 {
+            assert_eq!(bucket_of(Duration::from_micros(1 << i)), i, "2^{i} µs");
+            if i > 0 {
+                assert_eq!(bucket_of(Duration::from_micros((1 << i) + 1)), i, "2^{i}+1 µs");
+                assert_eq!(bucket_of(Duration::from_micros((1 << i) - 1)), i - 1, "2^{i}-1 µs");
+            }
+        }
+        // ...and the estimate reported for that bucket is its upper bound.
+        for i in 0..8 {
+            let mut buckets = vec![0u64; BUCKETS];
+            buckets[i] = 1;
+            assert_eq!(quantile_us(&buckets, 0.50), bucket_upper_us(i));
+        }
+    }
+
+    #[test]
     fn quantiles_walk_the_histogram() {
         let mut buckets = vec![0u64; BUCKETS];
         buckets[0] = 98; // ≤2 µs
@@ -272,6 +295,17 @@ mod tests {
         assert_eq!(quantile_us(&buckets, 0.50), 2);
         assert_eq!(quantile_us(&buckets, 0.99), 2048);
         assert_eq!(quantile_us(&[0; BUCKETS], 0.99), 0);
+    }
+
+    #[test]
+    fn quantile_of_non_empty_histogram_never_reports_the_top_bucket_spuriously() {
+        // (2^53 + 3) is not representable in f64 and rounds *up*, so the
+        // unclamped rank would exceed the total mass and the walk would
+        // fall through to bucket 31's upper bound.
+        let mut buckets = vec![0u64; BUCKETS];
+        buckets[0] = (1u64 << 53) + 3;
+        assert_eq!(quantile_us(&buckets, 1.0), bucket_upper_us(0));
+        assert_eq!(quantile_us(&buckets, 0.99), bucket_upper_us(0));
     }
 
     #[test]
