@@ -139,6 +139,29 @@ impl Universe {
         self.uid
     }
 
+    /// A canonical, process-independent rendering of every declared
+    /// symbol, in declaration order only — no hash-map iteration, no
+    /// addresses, no per-instance `uid`.  Two universes built by the
+    /// same sequence of declarations produce byte-identical text in any
+    /// process; the persistent automaton cache keys on a hash of it.
+    pub fn canonical_description(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.objects {
+            let _ = write!(out, "o:{}:{:?}:{:?};", d.name, d.class, d.role);
+        }
+        for c in &self.classes {
+            let _ = write!(out, "c:{}:{:?};", c.name, c.kind);
+        }
+        for m in &self.methods {
+            let _ = write!(out, "m:{}:{:?}:{:?};", m.name, m.sig, m.role);
+        }
+        for d in &self.data {
+            let _ = write!(out, "d:{}:{:?}:{:?};", d.name, d.class, d.role);
+        }
+        out
+    }
+
     /// All declared (non-witness) object identities.
     pub fn declared_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
         self.objects
@@ -595,6 +618,28 @@ mod tests {
         let u1 = UniverseBuilder::new().freeze();
         let u2 = UniverseBuilder::new().freeze();
         assert_ne!(u1.uid(), u2.uid());
+    }
+
+    #[test]
+    fn canonical_description_depends_on_content_not_identity() {
+        let build = || {
+            let mut b = UniverseBuilder::new();
+            let data = b.data_class("Data").unwrap();
+            b.object("o").unwrap();
+            b.method_with("w", data).unwrap();
+            b.data_witnesses(data, 2).unwrap();
+            b.freeze()
+        };
+        let u1 = build();
+        let u2 = build();
+        assert_ne!(u1.uid(), u2.uid());
+        assert_eq!(
+            u1.canonical_description(),
+            u2.canonical_description(),
+            "same declarations must render identically"
+        );
+        let different = UniverseBuilder::new().freeze();
+        assert_ne!(u1.canonical_description(), different.canonical_description());
     }
 
     #[test]

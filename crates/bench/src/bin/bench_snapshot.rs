@@ -10,12 +10,19 @@
 //! Exits non-zero when an acceptance gate fails: the cold and warm
 //! matrices must produce identical verdicts, warm lift hits must exceed
 //! lift misses, and the warm phase must build fewer automata than cold.
+//! The snapshot also carries a `"restart"` object — the kill-and-restart
+//! cycle over the persistent on-disk cache, gated on a fresh process
+//! answering warm from disk with identical verdicts.
 
 use pospec_bench::cachebench::{cache_campaign, DEPTH};
 
 fn main() {
     let campaign = cache_campaign(DEPTH);
-    let doc = campaign.to_json();
+    let restart = pospec_bench::chaos::run_restart(0x5EED);
+    let mut doc = campaign.to_json();
+    if let pospec_json::Value::Obj(fields) = &mut doc {
+        fields.push(("restart".to_string(), restart.to_json()));
+    }
     std::fs::write("BENCH_6.json", doc.to_pretty()).expect("writable cwd");
     println!(
         "wrote BENCH_6.json (depth {}): cold {:.2?} matrix / {} misses, warm {:.2?} matrix / {} lift hits vs {} lift misses; minimized {} automata ({} states removed); {} on-the-fly checks, {} early exits; verdicts agree: {}",
@@ -31,7 +38,11 @@ fn main() {
         campaign.cold.stats.otf_early_exits + campaign.warm.stats.otf_early_exits,
         campaign.verdicts_agree,
     );
-    if !campaign.gates_pass() {
+    println!(
+        "restart: verdicts identical: {}; cold wrote {} automaton(s), warm served {} disk hit(s)",
+        restart.verdicts_identical, restart.cold_disk_writes, restart.warm_disk_hits,
+    );
+    if !campaign.gates_pass() || !restart.gates_pass() {
         eprintln!("BENCH_6 gate failed: {}", doc.to_pretty());
         std::process::exit(1);
     }

@@ -1,0 +1,41 @@
+//! Run the CHAOS campaign once and exit non-zero on a gate failure:
+//!
+//! ```text
+//! cargo run --release -p pospec-bench --bin chaos_smoke
+//! ```
+//!
+//! The campaign drives the paper's check matrix through a deterministic
+//! fault-injecting TCP proxy at rates up to 10 % (gate: every request
+//! ends in a correct verdict or a structured error — never a wrong
+//! verdict, never a hang), then cycles a `--cache-dir` server twice to
+//! prove a fresh process answers warm from the persistent store.
+
+fn main() {
+    let summary = pospec_bench::chaos::run_chaos(0xC4A0_5EED);
+    for rate in &summary.rates {
+        println!(
+            "chaos {:>4}‰: {} requests → {} correct, {} structured error(s), {} transport error(s), {} wrong",
+            rate.fault_permil,
+            rate.requests,
+            rate.correct,
+            rate.structured_errors,
+            rate.transport_errors,
+            rate.wrong,
+        );
+    }
+    let r = &summary.restart;
+    println!(
+        "restart: {} pairs, verdicts identical: {}; cold wrote {} automaton(s), warm served {} disk hit(s) ({} dfa + {} lift hits)",
+        r.pairs,
+        r.verdicts_identical,
+        r.cold_disk_writes,
+        r.warm_disk_hits,
+        r.warm_dfa_hits,
+        r.warm_lift_hits,
+    );
+    if !summary.gates_pass() {
+        eprintln!("CHAOS gate failed: {}", summary.to_json().to_pretty());
+        std::process::exit(1);
+    }
+    println!("CHAOS gates pass");
+}

@@ -117,8 +117,7 @@ pub fn run() -> ServiceSummary {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         queue: 32,
-        preload: None,
-        strict: false,
+        ..ServerConfig::default()
     };
     let server = Server::bind(&config).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();

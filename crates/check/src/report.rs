@@ -114,6 +114,9 @@ pub fn cache_stats_json(s: &pospec_core::CacheStats) -> pospec_json::Value {
         .field("otf_checks", s.otf_checks)
         .field("otf_early_exits", s.otf_early_exits)
         .field("otf_explored", s.otf_explored)
+        .field("disk_hits", s.disk_hits)
+        .field("disk_writes", s.disk_writes)
+        .field("disk_skipped", s.disk_skipped)
         .build()
 }
 

@@ -42,6 +42,7 @@
 //! service's `stats` response.
 
 use crate::parallel::parallel_map_ref;
+use crate::persist::PersistentStore;
 use crate::refine::{
     condition3_verdict_lazy, refinement_conditions, FailedCondition, OtfOutcome, Verdict,
 };
@@ -51,6 +52,7 @@ use pospec_alphabet::{EventGranule, EventSet, Universe};
 use pospec_regex::{ConcreteDfa, Re};
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -147,6 +149,14 @@ pub struct CacheStats {
     pub otf_early_exits: u64,
     /// Product states explored across all on-the-fly searches.
     pub otf_explored: u64,
+    /// Automata served from the attached persistent store (each also
+    /// counts as a `dfa_hits`/`lift_hits`, never as a miss).
+    pub disk_hits: u64,
+    /// Automata written through to the persistent store.
+    pub disk_writes: u64,
+    /// Persistent entries skipped as corrupt, version-mismatched, or
+    /// key-mismatched (load + probe time).
+    pub disk_skipped: u64,
 }
 
 impl CacheStats {
@@ -192,6 +202,9 @@ impl CacheStats {
             otf_checks: self.otf_checks - earlier.otf_checks,
             otf_early_exits: self.otf_early_exits - earlier.otf_early_exits,
             otf_explored: self.otf_explored - earlier.otf_explored,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+            disk_writes: self.disk_writes - earlier.disk_writes,
+            disk_skipped: self.disk_skipped - earlier.disk_skipped,
         }
     }
 }
@@ -205,6 +218,11 @@ pub struct DfaCache {
     /// Clones of every identity-keyed trace set, pinning the `Arc`s whose
     /// addresses serve as keys (universes are pinned by the arena).
     pinned_sets: Mutex<Vec<TraceSet>>,
+    /// Optional write-through persistent store; see [`DfaCache::attach_store`].
+    store: OnceLock<Arc<PersistentStore>>,
+    /// Memoized universe fingerprints (keyed by pinned `Arc` address),
+    /// part of every on-disk key.
+    universe_fps: Mutex<HashMap<usize, u64>>,
     alphabet_hits: AtomicU64,
     alphabet_misses: AtomicU64,
     dfa_hits: AtomicU64,
@@ -218,6 +236,7 @@ pub struct DfaCache {
     otf_checks: AtomicU64,
     otf_early_exits: AtomicU64,
     otf_explored: AtomicU64,
+    disk_hits: AtomicU64,
 }
 
 impl DfaCache {
@@ -230,6 +249,21 @@ impl DfaCache {
     pub fn global() -> &'static DfaCache {
         static GLOBAL: OnceLock<DfaCache> = OnceLock::new();
         GLOBAL.get_or_init(DfaCache::new)
+    }
+
+    /// Attach a persistent on-disk store: content-keyed automata built
+    /// from now on are written through (atomically), and probes for
+    /// entries the store already holds are served from disk instead of
+    /// rebuilt — so a restarted process comes up warm.  Identity-keyed
+    /// trace sets (opaque predicates, explicit DFAs) stay memory-only.
+    /// A second attach on the same cache is ignored.
+    pub fn attach_store(&self, store: Arc<PersistentStore>) {
+        let _ = self.store.set(store);
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Arc<PersistentStore>> {
+        self.store.get()
     }
 
     /// Intern `set`'s structural key, without enumerating it.
@@ -301,29 +335,125 @@ impl DfaCache {
         }
     }
 
-    /// Claim the slot for `key`, recording hit/miss, without building.
-    fn slot<K: std::hash::Hash + Eq>(
+    /// Claim the slot for `key` without touching the hit/miss counters;
+    /// the second component is `true` iff this call inserted the slot
+    /// (the caller decides whether that vacancy is a disk hit or a miss).
+    fn claim<K: std::hash::Hash + Eq>(
         &self,
         map: &Mutex<HashMap<K, DfaSlot>>,
         key: K,
-        hits: &AtomicU64,
-        misses: &AtomicU64,
         pin: &TraceSet,
-    ) -> DfaSlot {
+    ) -> (DfaSlot, bool) {
         let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
         match map.entry(key) {
-            MapEntry::Occupied(slot) => {
-                hits.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(slot.get())
-            }
+            MapEntry::Occupied(slot) => (Arc::clone(slot.get()), false),
             MapEntry::Vacant(slot) => {
-                misses.fetch_add(1, Ordering::Relaxed);
                 if Self::needs_pin(pin) {
                     self.pinned_sets.lock().unwrap_or_else(|e| e.into_inner()).push(pin.clone());
                 }
-                Arc::clone(slot.insert(Arc::new(OnceLock::new())))
+                (Arc::clone(slot.insert(Arc::new(OnceLock::new()))), true)
             }
         }
+    }
+
+    /// The FNV-64 fingerprint of the universe's canonical description
+    /// (declaration order only — `Debug` would leak per-process
+    /// hash-map iteration order), memoized per pinned `Arc` address.
+    /// Part of every on-disk key, so entries from a structurally
+    /// different universe can never match.
+    fn universe_fingerprint(&self, u: &Arc<Universe>) -> u64 {
+        let ptr = Arc::as_ptr(u) as usize;
+        let mut fps = self.universe_fps.lock().unwrap_or_else(|e| e.into_inner());
+        *fps.entry(ptr)
+            .or_insert_with(|| crate::persist::fnv64(u.canonical_description().as_bytes()))
+    }
+
+    /// Append the canonical persistent form of `set`'s granule set.
+    /// Granule iteration is canonical and every granule type derives
+    /// `Debug` deterministically, so structurally equal alphabets render
+    /// identically across processes.
+    fn canon_alpha(out: &mut String, set: &EventSet) {
+        let granules: Vec<EventGranule> = set.granules().copied().collect();
+        let _ = write!(out, "{granules:?}");
+    }
+
+    /// Append the canonical persistent form of `ts`, or return `false`
+    /// when `ts` contains an identity-keyed backend anywhere (process-
+    /// local `Arc` addresses have no cross-process meaning, so such sets
+    /// are never persisted).  Unlike [`TsKey`], compositions embed their
+    /// operand alphabets *structurally* — `AlphaId`s are process-local.
+    fn canon_ts(out: &mut String, ts: &TraceSet) -> bool {
+        match ts {
+            TraceSet::Universal => {
+                out.push('U');
+                true
+            }
+            TraceSet::Prs(re) => {
+                let _ = write!(out, "P({:?})", re.re());
+                true
+            }
+            TraceSet::Predicate { .. } | TraceSet::Dfa(_) => false,
+            TraceSet::Conj(parts) => {
+                out.push_str("C(");
+                for p in parts.iter() {
+                    if !Self::canon_ts(out, p) {
+                        return false;
+                    }
+                    out.push(',');
+                }
+                out.push(')');
+                true
+            }
+            TraceSet::Composed(c) => {
+                out.push_str("X(");
+                if !Self::canon_ts(out, c.left.trace_set()) {
+                    return false;
+                }
+                out.push('@');
+                Self::canon_alpha(out, c.left.alphabet());
+                out.push('|');
+                if !Self::canon_ts(out, c.right.trace_set()) {
+                    return false;
+                }
+                out.push('@');
+                Self::canon_alpha(out, c.right.alphabet());
+                let hidden: Vec<EventGranule> = c.hidden.granules().copied().collect();
+                let visible: Vec<EventGranule> = c.visible.granules().copied().collect();
+                let _ = write!(out, "|H{hidden:?}|V{visible:?})");
+                true
+            }
+        }
+    }
+
+    /// The canonical on-disk key for an automaton query, or `None` when
+    /// no store is attached or the trace set is not content-addressable.
+    fn persist_key(
+        &self,
+        kind: &str,
+        u: &Arc<Universe>,
+        ts: &TraceSet,
+        alpha: &EventSet,
+        big: Option<&EventSet>,
+        pred_depth: usize,
+    ) -> Option<String> {
+        self.store.get()?;
+        let mut key = String::new();
+        let _ = write!(
+            key,
+            "v{}|{kind}|d{pred_depth}|u{:016x}|A",
+            crate::persist::FORMAT_VERSION,
+            self.universe_fingerprint(u)
+        );
+        Self::canon_alpha(&mut key, alpha);
+        if let Some(big) = big {
+            key.push_str("|B");
+            Self::canon_alpha(&mut key, big);
+        }
+        key.push_str("|T");
+        if !Self::canon_ts(&mut key, ts) {
+            return None;
+        }
+        Some(key)
     }
 
     /// Build an entry, Hopcroft-minimize it, and account for both.
@@ -357,9 +487,36 @@ impl DfaCache {
         pred_depth: usize,
     ) -> Arc<ConcreteDfa> {
         let key = (self.ts_key(ts), self.alpha_id(alpha), pred_depth);
-        let slot = self.slot(&self.dfas, key, &self.dfa_hits, &self.dfa_misses, ts);
+        let (slot, inserted) = self.claim(&self.dfas, key, ts);
         let sigma = self.alphabet(alpha);
-        Arc::clone(slot.get_or_init(|| self.timed_build(|| traceset_dfa(u, ts, sigma, pred_depth))))
+        if !inserted {
+            self.dfa_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(
+                slot.get_or_init(|| self.timed_build(|| traceset_dfa(u, ts, sigma, pred_depth))),
+            );
+        }
+        // First in-memory sight of this key: try the persistent store
+        // before paying for a build, and write through afterwards.
+        let disk_key = self.persist_key("dfa", u, ts, alpha, None, pred_depth);
+        if let (Some(store), Some(dk)) = (self.store.get(), &disk_key) {
+            if let Some(dfa) = store.get(dk, &sigma) {
+                self.dfa_hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(slot.get_or_init(|| dfa));
+            }
+        }
+        self.dfa_misses.fetch_add(1, Ordering::Relaxed);
+        let mut built = false;
+        let out = Arc::clone(slot.get_or_init(|| {
+            built = true;
+            self.timed_build(|| traceset_dfa(u, ts, sigma, pred_depth))
+        }));
+        if built {
+            if let (Some(store), Some(dk)) = (self.store.get(), &disk_key) {
+                store.put(dk, &out);
+            }
+        }
+        out
     }
 
     /// The automaton view of `ts` over `alpha`, lifted to the
@@ -375,14 +532,48 @@ impl DfaCache {
         pred_depth: usize,
     ) -> Arc<ConcreteDfa> {
         let key = (self.ts_key(ts), self.alpha_id(alpha), self.alpha_id(big), pred_depth);
-        let slot = self.slot(&self.lifted, key, &self.lift_hits, &self.lift_misses, ts);
-        let base = self.traceset_dfa(u, ts, alpha, pred_depth);
+        let (slot, inserted) = self.claim(&self.lifted, key, ts);
+        if !inserted {
+            self.lift_hits.fetch_add(1, Ordering::Relaxed);
+            let base = self.traceset_dfa(u, ts, alpha, pred_depth);
+            let sigma_big = self.alphabet(big);
+            return Arc::clone(slot.get_or_init(|| self.timed_build(|| base.lift_to(sigma_big))));
+        }
         let sigma_big = self.alphabet(big);
-        Arc::clone(slot.get_or_init(|| self.timed_build(|| base.lift_to(sigma_big))))
+        // A disk hit serves the finished lift without even building the
+        // base automaton.
+        let disk_key = self.persist_key("lift", u, ts, alpha, Some(big), pred_depth);
+        if let (Some(store), Some(dk)) = (self.store.get(), &disk_key) {
+            if let Some(dfa) = store.get(dk, &sigma_big) {
+                self.lift_hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(slot.get_or_init(|| dfa));
+            }
+        }
+        self.lift_misses.fetch_add(1, Ordering::Relaxed);
+        let base = self.traceset_dfa(u, ts, alpha, pred_depth);
+        let mut built = false;
+        let out = Arc::clone(slot.get_or_init(|| {
+            built = true;
+            self.timed_build(|| base.lift_to(sigma_big))
+        }));
+        if built {
+            if let (Some(store), Some(dk)) = (self.store.get(), &disk_key) {
+                store.put(dk, &out);
+            }
+        }
+        out
     }
 
     /// Current counter values.
     pub fn stats(&self) -> CacheStats {
+        let (disk_writes, disk_skipped) = match self.store.get() {
+            Some(store) => {
+                let s = store.stats();
+                (s.writes, s.skipped())
+            }
+            None => (0, 0),
+        };
         CacheStats {
             alphabet_hits: self.alphabet_hits.load(Ordering::Relaxed),
             alphabet_misses: self.alphabet_misses.load(Ordering::Relaxed),
@@ -397,6 +588,9 @@ impl DfaCache {
             otf_checks: self.otf_checks.load(Ordering::Relaxed),
             otf_early_exits: self.otf_early_exits.load(Ordering::Relaxed),
             otf_explored: self.otf_explored.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_writes,
+            disk_skipped,
         }
     }
 
@@ -425,6 +619,9 @@ impl DfaCache {
         self.dfas.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.lifted.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.pinned_sets.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        // Fingerprints key on universe addresses, which the arena no
+        // longer pins — a later universe could reuse one.
+        self.universe_fps.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 }
 
@@ -721,6 +918,68 @@ mod tests {
         // Write ⊑ Any, Any ⋢ Write, both reflexive.
         assert!(matrix[0][0].holds() && matrix[0][1].holds() && matrix[1][1].holds());
         assert!(!matrix[1][0].holds());
+    }
+
+    #[test]
+    fn persisted_entries_warm_a_fresh_cache_from_disk() {
+        let dir = std::env::temp_dir().join(format!("pospec-cache-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = fix();
+        let w = write_spec(&f);
+        let big = alpha(&f, &[f.ow, f.w, f.cw]);
+        let small = alpha(&f, &[f.ow, f.cw]);
+        let brackets = Specification::new(
+            "Brackets",
+            [f.o],
+            small,
+            TraceSet::prs(
+                Re::seq([
+                    Re::lit(Template::call(VarId(0), f.o, f.ow)),
+                    Re::lit(Template::call(VarId(0), f.o, f.cw)),
+                ])
+                .bind(VarId(0), f.objects)
+                .star(),
+            ),
+        )
+        .unwrap();
+
+        // Process one: build cold, write through.
+        let cold = DfaCache::new();
+        cold.attach_store(Arc::new(crate::persist::PersistentStore::open(&dir).unwrap()));
+        let d_cold = cold.traceset_dfa(&f.u, w.trace_set(), w.alphabet(), 6);
+        let l_cold = cold.lifted_dfa(&f.u, brackets.trace_set(), brackets.alphabet(), &big, 6);
+        let cold_stats = cold.stats();
+        assert_eq!(cold_stats.disk_hits, 0, "first process never disk-hits");
+        assert!(cold_stats.disk_writes >= 3, "base + brackets + lift written: {cold_stats:?}");
+
+        // An opaque predicate must stay memory-only.
+        let wm = f.w;
+        let pred = Specification::new(
+            "≤2 W",
+            [f.o],
+            alpha(&f, &[f.ow, f.w, f.cw]),
+            TraceSet::predicate("≤2 W", move |h: &Trace| h.count_method(wm) <= 2),
+        )
+        .unwrap();
+        cold.traceset_dfa(&f.u, pred.trace_set(), pred.alphabet(), 6);
+        assert_eq!(
+            cold.stats().disk_writes,
+            cold_stats.disk_writes,
+            "identity-keyed sets are never persisted"
+        );
+
+        // "Process two": a fresh cache over the same directory.
+        let warm = DfaCache::new();
+        warm.attach_store(Arc::new(crate::persist::PersistentStore::open(&dir).unwrap()));
+        let d_warm = warm.traceset_dfa(&f.u, w.trace_set(), w.alphabet(), 6);
+        let l_warm = warm.lifted_dfa(&f.u, brackets.trace_set(), brackets.alphabet(), &big, 6);
+        let s = warm.stats();
+        assert!(d_warm.equiv(&d_cold), "disk-served language identical");
+        assert!(l_warm.equiv(&l_cold), "disk-served lift identical");
+        assert_eq!(s.disk_hits, 2, "both probes served from disk: {s:?}");
+        assert_eq!(s.dfa_misses + s.lift_misses, 0, "nothing rebuilt: {s:?}");
+        assert!(s.dfa_hits + s.lift_hits > 0, "disk hits count as cache hits");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

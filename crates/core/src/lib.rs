@@ -34,6 +34,7 @@ pub mod component;
 pub mod compose;
 pub mod morphism;
 pub mod parallel;
+pub mod persist;
 pub mod refine;
 pub mod spec;
 pub mod traceset;
@@ -53,6 +54,7 @@ pub use parallel::{
     parallel_find_first, parallel_flat_map_ref, parallel_map, parallel_map_ref,
     parallel_try_map_ref, worker_count, WorkerPanic,
 };
+pub use persist::{PersistStats, PersistentStore, FORMAT_VERSION};
 pub use refine::{
     check_refinement, check_traditional_refinement, refinement_conditions, refines,
     FailedCondition, RefinementConditions, Verdict,

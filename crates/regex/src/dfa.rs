@@ -199,6 +199,61 @@ impl ConcreteDfa {
         self.trans.len()
     }
 
+    /// The transition table, `rows()[state][symbol]` (`None` = dead).
+    ///
+    /// Exposed for serialisation (the persistent automaton cache);
+    /// semantic queries should go through [`ConcreteDfa::successor`].
+    pub fn rows(&self) -> &[Vec<Option<u32>>] {
+        &self.trans
+    }
+
+    /// The accepting mask, indexed by state.
+    pub fn accepting_mask(&self) -> &[bool] {
+        &self.accepting
+    }
+
+    /// Reassemble an automaton from its serialised parts, validating
+    /// every structural invariant (row widths, target and start bounds)
+    /// so a corrupt or truncated cache file can never yield an automaton
+    /// that indexes out of bounds.
+    pub fn from_parts(
+        alphabet: Arc<Vec<Event>>,
+        trans: Vec<Vec<Option<u32>>>,
+        accepting: Vec<bool>,
+        start: usize,
+    ) -> Result<ConcreteDfa, String> {
+        let states = trans.len();
+        if states == 0 {
+            return Err("automaton must have at least one state".into());
+        }
+        if accepting.len() != states {
+            return Err(format!(
+                "accepting mask covers {} state(s), transition table has {states}",
+                accepting.len()
+            ));
+        }
+        if start >= states {
+            return Err(format!("start state {start} out of range (0..{states})"));
+        }
+        for (s, row) in trans.iter().enumerate() {
+            if row.len() != alphabet.len() {
+                return Err(format!(
+                    "state {s} has {} transition(s), alphabet has {} symbol(s)",
+                    row.len(),
+                    alphabet.len()
+                ));
+            }
+            if let Some(t) = row.iter().flatten().find(|t| **t as usize >= states) {
+                return Err(format!("state {s} targets out-of-range state {t}"));
+            }
+        }
+        let index = index_of(&alphabet);
+        if index.len() != alphabet.len() {
+            return Err("alphabet contains duplicate events".into());
+        }
+        Ok(ConcreteDfa { alphabet, index, trans, accepting, start })
+    }
+
     fn assert_same_alphabet(&self, other: &ConcreteDfa) {
         // Interned alphabets (the automaton cache hands out one `Arc` per
         // structural alphabet) make this an O(1) pointer check; the content

@@ -5,7 +5,9 @@
 //! writes a request line and blocks for the matching response line
 //! (the protocol answers in order per connection).
 
+use crate::retry::{request_idempotent, RetryPolicy};
 use pospec_json::Value;
+use std::cell::Cell;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -41,6 +43,8 @@ impl From<std::io::Error> for ClientError {
 
 /// One connection to a `pospec-serve` instance.
 pub struct Client {
+    addr: String,
+    timeout: Cell<Option<Duration>>,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
@@ -51,13 +55,32 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
-        Ok(Client { writer, reader: BufReader::new(stream) })
+        Ok(Client {
+            addr: addr.to_string(),
+            timeout: Cell::new(None),
+            writer,
+            reader: BufReader::new(stream),
+        })
     }
 
-    /// Bound how long a single call may wait for its response.
+    /// Bound how long a single call may wait for its response.  The
+    /// value is remembered and re-applied after [`Client::reconnect`].
     pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
         self.writer.set_write_timeout(timeout)?;
         self.reader.get_ref().set_read_timeout(timeout)?;
+        self.timeout.set(timeout);
+        Ok(())
+    }
+
+    /// Drop the current connection and dial the same address again,
+    /// keeping the configured timeout.  A connection that suffered any
+    /// transport error (including a read timeout) may hold a half-read
+    /// response, so retrying without reconnecting could pair a request
+    /// with a stale answer — the retry path always goes through here.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let fresh = Client::connect(&self.addr)?;
+        fresh.set_timeout(self.timeout.get())?;
+        *self = fresh;
         Ok(())
     }
 
@@ -71,6 +94,55 @@ impl Client {
             return Err(ClientError::Disconnected);
         }
         pospec_json::parse(line.trim_end()).map_err(|e| ClientError::BadResponse(e.to_string()))
+    }
+
+    /// [`Client::call`] with seeded-backoff retries.
+    ///
+    /// Retries happen on transport errors (reconnecting first — broken
+    /// pipes, timeouts, and mid-line closes all desync the stream) and
+    /// on structured `overloaded` refusals (same connection, it is
+    /// healthy).  Only requests [`request_idempotent`] approves retry
+    /// automatically; `retry_unsafe` overrides that judgement for
+    /// callers who know the op is safe to repeat.  When the budget runs
+    /// out the last error (or the `overloaded` response) is returned.
+    pub fn call_retrying(
+        &mut self,
+        request: &Value,
+        policy: &RetryPolicy,
+        retry_unsafe: bool,
+    ) -> Result<Value, ClientError> {
+        let retryable = retry_unsafe || request_idempotent(request);
+        let mut delays = policy.schedule();
+        loop {
+            let error = match self.call(request) {
+                Ok(response) => {
+                    if retryable && error_kind(&response) == Some("overloaded") {
+                        match delays.next() {
+                            Some(delay) => {
+                                std::thread::sleep(delay);
+                                continue;
+                            }
+                            None => return Ok(response),
+                        }
+                    }
+                    return Ok(response);
+                }
+                Err(e) => e,
+            };
+            if !retryable {
+                return Err(error);
+            }
+            match delays.next() {
+                Some(delay) => {
+                    std::thread::sleep(delay);
+                    // Reconnect failures are not fatal here: the next
+                    // call on the stale stream fails fast and consumes
+                    // the next slot of the budget.
+                    let _ = self.reconnect();
+                }
+                None => return Err(error),
+            }
+        }
     }
 }
 

@@ -28,7 +28,10 @@
 //! * [`server`] — the accept loop, one lightweight reader thread per
 //!   connection, graceful shutdown that drains in-flight work;
 //! * [`client`] — a tiny blocking client used by `pospec call`, the
-//!   integration tests, and the bench campaign.
+//!   integration tests, and the bench campaign;
+//! * [`retry`] — a pure, seeded exponential-backoff policy with
+//!   idempotency-aware automatic retries, driving
+//!   [`Client::call_retrying`](client::Client::call_retrying).
 //!
 //! # Wire protocol
 //!
@@ -51,6 +54,7 @@ pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod registry;
+pub mod retry;
 pub mod server;
 
 pub use client::{error_kind, response_ok, Client, ClientError};
@@ -58,4 +62,5 @@ pub use metrics::{MetricsSnapshot, ServerMetrics};
 pub use pool::{SubmitError, WorkerPool};
 pub use protocol::{error_response, ok_response, parse_request, Envelope, ProtoError, Request};
 pub use registry::{RegisteredDoc, SpecRegistry};
+pub use retry::{request_idempotent, RetryPolicy, RetrySchedule};
 pub use server::{Server, ServerConfig};

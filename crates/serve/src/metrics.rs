@@ -85,6 +85,9 @@ pub struct ServerMetrics {
     deadline_exceeded: AtomicU64,
     connections: AtomicU64,
     queue_highwater: AtomicU64,
+    idle_reaped: AtomicU64,
+    oversize_rejected: AtomicU64,
+    conns_refused: AtomicU64,
     latency: Histogram,
 }
 
@@ -98,6 +101,9 @@ impl Default for ServerMetrics {
             deadline_exceeded: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             queue_highwater: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            oversize_rejected: AtomicU64::new(0),
+            conns_refused: AtomicU64::new(0),
             latency: Histogram::default(),
         }
     }
@@ -144,6 +150,24 @@ impl ServerMetrics {
         self.queue_highwater.fetch_max(depth as u64, Ordering::Relaxed);
     }
 
+    /// Count one connection closed because it sat idle past the
+    /// configured read timeout.
+    pub fn idle_reaped(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one line rejected for exceeding the line-length cap.
+    pub fn oversize_rejected(&self) {
+        self.oversize_rejected.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection refused at accept time (connection cap).
+    pub fn conn_refused(&self) {
+        self.conns_refused.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record one completed request's wall-clock latency.
     pub fn latency(&self, elapsed: Duration) {
         self.latency.record(elapsed);
@@ -164,6 +188,9 @@ impl ServerMetrics {
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             queue_highwater: self.queue_highwater.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
+            oversize_rejected: self.oversize_rejected.load(Ordering::Relaxed),
+            conns_refused: self.conns_refused.load(Ordering::Relaxed),
             latency_buckets: self.latency.snapshot(),
             cache,
         }
@@ -187,6 +214,12 @@ pub struct MetricsSnapshot {
     pub connections: u64,
     /// Highest queue depth observed at submission time.
     pub queue_highwater: u64,
+    /// Connections closed for idling past the read timeout.
+    pub idle_reaped: u64,
+    /// Lines rejected for exceeding the length cap.
+    pub oversize_rejected: u64,
+    /// Connections refused at accept time (connection cap).
+    pub conns_refused: u64,
     /// Latency histogram bucket counts (power-of-two µs buckets).
     pub latency_buckets: Vec<u64>,
     /// Automaton-cache counters at snapshot time.
@@ -223,6 +256,9 @@ impl MetricsSnapshot {
             .field("deadline_exceeded", self.deadline_exceeded)
             .field("connections", self.connections)
             .field("queue_highwater", self.queue_highwater)
+            .field("idle_reaped", self.idle_reaped)
+            .field("oversize_rejected", self.oversize_rejected)
+            .field("conns_refused", self.conns_refused)
             .field(
                 "latency",
                 ObjBuilder::new()

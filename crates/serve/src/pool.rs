@@ -218,6 +218,31 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_with_in_flight_panicking_jobs_drains_without_deadlock() {
+        // Queue a mix of panicking and well-behaved jobs across few
+        // workers, then shut down while they are in flight: every
+        // accepted job must still run (or panic in isolation) and
+        // shutdown must return — a worker dying with the queue nonempty
+        // would deadlock the drain.
+        let pool = WorkerPool::new(2, 32);
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let done = Arc::clone(&done);
+            pool.try_submit(Box::new(move || {
+                if i % 3 == 0 {
+                    panic!("poisonous request #{i}");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .expect("queue has room");
+        }
+        pool.shutdown();
+        // 0,3,6,9,12,15,18 panic (7 jobs); the other 13 complete.
+        assert_eq!(done.load(Ordering::SeqCst), 13, "every non-panicking job drained");
+        assert!(matches!(pool.try_submit(Box::new(|| {})), Err(SubmitError::ShuttingDown)));
+    }
+
+    #[test]
     fn closed_pool_rejects_cleanly_and_shutdown_is_idempotent() {
         let pool = WorkerPool::new(1, 1);
         pool.shutdown();

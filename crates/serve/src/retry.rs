@@ -1,0 +1,166 @@
+//! Deterministic retry policy for the wire client.
+//!
+//! The policy is a pure value: [`RetryPolicy::schedule`] yields the
+//! exact backoff delays as an iterator, so tests can assert the whole
+//! schedule without sleeping.  Delays grow exponentially from
+//! [`RetryPolicy::base`] up to [`RetryPolicy::cap`], each scaled by a
+//! **seeded** jitter factor in `[0.5, 1.0)` — the same SplitMix64
+//! mixing the simulator's fault plans use, so two clients with
+//! different seeds never stampede in lockstep while a fixed seed
+//! reproduces byte-identical timing.
+//!
+//! What retries is as important as when: [`request_idempotent`]
+//! classifies requests by their wire `op`.  Read-only and
+//! deterministic-recompute ops (`check`, `batch_check`, `compose`,
+//! `lint`, `stats`, `ping`) retry automatically; state-changing ops
+//! (`load_spec`, `clear_cache`, `shutdown`) never retry unless the
+//! caller explicitly opts in (`--retry-unsafe`), because a request
+//! whose response was lost may still have been applied.
+
+use pospec_json::Value;
+use std::time::Duration;
+
+/// SplitMix64 finalizer — the same mixing discipline as the
+/// simulator's seeded fault plans, duplicated here so the client layer
+/// does not depend on `pospec-sim`.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// When and how often to retry a failed call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (`1` = never retry).
+    pub attempts: u32,
+    /// Delay before the first retry (doubles per retry).
+    pub base: Duration,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+    /// Seed of the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt).
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy { attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// A default-shaped policy with `retries` retries after the first
+    /// attempt and the given jitter seed.
+    pub fn with_retries(retries: u32, seed: u64) -> RetryPolicy {
+        RetryPolicy { attempts: retries.saturating_add(1), seed, ..RetryPolicy::default() }
+    }
+
+    /// The pure delay schedule: one element per retry the budget allows.
+    pub fn schedule(&self) -> RetrySchedule {
+        RetrySchedule { policy: *self, next_retry: 0 }
+    }
+}
+
+/// Iterator over the policy's backoff delays; element `k` is the pause
+/// before retry `k + 1`.  Pure — consuming it never sleeps.
+#[derive(Debug, Clone)]
+pub struct RetrySchedule {
+    policy: RetryPolicy,
+    next_retry: u32,
+}
+
+impl Iterator for RetrySchedule {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        if self.next_retry >= self.policy.attempts.saturating_sub(1) {
+            return None;
+        }
+        let k = self.next_retry;
+        self.next_retry += 1;
+        // base · 2^k, saturating, then capped.
+        let exp = self.policy.base.saturating_mul(1u32.checked_shl(k).unwrap_or(u32::MAX));
+        let delay = exp.min(self.policy.cap);
+        // Jitter in [0.5, 1.0): 53 random bits scaled into [0, 0.5).
+        let bits = mix(self.policy.seed ^ (u64::from(k) << 32)) >> 11;
+        let frac = 0.5 + (bits as f64) / ((1u64 << 53) as f64) * 0.5;
+        Some(delay.mul_f64(frac))
+    }
+}
+
+/// Is `request` safe to retry automatically after a transport failure?
+///
+/// `true` for read-only or deterministically recomputed ops; `false`
+/// for ops that change server state (`load_spec`, `clear_cache`,
+/// `shutdown`), where a lost response does not mean a lost effect.
+pub fn request_idempotent(request: &Value) -> bool {
+    matches!(
+        request.get("op").and_then(Value::as_str),
+        Some("check" | "batch_check" | "compose" | "lint" | "stats" | "ping")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_json::ObjBuilder;
+
+    #[test]
+    fn schedule_is_deterministic_and_budgeted() {
+        let policy = RetryPolicy { seed: 7, ..RetryPolicy::default() };
+        let a: Vec<Duration> = policy.schedule().collect();
+        let b: Vec<Duration> = policy.schedule().collect();
+        assert_eq!(a, b, "same policy, same schedule");
+        assert_eq!(a.len(), 3, "attempts=4 means 3 retries");
+        assert_eq!(RetryPolicy::no_retry().schedule().count(), 0);
+        assert_eq!(RetryPolicy::with_retries(5, 0).schedule().count(), 5);
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_the_jitter_band_and_cap() {
+        let policy = RetryPolicy {
+            attempts: 10,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(2),
+            seed: 42,
+        };
+        for (k, delay) in policy.schedule().enumerate() {
+            let full = policy.base.saturating_mul(1 << k as u32).min(policy.cap);
+            assert!(delay >= full.mul_f64(0.5), "retry {k}: {delay:?} below jitter floor");
+            assert!(delay < full, "retry {k}: {delay:?} above pre-jitter delay");
+            assert!(delay <= policy.cap, "retry {k}: {delay:?} above cap");
+        }
+    }
+
+    #[test]
+    fn different_seeds_jitter_differently() {
+        let a: Vec<Duration> =
+            RetryPolicy { seed: 1, ..RetryPolicy::default() }.schedule().collect();
+        let b: Vec<Duration> =
+            RetryPolicy { seed: 2, ..RetryPolicy::default() }.schedule().collect();
+        assert_ne!(a, b, "seed must move the jitter");
+    }
+
+    #[test]
+    fn idempotency_classification_follows_the_wire_op() {
+        let op = |name: &str| ObjBuilder::new().field("op", name).build();
+        for safe in ["check", "batch_check", "compose", "lint", "stats", "ping"] {
+            assert!(request_idempotent(&op(safe)), "{safe} must auto-retry");
+        }
+        for unsafe_ in ["load_spec", "clear_cache", "shutdown", "nonsense"] {
+            assert!(!request_idempotent(&op(unsafe_)), "{unsafe_} must not auto-retry");
+        }
+        assert!(!request_idempotent(&Value::Null));
+    }
+}

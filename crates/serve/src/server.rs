@@ -23,13 +23,13 @@ use pospec_alphabet::display_trace;
 use pospec_core::refine::FailedCondition;
 use pospec_core::{
     check_refinement_batch, check_refinement_cached, compose, observable_deadlock, DfaCache,
-    Specification, Verdict,
+    PersistentStore, Specification, Verdict,
 };
 use pospec_json::{ObjBuilder, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -47,6 +47,20 @@ pub struct ServerConfig {
     /// Refuse to register documents with lint errors (see
     /// [`SpecRegistry::set_strict`]); also applies to the preload.
     pub strict: bool,
+    /// Close a connection whose peer sends nothing for this long
+    /// (milliseconds; `0` disables the reaper).  Also bounds how long a
+    /// response write may block on a dead peer.
+    pub idle_timeout_ms: u64,
+    /// Longest accepted request line in bytes; a peer exceeding it gets
+    /// a structured `bad_request` and is disconnected (slow-loris guard).
+    pub max_line_bytes: usize,
+    /// Most simultaneously served connections; extra accepts are
+    /// answered with a structured `overloaded` refusal and closed.
+    pub max_conns: usize,
+    /// Directory for the crash-safe persistent automaton cache; entries
+    /// are loaded at bind and every build is written through, so a
+    /// restarted server comes up warm.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +72,10 @@ impl Default for ServerConfig {
             queue: 64,
             preload: None,
             strict: false,
+            idle_timeout_ms: 30_000,
+            max_line_bytes: 1 << 20,
+            max_conns: 1024,
+            cache_dir: None,
         }
     }
 }
@@ -69,6 +87,23 @@ struct Shared {
     metrics: ServerMetrics,
     pool: WorkerPool,
     stopping: AtomicBool,
+    /// Connections currently being served (for the accept-time cap).
+    active_conns: AtomicUsize,
+    idle_timeout: Option<Duration>,
+    max_line_bytes: usize,
+    max_conns: usize,
+}
+
+/// Decrements the live-connection count when a connection thread exits,
+/// however it exits.
+struct ConnGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A handle that asks a running server to stop accepting and drain.
@@ -102,8 +137,24 @@ impl Server {
             metrics: ServerMetrics::new(),
             pool: WorkerPool::new(config.workers, config.queue),
             stopping: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            idle_timeout: (config.idle_timeout_ms > 0)
+                .then(|| Duration::from_millis(config.idle_timeout_ms)),
+            max_line_bytes: config.max_line_bytes.max(1),
+            max_conns: config.max_conns.max(1),
         });
         shared.registry.set_strict(config.strict);
+        if let Some(dir) = &config.cache_dir {
+            let store = PersistentStore::open(dir)?;
+            let s = store.stats();
+            eprintln!(
+                "cache dir `{}`: {} automaton(s) loaded, {} skipped",
+                dir.display(),
+                s.loaded,
+                s.skipped()
+            );
+            shared.cache.attach_store(Arc::new(store));
+        }
         if let Some(dir) = &config.preload {
             let loaded = shared.registry.preload_dir(dir)?;
             for d in &loaded {
@@ -143,11 +194,37 @@ impl Server {
         while !self.shared.stopping.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    if self.shared.active_conns.load(Ordering::SeqCst) >= self.shared.max_conns {
+                        // Refuse with a structured line instead of a
+                        // silent close, so a well-behaved client can
+                        // back off and retry.
+                        self.shared.metrics.conn_refused();
+                        let mut stream = stream;
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                        let refusal = error_response(
+                            None,
+                            "overloaded",
+                            &format!(
+                                "connection limit {} reached; retry later",
+                                self.shared.max_conns
+                            ),
+                        );
+                        let _ = write_line(&mut stream, &refusal);
+                        continue;
+                    }
                     self.shared.metrics.connection();
+                    self.shared.active_conns.fetch_add(1, Ordering::SeqCst);
                     let shared = Arc::clone(&self.shared);
-                    let _ = std::thread::Builder::new()
+                    let guard = ConnGuard { shared: Arc::clone(&self.shared) };
+                    let spawned = std::thread::Builder::new()
                         .name("pospec-serve-conn".into())
-                        .spawn(move || handle_connection(stream, &shared));
+                        .spawn(move || {
+                            let _guard = guard;
+                            handle_connection(stream, &shared);
+                        });
+                    // `guard` moved into the thread on success; a failed
+                    // spawn dropped it (and the slot) already.
+                    drop(spawned);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -162,19 +239,111 @@ impl Server {
     }
 }
 
+/// Why [`read_bounded_line`] stopped without producing a line.
+enum LineError {
+    /// The line exceeded the configured byte cap.
+    TooLong,
+    /// The read timeout fired with no bytes from the peer.
+    Idle,
+    /// Any other transport failure.
+    Io,
+}
+
+/// Read one `\n`-terminated line into `buf` (newline excluded), never
+/// buffering more than `max` bytes — the slow-loris guard the plain
+/// `read_line` lacks.  Returns `Ok(false)` on clean EOF with an empty
+/// buffer; a final unterminated line is returned as `Ok(true)` so a
+/// truncated request still gets a structured parse error.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> Result<bool, LineError> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(a) => a,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(LineError::Idle)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(LineError::Io),
+        };
+        if available.is_empty() {
+            return Ok(!buf.is_empty());
+        }
+        match available.iter().position(|b| *b == b'\n') {
+            Some(i) => {
+                if buf.len() + i > max {
+                    return Err(LineError::TooLong);
+                }
+                buf.extend_from_slice(&available[..i]);
+                reader.consume(i + 1);
+                return Ok(true);
+            }
+            None => {
+                let n = available.len();
+                if buf.len() + n > max {
+                    return Err(LineError::TooLong);
+                }
+                buf.extend_from_slice(available);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
 /// Serve one connection: read request lines, answer response lines.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
+    // One knob bounds both directions: a silent peer is reaped by the
+    // read timeout, and a peer that stops draining responses cannot
+    // wedge a writer forever.
+    let _ = stream.set_read_timeout(shared.idle_timeout);
+    let _ = stream.set_write_timeout(shared.idle_timeout);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break, // peer went away mid-line
-        };
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        match read_bounded_line(&mut reader, &mut buf, shared.max_line_bytes) {
+            Ok(false) => break, // clean EOF
+            Ok(true) => {}
+            Err(LineError::Idle) => {
+                shared.metrics.idle_reaped();
+                let timeout_ms =
+                    shared.idle_timeout.map(|d| d.as_millis() as u64).unwrap_or_default();
+                let notice = error_response(
+                    None,
+                    "deadline",
+                    &format!("connection idle for {timeout_ms} ms; closing"),
+                );
+                let _ = write_line(&mut writer, &notice);
+                break;
+            }
+            Err(LineError::TooLong) => {
+                shared.metrics.oversize_rejected();
+                let refusal = error_response(
+                    None,
+                    "bad_request",
+                    &format!(
+                        "request line exceeds the {} byte limit; closing",
+                        shared.max_line_bytes
+                    ),
+                );
+                let _ = write_line(&mut writer, &refusal);
+                break;
+            }
+            Err(LineError::Io) => break, // peer went away mid-line
+        }
+        let line = String::from_utf8_lossy(&buf);
         if line.trim().is_empty() {
             continue;
         }

@@ -22,13 +22,16 @@ struct Fixture {
 }
 
 fn start(workers: usize, queue: usize, preload: bool) -> Fixture {
-    let config = ServerConfig {
+    start_with(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue,
         preload: preload.then(specs_dir),
-        strict: false,
-    };
+        ..ServerConfig::default()
+    })
+}
+
+fn start_with(config: ServerConfig) -> Fixture {
     let server = Server::bind(&config).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr").to_string();
     let handle = server.shutdown_handle();
@@ -211,8 +214,8 @@ fn strict_server_refuses_documents_with_lint_errors() {
         addr: "127.0.0.1:0".to_string(),
         workers: 1,
         queue: 4,
-        preload: None,
         strict: true,
+        ..ServerConfig::default()
     };
     let server = Server::bind(&config).expect("bind");
     let addr = server.local_addr().expect("local addr").to_string();
@@ -325,4 +328,140 @@ fn malformed_lines_get_structured_errors_and_the_connection_survives() {
     let response = client.call(&op("ping").build()).expect("ping");
     assert!(response_ok(&response));
     fixture.stop();
+}
+
+#[test]
+fn silent_connections_are_reaped_after_the_idle_timeout() {
+    use std::io::Read;
+    let fixture = start_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue: 4,
+        idle_timeout_ms: 200,
+        ..ServerConfig::default()
+    });
+
+    // Connect and send nothing: the server must close us, with a
+    // structured notice, rather than pin a thread forever.
+    let mut raw = std::net::TcpStream::connect(&fixture.addr).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut bytes = Vec::new();
+    raw.read_to_end(&mut bytes).expect("read until server closes");
+    let notice = pospec_json::parse(String::from_utf8_lossy(&bytes).trim()).expect("json notice");
+    assert_eq!(error_kind(&notice), Some("deadline"), "notice: {notice:?}");
+
+    // A connection that keeps talking is NOT reaped.
+    let mut client = fixture.client();
+    for _ in 0..3 {
+        thread::sleep(Duration::from_millis(100));
+        assert!(response_ok(&client.call(&op("ping").build()).expect("ping")));
+    }
+
+    let snapshot = fixture.stop();
+    assert_eq!(snapshot.idle_reaped, 1, "exactly the silent connection: {snapshot:?}");
+}
+
+#[test]
+fn oversized_request_lines_are_rejected_with_a_structured_error() {
+    use std::io::{BufRead, BufReader, Write};
+    let fixture = start_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue: 4,
+        max_line_bytes: 256,
+        ..ServerConfig::default()
+    });
+
+    // A line over the cap is refused even though it never ends in a
+    // newline — the slow-loris case `read_line` would buffer forever.
+    let mut raw = std::net::TcpStream::connect(&fixture.addr).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    raw.write_all(&vec![b'a'; 4096]).expect("write oversized");
+    raw.flush().expect("flush");
+    let mut reader = BufReader::new(raw);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("refusal line");
+    let refusal = pospec_json::parse(line.trim()).expect("json refusal");
+    assert_eq!(error_kind(&refusal), Some("bad_request"), "refusal: {refusal:?}");
+    assert!(
+        refusal
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .is_some_and(|m| m.contains("256 byte")),
+        "message names the cap: {refusal:?}"
+    );
+    // ...and the connection is closed afterwards.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).expect("eof"), 0);
+
+    // Lines under the cap still work on a fresh connection.
+    let mut client = fixture.client();
+    assert!(response_ok(&client.call(&op("ping").build()).expect("ping")));
+
+    let snapshot = fixture.stop();
+    assert_eq!(snapshot.oversize_rejected, 1, "snapshot: {snapshot:?}");
+}
+
+#[test]
+fn connections_over_the_cap_are_refused_with_structured_overloaded() {
+    use std::io::Read;
+    let fixture = start_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue: 4,
+        max_conns: 1,
+        ..ServerConfig::default()
+    });
+
+    // First connection occupies the only slot (a ping proves it is
+    // fully established, not just queued in the accept backlog).
+    let mut first = fixture.client();
+    assert!(response_ok(&first.call(&op("ping").build()).expect("ping")));
+
+    // The second is refused with a structured line, then closed.
+    let mut raw = std::net::TcpStream::connect(&fixture.addr).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut bytes = Vec::new();
+    raw.read_to_end(&mut bytes).expect("read refusal");
+    let refusal = pospec_json::parse(String::from_utf8_lossy(&bytes).trim()).expect("json");
+    assert_eq!(error_kind(&refusal), Some("overloaded"), "refusal: {refusal:?}");
+
+    // Dropping the first connection frees the slot for a newcomer.
+    drop(first);
+    for attempt in 0.. {
+        let mut client = fixture.client();
+        match client.call(&op("ping").build()) {
+            Ok(r) if response_ok(&r) => break,
+            _ if attempt < 50 => thread::sleep(Duration::from_millis(20)),
+            other => panic!("slot never freed: {other:?}"),
+        }
+    }
+
+    let snapshot = fixture.stop();
+    assert!(snapshot.conns_refused >= 1, "snapshot: {snapshot:?}");
+}
+
+#[test]
+fn draining_server_answers_queued_requests_with_shutting_down() {
+    let fixture = start(1, 4, false);
+
+    // Establish a bystander connection before the shutdown lands.
+    let mut bystander = fixture.client();
+    assert!(response_ok(&bystander.call(&op("ping").build()).expect("ping")));
+
+    // Shut down via the protocol, as a client would.
+    let mut closer = fixture.client();
+    let response = closer.call(&op("shutdown").build()).expect("shutdown");
+    assert!(response_ok(&response));
+
+    // Wait for the accept loop to exit and the pool to finish draining.
+    let snapshot = fixture.thread.join().expect("serve thread").expect("serve result");
+    assert!(snapshot.total_requests() >= 2);
+
+    // The bystander's connection is still open; its next request must
+    // get a structured `shutting_down`, not a hang or a silent close.
+    let response = bystander.call(&op("ping").build()).expect("post-drain call");
+    assert!(!response_ok(&response));
+    assert_eq!(error_kind(&response), Some("shutting_down"), "response: {response:?}");
 }

@@ -42,8 +42,10 @@ fn usage() -> ExitCode {
 [--deadline-ms N] [--events N] [--json PATH|-]\n  \
          pospec verify <file.pos>\n  \
          pospec print <file.pos>\n  \
-         pospec serve [--addr HOST:PORT] [--workers N] [--queue N] [--preload DIR] [--strict]\n  \
-         pospec call [--addr HOST:PORT] <op> [args...]   (ops: load_spec <name> <file>, \
+         pospec serve [--addr HOST:PORT] [--workers N] [--queue N] [--preload DIR] [--strict] \
+[--idle-timeout-ms N] [--max-line-bytes N] [--max-conns N] [--cache-dir DIR]\n  \
+         pospec call [--addr HOST:PORT] [--timeout-ms N] [--retries N] [--seed N] \
+[--retry-unsafe] <op> [args...]   (ops: load_spec <name> <file>, \
 check <doc> <concrete> <abstract>, compose <doc> <a> <b> [--deadlock], \
 batch_check <doc> <c a>..., lint <doc> [--deny-warnings], ping, stats, clear_cache, \
 shutdown, or a raw JSON object)"
@@ -355,12 +357,28 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         eprintln!("error: `--workers` and `--queue` must be at least 1");
         return ExitCode::from(2);
     }
+    let idle_timeout_ms = match parsed_flag(args, "--idle-timeout-ms", defaults.idle_timeout_ms) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let max_line_bytes = match parsed_flag(args, "--max-line-bytes", defaults.max_line_bytes) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let max_conns = match parsed_flag(args, "--max-conns", defaults.max_conns) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
     let config = ServerConfig {
         addr: flag_value(args, "--addr").unwrap_or(&defaults.addr).to_string(),
         workers,
         queue,
         preload: flag_value(args, "--preload").map(std::path::PathBuf::from),
         strict: args.iter().any(|a| a == "--strict"),
+        idle_timeout_ms,
+        max_line_bytes,
+        max_conns,
+        cache_dir: flag_value(args, "--cache-dir").map(std::path::PathBuf::from),
     };
     let server = match Server::bind(&config) {
         Ok(s) => s,
@@ -464,10 +482,25 @@ fn call_request(words: &[&String], args: &[String]) -> Result<pospec_json::Value
 /// (`holds`/`holds_all` false or a detected deadlock), 2 on any error.
 fn call_cmd(args: &[String]) -> ExitCode {
     use pospec_json::Value;
-    use pospec_serve::{response_ok, Client};
+    use pospec_serve::{response_ok, Client, RetryPolicy};
 
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7077").to_string();
-    let value_flags = ["--addr", "--depth"];
+    // Finite by default so a wedged or unreachable server cannot hang the
+    // CLI; `--timeout-ms 0` opts back into waiting forever.
+    let timeout_ms = match parsed_flag(args, "--timeout-ms", 30_000u64) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let retries = match parsed_flag(args, "--retries", 3u32) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let seed = match parsed_flag(args, "--seed", 0x5EEDu64) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let retry_unsafe = args.iter().any(|a| a == "--retry-unsafe");
+    let value_flags = ["--addr", "--depth", "--timeout-ms", "--retries", "--seed"];
     let mut words: Vec<&String> = Vec::new();
     let mut skip = false;
     for a in args {
@@ -489,12 +522,23 @@ fn call_cmd(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let policy = RetryPolicy::with_retries(retries, seed);
     let response = Client::connect(&addr)
         .and_then(|mut c| {
-            c.set_timeout(Some(std::time::Duration::from_secs(120)))?;
-            c.call(&request)
+            c.set_timeout((timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)))?;
+            c.call_retrying(&request, &policy, retry_unsafe)
         })
-        .map_err(|e| format!("{addr}: {e}"));
+        .map_err(|e| match &e {
+            pospec_serve::ClientError::Io(io)
+                if matches!(
+                    io.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                format!("{addr}: timed out after {timeout_ms} ms waiting for a response")
+            }
+            _ => format!("{addr}: {e}"),
+        });
     match response {
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,0 +1,136 @@
+//! The persistent DFA store must be *crash-safe and purely an
+//! optimisation*: a fresh process warming its cache from disk must
+//! reproduce exactly the verdicts a cold cache computes, and any
+//! corrupted, truncated, wrong-version, or misnamed entry on disk must
+//! be skipped (and counted) — never trusted, never fatal.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pospec_bench::paper::Paper;
+use pospec_core::{check_all_pairs, DfaCache, PersistentStore, Specification, Verdict};
+use proptest::prelude::*;
+
+const DEPTH: usize = 5;
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pospec-itest-{tag}-{}", std::process::id()))
+}
+
+fn matrix(cache: &DfaCache, specs: &[Specification], depth: usize) -> Vec<bool> {
+    check_all_pairs(cache, specs, depth)
+        .iter()
+        .flat_map(|row| row.iter().map(Verdict::holds))
+        .collect()
+}
+
+/// Cold cache writing through to `dir`, then a fresh cache over a
+/// freshly reopened store: verdicts must be identical and the warm run
+/// must demonstrably come from disk.
+fn assert_warm_equals_cold(tag: &str, specs: &[Specification], depth: usize) {
+    let dir = temp_store_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_cache = DfaCache::new();
+    cold_cache.attach_store(Arc::new(PersistentStore::open(&dir).expect("open store")));
+    let cold = matrix(&cold_cache, specs, depth);
+    let cold_stats = cold_cache.stats();
+    assert!(cold_stats.disk_writes > 0, "{tag}: cold run must persist automata");
+    assert_eq!(cold_stats.disk_hits, 0, "{tag}: nothing on disk before the cold run");
+
+    let warm_cache = DfaCache::new();
+    let store = PersistentStore::open(&dir).expect("reopen store");
+    assert!(!store.is_empty(), "{tag}: reopened store must load the persisted entries");
+    warm_cache.attach_store(Arc::new(store));
+    let warm = matrix(&warm_cache, specs, depth);
+    let warm_stats = warm_cache.stats();
+
+    assert_eq!(cold, warm, "{tag}: persisted-warm verdicts must match cold");
+    assert!(warm_stats.disk_hits > 0, "{tag}: warm run must be served from disk");
+    assert!(
+        warm_stats.dfa_hits + warm_stats.lift_hits > 0,
+        "{tag}: disk-served automata count as cache hits"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_from_disk_matches_cold_over_the_paper_matrix() {
+    let p = Paper::new();
+    assert_warm_equals_cold("paper-matrix", &p.interface_specs(), DEPTH);
+}
+
+proptest! {
+    // The matrix is fixed; the property quantifies over finitization
+    // width and check depth — the two knobs that reshape every automaton
+    // and therefore every on-disk entry.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn warm_from_disk_matches_cold_across_depths_and_witnesses(
+        witnesses in 1usize..3,
+        depth in 3usize..6,
+    ) {
+        let p = Paper::with_witnesses(witnesses);
+        assert_warm_equals_cold(
+            &format!("prop-w{witnesses}-d{depth}"),
+            &p.interface_specs(),
+            depth,
+        );
+    }
+}
+
+#[test]
+fn corrupted_store_entries_are_skipped_counted_and_harmless() {
+    let dir = temp_store_dir("corruption");
+    let _ = std::fs::remove_dir_all(&dir);
+    let p = Paper::new();
+    let specs = p.interface_specs();
+
+    let cold_cache = DfaCache::new();
+    cold_cache.attach_store(Arc::new(PersistentStore::open(&dir).expect("open store")));
+    let cold = matrix(&cold_cache, &specs, DEPTH);
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("store dir readable")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 4, "need at least 4 persisted automata, got {}", files.len());
+
+    // One of each way an entry can rot on disk.
+    let truncated = &files[0];
+    let text = std::fs::read_to_string(truncated).expect("read entry");
+    std::fs::write(truncated, &text[..text.len() / 2]).expect("truncate entry");
+
+    let garbage = &files[1];
+    std::fs::write(garbage, b"not json at all \x00\xff").expect("garbage entry");
+
+    let wrong_version = &files[2];
+    let text = std::fs::read_to_string(wrong_version).expect("read entry");
+    let bumped = text.replace("\"format\":1", "\"format\":999");
+    assert_ne!(bumped, text, "entry must carry a format field");
+    std::fs::write(wrong_version, bumped).expect("bump version");
+
+    // A filename that no longer matches the key hash inside the file —
+    // the shape a content-hash collision (or a mis-copied file) takes.
+    let misnamed = &files[3];
+    let moved = dir.join("dfa-0000000000000000.json");
+    std::fs::rename(misnamed, &moved).expect("rename entry");
+
+    let store = PersistentStore::open(&dir).expect("reopen despite rot");
+    let stats = store.stats();
+    assert_eq!(stats.skipped_corrupt, 2, "truncated + garbage: {stats:?}");
+    assert_eq!(stats.skipped_version, 1, "{stats:?}");
+    assert_eq!(stats.skipped_key, 1, "misnamed file: {stats:?}");
+    assert_eq!(stats.loaded as usize, files.len() - 4, "{stats:?}");
+
+    // The damaged store still yields exactly the cold verdicts: skipped
+    // entries are rebuilt, never guessed.
+    let warm_cache = DfaCache::new();
+    warm_cache.attach_store(Arc::new(store));
+    let warm = matrix(&warm_cache, &specs, DEPTH);
+    assert_eq!(cold, warm, "verdicts must survive on-disk rot");
+    assert!(warm_cache.stats().disk_skipped >= 4, "skips must be visible in cache stats");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -71,3 +71,29 @@ fn serve_and_call_round_trip_through_the_binary() {
     let status = child.wait().expect("server exits");
     assert!(status.success(), "graceful shutdown exits 0: {status:?}");
 }
+
+/// A server that accepts and then says nothing must not hang the CLI:
+/// the finite default `--timeout-ms` expires, the message names the
+/// timeout, and the exit code is the uniform transport-error 2.
+#[test]
+fn call_times_out_against_a_silent_server_with_exit_2() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind silent listener");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    // Keep accepted sockets alive (but mute) so the client sees an open,
+    // unresponsive connection rather than a refused or closed one.
+    let silent = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            held.push(stream);
+        }
+    });
+
+    let out = Command::new(env!("CARGO_BIN_EXE_pospec"))
+        .args(["call", "--addr", &addr, "--timeout-ms", "300", "--retries", "0", "ping"])
+        .output()
+        .expect("call runs");
+    assert_eq!(out.status.code(), Some(2), "timeouts are transport errors: {out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("timed out after 300 ms"), "stderr must name the timeout: {err}");
+    drop(silent); // detach: the listener thread dies with the process
+}
