@@ -80,6 +80,28 @@ pub fn admissible_alphabet(u: &Arc<Universe>, objects: &BTreeSet<ObjectId>) -> E
     union.difference(&internal_of_set(u, objects))
 }
 
+/// Decide `alphabet ⊆ admissible_alphabet(u, objects)` without
+/// materializing the admissible set.
+///
+/// [`admissible_alphabet`] expands `α_o`'s `Any` endpoints into one
+/// granule per declared object, so building it is `O(|universe|)` —
+/// quadratic over a document whose spec count grows with the universe.
+/// This check is `O(|alphabet| + |objects|²)` instead: a granule lies
+/// under `⋃_{o∈O} α_o` iff one of its endpoint atoms is the atom of
+/// some `o ∈ O` (atoms are disjoint, so no other granule can contain
+/// an event involving `O`), and the internal events of a small object
+/// set are cheap to intersect against.
+pub fn alphabet_is_admissible(
+    u: &Arc<Universe>,
+    objects: &BTreeSet<ObjectId>,
+    alphabet: &EventSet,
+) -> bool {
+    let atoms: BTreeSet<crate::granule::ObjGranule> =
+        objects.iter().map(|&o| crate::granule::ObjGranule::of(u, o)).collect();
+    alphabet.granules().all(|g| atoms.contains(&g.caller) || atoms.contains(&g.callee))
+        && alphabet.intersect(&internal_of_set(u, objects)).is_empty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +170,48 @@ mod tests {
         // Events leaving the set are not internal.
         let wit = f.u.anon_witnesses().next().unwrap();
         assert!(!i.contains(&Event::call(f.o1, wit, f.ow)));
+    }
+
+    #[test]
+    fn fast_admissibility_agrees_with_the_materialized_set() {
+        let f = fix();
+        // Candidate alphabets, including inadmissible ones (internal
+        // events, events not involving the object set, class residues).
+        let wit = f.u.class_witnesses(f.u.class_by_name("Objects").unwrap()).next().unwrap();
+        let candidates: Vec<EventSet> = vec![
+            EventPattern::any_method(f.o1, f.o2).to_set(&f.u),
+            EventPattern::any_method(f.o2, f.o1).to_set(&f.u),
+            EventPattern::any_method(f.o1, f.o3).to_set(&f.u),
+            EventPattern::any_method(f.o2, f.o3).to_set(&f.u),
+            EventPattern::any_method(crate::pattern::ObjSpec::Any, f.o1).to_set(&f.u),
+            EventPattern::any_method(wit, f.o1).to_set(&f.u),
+            alpha_object(&f.u, f.o1),
+            EventSet::empty(&f.u),
+        ];
+        let object_sets: Vec<BTreeSet<ObjectId>> = vec![
+            [f.o1].into_iter().collect(),
+            [f.o2].into_iter().collect(),
+            [f.o1, f.o2].into_iter().collect(),
+            [f.o1, f.o3].into_iter().collect(),
+            [f.o1, f.o2, f.o3].into_iter().collect(),
+            [wit].into_iter().collect(),
+            [f.o1, wit].into_iter().collect(),
+        ];
+        for objects in &object_sets {
+            let admissible = admissible_alphabet(&f.u, objects);
+            for (i, alpha) in candidates.iter().enumerate() {
+                // Unions of candidates widen the sample beyond single
+                // patterns.
+                for (j, other) in candidates.iter().enumerate() {
+                    let set = alpha.union(other);
+                    assert_eq!(
+                        alphabet_is_admissible(&f.u, objects, &set),
+                        set.is_subset(&admissible),
+                        "candidates {i}∪{j} over {objects:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub mod universe;
 pub use display::{display_event, display_trace, EventDisplay, TraceDisplay};
 pub use granule::{ArgGranule, EventGranule, MethodGranule, ObjGranule};
 pub use internal::{
-    admissible_alphabet, alpha_object, internal_between, internal_of_pair, internal_of_set,
+    admissible_alphabet, alpha_object, alphabet_is_admissible, internal_between, internal_of_pair,
+    internal_of_set,
 };
 pub use pattern::{ArgSpec, EventPattern, ObjSpec};
 pub use set::EventSet;

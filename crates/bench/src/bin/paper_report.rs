@@ -394,6 +394,21 @@ fn main() {
         });
     }
 
+    // SCALE — generated known-answer networks at three orders of
+    // magnitude: every checker verdict must equal the expectation the
+    // generator fixed at construction time, and the warm pass must be
+    // answered from the cache.
+    let scale = pospec_bench::scale::run_scale(&[10, 100, 1000]);
+    {
+        let ok = scale.gates_pass();
+        rows.push(ExperimentRecord {
+            id: "SCALE".into(),
+            claim: "generated networks check correctly at N = 10/100/1000".into(),
+            measured: scale.summary(),
+            outcome: if ok { Outcome::Reproduced } else { Outcome::Failed },
+        });
+    }
+
     // The mechanized meta-theory (PVS substitute).
     println!("running the mechanized meta-theory (seed 2026, 60 instances each)…");
     for outcome in theorems::run_all(2026, 60) {
@@ -424,6 +439,7 @@ fn main() {
         .field("sim", sim.to_json())
         .field("serve", serve.to_json())
         .field("CHAOS", chaos.to_json())
+        .field("scale", scale.to_json())
         .build();
     std::fs::write("paper_report.json", doc.to_pretty()).expect("writable cwd");
     println!(

@@ -1,0 +1,27 @@
+//! Regenerate `BENCH_8.json` — the SCALE campaign over generated
+//! known-answer networks at three orders of magnitude:
+//!
+//! ```text
+//! cargo run --release -p pospec-bench --bin scale_snapshot
+//! ```
+//!
+//! For each N ∈ {10, 100, 1000} the campaign generates a seeded ring
+//! network with its verdict manifest, parses it, and batch-checks every
+//! manifest pair cold then warm through one cache.  The gates are
+//! correctness, not timing: every verdict must equal the
+//! construction-time expectation and the warm pass must hit the cache.
+//! Exit 1 when a gate fails.
+
+use pospec_bench::scale::run_scale;
+
+fn main() {
+    let campaign = run_scale(&[10, 100, 1000]);
+    println!("SCALE: {}", campaign.summary());
+    std::fs::write("BENCH_8.json", format!("{}\n", campaign.to_json().to_pretty()))
+        .expect("writable cwd");
+    println!("wrote BENCH_8.json ({} points)", campaign.points.len());
+    if !campaign.gates_pass() {
+        eprintln!("SCALE gates FAILED");
+        std::process::exit(1);
+    }
+}

@@ -5,7 +5,7 @@
 //! size of the finitization (witness count), the size of the protocol
 //! (regex blocks), and the number of objects in the granule algebra.
 
-use pospec_alphabet::{EventPattern, EventSet, Universe, UniverseBuilder};
+use pospec_alphabet::{EventPattern, EventSet, Universe};
 use pospec_core::{Specification, TraceSet};
 use pospec_regex::{Re, Template, VarId};
 use pospec_trace::{ClassId, MethodId, ObjectId, Trace};
@@ -26,14 +26,17 @@ pub struct ScaledWorld {
 
 impl ScaledWorld {
     /// Build with the given finitization width and method count.
+    ///
+    /// The universe shape is shared with the scenario generator:
+    /// [`pospec_gen::world::build_world`] is the single source of truth
+    /// for the `Env`-class/objects/methods layout, so the bench sweeps
+    /// and the generated known-answer networks measure the same worlds.
     pub fn new(witnesses: usize, n_methods: usize) -> ScaledWorld {
-        let mut b = UniverseBuilder::new();
-        let env = b.object_class("Env").unwrap();
-        let server = b.object("server").unwrap();
-        let methods = (0..n_methods).map(|i| b.method(&format!("m{i}")).unwrap()).collect();
-        b.class_witnesses(env, witnesses).unwrap();
-        b.method_witnesses(1).unwrap();
-        ScaledWorld { u: b.freeze(), server, env, methods }
+        let method_names: Vec<String> = (0..n_methods).map(|i| format!("m{i}")).collect();
+        let method_refs: Vec<&str> = method_names.iter().map(String::as_str).collect();
+        let w = pospec_gen::world::build_world(witnesses, &["server"], &method_refs)
+            .expect("canonical world builds");
+        ScaledWorld { u: w.u, server: w.objects[0], env: w.env, methods: w.methods }
     }
 
     /// The alphabet of all declared methods called on the server.
@@ -163,6 +166,197 @@ impl NaivePatternSet {
     }
 }
 
+/// Depth used by the SCALE campaign, matching the generated-oracle
+/// suite and the service default.
+pub const SCALE_DEPTH: usize = 6;
+
+/// One measured point of the SCALE campaign: a generated ring network
+/// of `objects` objects, parsed and batch-checked against its
+/// construction-time manifest, cold then warm through one cache.
+pub struct ScalePoint {
+    /// Network size (objects in the ring).
+    pub objects: usize,
+    /// Specifications in the generated document.
+    pub specs: usize,
+    /// Refinement pairs checked (the manifest's entries).
+    pub pairs: usize,
+    /// Wall time generating the document + manifest.
+    pub generate_ms: f64,
+    /// Wall time parsing and elaborating the document.
+    pub parse_ms: f64,
+    /// Wall time of the cold batch check (empty cache).
+    pub cold_ms: f64,
+    /// Wall time of the warm re-check (same cache).
+    pub warm_ms: f64,
+    /// Cache hits scored by the warm pass alone.
+    pub warm_hits: u64,
+    /// Peak resident set (`VmHWM`) after the point, in KiB; 0 where
+    /// `/proc/self/status` is unavailable.
+    pub peak_rss_kb: u64,
+    /// Every checker verdict equalled the manifest's expectation, cold
+    /// and warm.
+    pub verdicts_agree: bool,
+}
+
+impl ScalePoint {
+    /// JSON record for `BENCH_8.json` / `paper_report.json`.
+    pub fn to_json(&self) -> pospec_json::Value {
+        pospec_json::ObjBuilder::new()
+            .field("objects", self.objects)
+            .field("specs", self.specs)
+            .field("pairs", self.pairs)
+            .field("generate_ms", self.generate_ms)
+            .field("parse_ms", self.parse_ms)
+            .field("cold_ms", self.cold_ms)
+            .field("warm_ms", self.warm_ms)
+            .field("warm_hits", self.warm_hits)
+            .field("peak_rss_kb", self.peak_rss_kb)
+            .field("verdicts_agree", self.verdicts_agree)
+            .build()
+    }
+}
+
+/// The full campaign: one [`ScalePoint`] per requested size.
+pub struct ScaleCampaign {
+    /// Points in input order.
+    pub points: Vec<ScalePoint>,
+}
+
+impl ScaleCampaign {
+    /// The campaign's correctness gates: every point's verdicts agree
+    /// with its manifest and the warm pass actually hit the cache.
+    pub fn gates_pass(&self) -> bool {
+        !self.points.is_empty() && self.points.iter().all(|p| p.verdicts_agree && p.warm_hits > 0)
+    }
+
+    /// JSON document for `BENCH_8.json`.
+    pub fn to_json(&self) -> pospec_json::Value {
+        pospec_json::ObjBuilder::new()
+            .field("points", self.points.iter().map(ScalePoint::to_json).collect::<Vec<_>>())
+            .field("gates_pass", self.gates_pass())
+            .build()
+    }
+
+    /// One-line summary per point, for logs and the paper report.
+    pub fn summary(&self) -> String {
+        self.points
+            .iter()
+            .map(|p| {
+                format!(
+                    "N={}: {} pairs cold {:.1}ms / warm {:.1}ms ({} hits), peak {} KiB, agree: {}",
+                    p.objects,
+                    p.pairs,
+                    p.cold_ms,
+                    p.warm_ms,
+                    p.warm_hits,
+                    p.peak_rss_kb,
+                    p.verdicts_agree
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+fn expectation_matches(expect: &pospec_gen::ExpectRefine, v: &pospec_core::Verdict) -> bool {
+    use pospec_core::{FailedCondition, Verdict};
+    use pospec_gen::ExpectRefine;
+    matches!(
+        (expect, v),
+        (ExpectRefine::Holds, Verdict::Holds { .. })
+            | (ExpectRefine::FailsObjects, Verdict::Fails { reason: FailedCondition::Objects, .. })
+            | (
+                ExpectRefine::FailsAlphabet,
+                Verdict::Fails { reason: FailedCondition::Alphabet, .. }
+            )
+            | (
+                ExpectRefine::FailsTraces { .. },
+                Verdict::Fails { reason: FailedCondition::Traces, .. }
+            )
+    )
+}
+
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Run the SCALE campaign: for each size, generate a seeded ring
+/// network with its known-answer manifest, parse it, and batch-check
+/// every manifest pair cold then warm through one fresh cache,
+/// asserting the verdicts equal the construction-time expectations.
+pub fn run_scale(sizes: &[usize]) -> ScaleCampaign {
+    use pospec_core::{check_refinement_batch, DfaCache};
+    use std::time::Instant;
+
+    let mut points = Vec::new();
+    for &n in sizes {
+        let config = pospec_gen::GenConfig::new(pospec_gen::Family::Ring, n, 8);
+        let t0 = Instant::now();
+        let scenario = pospec_gen::generate(&config).expect("valid config generates");
+        let generate_ms = ms(t0.elapsed());
+
+        let t1 = Instant::now();
+        let doc =
+            pospec_lang::parse_document(&scenario.document).expect("generated documents parse");
+        let parse_ms = ms(t1.elapsed());
+
+        let pairs: Vec<(&Specification, &Specification)> = scenario
+            .manifest
+            .refinements
+            .iter()
+            .map(|e| {
+                (
+                    doc.spec(&e.concrete).expect("manifest names a declared spec"),
+                    doc.spec(&e.abstract_).expect("manifest names a declared spec"),
+                )
+            })
+            .collect();
+
+        let cache = DfaCache::new();
+        let t2 = Instant::now();
+        let cold = check_refinement_batch(&cache, &pairs, SCALE_DEPTH);
+        let cold_ms = ms(t2.elapsed());
+        let hits_after_cold = cache.stats().hits();
+        let t3 = Instant::now();
+        let warm = check_refinement_batch(&cache, &pairs, SCALE_DEPTH);
+        let warm_ms = ms(t3.elapsed());
+        let warm_hits = cache.stats().hits().saturating_sub(hits_after_cold);
+
+        let verdicts_agree = scenario
+            .manifest
+            .refinements
+            .iter()
+            .zip(cold.iter().zip(&warm))
+            .all(|(e, (c, w))| expectation_matches(&e.expect, c) && c.holds() == w.holds());
+
+        points.push(ScalePoint {
+            objects: n,
+            specs: scenario.manifest.spec_count,
+            pairs: pairs.len(),
+            generate_ms,
+            parse_ms,
+            cold_ms,
+            warm_ms,
+            warm_hits,
+            peak_rss_kb: peak_rss_kb(),
+            verdicts_agree,
+        });
+    }
+    ScaleCampaign { points }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +379,21 @@ mod tests {
         assert!(check_refinement(&p, &p, 4).holds());
         let t = s.tightened(2, 4);
         assert!(check_refinement(&t, &p, 4).holds(), "tightened refines base");
+    }
+
+    #[test]
+    fn scale_campaign_gates_pass_at_a_small_size() {
+        let campaign = run_scale(&[6]);
+        assert_eq!(campaign.points.len(), 1);
+        let p = &campaign.points[0];
+        assert_eq!(p.objects, 6);
+        assert!(p.pairs >= 6, "a 6-ring has at least one pair per edge");
+        assert!(p.verdicts_agree, "checker must match the manifest");
+        assert!(p.warm_hits > 0, "warm pass must hit the cache");
+        assert!(campaign.gates_pass());
+        let json = campaign.to_json();
+        assert_eq!(json.get("gates_pass").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(json.get("points").and_then(|v| v.as_arr()).map(<[_]>::len), Some(1));
     }
 
     #[test]

@@ -96,8 +96,10 @@ impl Specification {
             return Err(SpecError::EmptyObjectSet);
         }
         let u = alphabet.universe();
-        let admissible = admissible_alphabet(u, &objects);
-        if !alphabet.is_subset(&admissible) {
+        // The fast granule-wise check; the set is only materialized on
+        // the error path, to name the offending events.
+        if !pospec_alphabet::alphabet_is_admissible(u, &objects, &alphabet) {
+            let admissible = admissible_alphabet(u, &objects);
             let offending = alphabet.difference(&admissible).display();
             return Err(SpecError::InadmissibleAlphabet { offending });
         }

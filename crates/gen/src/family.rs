@@ -1,0 +1,138 @@
+//! Network topologies: which directed edges a family of size N has.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A parameterized family of component networks.  Every family is a set
+/// of directed edges `caller → callee` over objects `o0 … o{N-1}`; the
+/// per-edge specification shapes are identical across families, so the
+/// families differ exactly in their communication topology (and hence in
+/// how objects share edges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// `o0 → o1 → … → o{N-1}`: N−1 edges, every object on ≤ 2.
+    Pipeline,
+    /// Hub `o0` calls every spoke: N−1 edges, the hub on all of them —
+    /// the hub's behaviour is given as N−1 *partial* specifications of
+    /// the same object, in the spirit of the paper's viewpoints.
+    Star,
+    /// `o_i → o_{(i+1) mod N}`: N edges, every object on exactly 2.
+    Ring,
+    /// Offsets +1 and +3 mod N: 2N edges, every object on 4 (needs
+    /// N ≥ 4 so neither offset is a self-loop).
+    Gossip,
+}
+
+impl Family {
+    /// Every family, in CLI declaration order.
+    pub const ALL: [Family; 4] = [Family::Pipeline, Family::Star, Family::Ring, Family::Gossip];
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Pipeline => "pipeline",
+            Family::Star => "star",
+            Family::Ring => "ring",
+            Family::Gossip => "gossip",
+        }
+    }
+
+    /// Smallest N for which the topology is well-formed (no self-loop,
+    /// at least one edge).
+    pub fn min_objects(self) -> usize {
+        match self {
+            Family::Pipeline | Family::Star | Family::Ring => 2,
+            Family::Gossip => 4,
+        }
+    }
+
+    /// The directed edges `(caller, callee)` of the size-`n` instance,
+    /// in generation order.
+    pub fn edges(self, n: usize) -> Vec<(usize, usize)> {
+        match self {
+            Family::Pipeline => (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect(),
+            Family::Star => (1..n).map(|i| (0, i)).collect(),
+            Family::Ring => (0..n).map(|i| (i, (i + 1) % n)).collect(),
+            Family::Gossip => {
+                let mut out = Vec::with_capacity(2 * n);
+                out.extend((0..n).map(|i| (i, (i + 1) % n)));
+                out.extend((0..n).map(|i| (i, (i + 3) % n)));
+                out
+            }
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Family {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Family, String> {
+        Family::ALL
+            .into_iter()
+            .find(|f| f.name() == s)
+            .ok_or_else(|| format!("unknown family `{s}` (expected pipeline|star|ring|gossip)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_counts_match_the_topology() {
+        assert_eq!(Family::Pipeline.edges(10).len(), 9);
+        assert_eq!(Family::Star.edges(10).len(), 9);
+        assert_eq!(Family::Ring.edges(10).len(), 10);
+        assert_eq!(Family::Gossip.edges(10).len(), 20);
+    }
+
+    #[test]
+    fn no_family_produces_self_loops_at_min_size() {
+        for f in Family::ALL {
+            for n in f.min_objects()..=f.min_objects() + 3 {
+                for (i, j) in f.edges(n) {
+                    assert_ne!(i, j, "{f} at n={n} has a self-loop");
+                    assert!(i < n && j < n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_object_is_on_some_edge() {
+        for f in Family::ALL {
+            for n in [f.min_objects(), 10, 37] {
+                let mut seen = vec![false; n];
+                for (i, j) in f.edges(n) {
+                    seen[i] = true;
+                    seen[j] = true;
+                }
+                assert!(seen.iter().all(|&s| s), "{f} at n={n} leaves an object unused");
+            }
+        }
+    }
+
+    #[test]
+    fn gossip_edges_are_distinct_ordered_pairs() {
+        for n in [4, 7, 12] {
+            let edges = Family::Gossip.edges(n);
+            let mut dedup = edges.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), edges.len(), "duplicate edge at n={n}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for f in Family::ALL {
+            assert_eq!(f.name().parse::<Family>(), Ok(f));
+        }
+        assert!("mesh".parse::<Family>().is_err());
+    }
+}

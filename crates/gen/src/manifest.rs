@@ -1,0 +1,189 @@
+//! Expected-verdict manifests.
+//!
+//! A [`Manifest`] records, for one generated document, every refinement
+//! verdict, composition verdict and lint diagnostic the engine is
+//! *required* to produce.  All of it is derived from the construction —
+//! this crate cannot run the checker (it does not link it), so a
+//! manifest/engine disagreement always means one side's mathematics is
+//! wrong, never that the oracle parroted the implementation.
+
+use crate::scenario::MutationKind;
+use pospec_json::{ObjBuilder, Value};
+
+/// The expected outcome of one refinement obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpectRefine {
+    /// `Verdict::Holds { exact: true }` — every generated trace set is
+    /// regular, so the check is a full decision procedure.
+    Holds,
+    /// Def. 2 condition 1 (object inclusion) fails.
+    FailsObjects,
+    /// Def. 2 condition 2 (alphabet inclusion) fails.
+    FailsAlphabet,
+    /// Def. 2 condition 3 fails, with the unique shortest concrete
+    /// witness rendered as engine-format event strings (`⟨a,b,m⟩`).
+    FailsTraces {
+        /// The expected counterexample trace, one string per event.
+        counterexample: Vec<String>,
+    },
+}
+
+impl ExpectRefine {
+    /// The manifest wire tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ExpectRefine::Holds => "holds",
+            ExpectRefine::FailsObjects => "fails_objects",
+            ExpectRefine::FailsAlphabet => "fails_alphabet",
+            ExpectRefine::FailsTraces { .. } => "fails_traces",
+        }
+    }
+
+    /// Should the engine's verdict hold?
+    pub fn holds(&self) -> bool {
+        matches!(self, ExpectRefine::Holds)
+    }
+}
+
+/// One expected refinement verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefinementEntry {
+    /// Concrete (refining) specification name.
+    pub concrete: String,
+    /// Abstract (refined) specification name.
+    pub abstract_: String,
+    /// The verdict the checker must produce.
+    pub expect: ExpectRefine,
+    /// The mutation responsible for a negative verdict, if any.
+    pub mutation: Option<MutationKind>,
+    /// Whether the pair appears as a `refine` statement in the
+    /// document's development block (and therefore in lint's scope).
+    /// Undeclared entries densify checker coverage without lint noise.
+    pub declared: bool,
+}
+
+/// One expected composition verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositionEntry {
+    /// Composition name (`compose NAME from L with R`).
+    pub name: String,
+    /// Left operand specification name.
+    pub left: String,
+    /// Right operand specification name.
+    pub right: String,
+    /// Expected Def. 10 composability.
+    pub composable: bool,
+    /// When not composable: the offending internal events, rendered as
+    /// engine-format granule strings, lexicographically sorted.
+    pub offending: Vec<String>,
+    /// When composable: must the composition observably deadlock
+    /// (T = {ε} after hiding, Ex. 5)?
+    pub deadlock: bool,
+    /// The mutation responsible for an anomaly, if any.
+    pub mutation: Option<MutationKind>,
+}
+
+/// One expected lint diagnostic: the code plus a spec or composition
+/// name whose backticked form must occur in the message.  The document
+/// must produce *exactly* the multiset of sites listed in the manifest
+/// — nothing more (the rest of the document lints clean by
+/// construction), nothing less.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintSite {
+    /// Diagnostic code, e.g. `"P020"`.
+    pub code: &'static str,
+    /// The subject name (matched as `` `name` `` within the message).
+    pub subject: String,
+}
+
+/// The full expected-verdict manifest of one generated scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Family name.
+    pub family: String,
+    /// Generation seed.
+    pub seed: u64,
+    /// Number of objects N.
+    pub objects: usize,
+    /// Effective method-pool size M (after clamping).
+    pub methods: usize,
+    /// Number of directed edges in the topology.
+    pub edges: usize,
+    /// Number of specifications in the document.
+    pub spec_count: usize,
+    /// Expected refinement verdicts (declared and undeclared).
+    pub refinements: Vec<RefinementEntry>,
+    /// Expected composition verdicts (all declared).
+    pub compositions: Vec<CompositionEntry>,
+    /// Exactly the lint diagnostics the document must produce.
+    pub lint: Vec<LintSite>,
+}
+
+impl Manifest {
+    /// Serialize to JSON (stable field order; byte-identical for equal
+    /// configurations).
+    pub fn to_json(&self) -> Value {
+        let refinements: Vec<Value> = self
+            .refinements
+            .iter()
+            .map(|r| {
+                let cex = match &r.expect {
+                    ExpectRefine::FailsTraces { counterexample } => Some(Value::Arr(
+                        counterexample.iter().map(|e| Value::Str(e.clone())).collect(),
+                    )),
+                    _ => None,
+                };
+                ObjBuilder::new()
+                    .field("concrete", r.concrete.as_str())
+                    .field("abstract", r.abstract_.as_str())
+                    .field("expect", r.expect.tag())
+                    .field_opt("counterexample", cex)
+                    .field_opt("mutation", r.mutation.map(|m| m.name()))
+                    .field("declared", r.declared)
+                    .build()
+            })
+            .collect();
+        let compositions: Vec<Value> = self
+            .compositions
+            .iter()
+            .map(|c| {
+                ObjBuilder::new()
+                    .field("name", c.name.as_str())
+                    .field("left", c.left.as_str())
+                    .field("right", c.right.as_str())
+                    .field("composable", c.composable)
+                    .field(
+                        "offending",
+                        Value::Arr(c.offending.iter().map(|e| Value::Str(e.clone())).collect()),
+                    )
+                    .field("deadlock", c.deadlock)
+                    .field_opt("mutation", c.mutation.map(|m| m.name()))
+                    .build()
+            })
+            .collect();
+        let lint: Vec<Value> = self
+            .lint
+            .iter()
+            .map(|s| {
+                ObjBuilder::new().field("code", s.code).field("subject", s.subject.as_str()).build()
+            })
+            .collect();
+        ObjBuilder::new()
+            .field("format", "pospec-gen-manifest/1")
+            .field("family", self.family.as_str())
+            .field("seed", self.seed)
+            .field("objects", self.objects as u64)
+            .field("methods", self.methods as u64)
+            .field("edges", self.edges as u64)
+            .field("spec_count", self.spec_count as u64)
+            .field("refinements", Value::Arr(refinements))
+            .field("compositions", Value::Arr(compositions))
+            .field("lint", Value::Arr(lint))
+            .build()
+    }
+
+    /// Expected diagnostic count for a given code.
+    pub fn lint_count(&self, code: &str) -> usize {
+        self.lint.iter().filter(|s| s.code == code).count()
+    }
+}

@@ -1,0 +1,652 @@
+//! Scenario construction: configuration, seeded mutation, document
+//! emission and manifest derivation.
+//!
+//! Everything here is a pure function of [`GenConfig`]: no clocks, no
+//! global state, no checker.  The same configuration yields
+//! byte-identical documents and manifests on every platform.
+
+use crate::family::Family;
+use crate::manifest::{CompositionEntry, ExpectRefine, LintSite, Manifest, RefinementEntry};
+use crate::rng::SplitMix64;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One seeded defect, injected into at most one edge at a time so every
+/// anomaly in the manifest has exactly one cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Both sides of the edge run the session in `f s` order.  The
+    /// composition stays healthy, but the caller's projection leaves
+    /// `Proto`'s language: Def. 2 condition 3 fails with the unique
+    /// shortest witness `[f]`.
+    SwapOrder,
+    /// The caller's alphabet loses the `f` granule (traces `(s ack)*`):
+    /// Def. 2 condition 2 fails, lint reports one `P021`.
+    DropGranule,
+    /// The `refine` statement names the *callee* as the concrete side:
+    /// Def. 2 conditions 1 and 2 both fail (verdict: condition 1, the
+    /// first checked), lint reports two `P021`.
+    ForeignObject,
+    /// The callee is replaced by a grabby spec owning *both* endpoints,
+    /// so the session events `s`, `f` of the caller's alphabet are
+    /// internal to it: Def. 10 fails, lint reports `P020` naming
+    /// exactly those events.
+    GrabObject,
+    /// Only the callee runs the session in `f s` order: the pair is
+    /// composable, but agrees on no non-empty trace — the composition
+    /// observably deadlocks (Ex. 5), lint reports `P105`.
+    ContraryOrder,
+}
+
+impl MutationKind {
+    /// Every kind, in sampling order.
+    pub const ALL: [MutationKind; 5] = [
+        MutationKind::SwapOrder,
+        MutationKind::DropGranule,
+        MutationKind::ForeignObject,
+        MutationKind::GrabObject,
+        MutationKind::ContraryOrder,
+    ];
+
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::SwapOrder => "swap_order",
+            MutationKind::DropGranule => "drop_granule",
+            MutationKind::ForeignObject => "foreign_object",
+            MutationKind::GrabObject => "grab_object",
+            MutationKind::ContraryOrder => "contrary_order",
+        }
+    }
+}
+
+/// Generator configuration.  [`generate`] is a pure function of this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Seed for mutation placement.
+    pub seed: u64,
+    /// Network topology.
+    pub family: Family,
+    /// Number of objects N (≥ `family.min_objects()`).
+    pub objects: usize,
+    /// Requested session-method pool size M; clamped to
+    /// `[2, 2·edges]` (rotation uses two distinct methods per edge and
+    /// every declared method must be used somewhere, or `P102` fires).
+    pub methods: usize,
+    /// Fraction of edges carrying a mutation, in parts per mille.
+    pub mutation_permille: u32,
+    /// Identifier suffix appended to *every* name (objects, methods,
+    /// classes, specs).  A consistent rename must preserve all verdicts
+    /// — the metamorphic oracle asserts exactly that.
+    pub salt: String,
+    /// Metamorphic transform: on every [`MutationKind::GrabObject`]
+    /// edge, drop the offending `s`/`f` granules from the caller's
+    /// alphabet.  The composition becomes composable (`P020`
+    /// disappears) while the caller's refinement of `Proto` flips from
+    /// holds to a Def.-2 condition-2 failure (`P021` + vacuous-`P106`
+    /// appear).
+    pub drop_offending: bool,
+}
+
+impl GenConfig {
+    /// A configuration with the default pool (M = 8), mutation density
+    /// (250‰), no salt and no transform.
+    pub fn new(family: Family, objects: usize, seed: u64) -> GenConfig {
+        GenConfig {
+            seed,
+            family,
+            objects,
+            methods: 8,
+            mutation_permille: 250,
+            salt: String::new(),
+            drop_offending: false,
+        }
+    }
+
+    /// Replace the method-pool size.
+    pub fn with_methods(mut self, methods: usize) -> GenConfig {
+        self.methods = methods;
+        self
+    }
+
+    /// Replace the mutation density.
+    pub fn with_mutation_permille(mut self, permille: u32) -> GenConfig {
+        self.mutation_permille = permille;
+        self
+    }
+
+    /// Apply a consistent rename suffix.
+    pub fn with_salt(mut self, salt: &str) -> GenConfig {
+        self.salt = salt.to_string();
+        self
+    }
+
+    /// Toggle the drop-offending transform.
+    pub fn with_drop_offending(mut self, on: bool) -> GenConfig {
+        self.drop_offending = on;
+        self
+    }
+
+    /// A file-name stem identifying the configuration, e.g.
+    /// `ring-n64-s7` (plus `-salt_X` / `-dropped` markers).
+    pub fn stem(&self) -> String {
+        let mut s = format!("{}-n{}-s{}", self.family.name(), self.objects, self.seed);
+        if !self.salt.is_empty() {
+            let _ = write!(s, "-salt_{}", self.salt);
+        }
+        if self.drop_offending {
+            s.push_str("-dropped");
+        }
+        s
+    }
+}
+
+/// Why a configuration cannot be generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// N below the family's minimum.
+    TooFewObjects {
+        /// The family asked for.
+        family: Family,
+        /// The N asked for.
+        objects: usize,
+        /// The family's minimum N.
+        min: usize,
+    },
+    /// The salt is not a valid identifier suffix.
+    InvalidSalt(String),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::TooFewObjects { family, objects, min } => {
+                write!(f, "family `{family}` needs at least {min} objects, got {objects}")
+            }
+            GenError::InvalidSalt(s) => {
+                write!(f, "salt `{s}` is not a valid identifier suffix (use [A-Za-z0-9_])")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// A generated scenario: the document text and its expected-verdict
+/// manifest.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The configuration it was generated from.
+    pub config: GenConfig,
+    /// The `.pos` document text.
+    pub document: String,
+    /// The expected verdicts, derived from the construction.
+    pub manifest: Manifest,
+}
+
+/// One edge of the instantiated topology with its rotation-assigned
+/// session methods and (optional) mutation.
+struct Edge {
+    k: usize,
+    i: usize,
+    j: usize,
+    s: usize,
+    f: usize,
+    mutation: Option<MutationKind>,
+}
+
+/// Salted name construction.
+struct Names {
+    salt: String,
+}
+
+impl Names {
+    fn obj(&self, i: usize) -> String {
+        format!("o{i}{}", self.salt)
+    }
+    fn mon(&self) -> String {
+        format!("mon{}", self.salt)
+    }
+    fn env(&self) -> String {
+        format!("Env{}", self.salt)
+    }
+    fn req(&self) -> String {
+        format!("req{}", self.salt)
+    }
+    fn ack(&self) -> String {
+        format!("ack{}", self.salt)
+    }
+    fn m(&self, idx: usize) -> String {
+        format!("m{idx}{}", self.salt)
+    }
+    fn proto(&self, k: usize) -> String {
+        format!("Proto{k}{}", self.salt)
+    }
+    fn caller(&self, k: usize) -> String {
+        format!("Caller{k}{}", self.salt)
+    }
+    fn callee(&self, k: usize) -> String {
+        format!("Callee{k}{}", self.salt)
+    }
+    fn grab(&self, k: usize) -> String {
+        format!("Grab{k}{}", self.salt)
+    }
+    fn link(&self, k: usize) -> String {
+        format!("Link{k}{}", self.salt)
+    }
+    /// Engine-format event string `⟨caller,callee,method⟩` — must match
+    /// `pospec_alphabet`'s granule/event rendering for fully named
+    /// endpoints.
+    fn event(&self, caller: &str, callee: &str, method: &str) -> String {
+        format!("\u{27e8}{caller},{callee},{method}\u{27e9}")
+    }
+}
+
+fn mix_seed(config: &GenConfig) -> u64 {
+    // Fold the family name into the seed so equal seeds still place
+    // mutations independently across families.
+    let mut h = config.seed ^ 0x9E37_79B9_7F4A_7C15;
+    for b in config.family.name().bytes() {
+        h = h.wrapping_mul(0x0100_0000_01B3).wrapping_add(b as u64);
+    }
+    h
+}
+
+/// Generate the scenario for `config`.
+///
+/// The manifest is derived purely from the construction: which mutation
+/// was placed on which edge decides every expected verdict, every
+/// counterexample and every lint diagnostic.  No checker is consulted —
+/// this crate does not even link one.
+pub fn generate(config: &GenConfig) -> Result<Scenario, GenError> {
+    let min = config.family.min_objects();
+    if config.objects < min {
+        return Err(GenError::TooFewObjects {
+            family: config.family,
+            objects: config.objects,
+            min,
+        });
+    }
+    if !config.salt.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(GenError::InvalidSalt(config.salt.clone()));
+    }
+
+    let n = config.objects;
+    let topology = config.family.edges(n);
+    let n_edges = topology.len();
+    let m_eff = config.methods.max(2).min(2 * n_edges);
+    let names = Names { salt: config.salt.clone() };
+
+    let mut rng = SplitMix64::new(mix_seed(config));
+    let edges: Vec<Edge> = topology
+        .iter()
+        .enumerate()
+        .map(|(k, &(i, j))| {
+            let mutation = if rng.below(1000) < config.mutation_permille as u64 {
+                Some(MutationKind::ALL[rng.below(5) as usize])
+            } else {
+                None
+            };
+            Edge { k, i, j, s: (2 * k) % m_eff, f: (2 * k + 1) % m_eff, mutation }
+        })
+        .collect();
+
+    let mut doc = String::new();
+    let mut refinements = Vec::new();
+    let mut compositions = Vec::new();
+    let mut lint = Vec::new();
+    let mut spec_count = 0usize;
+
+    let _ = writeln!(
+        doc,
+        "// Generated by `pospec gen` — do not edit; regeneration with the same\n\
+         // configuration is byte-identical.\n\
+         // family={} objects={} methods={} seed={} mutations={}\u{2030} salt=\"{}\" drop_offending={}",
+        config.family,
+        config.objects,
+        m_eff,
+        config.seed,
+        config.mutation_permille,
+        config.salt,
+        config.drop_offending,
+    );
+    doc.push_str("universe {\n");
+    let _ = writeln!(doc, "  class {};", names.env());
+    for i in 0..n {
+        let _ = writeln!(doc, "  object {};", names.obj(i));
+    }
+    let _ = writeln!(doc, "  object {};", names.mon());
+    let _ = writeln!(doc, "  method {};", names.req());
+    let _ = writeln!(doc, "  method {};", names.ack());
+    for idx in 0..m_eff {
+        let _ = writeln!(doc, "  method {};", names.m(idx));
+    }
+    let _ = writeln!(doc, "  witnesses {} 1;", names.env());
+    doc.push_str("  witnesses methods 1;\n");
+    doc.push_str("}\n");
+
+    for e in &edges {
+        let (oi, oj) = (names.obj(e.i), names.obj(e.j));
+        let (ms, mf) = (names.m(e.s), names.m(e.f));
+        let mon = names.mon();
+        let env = names.env();
+        let (req, ack) = (names.req(), names.ack());
+        let s_ev = format!("<{oi}, {oj}, {ms}>");
+        let f_ev = format!("<{oi}, {oj}, {mf}>");
+        let ack_i = format!("<{oi}, {mon}, {ack}>");
+        let ack_j = format!("<{oj}, {mon}, {ack}>");
+        let mu = e.mutation;
+        let dropped = config.drop_offending && mu == Some(MutationKind::GrabObject);
+
+        let _ = writeln!(
+            doc,
+            "\n// edge {}: {} -> {} via {}/{}{}",
+            e.k,
+            oi,
+            oj,
+            ms,
+            mf,
+            match mu {
+                None => String::new(),
+                Some(m) =>
+                    format!(" [{}{}]", m.name(), if dropped { ", offending dropped" } else { "" }),
+            }
+        );
+
+        // Abstract protocol — identical on every edge shape.
+        let _ = writeln!(
+            doc,
+            "spec {} {{\n  objects {{ {oi} }}\n  alphabet {{ <{env}, {oi}, {req}>; {s_ev}; {f_ev}; }}\n  traces prs ( {s_ev} {f_ev} )*;\n}}",
+            names.proto(e.k)
+        );
+        spec_count += 1;
+
+        // Concrete caller — the mutation target for swap/narrow/drop.
+        let caller_body = if dropped {
+            format!("  alphabet {{ <{env}, {oi}, {req}>; {ack_i}; }}\n  traces prs ( {ack_i} )*;")
+        } else {
+            match mu {
+                Some(MutationKind::SwapOrder) => format!(
+                    "  alphabet {{ <{env}, {oi}, {req}>; {s_ev}; {f_ev}; {ack_i}; }}\n  traces prs ( {f_ev} {s_ev} {ack_i} )*;"
+                ),
+                Some(MutationKind::DropGranule) => format!(
+                    "  alphabet {{ <{env}, {oi}, {req}>; {s_ev}; {ack_i}; }}\n  traces prs ( {s_ev} {ack_i} )*;"
+                ),
+                _ => format!(
+                    "  alphabet {{ <{env}, {oi}, {req}>; {s_ev}; {f_ev}; {ack_i}; }}\n  traces prs ( {s_ev} {f_ev} {ack_i} )*;"
+                ),
+            }
+        };
+        let _ =
+            writeln!(doc, "spec {} {{\n  objects {{ {oi} }}\n{caller_body}\n}}", names.caller(e.k));
+        spec_count += 1;
+
+        // Partner: the callee's view, or the grabby spec.
+        if mu == Some(MutationKind::GrabObject) {
+            let _ = writeln!(
+                doc,
+                "spec {} {{\n  objects {{ {oi} {oj} }}\n  alphabet {{ <{env}, {oj}, {req}>; {ack_j}; }}\n  traces prs ( {ack_j} )*;\n}}",
+                names.grab(e.k)
+            );
+        } else {
+            let callee_traces = match mu {
+                Some(MutationKind::SwapOrder) | Some(MutationKind::ContraryOrder) => {
+                    format!("( {f_ev} {s_ev} {ack_j} )*")
+                }
+                _ => format!("( {s_ev} {f_ev} {ack_j} )*"),
+            };
+            let _ = writeln!(
+                doc,
+                "spec {} {{\n  objects {{ {oj} }}\n  alphabet {{ <{env}, {oj}, {req}>; {s_ev}; {f_ev}; {ack_j}; }}\n  traces prs {callee_traces};\n}}",
+                names.callee(e.k)
+            );
+        }
+        spec_count += 1;
+
+        // --- Manifest entries derived from the construction ---
+        let caller = names.caller(e.k);
+        let proto = names.proto(e.k);
+        let s_str = names.event(&oi, &oj, &ms);
+        let f_str = names.event(&oi, &oj, &mf);
+
+        let refine_concrete = if mu == Some(MutationKind::ForeignObject) {
+            names.callee(e.k)
+        } else {
+            caller.clone()
+        };
+        let expect = if dropped {
+            lint.push(LintSite { code: "P021", subject: caller.clone() });
+            lint.push(LintSite { code: "P106", subject: caller.clone() });
+            ExpectRefine::FailsAlphabet
+        } else {
+            match mu {
+                Some(MutationKind::SwapOrder) => {
+                    // The only length-1 trace of `(f s ack)*`'s prefix
+                    // closure is `[f]`, and its projection `[f]` is not
+                    // a prefix of any word of `(s f)*` — the engine's
+                    // lex-least shortest witness is exactly `[f]`.
+                    ExpectRefine::FailsTraces { counterexample: vec![f_str.clone()] }
+                }
+                Some(MutationKind::DropGranule) => {
+                    lint.push(LintSite { code: "P021", subject: caller.clone() });
+                    ExpectRefine::FailsAlphabet
+                }
+                Some(MutationKind::ForeignObject) => {
+                    // Conditions 1 (objects) and 2 (alphabet) both fail;
+                    // the verdict reports the first, lint reports both.
+                    lint.push(LintSite { code: "P021", subject: refine_concrete.clone() });
+                    lint.push(LintSite { code: "P021", subject: refine_concrete.clone() });
+                    ExpectRefine::FailsObjects
+                }
+                _ => ExpectRefine::Holds,
+            }
+        };
+        refinements.push(RefinementEntry {
+            concrete: refine_concrete.clone(),
+            abstract_: proto.clone(),
+            expect,
+            mutation: mu,
+            declared: true,
+        });
+
+        // Undeclared coverage pairs on a deterministic subsample of
+        // healthy edges: the reverse direction (alphabet shrinks ⇒
+        // condition 2 fails) and the reflexive pair (always holds).
+        if mu.is_none() && e.k % 7 == 0 {
+            refinements.push(RefinementEntry {
+                concrete: proto.clone(),
+                abstract_: caller.clone(),
+                expect: ExpectRefine::FailsAlphabet,
+                mutation: None,
+                declared: false,
+            });
+            refinements.push(RefinementEntry {
+                concrete: caller.clone(),
+                abstract_: caller.clone(),
+                expect: ExpectRefine::Holds,
+                mutation: None,
+                declared: false,
+            });
+        }
+
+        let partner =
+            if mu == Some(MutationKind::GrabObject) { names.grab(e.k) } else { names.callee(e.k) };
+        let link = names.link(e.k);
+        let (composable, offending, deadlock) = if mu == Some(MutationKind::GrabObject) {
+            if dropped {
+                (true, Vec::new(), false)
+            } else {
+                lint.push(LintSite { code: "P020", subject: partner.clone() });
+                let mut off = vec![s_str, f_str];
+                off.sort();
+                (false, off, false)
+            }
+        } else if mu == Some(MutationKind::ContraryOrder) {
+            lint.push(LintSite { code: "P105", subject: link.clone() });
+            (true, Vec::new(), true)
+        } else {
+            (true, Vec::new(), false)
+        };
+        compositions.push(CompositionEntry {
+            name: link,
+            left: caller,
+            right: partner,
+            composable,
+            offending,
+            deadlock,
+            mutation: mu,
+        });
+    }
+
+    doc.push_str("\ndevelopment {\n");
+    for r in refinements.iter().filter(|r| r.declared) {
+        let _ = writeln!(doc, "  refine {} of {};", r.concrete, r.abstract_);
+    }
+    for c in &compositions {
+        let _ = writeln!(doc, "  compose {} from {} with {};", c.name, c.left, c.right);
+    }
+    doc.push_str("}\n");
+
+    let manifest = Manifest {
+        family: config.family.name().to_string(),
+        seed: config.seed,
+        objects: n,
+        methods: m_eff,
+        edges: n_edges,
+        spec_count,
+        refinements,
+        compositions,
+        lint,
+    };
+    Ok(Scenario { config: config.clone(), document: doc, manifest })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_byte_identical_for_equal_configs() {
+        let config = GenConfig::new(Family::Ring, 16, 7);
+        let a = generate(&config).unwrap();
+        let b = generate(&config).unwrap();
+        assert_eq!(a.document, b.document);
+        assert_eq!(a.manifest, b.manifest);
+        assert_eq!(a.manifest.to_json().to_pretty(), b.manifest.to_json().to_pretty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig::new(Family::Ring, 16, 1)).unwrap();
+        let b = generate(&GenConfig::new(Family::Ring, 16, 2)).unwrap();
+        assert_ne!(a.document, b.document, "mutation placement should depend on the seed");
+    }
+
+    #[test]
+    fn too_few_objects_is_an_error() {
+        assert!(matches!(
+            generate(&GenConfig::new(Family::Gossip, 3, 1)),
+            Err(GenError::TooFewObjects { min: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_salt_is_an_error() {
+        let config = GenConfig::new(Family::Ring, 8, 1).with_salt("no-dashes");
+        assert!(matches!(generate(&config), Err(GenError::InvalidSalt(_))));
+    }
+
+    #[test]
+    fn zero_mutation_density_means_no_anomalies() {
+        let config = GenConfig::new(Family::Gossip, 12, 3).with_mutation_permille(0);
+        let s = generate(&config).unwrap();
+        assert!(s.manifest.lint.is_empty());
+        assert!(s.manifest.refinements.iter().all(|r| !r.declared || r.expect.holds()));
+        assert!(s.manifest.compositions.iter().all(|c| c.composable && !c.deadlock));
+    }
+
+    #[test]
+    fn full_mutation_density_hits_every_edge() {
+        let config = GenConfig::new(Family::Ring, 24, 5).with_mutation_permille(1000);
+        let s = generate(&config).unwrap();
+        assert!(s.manifest.compositions.iter().all(|c| c.mutation.is_some()));
+    }
+
+    #[test]
+    fn all_mutation_kinds_appear_across_seeds() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..8 {
+            let s = generate(&GenConfig::new(Family::Ring, 32, seed)).unwrap();
+            seen.extend(
+                s.manifest.compositions.iter().filter_map(|c| c.mutation.map(|m| m.name())),
+            );
+        }
+        assert_eq!(seen.len(), MutationKind::ALL.len(), "kinds seen: {seen:?}");
+    }
+
+    #[test]
+    fn salt_renames_every_identifier() {
+        let base = generate(&GenConfig::new(Family::Pipeline, 6, 9)).unwrap();
+        let salted = generate(&GenConfig::new(Family::Pipeline, 6, 9).with_salt("_x")).unwrap();
+        // Same anomaly structure…
+        assert_eq!(base.manifest.lint.len(), salted.manifest.lint.len());
+        assert_eq!(base.manifest.refinements.len(), salted.manifest.refinements.len());
+        // …but no unsalted identifier survives in the salted document's
+        // universe block (every declared name carries the suffix).
+        for line in salted.document.lines() {
+            let l = line.trim();
+            if l.starts_with("object ") || l.starts_with("method ") || l.starts_with("class ") {
+                assert!(l.contains("_x"), "unsalted declaration: {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn drop_offending_flips_grab_entries() {
+        // Find a seed with at least one grab edge at this size.
+        let config = (0..64)
+            .map(|seed| GenConfig::new(Family::Ring, 16, seed))
+            .find(|c| generate(c).unwrap().manifest.lint.iter().any(|s| s.code == "P020"))
+            .expect("some seed below 64 places a grab mutation");
+        let base = generate(&config).unwrap();
+        let dropped = generate(&config.clone().with_drop_offending(true)).unwrap();
+        assert!(dropped.manifest.lint_count("P020") == 0, "P020 must disappear");
+        assert_eq!(
+            dropped.manifest.lint_count("P021"),
+            base.manifest.lint_count("P021") + base.manifest.lint_count("P020"),
+            "each dropped grab edge gains a P021"
+        );
+        assert_eq!(
+            dropped.manifest.lint_count("P106"),
+            base.manifest.lint_count("P020"),
+            "each dropped grab edge gains a vacuity warning"
+        );
+        for (b, d) in base.manifest.compositions.iter().zip(&dropped.manifest.compositions) {
+            if b.mutation == Some(MutationKind::GrabObject) {
+                assert!(!b.composable && d.composable);
+                assert!(!b.offending.is_empty() && d.offending.is_empty());
+            } else {
+                assert_eq!(b.composable, d.composable);
+            }
+        }
+    }
+
+    #[test]
+    fn method_pool_is_clamped_to_what_rotation_uses() {
+        // 1 edge ⇒ at most 2 methods regardless of the request.
+        let s = generate(&GenConfig::new(Family::Pipeline, 2, 1).with_methods(64)).unwrap();
+        assert_eq!(s.manifest.methods, 2);
+        // Large topologies keep the requested pool.
+        let s = generate(&GenConfig::new(Family::Ring, 100, 1).with_methods(12)).unwrap();
+        assert_eq!(s.manifest.methods, 12);
+    }
+
+    #[test]
+    fn stems_identify_configurations() {
+        assert_eq!(GenConfig::new(Family::Ring, 64, 7).stem(), "ring-n64-s7");
+        assert_eq!(
+            GenConfig::new(Family::Star, 10, 3).with_salt("_y").with_drop_offending(true).stem(),
+            "star-n10-s3-salt__y-dropped"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Programmatic world construction shared with the bench sweeps.
+//!
+//! `crates/bench`'s `ScaledWorld` and the generator families describe
+//! the same canonical universe shape — an environment class with a
+//! finitization width, plain objects, and a pool of parameterless
+//! methods.  This module is the single source of truth for building it;
+//! the bench crate delegates here instead of duplicating the
+//! `UniverseBuilder` calls.
+
+use pospec_alphabet::{Universe, UniverseBuilder, UniverseError};
+use pospec_trace::{ClassId, MethodId, ObjectId};
+use std::sync::Arc;
+
+/// A frozen canonical world with handles to everything it declares.
+pub struct World {
+    /// The frozen universe.
+    pub u: Arc<Universe>,
+    /// The environment class.
+    pub env: ClassId,
+    /// The declared objects, in input order.
+    pub objects: Vec<ObjectId>,
+    /// The declared methods, in input order.
+    pub methods: Vec<MethodId>,
+}
+
+/// Build the canonical world: class `Env` with `env_witnesses`
+/// inhabitants, the named plain objects, the named parameterless
+/// methods, and one method witness.
+pub fn build_world(
+    env_witnesses: usize,
+    object_names: &[&str],
+    method_names: &[&str],
+) -> Result<World, UniverseError> {
+    let mut b = UniverseBuilder::new();
+    let env = b.object_class("Env")?;
+    let objects = object_names.iter().map(|n| b.object(n)).collect::<Result<Vec<_>, _>>()?;
+    let methods = method_names.iter().map(|n| b.method(n)).collect::<Result<Vec<_>, _>>()?;
+    b.class_witnesses(env, env_witnesses)?;
+    b.method_witnesses(1)?;
+    Ok(World { u: b.freeze(), env, objects, methods })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_declared_shape() {
+        let w = build_world(3, &["server", "client"], &["m0", "m1", "m2"]).unwrap();
+        assert_eq!(w.objects.len(), 2);
+        assert_eq!(w.methods.len(), 3);
+        assert_eq!(w.u.class_witnesses(w.env).count(), 3);
+        assert_eq!(w.u.object_by_name("server"), Some(w.objects[0]));
+        assert_eq!(w.u.method_by_name("m2"), Some(w.methods[2]));
+    }
+
+    #[test]
+    fn duplicate_names_propagate_the_builder_error() {
+        assert!(build_world(1, &["o", "o"], &["m"]).is_err());
+    }
+}

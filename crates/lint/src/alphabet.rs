@@ -122,17 +122,23 @@ fn unused_declarations(ctx: &Ctx<'_>, sink: &mut DiagSink) {
     let named = used_names(ctx);
     // The union of every elaborated spec's alphabet decides *semantic*
     // usage: an object reached through a class pattern counts as used
-    // even when its own name never appears.
-    let mut union_alpha = EventSet::empty(u);
+    // even when its own name never appears.  Collect the granules in
+    // one pass (a fold of `EventSet::union` clones the accumulated
+    // granule set per spec — quadratic on generated thousand-spec
+    // documents) and precompute the named endpoints once instead of
+    // scanning the union per object declaration.
+    let mut granules = BTreeSet::new();
     for info in &ctx.specs {
         if let Some(s) = &info.spec {
-            union_alpha = union_alpha.union(s.alphabet());
+            granules.extend(s.alphabet().granules().copied());
         }
     }
+    let union_alpha = EventSet::from_granules(u, granules);
+    let endpoint_objects = union_alpha.named_endpoints();
     let used_method = |name: &str| named.contains(name);
     let used_object = |name: &str| {
         named.contains(name)
-            || u.object_by_name(name).is_some_and(|o| union_alpha.mentions_object(o))
+            || u.object_by_name(name).is_some_and(|o| endpoint_objects.contains(&o))
     };
     // A method's signature keeps its data class alive; a used method
     // with a parameterised signature keeps the class's values alive

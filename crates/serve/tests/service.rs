@@ -152,6 +152,72 @@ fn full_session_over_tcp() {
 }
 
 #[test]
+fn generated_documents_check_identically_over_tcp() {
+    use pospec_gen::{generate, ExpectRefine, Family, GenConfig};
+
+    // A generated known-answer network: the manifest's verdicts were
+    // fixed at construction time, so the service, the in-process
+    // checker, and the manifest must agree three ways on every pair.
+    let config = GenConfig::new(Family::Ring, 16, 3);
+    let scenario = generate(&config).expect("generate ring scenario");
+    let fixture = start(2, 16, false);
+    let mut client = fixture.client();
+
+    let response = client
+        .call(
+            &op("load_spec")
+                .field("name", "generated")
+                .field("source", scenario.document.as_str())
+                .build(),
+        )
+        .expect("load_spec");
+    assert!(response_ok(&response), "load_spec failed: {response:?}");
+
+    let pairs = Value::Arr(
+        scenario
+            .manifest
+            .refinements
+            .iter()
+            .map(|e| {
+                Value::Arr(vec![
+                    Value::from(e.concrete.as_str()),
+                    Value::from(e.abstract_.as_str()),
+                ])
+            })
+            .collect(),
+    );
+    let response = client
+        .call(&op("batch_check").field("doc", "generated").field("pairs", pairs).build())
+        .expect("batch_check");
+    assert!(response_ok(&response), "batch_check failed: {response:?}");
+    let rows = result(&response, "verdicts").and_then(Value::as_arr).expect("verdict rows");
+    assert_eq!(rows.len(), scenario.manifest.refinements.len());
+
+    let doc = pospec_lang::parse_document(&scenario.document).expect("generated document parses");
+    for (entry, row) in scenario.manifest.refinements.iter().zip(rows) {
+        let pair = format!("{} ⊒ {}", entry.concrete, entry.abstract_);
+        let holds = row.get("holds").and_then(Value::as_bool).expect("holds field");
+        let reason = row.get("reason").and_then(Value::as_str);
+        let (want_holds, want_reason) = match &entry.expect {
+            ExpectRefine::Holds => (true, None),
+            ExpectRefine::FailsObjects => (false, Some("objects")),
+            ExpectRefine::FailsAlphabet => (false, Some("alphabet")),
+            ExpectRefine::FailsTraces { .. } => (false, Some("traces")),
+        };
+        assert_eq!(holds, want_holds, "{pair}: {row:?}");
+        assert_eq!(reason, want_reason, "{pair}: {row:?}");
+
+        // Triangulate against the in-process checker at the service's
+        // default depth.
+        let c = doc.spec(&entry.concrete).expect("concrete spec");
+        let a = doc.spec(&entry.abstract_).expect("abstract spec");
+        let local = pospec_core::check_refinement(c, a, 6);
+        assert_eq!(local.holds(), holds, "{pair}: service and library disagree");
+    }
+    fixture.stop();
+}
+
+#[test]
 fn preload_registers_every_spec_file() {
     let fixture = start(1, 4, true);
     let mut client = fixture.client();

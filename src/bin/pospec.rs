@@ -15,6 +15,9 @@
 //!                                              fault-injected supervised run
 //! pospec verify <file.pos>                     run the development block
 //! pospec print <file.pos>                      parse and pretty-print back
+//! pospec gen --family F --objects N [--seed N] [--methods N]
+//!            [--mutations PERMILLE] [--salt S] [--drop-offending] [--out DIR]
+//!                                              emit a known-answer scenario
 //! pospec serve [--addr A] [--workers N] [--queue N] [--preload DIR]
 //!                                              long-running checking service
 //! pospec call [--addr A] <op> [args…]          one request against a server
@@ -42,6 +45,8 @@ fn usage() -> ExitCode {
 [--deadline-ms N] [--events N] [--json PATH|-]\n  \
          pospec verify <file.pos>\n  \
          pospec print <file.pos>\n  \
+         pospec gen --family pipeline|star|ring|gossip --objects N [--seed N] [--methods N] \
+[--mutations PERMILLE] [--salt SUFFIX] [--drop-offending] [--out DIR]\n  \
          pospec serve [--addr HOST:PORT] [--workers N] [--queue N] [--preload DIR] [--strict] \
 [--idle-timeout-ms N] [--max-line-bytes N] [--max-conns N] [--cache-dir DIR]\n  \
          pospec call [--addr HOST:PORT] [--timeout-ms N] [--retries N] [--seed N] \
@@ -119,6 +124,105 @@ fn flag_values<'a>(args: &'a [String], name: &str) -> Result<Vec<&'a str>, ExitC
         }
     }
     Ok(out)
+}
+
+/// `pospec gen`: emit a known-answer scenario — a generated `.pos`
+/// document plus the manifest of verdicts it carries by construction.
+/// Flag parsing is strict: unknown arguments, missing required flags,
+/// and unparsable values all exit 2.  Generation is deterministic, so
+/// the same flags always produce byte-identical files.
+fn gen_cmd(args: &[String]) -> ExitCode {
+    match gen_inner(args) {
+        Ok(code) | Err(code) => code,
+    }
+}
+
+fn gen_inner(args: &[String]) -> Result<ExitCode, ExitCode> {
+    use pospec_gen::{generate, Family, GenConfig};
+
+    // Strict surface: every argument must be a known flag or the value
+    // consumed by the preceding flag.
+    const VALUE_FLAGS: [&str; 7] =
+        ["--family", "--objects", "--seed", "--methods", "--mutations", "--salt", "--out"];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            if it.next().is_none() {
+                eprintln!("error: `{a}` requires a value");
+                return Err(ExitCode::from(2));
+            }
+        } else if a != "--drop-offending" {
+            eprintln!("error: unknown argument `{a}` for `pospec gen`");
+            return Err(ExitCode::from(2));
+        }
+    }
+
+    let family: Family = match flag_value(args, "--family") {
+        Some(raw) => raw.parse().map_err(|e| {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        })?,
+        None => {
+            eprintln!("error: `pospec gen` requires `--family pipeline|star|ring|gossip`");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let objects: usize = match flag_value(args, "--objects") {
+        Some(raw) => raw.parse().map_err(|_| {
+            eprintln!("error: invalid value `{raw}` for `--objects`");
+            ExitCode::from(2)
+        })?,
+        None => {
+            eprintln!("error: `pospec gen` requires `--objects N`");
+            return Err(ExitCode::from(2));
+        }
+    };
+    let seed = parsed_flag(args, "--seed", 0u64)?;
+    let mut config = GenConfig::new(family, objects, seed);
+    config.methods = parsed_flag(args, "--methods", config.methods)?;
+    config.mutation_permille = parsed_flag(args, "--mutations", config.mutation_permille)?;
+    if config.mutation_permille > 1000 {
+        eprintln!(
+            "error: `--mutations` is a permille density (0..=1000), got {}",
+            config.mutation_permille
+        );
+        return Err(ExitCode::from(2));
+    }
+    if let Some(salt) = flag_value(args, "--salt") {
+        config.salt = salt.to_string();
+    }
+    config.drop_offending = args.iter().any(|a| a == "--drop-offending");
+
+    let scenario = generate(&config).map_err(|e| {
+        eprintln!("error: {e}");
+        ExitCode::from(2)
+    })?;
+
+    let out_dir = std::path::Path::new(flag_value(args, "--out").unwrap_or("."));
+    std::fs::create_dir_all(out_dir).map_err(|e| {
+        eprintln!("error: cannot create `{}`: {e}", out_dir.display());
+        ExitCode::from(2)
+    })?;
+    let stem = config.stem();
+    let pos_path = out_dir.join(format!("{stem}.pos"));
+    let manifest_path = out_dir.join(format!("{stem}.manifest.json"));
+    let manifest_text = format!("{}\n", scenario.manifest.to_json().to_pretty());
+    for (path, contents) in [(&pos_path, &scenario.document), (&manifest_path, &manifest_text)] {
+        std::fs::write(path, contents).map_err(|e| {
+            eprintln!("error: cannot write `{}`: {e}", path.display());
+            ExitCode::from(2)
+        })?;
+    }
+    println!(
+        "{}: {} spec(s), {} refinement(s), {} composition(s), {} expected diagnostic(s)",
+        pos_path.display(),
+        scenario.manifest.spec_count,
+        scenario.manifest.refinements.len(),
+        scenario.manifest.compositions.len(),
+        scenario.manifest.lint.len()
+    );
+    println!("{}", manifest_path.display());
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `pospec lint`: run the static analyzer over every given `.pos` file
@@ -737,6 +841,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        ("gen", extra) => gen_cmd(extra),
         ("lint", extra) => lint_cmd(extra),
         ("serve", extra) => serve_cmd(extra),
         ("call", extra) => call_cmd(extra),

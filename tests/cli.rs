@@ -291,3 +291,110 @@ fn malformed_flag_values_exit_2_with_a_message() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
 }
+
+/// A fresh scratch directory under the system temp dir, unique per test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pospec_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn gen_writes_document_and_manifest() {
+    let dir = scratch("gen_basic");
+    let out = run(&[
+        "gen",
+        "--family",
+        "ring",
+        "--objects",
+        "64",
+        "--seed",
+        "9",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let pos = dir.join("ring-n64-s9.pos");
+    let manifest = dir.join("ring-n64-s9.manifest.json");
+    let text = stdout(&out);
+    assert!(text.contains("ring-n64-s9.pos"), "{text}");
+    assert!(text.contains("spec(s)"), "{text}");
+
+    // The document parses and its spec count matches the manifest's.
+    let src = std::fs::read_to_string(&pos).expect("document written");
+    let doc = pospec_lang::parse_document(&src).expect("generated document parses");
+    let mtext = std::fs::read_to_string(&manifest).expect("manifest written");
+    let mjson = pospec_json::parse(&mtext).expect("manifest is valid JSON");
+    assert_eq!(
+        mjson.get("spec_count").and_then(|v| v.as_u64()),
+        Some(doc.specs.len() as u64),
+        "{mtext}"
+    );
+    assert_eq!(mjson.get("format").and_then(|v| v.as_str()), Some("pospec-gen-manifest/1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gen_same_seed_output_is_byte_identical() {
+    let dir_a = scratch("gen_rep_a");
+    let dir_b = scratch("gen_rep_b");
+    let args = |dir: &std::path::Path| {
+        vec![
+            "gen".to_string(),
+            "--family".into(),
+            "gossip".into(),
+            "--objects".into(),
+            "12".into(),
+            "--seed".into(),
+            "5".into(),
+            "--out".into(),
+            dir.to_string_lossy().into_owned(),
+        ]
+    };
+    for dir in [&dir_a, &dir_b] {
+        let argv = args(dir);
+        let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
+        let out = run(&refs);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    for name in ["gossip-n12-s5.pos", "gossip-n12-s5.manifest.json"] {
+        let a = std::fs::read(dir_a.join(name)).expect("first run wrote");
+        let b = std::fs::read(dir_b.join(name)).expect("second run wrote");
+        assert_eq!(a, b, "same-flag runs must be byte-identical: {name}");
+    }
+    // ...and identical to what the library produces in-process.
+    let config = pospec_gen::GenConfig::new(pospec_gen::Family::Gossip, 12, 5);
+    let scenario = pospec_gen::generate(&config).expect("generate");
+    let cli_doc = std::fs::read_to_string(dir_a.join("gossip-n12-s5.pos")).unwrap();
+    assert_eq!(cli_doc, scenario.document, "CLI output must match the library");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn gen_flags_share_the_strict_parsing_convention() {
+    // Missing required flags, malformed values, out-of-range densities,
+    // unknown arguments, and impossible topologies all exit 2.
+    for args in [
+        vec!["gen", "--objects", "8"],
+        vec!["gen", "--family", "ring"],
+        vec!["gen", "--family", "hypercube", "--objects", "8"],
+        vec!["gen", "--family", "ring", "--objects", "lots"],
+        vec!["gen", "--family", "ring", "--objects", "8", "--seed", "abc"],
+        vec!["gen", "--family", "ring", "--objects", "8", "--mutations", "1500"],
+        vec!["gen", "--family", "gossip", "--objects", "2"],
+        vec!["gen", "--family", "ring", "--objects", "8", "--salt", "no spaces"],
+        vec!["gen", "--family", "ring", "--objects", "8", "--frobnicate"],
+        vec!["gen", "--family", "ring", "--objects", "8", "--out"],
+    ] {
+        let out = run(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args: {args:?}, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(!out.stderr.is_empty(), "args: {args:?} should explain itself on stderr");
+    }
+}
