@@ -152,6 +152,24 @@ pub fn elaborate(ast: &Ast) -> Result<Document, LangError> {
     for sd in &ast.specs {
         specs.push(elaborate_spec(&u, sd)?);
     }
+    check_names(ast, &u, &specs)?;
+    Ok(Document {
+        universe: u,
+        specs,
+        components: ast.components.clone(),
+        development: ast.development.clone(),
+    })
+}
+
+/// Name-check the `component` declarations and `development`
+/// statements against the elaborated specifications.  Shared by the
+/// eager path above and the incremental path
+/// ([`crate::incr::ElabSession::document`]).
+pub(crate) fn check_names(
+    ast: &Ast,
+    u: &Arc<Universe>,
+    specs: &[Specification],
+) -> Result<(), LangError> {
     // Name-check the component declarations.
     let spec_names: std::collections::BTreeSet<String> =
         specs.iter().map(|s| s.name().to_string()).collect();
@@ -201,12 +219,7 @@ pub fn elaborate(ast: &Ast) -> Result<Document, LangError> {
             }
         }
     }
-    Ok(Document {
-        universe: u,
-        specs,
-        components: ast.components.clone(),
-        development: ast.development.clone(),
-    })
+    Ok(())
 }
 
 /// How a name resolves inside a template position.

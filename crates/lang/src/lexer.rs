@@ -32,16 +32,20 @@ impl Span {
     /// padding and caret width (both in characters) needed to underline
     /// it, or `None` when the span does not fall inside `src`.
     pub fn underline<'a>(&self, src: &'a str) -> Option<(&'a str, usize, usize)> {
-        let off = self.offset as usize;
-        if off > src.len() || !src.is_char_boundary(off) {
+        if self.offset as usize > src.len() {
             return None;
         }
+        // Round both ends down to character boundaries so a span that
+        // was sliced mid-scalar (e.g. by byte-offset arithmetic in a
+        // caller) still underlines the right characters instead of
+        // vanishing or panicking.
+        let off = crate::pos::floor_char_boundary(src, self.offset as usize);
         let start = src[..off].rfind('\n').map(|i| i + 1).unwrap_or(0);
         let end = src[off..].find('\n').map(|i| off + i).unwrap_or(src.len());
         let text = &src[start..end];
         let pad = src[start..off].chars().count();
-        let stop = (off + self.len as usize).min(end);
-        let width = if src.is_char_boundary(stop) { src[off..stop].chars().count() } else { 0 };
+        let stop = crate::pos::floor_char_boundary(src, (off + self.len as usize).min(end));
+        let width = src[off..stop.max(off)].chars().count();
         Some((text, pad, width.max(1)))
     }
 }

@@ -46,11 +46,14 @@
 //! ```
 
 pub mod elab;
+pub mod incr;
 pub mod lexer;
 pub mod parser;
+pub mod pos;
 pub mod pretty;
 
 pub use elab::{parse_document, Document};
+pub use incr::{parse_document_session, ElabSession, SessionLoad};
 pub use lexer::{LangError, Span};
 pub use pretty::{
     print_development, print_document, print_full_document, print_spec, print_universe, PrettyError,

@@ -11,6 +11,7 @@ use pospec_alphabet::{ArgSpec, EventPattern, EventSet, ObjSpec, Universe};
 use pospec_core::{DfaCache, Specification};
 use pospec_lang::elab::elaborate_spec;
 use pospec_lang::parser::{ArgAst, Ast, TemplateAst};
+use pospec_lang::ElabSession;
 use pospec_regex::ConcreteDfa;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -46,6 +47,7 @@ impl<'a> Ctx<'a> {
         dirty: &[bool],
         depth: usize,
         cache: &'a DfaCache,
+        mut session: Option<&mut ElabSession>,
         sink: &mut DiagSink,
     ) -> Ctx<'a> {
         let mut specs = Vec::new();
@@ -54,7 +56,11 @@ impl<'a> Ctx<'a> {
             let spec = if dirty[i] {
                 None
             } else {
-                match elaborate_spec(&universe, sd) {
+                let elaborated = match session.as_deref_mut() {
+                    Some(s) => s.spec(&universe, sd).map(|(spec, _, _)| spec),
+                    None => elaborate_spec(&universe, sd),
+                };
+                match elaborated {
                     Ok(s) => Some(s),
                     Err(e) => {
                         sink.push(Diagnostic::new(Code::P009, e.message).at(e.span));

@@ -37,6 +37,7 @@ use context::Ctx;
 use pospec_core::DfaCache;
 use pospec_lang::elab::elaborate_universe;
 use pospec_lang::parser::parse;
+use pospec_lang::ElabSession;
 
 /// Lint one `.pos` document using the process-wide automaton cache.
 ///
@@ -53,6 +54,33 @@ pub fn lint_document_cached(
     config: &LintConfig,
     cache: &DfaCache,
 ) -> LintReport {
+    lint_inner(file, src, config, cache, None)
+}
+
+/// The incremental entry point: like [`lint_document_cached`], but
+/// elaboration goes through an [`ElabSession`] so re-linting an edited
+/// document re-elaborates only the changed declarations.  Every pass
+/// still runs in full — diagnostics are a pure function of the
+/// document, so the report is identical to the non-incremental one;
+/// only the elaboration and automaton work is saved (the session keeps
+/// the same `Arc<Universe>` alive, which keeps `cache` warm).
+pub fn lint_document_session(
+    file: &str,
+    src: &str,
+    config: &LintConfig,
+    cache: &DfaCache,
+    session: &mut ElabSession,
+) -> LintReport {
+    lint_inner(file, src, config, cache, Some(session))
+}
+
+fn lint_inner(
+    file: &str,
+    src: &str,
+    config: &LintConfig,
+    cache: &DfaCache,
+    mut session: Option<&mut ElabSession>,
+) -> LintReport {
     let mut sink = DiagSink::new(config.clone());
 
     // P001 — syntax. A parse error is fatal for the later passes, but
@@ -68,7 +96,10 @@ pub fn lint_document_cached(
     // P002 — the universe itself is inconsistent (duplicate names,
     // unknown classes in memberships/signatures).  Without a universe
     // nothing downstream can resolve, so this also short-circuits.
-    let universe = match elaborate_universe(&ast) {
+    let universe = match match session.as_deref_mut() {
+        Some(s) => s.universe(&ast).map(|(u, _, _)| u),
+        None => elaborate_universe(&ast),
+    } {
         Ok(u) => u,
         Err(e) => {
             sink.push(Diagnostic::new(Code::P002, e.message.clone()).at(e.span));
@@ -77,7 +108,7 @@ pub fn lint_document_cached(
     };
 
     let dirty = names::run(&ast, &universe, &mut sink);
-    let mut ctx = Ctx::build(&ast, universe, &dirty, config.depth, cache, &mut sink);
+    let mut ctx = Ctx::build(&ast, universe, &dirty, config.depth, cache, session, &mut sink);
     compose_pre::run(&mut ctx, &mut sink);
     alphabet::run(&ctx, &mut sink);
     reach::run(&ctx, &mut sink);

@@ -1,0 +1,104 @@
+//! Cursor-level source analysis: identifier-at-position and
+//! go-to-definition by token scanning.
+//!
+//! Definitions are found in the token stream rather than the AST
+//! because the parser keeps spans only where diagnostics need them
+//! (spec names, templates) — the lexer keeps them everywhere.  A `.pos`
+//! document declares every name with a keyword immediately before it
+//! (`spec S`, `object o`, `method M`, `class C`, `data D`, `value v`,
+//! `component K`, `compose N from …`), so "the identifier right after
+//! a declaring keyword" is exactly the definition site.
+
+use pospec_lang::lexer::{lex, Span, Tok};
+
+/// Keywords that declare the identifier following them.
+const DECL_KEYWORDS: &[&str] =
+    &["spec", "object", "method", "class", "data", "value", "component", "compose"];
+
+/// The identifier containing (or ending at) byte `offset`, with its
+/// span.  Returns `None` on lexing failure or if the cursor is not on
+/// an identifier.
+pub fn ident_at(src: &str, offset: usize) -> Option<(String, Span)> {
+    let tokens = lex(src).ok()?;
+    let mut best: Option<(String, Span)> = None;
+    for t in &tokens {
+        if let Tok::Ident(name) = &t.tok {
+            let start = t.span.offset as usize;
+            let end = start + t.span.len as usize;
+            // Accept a cursor sitting just past the last character,
+            // the common "clicked at the end of the word" case.
+            if offset >= start && offset <= end {
+                best = Some((name.clone(), t.span));
+            }
+            if start > offset {
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// The definition site of `name`: the span of the identifier token
+/// right after its declaring keyword.  The first declaration wins,
+/// matching elaboration's lookup order.
+pub fn definition_of(src: &str, name: &str) -> Option<Span> {
+    let tokens = lex(src).ok()?;
+    for pair in tokens.windows(2) {
+        let (kw, ident) = (&pair[0], &pair[1]);
+        if let (Tok::Ident(k), Tok::Ident(n)) = (&kw.tok, &ident.tok) {
+            if n == name && DECL_KEYWORDS.contains(&k.as_str()) {
+                return Some(ident.span);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+universe { class C; object o : C; method M(C); value v : C; witnesses C 1; }
+spec S { objects { o } alphabet { <C, o, M>; } traces any; }
+component K { o behaves S; }
+development { compose T from S with S; refine T of S; }
+";
+
+    #[test]
+    fn ident_at_finds_the_token_under_and_after_the_cursor() {
+        let off = SRC.find("objects { o }").unwrap() + 10;
+        assert_eq!(ident_at(SRC, off).map(|(n, _)| n), Some("o".to_string()));
+        // Cursor just past the end of `spec`'s name.
+        let end = SRC.find("spec S").unwrap() + "spec S".len();
+        assert_eq!(ident_at(SRC, end).map(|(n, _)| n), Some("S".to_string()));
+        // Whitespace is nobody's identifier... except a token ending
+        // exactly at the cursor, which is the point of the inclusive end.
+        assert_eq!(ident_at(SRC, SRC.find("{ class").unwrap()).map(|(n, _)| n), None);
+    }
+
+    #[test]
+    fn definitions_resolve_to_declaration_sites() {
+        for (name, decl) in [
+            ("S", "spec S"),
+            ("o", "object o"),
+            ("M", "method M"),
+            ("C", "class C"),
+            ("v", "value v"),
+            ("K", "component K"),
+            ("T", "compose T"),
+        ] {
+            let span = definition_of(SRC, name).unwrap_or_else(|| panic!("no def for {name}"));
+            let expected = SRC.find(decl).unwrap() + decl.len() - name.len();
+            assert_eq!(span.offset as usize, expected, "definition of `{name}`");
+        }
+        assert_eq!(definition_of(SRC, "missing"), None);
+    }
+
+    #[test]
+    fn first_declaration_wins() {
+        let dup = "universe { object o; }\nspec S { objects { o } alphabet { } traces any; }\nspec S { objects { o } alphabet { } traces any; }\n";
+        let span = definition_of(dup, "S").expect("found");
+        assert_eq!(span.offset as usize, dup.find("spec S").unwrap() + 5);
+    }
+}

@@ -1,4 +1,5 @@
-//! Named, versioned specification documents behind an `RwLock`.
+//! Named, versioned specification documents behind an `RwLock`, with
+//! incremental re-elaboration and dirty-pair tracking.
 //!
 //! A registered document is the unit of loading and lookup: `load_spec`
 //! elaborates one `.pos` source through `pospec-lang` and registers the
@@ -10,18 +11,33 @@
 //!
 //! Reloading a name replaces the document and bumps its version; the
 //! old `Arc` stays alive for requests already holding it, so in-flight
-//! checks never observe a half-swapped registry.
+//! checks never observe a half-swapped registry.  Each name keeps a
+//! per-document [`ElabSession`], so a reload re-elaborates **only the
+//! declarations whose span-insensitive fingerprints changed** — and
+//! reuses the same `Arc<Universe>` when the universe block is
+//! untouched, which keeps the automaton cache's pointer-interned
+//! alphabets warm across reloads.
+//!
+//! The registry also owns the **pair-verdict cache**: refinement
+//! verdicts keyed by `(document, concrete, abstract, depth)` and
+//! stamped with the fingerprints they were computed against.  A reload
+//! leaves verdicts of *clean* pairs (both endpoints and the universe
+//! unchanged) servable in O(1); *dirty* pairs are evicted and
+//! recomputed on the next check.  This lives here rather than in the
+//! LSP so the serve reload path gets the same incrementality for free.
 //!
 //! A registry can be made *strict*: every load then also runs the
 //! static analyzer (`pospec-lint`) and refuses documents with
 //! error-severity diagnostics — a resident service should not hold
 //! specifications that are already known to be broken.
 
-use pospec_lang::{parse_document, Document};
-use std::collections::HashMap;
+use pospec_core::{check_refinement_cached, DfaCache, Verdict};
+use pospec_lang::parser::DevStmt;
+use pospec_lang::{parse_document_session, Document, ElabSession};
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One registered `.pos` document.
 #[derive(Debug)]
@@ -35,6 +51,11 @@ pub struct RegisteredDoc {
     /// The raw source text, kept so `lint` requests can analyse the
     /// registered document with exact spans.
     pub source: String,
+    /// Span-insensitive fingerprint of the `universe { … }` block.
+    pub universe_fp: u64,
+    /// Span-insensitive fingerprint per spec name (first declaration
+    /// wins, matching `Document::spec` lookup).
+    pub spec_fps: BTreeMap<String, u64>,
 }
 
 impl RegisteredDoc {
@@ -42,14 +63,62 @@ impl RegisteredDoc {
     pub fn spec_names(&self) -> Vec<&str> {
         self.doc.specs.iter().map(|s| s.name()).collect()
     }
+
+    /// The `refine concrete of abstract;` pairs declared in this
+    /// document's `development { … }` block, in order.
+    pub fn refine_pairs(&self) -> Vec<(&str, &str)> {
+        self.doc
+            .development
+            .iter()
+            .filter_map(|s| match s {
+                DevStmt::Refine { concrete, abstract_, .. } => {
+                    Some((concrete.as_str(), abstract_.as_str()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
 }
+
+/// What one [`SpecRegistry::load_source`] call did.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The freshly registered document.
+    pub entry: Arc<RegisteredDoc>,
+    /// Was the previous `Arc<Universe>` reused (universe unchanged)?
+    pub universe_reused: bool,
+    /// Spec names that were actually (re-)elaborated.
+    pub reelaborated: Vec<String>,
+    /// Spec names served from the per-document elaboration cache.
+    pub reused: Vec<String>,
+    /// `refine` pairs whose cached verdict was invalidated by this load
+    /// (an endpoint or the universe changed, or the pair is new).
+    pub dirty_pairs: Vec<(String, String)>,
+    /// `refine` pairs whose cached verdict survived this load.
+    pub clean_pairs: Vec<(String, String)>,
+}
+
+/// A cached refinement verdict, stamped with the fingerprints it was
+/// computed against so a stale entry can never be served.
+struct PairEntry {
+    universe_fp: u64,
+    fp_c: u64,
+    fp_a: u64,
+    verdict: Verdict,
+}
+
+type PairKey = (String, String, String, usize);
 
 /// The server's shared table of registered documents.
 #[derive(Default)]
 pub struct SpecRegistry {
     docs: RwLock<HashMap<String, Arc<RegisteredDoc>>>,
+    sessions: Mutex<HashMap<String, ElabSession>>,
+    pairs: Mutex<HashMap<PairKey, PairEntry>>,
     loads: AtomicU64,
     strict: AtomicBool,
+    pair_checks: AtomicU64,
+    pair_hits: AtomicU64,
 }
 
 impl SpecRegistry {
@@ -70,10 +139,16 @@ impl SpecRegistry {
     }
 
     /// Elaborate `source` and register it under `name`, replacing (and
-    /// version-bumping) any previous document of that name.  Returns the
-    /// new entry on success and the elaboration error otherwise.
-    pub fn load_source(&self, name: &str, source: &str) -> Result<Arc<RegisteredDoc>, String> {
-        let doc = parse_document(source).map_err(|e| e.to_string())?;
+    /// version-bumping) any previous document of that name.  Unchanged
+    /// declarations are reused from the per-name [`ElabSession`];
+    /// cached pair verdicts whose endpoints changed are evicted.  On
+    /// any error the previous version (if any) stays live.
+    pub fn load_source(&self, name: &str, source: &str) -> Result<LoadOutcome, String> {
+        let (doc, load) = {
+            let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+            let session = sessions.entry(name.to_string()).or_default();
+            parse_document_session(source, session).map_err(|e| e.to_string())?
+        };
         if self.is_strict() {
             let report = pospec_lint::lint_document(name, source, &Default::default());
             if report.has_errors() {
@@ -89,17 +164,159 @@ impl SpecRegistry {
                 ));
             }
         }
+        let mut spec_fps = BTreeMap::new();
+        for (n, fp) in &load.spec_fps {
+            spec_fps.entry(n.clone()).or_insert(*fp);
+        }
         let mut docs = self.docs.write().unwrap_or_else(|e| e.into_inner());
-        let version = docs.get(name).map(|d| d.version + 1).unwrap_or(1);
+        let prev = docs.get(name).cloned();
+        let version = prev.as_ref().map(|d| d.version + 1).unwrap_or(1);
         let entry = Arc::new(RegisteredDoc {
             name: name.to_string(),
             version,
             doc,
             source: source.to_string(),
+            universe_fp: load.universe_fp,
+            spec_fps,
         });
         docs.insert(name.to_string(), Arc::clone(&entry));
+        drop(docs);
         self.loads.fetch_add(1, Ordering::Relaxed);
-        Ok(entry)
+
+        // Split this document's refine obligations into clean pairs
+        // (verdict still valid) and dirty pairs, and evict the latter.
+        let pair_clean = |c: &str, a: &str| -> bool {
+            let p = match &prev {
+                Some(p) => p,
+                None => return false,
+            };
+            p.universe_fp == entry.universe_fp
+                && p.spec_fps.contains_key(c)
+                && p.spec_fps.get(c) == entry.spec_fps.get(c)
+                && p.spec_fps.contains_key(a)
+                && p.spec_fps.get(a) == entry.spec_fps.get(a)
+        };
+        let mut dirty_pairs = Vec::new();
+        let mut clean_pairs = Vec::new();
+        for (c, a) in entry.refine_pairs() {
+            if pair_clean(c, a) {
+                clean_pairs.push((c.to_string(), a.to_string()));
+            } else {
+                dirty_pairs.push((c.to_string(), a.to_string()));
+            }
+        }
+        {
+            let mut pairs = self.pairs.lock().unwrap_or_else(|e| e.into_inner());
+            pairs.retain(|(d, c, a, _), e| {
+                d != name
+                    || (e.universe_fp == entry.universe_fp
+                        && entry.spec_fps.get(c) == Some(&e.fp_c)
+                        && entry.spec_fps.get(a) == Some(&e.fp_a))
+            });
+        }
+        Ok(LoadOutcome {
+            entry,
+            universe_reused: load.universe_reused,
+            reelaborated: load.reelaborated,
+            reused: load.reused,
+            dirty_pairs,
+            clean_pairs,
+        })
+    }
+
+    /// Run `f` with the per-document elaboration session of `name`
+    /// (created empty on first use).  The LSP uses this to share one
+    /// session between `load_source` and incremental linting, so an
+    /// edit's spec is elaborated exactly once across both.
+    pub fn with_session<R>(&self, name: &str, f: impl FnOnce(&mut ElabSession) -> R) -> R {
+        let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        f(sessions.entry(name.to_string()).or_default())
+    }
+
+    /// Total spec elaborations performed across all sessions.
+    pub fn elaborations(&self) -> u64 {
+        let sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        sessions.values().map(|s| s.elaborations()).sum()
+    }
+
+    /// Total spec elaborations avoided across all sessions.
+    pub fn spec_reuses(&self) -> u64 {
+        let sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        sessions.values().map(|s| s.reuses()).sum()
+    }
+
+    /// Check `concrete ⊑ abstract` within `entry`'s document, serving
+    /// the verdict from the pair cache when both endpoints (and the
+    /// universe) are fingerprint-unchanged since it was computed.
+    /// Returns `(verdict, came_from_pair_cache)`, or `None` when either
+    /// spec name does not exist in the document.
+    pub fn check_pair_cached(
+        &self,
+        entry: &RegisteredDoc,
+        concrete: &str,
+        abstract_: &str,
+        depth: usize,
+        cache: &DfaCache,
+    ) -> Option<(Verdict, bool)> {
+        let c = entry.doc.spec(concrete)?;
+        let a = entry.doc.spec(abstract_)?;
+        self.pair_checks.fetch_add(1, Ordering::Relaxed);
+        let (fp_c, fp_a) = match (entry.spec_fps.get(concrete), entry.spec_fps.get(abstract_)) {
+            (Some(c), Some(a)) => (*c, *a),
+            // No fingerprint (not a declared spec — cannot happen for
+            // names `Document::spec` resolved, but stay total).
+            _ => return Some((check_refinement_cached(cache, c, a, depth), false)),
+        };
+        let key = (entry.name.clone(), concrete.to_string(), abstract_.to_string(), depth);
+        {
+            let pairs = self.pairs.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(e) = pairs.get(&key) {
+                if e.universe_fp == entry.universe_fp && e.fp_c == fp_c && e.fp_a == fp_a {
+                    self.pair_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some((e.verdict.clone(), true));
+                }
+            }
+        }
+        let verdict = check_refinement_cached(cache, c, a, depth);
+        let mut pairs = self.pairs.lock().unwrap_or_else(|e| e.into_inner());
+        pairs.insert(
+            key,
+            PairEntry { universe_fp: entry.universe_fp, fp_c, fp_a, verdict: verdict.clone() },
+        );
+        Some((verdict, false))
+    }
+
+    /// Re-check every `refine` pair of `entry`, serving clean pairs
+    /// from the pair cache.  Returns `(recomputed, served_cached)` —
+    /// after a one-spec edit, `recomputed` is exactly the number of
+    /// pairs touching that spec.
+    pub fn refresh_pairs(
+        &self,
+        entry: &RegisteredDoc,
+        depth: usize,
+        cache: &DfaCache,
+    ) -> (usize, usize) {
+        let mut recomputed = 0;
+        let mut served = 0;
+        for (c, a) in entry.refine_pairs() {
+            match self.check_pair_cached(entry, c, a, depth, cache) {
+                Some((_, true)) => served += 1,
+                Some((_, false)) => recomputed += 1,
+                // Names a composed (not declared) spec: nothing cached.
+                None => {}
+            }
+        }
+        (recomputed, served)
+    }
+
+    /// Total pair-level check requests answered (cached or not).
+    pub fn pair_checks(&self) -> u64 {
+        self.pair_checks.load(Ordering::Relaxed)
+    }
+
+    /// Pair-level check requests served from the pair-verdict cache.
+    pub fn pair_hits(&self) -> u64 {
+        self.pair_hits.load(Ordering::Relaxed)
     }
 
     /// Register every `*.pos` file of `dir` (file stem as name, sorted
@@ -121,9 +338,9 @@ impl SpecRegistry {
                 .to_string();
             let source = std::fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
-            let entry =
+            let outcome =
                 self.load_source(&name, &source).map_err(|e| format!("{}: {e}", path.display()))?;
-            loaded.push(entry);
+            loaded.push(outcome.entry);
         }
         Ok(loaded)
     }
@@ -179,9 +396,9 @@ mod tests {
     #[test]
     fn load_and_version_bump() {
         let r = SpecRegistry::new();
-        let v1 = r.load_source("tiny", TINY).expect("well-formed");
+        let v1 = r.load_source("tiny", TINY).expect("well-formed").entry;
         assert_eq!((v1.version, v1.spec_names()), (1, vec!["S"]));
-        let v2 = r.load_source("tiny", TINY).expect("well-formed");
+        let v2 = r.load_source("tiny", TINY).expect("well-formed").entry;
         assert_eq!(v2.version, 2);
         assert_eq!(r.get("tiny").expect("registered").version, 2);
         assert_eq!(r.list(), vec![("tiny".to_string(), 2, 1)]);

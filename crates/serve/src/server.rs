@@ -462,18 +462,37 @@ fn execute(envelope: &Envelope, shared: &Arc<Shared>) -> Value {
     let id = envelope.id.as_ref();
     match &envelope.req {
         Request::LoadSpec { name, source } => match shared.registry.load_source(name, source) {
-            Ok(doc) => ok_response(
-                id,
-                "load_spec",
-                ObjBuilder::new()
-                    .field("name", doc.name.as_str())
-                    .field("version", doc.version)
-                    .field(
-                        "specs",
-                        Value::Arr(doc.spec_names().into_iter().map(Value::from).collect()),
+            Ok(outcome) => {
+                let doc = &outcome.entry;
+                let strs =
+                    |v: &[String]| Value::Arr(v.iter().map(|s| Value::from(s.as_str())).collect());
+                let pairs = |v: &[(String, String)]| {
+                    Value::Arr(
+                        v.iter()
+                            .map(|(c, a)| {
+                                Value::Arr(vec![Value::from(c.as_str()), Value::from(a.as_str())])
+                            })
+                            .collect(),
                     )
-                    .build(),
-            ),
+                };
+                ok_response(
+                    id,
+                    "load_spec",
+                    ObjBuilder::new()
+                        .field("name", doc.name.as_str())
+                        .field("version", doc.version)
+                        .field(
+                            "specs",
+                            Value::Arr(doc.spec_names().into_iter().map(Value::from).collect()),
+                        )
+                        .field("universe_reused", outcome.universe_reused)
+                        .field("reelaborated", strs(&outcome.reelaborated))
+                        .field("reused", strs(&outcome.reused))
+                        .field("dirty_pairs", pairs(&outcome.dirty_pairs))
+                        .field("clean_pairs", pairs(&outcome.clean_pairs))
+                        .build(),
+                )
+            }
             Err(e) => error_response(id, "parse", &e),
         },
         Request::Check { doc, concrete, abstract_, depth } => {
@@ -486,8 +505,24 @@ fn execute(envelope: &Envelope, shared: &Arc<Shared>) -> Value {
                 (None, _) => return NotFound::spec(doc, concrete).into_response(id),
                 (_, None) => return NotFound::spec(doc, abstract_).into_response(id),
             };
-            let verdict = check_refinement_cached(&shared.cache, c, a, *depth);
-            ok_response(id, "check", verdict_json(c, a, &verdict))
+            // The registry's pair cache answers repeats of the same
+            // (doc, pair, depth) in O(1) until either endpoint's
+            // fingerprint changes; misses fall through to the DFA path.
+            let (verdict, cached) = match shared.registry.check_pair_cached(
+                &entry,
+                concrete,
+                abstract_,
+                *depth,
+                &shared.cache,
+            ) {
+                Some(r) => r,
+                None => (check_refinement_cached(&shared.cache, c, a, *depth), false),
+            };
+            let mut json = verdict_json(c, a, &verdict);
+            if let Value::Obj(fields) = &mut json {
+                fields.push(("cached".to_string(), Value::Bool(cached)));
+            }
+            ok_response(id, "check", json)
         }
         Request::BatchCheck { doc, pairs, depth } => {
             let entry = match shared.registry.get(doc) {
@@ -629,5 +664,9 @@ fn registry_json(registry: &SpecRegistry) -> Value {
         .field("documents", Value::Arr(docs))
         .field("spec_count", registry.spec_count())
         .field("loads", registry.loads())
+        .field("elaborations", registry.elaborations())
+        .field("spec_reuses", registry.spec_reuses())
+        .field("pair_checks", registry.pair_checks())
+        .field("pair_hits", registry.pair_hits())
         .build()
 }

@@ -1,0 +1,114 @@
+//! Registry incrementality: reloading a document with one changed spec
+//! re-elaborates exactly that spec and re-checks exactly the dirty
+//! pairs, pinned via [`CacheStats::since`] deltas on a private
+//! [`DfaCache`]; a parse failure keeps the old version live.
+
+use pospec_core::DfaCache;
+use pospec_serve::SpecRegistry;
+
+// Three specs over one universe; two refine obligations share the
+// abstract side so a one-spec edit dirties exactly one pair.
+const DOC: &str = "\
+universe { class Env; object o; object b; method OP; method ALT; witnesses Env 1; }
+spec A { objects { o } alphabet { <Env, o, OP>; <o, b, OP>; } traces any; }
+spec B { objects { o } alphabet { <Env, o, OP>; <o, b, OP>; } traces prs <o, b, OP>*; }
+spec C { objects { o } alphabet { <Env, o, OP>; <o, b, OP>; } traces prs <o, b, OP> <o, b, OP>*; }
+development { refine B of A; refine C of A; }
+";
+
+#[test]
+fn reload_with_one_changed_spec_reelaborates_exactly_it() {
+    let r = SpecRegistry::new();
+    let cache = DfaCache::new();
+
+    let first = r.load_source("doc", DOC).expect("well-formed");
+    assert_eq!(first.reelaborated, vec!["A", "B", "C"]);
+    assert!(first.reused.is_empty());
+    // Every pair is dirty on first sight.
+    assert_eq!(first.dirty_pairs.len(), 2);
+    let (rec, served) = r.refresh_pairs(&first.entry, 6, &cache);
+    assert_eq!((rec, served), (2, 0));
+
+    // Edit only C's trace set.
+    let edited = DOC.replace("<o, b, OP> <o, b, OP>*;", "<o, b, OP>?;");
+    assert_ne!(edited, DOC);
+    let before = cache.stats();
+    let second = r.load_source("doc", &edited).expect("well-formed");
+    assert!(second.universe_reused);
+    assert_eq!(second.reelaborated, vec!["C"], "only the edited spec re-elaborates");
+    assert_eq!(second.reused, vec!["A", "B"]);
+    assert_eq!(second.dirty_pairs, vec![("C".to_string(), "A".to_string())]);
+    assert_eq!(second.clean_pairs, vec![("B".to_string(), "A".to_string())]);
+
+    // Re-checking all pairs recomputes exactly the dirty one; the
+    // automaton cache only ever sees C's new trace set (A and B are
+    // fingerprint-identical over the *same* universe Arc, so their
+    // automata hit).
+    let (rec, served) = r.refresh_pairs(&second.entry, 6, &cache);
+    assert_eq!((rec, served), (1, 1), "one dirty pair recomputed, one served");
+    let delta = cache.stats().since(&before);
+    assert!(delta.dfa_misses >= 1, "C's new automaton must be built: {delta:?}");
+    assert!(delta.dfa_misses <= 2, "only the edited spec's automata may be rebuilt: {delta:?}");
+
+    // A byte-identical reload is pure reuse: no elaboration, no DFA
+    // work, every pair served from the pair-verdict cache.
+    let before = cache.stats();
+    let third = r.load_source("doc", &edited).expect("well-formed");
+    assert!(third.reelaborated.is_empty());
+    assert_eq!(third.dirty_pairs.len(), 0);
+    let (rec, served) = r.refresh_pairs(&third.entry, 6, &cache);
+    assert_eq!((rec, served), (0, 2));
+    let delta = cache.stats().since(&before);
+    assert_eq!(delta.builds(), 0, "clean reload must do zero automaton work: {delta:?}");
+}
+
+#[test]
+fn universe_change_dirties_every_pair() {
+    let r = SpecRegistry::new();
+    let cache = DfaCache::new();
+    let first = r.load_source("doc", DOC).expect("well-formed");
+    r.refresh_pairs(&first.entry, 6, &cache);
+
+    // Growing the witness pool changes no spec text but can change
+    // verdicts: every cached pair must be invalidated.
+    let grown = DOC.replace("witnesses Env 1;", "witnesses Env 2;");
+    let second = r.load_source("doc", &grown).expect("well-formed");
+    assert!(!second.universe_reused);
+    assert_eq!(second.reelaborated, vec!["A", "B", "C"]);
+    assert_eq!(second.dirty_pairs.len(), 2);
+    assert!(second.clean_pairs.is_empty());
+    let (rec, served) = r.refresh_pairs(&second.entry, 6, &cache);
+    assert_eq!((rec, served), (2, 0));
+}
+
+#[test]
+fn depth_is_part_of_the_pair_key() {
+    let r = SpecRegistry::new();
+    let cache = DfaCache::new();
+    let entry = r.load_source("doc", DOC).expect("well-formed").entry;
+    let (_, cached) = r.check_pair_cached(&entry, "B", "A", 6, &cache).expect("specs exist");
+    assert!(!cached);
+    let (_, cached) = r.check_pair_cached(&entry, "B", "A", 6, &cache).expect("specs exist");
+    assert!(cached, "same depth repeats hit");
+    let (_, cached) = r.check_pair_cached(&entry, "B", "A", 4, &cache).expect("specs exist");
+    assert!(!cached, "a different depth is a different question");
+    assert!(r.pair_hits() >= 1);
+    assert!(r.pair_checks() >= 3);
+}
+
+#[test]
+fn parse_failure_keeps_the_old_version_live() {
+    let r = SpecRegistry::new();
+    let cache = DfaCache::new();
+    let first = r.load_source("doc", DOC).expect("well-formed");
+    assert_eq!(first.entry.version, 1);
+    r.refresh_pairs(&first.entry, 6, &cache);
+
+    let err = r.load_source("doc", "universe { class").expect_err("syntax error");
+    assert!(!err.is_empty());
+    let live = r.get("doc").expect("still registered");
+    assert_eq!(live.version, 1, "old version stays live after a failed reload");
+    // And its cached verdicts still serve.
+    let (_, cached) = r.check_pair_cached(&live, "B", "A", 6, &cache).expect("specs exist");
+    assert!(cached);
+}

@@ -65,14 +65,6 @@ fn result<'a>(response: &'a Value, key: &str) -> Option<&'a Value> {
     response.get("result").and_then(|r| r.get(key))
 }
 
-fn cache_counter(stats: &Value, key: &str) -> f64 {
-    result(stats, "metrics")
-        .and_then(|m| m.get("cache"))
-        .and_then(|c| c.get(key))
-        .and_then(Value::as_f64)
-        .expect("cache counter")
-}
-
 #[test]
 fn full_session_over_tcp() {
     let fixture = start(2, 16, true);
@@ -98,16 +90,19 @@ fn full_session_over_tcp() {
     assert_eq!(response.get("id"), Some(&Value::Num(7.0)));
     assert_eq!(result(&response, "holds"), Some(&Value::Bool(true)));
 
-    // The same check again must be answered from the automaton cache.
-    let stats_before = client.call(&op("stats").build()).expect("stats");
-    let hits_before = cache_counter(&stats_before, "dfa_hits");
+    // The same check again must be answered from the registry's
+    // pair-verdict cache in O(1) — no automaton work at all.
     let response = client.call(&check_request("rw_live", "WriteAcc", "Write")).expect("recheck");
     assert_eq!(result(&response, "holds"), Some(&Value::Bool(true)));
+    assert_eq!(result(&response, "cached"), Some(&Value::Bool(true)));
     let stats_after = client.call(&op("stats").build()).expect("stats");
-    assert!(
-        cache_counter(&stats_after, "dfa_hits") > hits_before,
-        "repeated check must hit the DFA cache: {stats_after:?}"
-    );
+    let pair_hits = stats_after
+        .get("result")
+        .and_then(|r| r.get("registry"))
+        .and_then(|r| r.get("pair_hits"))
+        .and_then(Value::as_f64)
+        .expect("pair_hits counter");
+    assert!(pair_hits >= 1.0, "repeated check must hit the pair cache: {stats_after:?}");
 
     // batch_check fans a pair list into the parallel checker.
     let pairs = Value::Arr(vec![

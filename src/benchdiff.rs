@@ -1,0 +1,221 @@
+//! `pospec bench diff` — compare two benchmark snapshot JSONs.
+//!
+//! Works on any snapshot shape the bench binaries emit (`BENCH_6.json`'s
+//! nested cold/warm cache blocks, `BENCH_8.json`'s `points` array):
+//! every numeric leaf is flattened to a dotted path (`warm.cache.builds`,
+//! `points[2].cold_ms`) and compared by relative delta.
+//!
+//! Only *time-like* metrics (paths ending in `_nanos` or `_ms`) gate the
+//! exit status: counters such as `dfa_hits` are workload facts, not
+//! performance, and byte/state counts are platform-stable — a regression
+//! is a time-like metric growing by more than the threshold.
+
+use pospec_json::Value;
+
+/// One metric present in either snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Dotted path of the numeric leaf (`warm.cache.build_nanos`).
+    pub path: String,
+    /// Value in the baseline snapshot, if present.
+    pub before: Option<f64>,
+    /// Value in the candidate snapshot, if present.
+    pub after: Option<f64>,
+}
+
+impl MetricDelta {
+    /// Relative change in percent (`after` vs `before`); `None` when the
+    /// metric is missing on either side or the baseline is zero.
+    pub fn pct(&self) -> Option<f64> {
+        match (self.before, self.after) {
+            (Some(b), Some(a)) if b != 0.0 => Some((a - b) / b * 100.0),
+            _ => None,
+        }
+    }
+
+    /// Whether this metric measures time (and therefore gates the exit
+    /// status): `*_nanos` and `*_ms` leaves.
+    pub fn is_time(&self) -> bool {
+        let leaf = self.path.rsplit('.').next().unwrap_or(&self.path);
+        leaf.ends_with("_nanos") || leaf.ends_with("_ms")
+    }
+
+    /// Whether this is a regression past `threshold_pct`: a time-like
+    /// metric that grew by more than the threshold.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        self.is_time() && self.pct().is_some_and(|p| p > threshold_pct)
+    }
+}
+
+fn flatten_into(value: &Value, path: &mut String, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Num(n) => out.push((path.clone(), *n)),
+        Value::Obj(fields) => {
+            for (k, v) in fields {
+                let len = path.len();
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(k);
+                flatten_into(v, path, out);
+                path.truncate(len);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                let len = path.len();
+                path.push_str(&format!("[{i}]"));
+                flatten_into(v, path, out);
+                path.truncate(len);
+            }
+        }
+        // Booleans, strings and nulls are not metrics.
+        _ => {}
+    }
+}
+
+/// Every numeric leaf of `value` as `(dotted path, value)`, in document
+/// order.
+pub fn flatten(value: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    flatten_into(value, &mut String::new(), &mut out);
+    out
+}
+
+/// Pair up the numeric leaves of two snapshots by path.  Order follows
+/// the baseline document, with candidate-only metrics appended.
+pub fn diff(before: &Value, after: &Value) -> Vec<MetricDelta> {
+    let b = flatten(before);
+    let a = flatten(after);
+    let mut out: Vec<MetricDelta> = Vec::new();
+    for (path, bv) in &b {
+        let av = a.iter().find(|(p, _)| p == path).map(|(_, v)| *v);
+        out.push(MetricDelta { path: path.clone(), before: Some(*bv), after: av });
+    }
+    for (path, av) in &a {
+        if !b.iter().any(|(p, _)| p == path) {
+            out.push(MetricDelta { path: path.clone(), before: None, after: Some(*av) });
+        }
+    }
+    out
+}
+
+/// Render the comparison as an aligned text table; regressions past the
+/// threshold are marked, and time-like improvements noted.
+pub fn render(deltas: &[MetricDelta], threshold_pct: f64) -> String {
+    let width = deltas.iter().map(|d| d.path.len()).max().unwrap_or(6).max(6);
+    let mut out =
+        format!("{:<width$}  {:>16}  {:>16}  {:>9}\n", "metric", "before", "after", "delta");
+    for d in deltas {
+        let fmt = |v: Option<f64>| match v {
+            Some(v) if v.fract() == 0.0 && v.abs() < 1e15 => format!("{v}"),
+            Some(v) => format!("{v:.3}"),
+            None => "-".to_string(),
+        };
+        let (pct, mark) = match d.pct() {
+            Some(p) => {
+                let mark = if d.regressed(threshold_pct) {
+                    "  REGRESSION"
+                } else if d.is_time() && p < -threshold_pct {
+                    "  improved"
+                } else {
+                    ""
+                };
+                (format!("{p:+.1}%"), mark)
+            }
+            None => ("-".to_string(), ""),
+        };
+        out.push_str(&format!(
+            "{:<width$}  {:>16}  {:>16}  {:>9}{mark}\n",
+            d.path,
+            fmt(d.before),
+            fmt(d.after),
+            pct,
+        ));
+    }
+    out
+}
+
+/// Summarise for the exit status: the regressed time-like metric paths.
+pub fn regressions(deltas: &[MetricDelta], threshold_pct: f64) -> Vec<&str> {
+    deltas.iter().filter(|d| d.regressed(threshold_pct)).map(|d| d.path.as_str()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_json::parse;
+
+    const BEFORE: &str = r#"{
+        "depth": 6,
+        "cold": {"matrix_nanos": 1000, "cache": {"builds": 21}},
+        "warm": {"matrix_nanos": 400},
+        "points": [{"cold_ms": 10.0, "verdicts_agree": true}],
+        "gates_pass": true
+    }"#;
+
+    #[test]
+    fn flatten_walks_objects_and_arrays() {
+        let v = parse(BEFORE).expect("json");
+        let flat = flatten(&v);
+        let paths: Vec<&str> = flat.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "depth",
+                "cold.matrix_nanos",
+                "cold.cache.builds",
+                "warm.matrix_nanos",
+                "points[0].cold_ms"
+            ]
+        );
+        assert!(flat.iter().any(|(p, v)| p == "cold.cache.builds" && *v == 21.0));
+    }
+
+    #[test]
+    fn only_time_metrics_gate_and_only_past_threshold() {
+        let before = parse(BEFORE).expect("json");
+        // builds doubles (counter: ignored), cold time +3% (under
+        // threshold), warm time +50% (regression), point time improves.
+        let after = parse(
+            r#"{
+            "depth": 6,
+            "cold": {"matrix_nanos": 1030, "cache": {"builds": 42}},
+            "warm": {"matrix_nanos": 600},
+            "points": [{"cold_ms": 5.0, "verdicts_agree": true}],
+            "gates_pass": true
+        }"#,
+        )
+        .expect("json");
+        let deltas = diff(&before, &after);
+        assert_eq!(regressions(&deltas, 5.0), vec!["warm.matrix_nanos"]);
+        assert!(regressions(&deltas, 60.0).is_empty(), "threshold is respected");
+        let rendered = render(&deltas, 5.0);
+        assert!(rendered.contains("REGRESSION"), "{rendered}");
+        assert!(rendered.contains("improved"), "{rendered}");
+    }
+
+    #[test]
+    fn self_diff_has_no_regressions_and_missing_metrics_are_dashes() {
+        let before = parse(BEFORE).expect("json");
+        let deltas = diff(&before, &before);
+        assert!(regressions(&deltas, 0.0).is_empty(), "identical snapshots never regress");
+        let after = parse(r#"{"warm": {"matrix_nanos": 400}, "extra_ms": 1.0}"#).expect("json");
+        let deltas = diff(&before, &after);
+        let missing = deltas.iter().find(|d| d.path == "depth").expect("depth row");
+        assert_eq!(missing.after, None);
+        assert!(missing.pct().is_none());
+        let extra = deltas.iter().find(|d| d.path == "extra_ms").expect("extra row");
+        assert_eq!(extra.before, None);
+        assert!(!extra.regressed(0.0), "missing baseline cannot regress");
+    }
+
+    #[test]
+    fn zero_baseline_yields_no_percentage() {
+        let before = parse(r#"{"a_ms": 0.0}"#).expect("json");
+        let after = parse(r#"{"a_ms": 5.0}"#).expect("json");
+        let d = &diff(&before, &after)[0];
+        assert_eq!(d.pct(), None);
+        assert!(!d.regressed(0.0));
+    }
+}

@@ -46,9 +46,12 @@ pub use pospec_alphabet as alphabet;
 pub use pospec_check as check;
 pub use pospec_core as core;
 pub use pospec_lang as lang;
+pub use pospec_lsp as lsp;
 pub use pospec_regex as regex;
 pub use pospec_sim as sim;
 pub use pospec_trace as trace;
+
+pub mod benchdiff;
 
 /// Glue between the surface language and the development auditor:
 /// build a verifiable [`Development`](pospec_check::Development) from a

@@ -398,3 +398,93 @@ fn gen_flags_share_the_strict_parsing_convention() {
         assert!(!out.stderr.is_empty(), "args: {args:?} should explain itself on stderr");
     }
 }
+
+#[test]
+fn bench_diff_compares_snapshots_and_gates_on_time() {
+    let dir = scratch("benchdiff");
+    let before = dir.join("before.json");
+    let after = dir.join("after.json");
+    std::fs::write(&before, r#"{"cold":{"matrix_nanos":1000,"cache":{"builds":10}}}"#)
+        .expect("write before");
+
+    // Self-comparison: zero deltas, exit 0.
+    let same = run(&["bench", "diff", before.to_str().unwrap(), before.to_str().unwrap()]);
+    assert_eq!(same.status.code(), Some(0), "{}", stdout(&same));
+    assert!(stdout(&same).contains("no time regressions"), "{}", stdout(&same));
+
+    // A time metric past the threshold fails; a counter never does.
+    std::fs::write(&after, r#"{"cold":{"matrix_nanos":2000,"cache":{"builds":99}}}"#)
+        .expect("write after");
+    let worse = run(&[
+        "bench",
+        "diff",
+        before.to_str().unwrap(),
+        after.to_str().unwrap(),
+        "--threshold-pct",
+        "50",
+    ]);
+    assert_eq!(worse.status.code(), Some(1), "{}", stdout(&worse));
+    assert!(stdout(&worse).contains("cold.matrix_nanos"), "{}", stdout(&worse));
+    assert!(!stdout(&worse).contains("builds  REGRESSION"), "{}", stdout(&worse));
+
+    // A generous threshold tolerates the same delta.
+    let ok = run(&[
+        "bench",
+        "diff",
+        before.to_str().unwrap(),
+        after.to_str().unwrap(),
+        "--threshold-pct",
+        "200",
+    ]);
+    assert_eq!(ok.status.code(), Some(0), "{}", stdout(&ok));
+
+    // Usage errors exit 2.
+    let usage = run(&["bench", "diff", before.to_str().unwrap()]);
+    assert_eq!(usage.status.code(), Some(2));
+    let nofile = run(&["bench", "diff", "/nonexistent.json", before.to_str().unwrap()]);
+    assert_eq!(nofile.status.code(), Some(2));
+    let badpct = run(&[
+        "bench",
+        "diff",
+        before.to_str().unwrap(),
+        before.to_str().unwrap(),
+        "--threshold-pct",
+        "abc",
+    ]);
+    assert_eq!(badpct.status.code(), Some(2));
+}
+
+#[test]
+fn lsp_serves_a_framed_session_over_stdio() {
+    use std::io::Write as _;
+
+    // A minimal editor session: initialize, open a clean document,
+    // shut down.  Bodies are ASCII so byte lengths are char counts.
+    let open_doc = "universe { class Env; object o; method OP; witnesses Env 1; }\\n\
+                    spec A { objects { o } alphabet { <Env, o, OP>; } traces any; }\\n";
+    let bodies = [
+        r#"{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}"#.to_string(),
+        format!(
+            r#"{{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{{"textDocument":{{"uri":"file:///t.pos","version":1,"text":"{open_doc}"}}}}}}"#
+        ),
+        r#"{"jsonrpc":"2.0","id":2,"method":"shutdown","params":null}"#.to_string(),
+        r#"{"jsonrpc":"2.0","method":"exit"}"#.to_string(),
+    ];
+    let mut input = Vec::new();
+    for b in &bodies {
+        input.extend_from_slice(format!("Content-Length: {}\r\n\r\n{b}", b.len()).as_bytes());
+    }
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pospec"))
+        .arg("lsp")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn lsp");
+    child.stdin.take().expect("stdin").write_all(&input).expect("feed session");
+    let out = child.wait_with_output().expect("lsp exits");
+    assert_eq!(out.status.code(), Some(0), "clean shutdown");
+    let text = String::from_utf8(out.stdout).expect("utf-8 frames");
+    assert!(text.contains("\"positionEncoding\":\"utf-16\""), "{text}");
+    assert!(text.contains("\"diagnostics\":[]"), "clean doc publishes empty: {text}");
+}

@@ -55,12 +55,21 @@ fn serve_and_call_round_trip_through_the_binary() {
     assert_eq!(fails.status.code(), Some(1), "negative verdicts exit 1");
     assert!(stdout(&fails).contains("\"holds\":false"));
 
-    // The repeated positive check above must show up as cache hits.
+    // A byte-identical repeat is served from the registry's
+    // pair-verdict cache, and says so.
+    let again = call(&addr, &["check", "readers_writers", "WriteAcc", "Write"]);
+    assert_eq!(again.status.code(), Some(0));
+    assert!(stdout(&again).contains("\"cached\":true"), "{}", stdout(&again));
+
+    // The reversed check reuses the first check's automata, and the
+    // repeat shows up in the pair-cache counters.
     let stats = call(&addr, &["stats"]);
     assert_eq!(stats.status.code(), Some(0));
     let text = stdout(&stats);
     assert!(text.contains("\"dfa_hits\":"), "{text}");
-    assert!(!text.contains("\"dfa_hits\":0,"), "second check should hit: {text}");
+    assert!(!text.contains("\"dfa_hits\":0,"), "reverse check should hit: {text}");
+    assert!(text.contains("\"pair_checks\":"), "{text}");
+    assert!(!text.contains("\"pair_hits\":0"), "repeat must hit the pair cache: {text}");
 
     let missing = call(&addr, &["check", "readers_writers", "Nope", "Write"]);
     assert_eq!(missing.status.code(), Some(2), "transport/protocol errors exit 2");
