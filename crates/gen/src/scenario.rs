@@ -34,7 +34,8 @@ pub enum MutationKind {
     GrabObject,
     /// Only the callee runs the session in `f s` order: the pair is
     /// composable, but agrees on no non-empty trace — the composition
-    /// observably deadlocks (Ex. 5), lint reports `P105`.
+    /// observably deadlocks (Ex. 5), lint reports `P105` and the
+    /// wait-for-graph pass reports `P110`.
     ContraryOrder,
 }
 
@@ -483,6 +484,10 @@ pub fn generate(config: &GenConfig) -> Result<Scenario, GenError> {
             }
         } else if mu == Some(MutationKind::ContraryOrder) {
             lint.push(LintSite { code: "P105", subject: link.clone() });
+            // The contrary order blocks every *first* event of the
+            // link, so the cheap wait-for-graph pass (P110) flags it
+            // alongside the exact product-DFA pass.
+            lint.push(LintSite { code: "P110", subject: link.clone() });
             (true, Vec::new(), true)
         } else {
             (true, Vec::new(), false)

@@ -1,0 +1,243 @@
+//! Textual edit application for autofixes.
+//!
+//! A [`TextEdit`] is a byte-offset splice on the original source; a fix
+//! carries one or more of them.  [`apply_edits`] applies a batch in one
+//! pass, rejecting overlapping or out-of-bounds edits instead of
+//! producing silently corrupted output — the lint `--fix` driver and
+//! the LSP code-action path both rely on that refusal to keep fixed
+//! documents reparseable.
+
+use std::fmt;
+
+/// One replacement of the byte range `start..end` with `replacement`.
+/// `start == end` inserts; an empty `replacement` deletes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextEdit {
+    /// Start byte offset (inclusive) in the original source.
+    pub start: usize,
+    /// End byte offset (exclusive) in the original source.
+    pub end: usize,
+    /// Text that replaces `start..end`.
+    pub replacement: String,
+}
+
+impl TextEdit {
+    /// A deletion of `start..end`.
+    pub fn delete(start: usize, end: usize) -> TextEdit {
+        TextEdit { start, end, replacement: String::new() }
+    }
+
+    /// An insertion of `text` at `offset`.
+    pub fn insert(offset: usize, text: impl Into<String>) -> TextEdit {
+        TextEdit { start: offset, end: offset, replacement: text.into() }
+    }
+
+    /// Whether this edit's range overlaps `other`'s (touching ranges do
+    /// not overlap; two insertions at the same offset do).
+    pub fn overlaps(&self, other: &TextEdit) -> bool {
+        if self.start == self.end && other.start == other.end {
+            return self.start == other.start;
+        }
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Why a batch of edits could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// An edit's range exceeds the source length or has `end < start`.
+    OutOfBounds {
+        /// The offending range.
+        start: usize,
+        /// Exclusive end of the offending range.
+        end: usize,
+        /// Length of the source the edit was applied to.
+        len: usize,
+    },
+    /// Two edits in the batch overlap.
+    Overlap {
+        /// Start of the first overlapping edit.
+        first: usize,
+        /// Start of the second overlapping edit.
+        second: usize,
+    },
+    /// An edit boundary falls inside a multi-byte UTF-8 scalar.
+    NotCharBoundary {
+        /// The offending offset.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::OutOfBounds { start, end, len } => {
+                write!(f, "edit {start}..{end} out of bounds for source of {len} bytes")
+            }
+            EditError::Overlap { first, second } => {
+                write!(f, "edits starting at {first} and {second} overlap")
+            }
+            EditError::NotCharBoundary { offset } => {
+                write!(f, "edit boundary at byte {offset} splits a UTF-8 scalar")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// Apply a batch of non-overlapping edits to `src`, returning the new
+/// source.  Edits may arrive in any order; all offsets refer to the
+/// *original* source.  Fails (leaving nothing half-applied) on
+/// out-of-bounds ranges, overlapping edits, or boundaries inside a
+/// multi-byte scalar.
+pub fn apply_edits(src: &str, edits: &[TextEdit]) -> Result<String, EditError> {
+    let mut sorted: Vec<&TextEdit> = edits.iter().collect();
+    sorted.sort_by_key(|e| (e.start, e.end));
+    for e in &sorted {
+        if e.end < e.start || e.end > src.len() {
+            return Err(EditError::OutOfBounds { start: e.start, end: e.end, len: src.len() });
+        }
+        for off in [e.start, e.end] {
+            if !src.is_char_boundary(off) {
+                return Err(EditError::NotCharBoundary { offset: off });
+            }
+        }
+    }
+    for pair in sorted.windows(2) {
+        if pair[0].overlaps(pair[1]) {
+            return Err(EditError::Overlap { first: pair[0].start, second: pair[1].start });
+        }
+    }
+    let mut out = String::with_capacity(src.len());
+    let mut cursor = 0usize;
+    for e in &sorted {
+        out.push_str(&src[cursor..e.start]);
+        out.push_str(&e.replacement);
+        cursor = e.end;
+    }
+    out.push_str(&src[cursor..]);
+    Ok(out)
+}
+
+/// Greedily select a maximal prefix-compatible subset of `edits` that
+/// is mutually non-overlapping, preferring earlier (then shorter)
+/// edits; exact duplicates collapse to one.  The lint `--fix` driver
+/// uses this to pick which fixes to apply in a round — the skipped ones
+/// are re-offered by the next round's re-lint.
+pub fn select_non_overlapping(edits: &[TextEdit]) -> Vec<TextEdit> {
+    let mut sorted: Vec<&TextEdit> = edits.iter().collect();
+    sorted.sort_by(|a, b| (a.start, a.end, &a.replacement).cmp(&(b.start, b.end, &b.replacement)));
+    let mut chosen: Vec<TextEdit> = Vec::new();
+    for e in sorted {
+        if chosen.last() == Some(e) {
+            continue;
+        }
+        if chosen.iter().all(|c| !c.overlaps(e)) {
+            chosen.push(e.clone());
+        }
+    }
+    chosen
+}
+
+/// Sort `edits`, drop exact duplicates, and merge overlapping (or
+/// touching) pure deletions into single spans.  Two fixes that each
+/// delete a statement plus the whitespace between them produce
+/// overlapping deletions whose *union* is exactly the intent; merging
+/// them keeps batches of deletion fixes applicable in one pass.
+/// Replacements and insertions are never merged.
+pub fn coalesce_deletions(mut edits: Vec<TextEdit>) -> Vec<TextEdit> {
+    edits.sort_by(|a, b| (a.start, a.end, &a.replacement).cmp(&(b.start, b.end, &b.replacement)));
+    let mut out: Vec<TextEdit> = Vec::new();
+    for e in edits {
+        if let Some(last) = out.last_mut() {
+            if *last == e {
+                continue;
+            }
+            let both_delete = last.replacement.is_empty() && e.replacement.is_empty();
+            let pure_ranges = last.start < last.end && e.start < e.end;
+            if both_delete && pure_ranges && e.start <= last.end {
+                last.end = last.end.max(e.end);
+                continue;
+            }
+        }
+        out.push(e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applies_sorted_and_unsorted_batches_identically() {
+        let src = "abcdef";
+        let a = TextEdit::delete(0, 2);
+        let b = TextEdit { start: 4, end: 6, replacement: "XY".into() };
+        let fwd = apply_edits(src, &[a.clone(), b.clone()]).expect("fwd");
+        let rev = apply_edits(src, &[b, a]).expect("rev");
+        assert_eq!(fwd, "cdXY");
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn insertion_at_offset() {
+        let src = "ab";
+        let out = apply_edits(src, &[TextEdit::insert(1, "-")]).expect("ok");
+        assert_eq!(out, "a-b");
+    }
+
+    #[test]
+    fn rejects_overlap_and_bounds_and_scalar_splits() {
+        let src = "a🦀b";
+        let overlap =
+            apply_edits("abcd", &[TextEdit::delete(0, 2), TextEdit::delete(1, 3)]).unwrap_err();
+        assert!(matches!(overlap, EditError::Overlap { .. }));
+        let oob = apply_edits(src, &[TextEdit::delete(0, 99)]).unwrap_err();
+        assert!(matches!(oob, EditError::OutOfBounds { .. }));
+        let split = apply_edits(src, &[TextEdit::delete(2, 5)]).unwrap_err();
+        assert_eq!(split, EditError::NotCharBoundary { offset: 2 });
+    }
+
+    #[test]
+    fn touching_edits_are_not_overlapping() {
+        let src = "abcd";
+        let out =
+            apply_edits(src, &[TextEdit::delete(0, 2), TextEdit::delete(2, 4)]).expect("touching");
+        assert_eq!(out, "");
+    }
+
+    #[test]
+    fn duplicate_insertions_collapse_but_distinct_ones_conflict() {
+        let dup = vec![TextEdit::insert(3, "x"), TextEdit::insert(3, "x")];
+        assert_eq!(select_non_overlapping(&dup).len(), 1);
+        let distinct = vec![TextEdit::insert(3, "x"), TextEdit::insert(3, "y")];
+        assert_eq!(select_non_overlapping(&distinct).len(), 1);
+    }
+
+    #[test]
+    fn coalescing_merges_overlapping_deletions_only() {
+        let merged = coalesce_deletions(vec![
+            TextEdit::delete(3, 8),
+            TextEdit::delete(6, 10),
+            TextEdit::delete(10, 12),
+            TextEdit::insert(20, "x"),
+            TextEdit::insert(20, "x"),
+        ]);
+        assert_eq!(merged, vec![TextEdit::delete(3, 12), TextEdit::insert(20, "x")]);
+        // Overlapping non-deletions are left for `apply_edits` to reject.
+        let kept = coalesce_deletions(vec![
+            TextEdit { start: 0, end: 4, replacement: "a".into() },
+            TextEdit { start: 2, end: 6, replacement: "b".into() },
+        ]);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn selection_prefers_earlier_edits_and_drops_conflicts() {
+        let edits = vec![TextEdit::delete(5, 9), TextEdit::delete(0, 6), TextEdit::delete(10, 12)];
+        let picked = select_non_overlapping(&edits);
+        assert_eq!(picked, vec![TextEdit::delete(0, 6), TextEdit::delete(10, 12)]);
+    }
+}

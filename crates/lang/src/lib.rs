@@ -45,6 +45,7 @@
 //! }
 //! ```
 
+pub mod edit;
 pub mod elab;
 pub mod incr;
 pub mod lexer;
@@ -52,6 +53,7 @@ pub mod parser;
 pub mod pos;
 pub mod pretty;
 
+pub use edit::{apply_edits, coalesce_deletions, select_non_overlapping, EditError, TextEdit};
 pub use elab::{parse_document, Document};
 pub use incr::{parse_document_session, ElabSession, SessionLoad};
 pub use lexer::{LangError, Span};

@@ -11,6 +11,10 @@ use crate::lexer::{lex, LangError, Span, Tok, Token};
 pub struct Ast {
     /// Declarations inside `universe { … }`.
     pub universe: Vec<UDecl>,
+    /// Source span of each universe declaration (keyword through the
+    /// closing `;`), parallel to `universe`.  Fix engines use these to
+    /// delete a declaration without re-lexing.
+    pub universe_spans: Vec<Span>,
     /// The `spec … { … }` blocks, in order.
     pub specs: Vec<SpecDecl>,
     /// The `component … { … }` blocks, in order.
@@ -266,6 +270,7 @@ impl Parser {
 
     fn document(&mut self) -> Result<Ast, LangError> {
         let mut universe = Vec::new();
+        let mut universe_spans = Vec::new();
         let mut specs = Vec::new();
         let mut components = Vec::new();
         let mut development = Vec::new();
@@ -276,7 +281,9 @@ impl Parser {
                     self.next();
                     self.expect(Tok::LBrace)?;
                     while !self.eat(&Tok::RBrace) {
-                        universe.push(self.udecl()?);
+                        let (decl, span) = self.udecl()?;
+                        universe.push(decl);
+                        universe_spans.push(span);
                     }
                 }
                 Tok::Ident(s) if s == "spec" => {
@@ -304,7 +311,7 @@ impl Parser {
                 }
             }
         }
-        Ok(Ast { universe, specs, components, development })
+        Ok(Ast { universe, universe_spans, specs, components, development })
     }
 
     fn component_decl(&mut self) -> Result<ComponentDecl, LangError> {
@@ -357,7 +364,7 @@ impl Parser {
         Ok(stmt)
     }
 
-    fn udecl(&mut self) -> Result<UDecl, LangError> {
+    fn udecl(&mut self) -> Result<(UDecl, Span), LangError> {
         let (kw, span) = self.ident()?;
         let decl = match kw.as_str() {
             "class" => UDecl::Class(self.ident()?.0),
@@ -401,8 +408,8 @@ impl Parser {
                 return Err(LangError::new(span, format!("unknown universe declaration `{other}`")))
             }
         };
-        self.expect(Tok::Semi)?;
-        Ok(decl)
+        let semi = self.expect(Tok::Semi)?;
+        Ok((decl, span.through(semi.span)))
     }
 
     fn spec_decl(&mut self) -> Result<SpecDecl, LangError> {
@@ -586,6 +593,19 @@ mod tests {
         assert_eq!(ast.universe[4], UDecl::Method { name: "R".into(), param: Some("Data".into()) });
         assert_eq!(ast.universe[8], UDecl::Witnesses { target: WitnessTarget::Anon, count: 1 });
         assert!(ast.specs.is_empty());
+    }
+
+    #[test]
+    fn universe_spans_cover_keyword_through_semicolon() {
+        let src = "universe { object o; method R(Data); }";
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.universe_spans.len(), ast.universe.len());
+        let texts: Vec<&str> = ast
+            .universe_spans
+            .iter()
+            .map(|s| &src[s.offset as usize..(s.offset + s.len) as usize])
+            .collect();
+        assert_eq!(texts, vec!["object o;", "method R(Data);"]);
     }
 
     #[test]

@@ -12,9 +12,11 @@
 
 use crate::automaton::live_symbols;
 use crate::context::Ctx;
-use crate::diag::{Code, DiagSink, Diagnostic};
+use crate::diag::{Code, DiagSink, Diagnostic, Fix};
+use crate::fix::{deletion_edit, regex_literal_sets};
 use pospec_alphabet::EventSet;
-use pospec_lang::parser::{ArgAst, DevStmt, ReAst, TemplateAst, UDecl};
+use pospec_lang::parser::{ArgAst, DevStmt, ReAst, TemplateAst, TracesAst, UDecl, WitnessTarget};
+use pospec_lang::TextEdit;
 use std::collections::BTreeSet;
 
 pub(crate) fn run(ctx: &Ctx<'_>, sink: &mut DiagSink) {
@@ -43,6 +45,10 @@ fn shadowed_patterns(ctx: &Ctx<'_>, sink: &mut DiagSink) {
                         break;
                     }
                 }
+                // Removal is unconditionally safe: the pattern's events
+                // are a subset of the preceding patterns' union, so the
+                // elaborated alphabet — and with it every trace set and
+                // verdict — is unchanged.
                 sink.push(
                     Diagnostic::new(
                         Code::P101,
@@ -56,7 +62,11 @@ fn shadowed_patterns(ctx: &Ctx<'_>, sink: &mut DiagSink) {
                     .note_at(
                         sd.alphabet[covered_by].span,
                         "fully covered by the patterns up to this one",
-                    ),
+                    )
+                    .with_fix(Fix::machine(
+                        "remove the shadowed pattern",
+                        vec![deletion_edit(ctx.src, sd.alphabet[i].span)],
+                    )),
                 );
             }
             acc = acc.union(s);
@@ -161,7 +171,7 @@ fn unused_declarations(ctx: &Ctx<'_>, sink: &mut DiagSink) {
                 _ => false,
             })
     };
-    for d in &ctx.ast.universe {
+    for (idx, d) in ctx.ast.universe.iter().enumerate() {
         let (kind, name, unused) = match d {
             UDecl::Class(n) | UDecl::Data(n) => ("class", n, !used_class(n)),
             UDecl::Object { name, .. } => ("object", name, !used_object(name)),
@@ -170,12 +180,37 @@ fn unused_declarations(ctx: &Ctx<'_>, sink: &mut DiagSink) {
             UDecl::Witnesses { .. } => continue,
         };
         if unused {
-            sink.push(Diagnostic::new(
-                Code::P102,
-                format!(
-                    "{kind} `{name}` is declared in the universe but matched by no specification"
-                ),
-            ));
+            // Removal preserves every verdict: a flagged declaration is
+            // semantically absent from every elaborated alphabet (even
+            // class patterns would have marked it used through the
+            // granule expansion), so re-elaboration yields extensionally
+            // identical specifications.  A class takes its (necessarily
+            // also unused) members and `witnesses` lines with it — an
+            // orphaned member or witness would break the universe.
+            let mut edits = vec![deletion_edit(ctx.src, ctx.ast.universe_spans[idx])];
+            if matches!(d, UDecl::Class(_) | UDecl::Data(_)) {
+                for (j, other) in ctx.ast.universe.iter().enumerate() {
+                    let member = match other {
+                        UDecl::Object { class: Some(c), .. } => c == name,
+                        UDecl::Value { class, .. } => class == name,
+                        UDecl::Witnesses { target: WitnessTarget::Class(c), .. } => c == name,
+                        _ => false,
+                    };
+                    if member {
+                        edits.push(deletion_edit(ctx.src, ctx.ast.universe_spans[j]));
+                    }
+                }
+            }
+            sink.push(
+                Diagnostic::new(
+                    Code::P102,
+                    format!(
+                        "{kind} `{name}` is declared in the universe but matched by no specification"
+                    ),
+                )
+                .at(ctx.ast.universe_spans[idx])
+                .with_fix(Fix::machine(format!("remove unused {kind} `{name}`"), edits)),
+            );
         }
     }
 }
@@ -195,19 +230,77 @@ fn dead_expansions(ctx: &Ctx<'_>, sink: &mut DiagSink) {
         let sigma = dfa.alphabet();
         let any_new_live = sigma.iter().enumerate().any(|(sym, e)| live[sym] && new.contains(e));
         if !any_new_live {
-            sink.push(
-                Diagnostic::new(
-                    Code::P103,
-                    format!(
-                        "`{concrete}` expands `{abstract_}`'s alphabet, but none of the new events occurs in any accepted trace of `{concrete}` — the expansion is unreachable"
-                    ),
-                )
-                .at(*span)
-                .note(format!(
-                    "new events α(`{concrete}`) ∖ α(`{abstract_}`): {}",
-                    crate::compose_pre::sample_events(&new, &ctx.universe, 3)
-                )),
-            );
+            let mut d = Diagnostic::new(
+                Code::P103,
+                format!(
+                    "`{concrete}` expands `{abstract_}`'s alphabet, but none of the new events occurs in any accepted trace of `{concrete}` — the expansion is unreachable"
+                ),
+            )
+            .at(*span)
+            .note(format!(
+                "new events α(`{concrete}`) ∖ α(`{abstract_}`): {}",
+                crate::compose_pre::sample_events(&new, &ctx.universe, 3)
+            ));
+            if let Some(edits) = expansion_removal_edits(ctx, concrete, a, &new) {
+                d = d.with_fix(Fix::machine("remove the dead alphabet expansion", edits));
+            }
+            sink.push(d);
         }
     }
+}
+
+/// Edits deleting exactly the alphabet patterns of `concrete` that
+/// carry the dead expansion `new`, or `None` when no provably exact
+/// removal exists.  The fix is attached only when
+///
+/// * `concrete` is a literal `spec` block (not a `compose` result),
+/// * α(a) ⊆ α(c) — so the shrunken alphabet is exactly α(a), which is
+///   admissible (a subset of an admissible set is) and infinite,
+/// * the removed patterns partition off `new` exactly: each removed
+///   pattern's events lie inside `new`, their union covers `new`, and
+///   no surviving pattern overlaps `new` (otherwise the re-lint would
+///   flag the residue forever and `--fix` would not reach a fixpoint),
+/// * no trace-regex literal of `concrete` mentions a removed event —
+///   the trace set elaborates identically over the smaller alphabet.
+fn expansion_removal_edits(
+    ctx: &Ctx<'_>,
+    concrete: &str,
+    abstract_spec: &pospec_core::Specification,
+    new: &EventSet,
+) -> Option<Vec<TextEdit>> {
+    if ctx
+        .ast
+        .development
+        .iter()
+        .any(|s| matches!(s, DevStmt::Compose { name, .. } if name == concrete))
+    {
+        return None;
+    }
+    let info = ctx.spec_by_name(concrete)?;
+    let sd = &ctx.ast.specs[info.decl];
+    let c = info.spec.as_ref()?;
+    if !abstract_spec.alphabet().is_subset(c.alphabet()) {
+        return None;
+    }
+    let mut removed = Vec::new();
+    let mut covered = EventSet::empty(&ctx.universe);
+    for (i, set) in info.template_sets.iter().enumerate() {
+        let s = set.as_ref()?;
+        if s.is_subset(new) {
+            removed.push(i);
+            covered = covered.union(s);
+        } else if !s.intersect(new).is_empty() {
+            return None; // a surviving pattern straddles the expansion
+        }
+    }
+    if removed.is_empty() || !new.is_subset(&covered) {
+        return None;
+    }
+    if let TracesAst::Prs(re) = &sd.traces {
+        let lits = regex_literal_sets(&ctx.universe, re)?;
+        if lits.iter().any(|l| !l.intersect(new).is_empty()) {
+            return None;
+        }
+    }
+    Some(removed.iter().map(|&i| deletion_edit(ctx.src, sd.alphabet[i].span)).collect())
 }

@@ -15,12 +15,14 @@
 //! reachability and vacuity passes.
 
 use crate::context::Ctx;
-use crate::diag::{Code, DiagSink, Diagnostic};
+use crate::diag::{Code, DiagSink, Diagnostic, Fix};
+use crate::fix::granule_template_source;
 use pospec_alphabet::{internal_of_set, EventSet, Universe};
 use pospec_core::{
     compose, is_proper_refinement, properness_offending_events, refinement_conditions,
 };
 use pospec_lang::parser::DevStmt;
+use pospec_lang::TextEdit;
 
 /// Render at most `max` granules of `s`, with an ellipsis beyond.
 pub(crate) fn sample_events(s: &EventSet, u: &Universe, max: usize) -> String {
@@ -114,19 +116,32 @@ pub(crate) fn run(ctx: &mut Ctx<'_>, sink: &mut DiagSink) {
                 }
                 if !rc.alphabet_ok {
                     let missing = a.alphabet().difference(c.alphabet());
-                    sink.push(
-                        Diagnostic::new(
-                            Code::P021,
-                            format!(
-                                "`{concrete}` cannot refine `{abstract_}` (Def. 2, condition 2): α(`{abstract_}`) ⊄ α(`{concrete}`)"
-                            ),
-                        )
-                        .at(*span)
-                        .note(format!(
-                            "events of `{abstract_}` outside α(`{concrete}`): {}",
-                            sample_events(&missing, &u, 3)
-                        )),
-                    );
+                    let mut d = Diagnostic::new(
+                        Code::P021,
+                        format!(
+                            "`{concrete}` cannot refine `{abstract_}` (Def. 2, condition 2): α(`{abstract_}`) ⊄ α(`{concrete}`)"
+                        ),
+                    )
+                    .at(*span)
+                    .note(format!(
+                        "events of `{abstract_}` outside α(`{concrete}`): {}",
+                        sample_events(&missing, &u, 3)
+                    ));
+                    // Offer to widen α(concrete) by the missing
+                    // patterns.  MaybeIncorrect by design: when
+                    // condition 1 also fails, or when the new events
+                    // are internal to O(concrete), the widened spec no
+                    // longer elaborates (Def. 1 admissibility) — the
+                    // author must decide, so `--fix` never applies it.
+                    if rc.objects_ok {
+                        if let Some(edit) = widen_alphabet_edit(ctx, concrete, &missing) {
+                            d = d.with_fix(Fix::suggestion(
+                                format!("widen α(`{concrete}`) to cover α(`{abstract_}`)"),
+                                vec![edit],
+                            ));
+                        }
+                    }
+                    sink.push(d);
                 }
             }
             DevStmt::Sound { .. } => {}
@@ -134,6 +149,52 @@ pub(crate) fn run(ctx: &mut Ctx<'_>, sink: &mut DiagSink) {
     }
 
     properness(ctx, sink);
+}
+
+/// An insertion that appends one template per missing granule after the
+/// last alphabet pattern of `concrete`, or `None` when no clean
+/// insertion exists: `concrete` must be a literal `spec` block with a
+/// non-empty alphabet, and every missing granule must render back into
+/// template source (anonymous-environment and undeclared-method blocks
+/// do not).  Class-rest granules render as their class name — a
+/// superset of the granule, but one whose extra members come from the
+/// abstract spec's own class patterns, so the widened alphabet is
+/// exactly α(concrete) ∪ α(abstract).
+fn widen_alphabet_edit(ctx: &Ctx<'_>, concrete: &str, missing: &EventSet) -> Option<TextEdit> {
+    if ctx
+        .ast
+        .development
+        .iter()
+        .any(|s| matches!(s, DevStmt::Compose { name, .. } if name == concrete))
+    {
+        return None;
+    }
+    let info = ctx.spec_by_name(concrete)?;
+    let sd = &ctx.ast.specs[info.decl];
+    let last = sd.alphabet.last()?;
+    // Insert after the `;` that closes the last pattern.
+    let end = (last.span.offset + last.span.len) as usize;
+    let rest = ctx.src.get(end..)?;
+    let semi = rest.find(';')?;
+    if !rest[..semi].trim().is_empty() {
+        return None; // unexpected tokens between pattern and `;`
+    }
+    let insert_at = end + semi + 1;
+    let line_start = ctx.src[..last.span.offset as usize].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let prefix = &ctx.src[line_start..last.span.offset as usize];
+    let indent: String = prefix.chars().take_while(|c| c.is_whitespace()).collect();
+    let mut templates: Vec<String> = Vec::new();
+    for g in missing.granules() {
+        let t = granule_template_source(&ctx.universe, g)?;
+        if !templates.contains(&t) {
+            templates.push(t);
+        }
+    }
+    if templates.is_empty() {
+        return None;
+    }
+    let text: String = templates.iter().map(|t| format!("\n{indent}{t};")).collect();
+    Some(TextEdit::insert(insert_at, text))
 }
 
 /// `P120`: every declared refinement is checked against every declared

@@ -30,19 +30,26 @@ pub(crate) struct SpecInfo {
 /// Everything the semantic passes share.
 pub(crate) struct Ctx<'a> {
     pub ast: &'a Ast,
+    /// The original document text (fix edits splice into it).
+    pub src: &'a str,
     pub universe: Arc<Universe>,
     pub specs: Vec<SpecInfo>,
     /// Specifications the development statements can reference: every
     /// elaborated spec (first declaration wins) plus successfully
     /// composed `compose` results, inserted by the composition pass.
     pub dev: BTreeMap<String, Specification>,
+    /// Name → index into `specs` (first declaration wins), so per-leaf
+    /// lookups stay O(log n) on thousand-spec documents.
+    by_name: BTreeMap<String, usize>,
     pub depth: usize,
     pub cache: &'a DfaCache,
 }
 
 impl<'a> Ctx<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         ast: &'a Ast,
+        src: &'a str,
         universe: Arc<Universe>,
         dirty: &[bool],
         depth: usize,
@@ -52,7 +59,9 @@ impl<'a> Ctx<'a> {
     ) -> Ctx<'a> {
         let mut specs = Vec::new();
         let mut dev = BTreeMap::new();
+        let mut by_name = BTreeMap::new();
         for (i, sd) in ast.specs.iter().enumerate() {
+            by_name.entry(sd.name.clone()).or_insert(i);
             let spec = if dirty[i] {
                 None
             } else {
@@ -74,7 +83,12 @@ impl<'a> Ctx<'a> {
             let template_sets = sd.alphabet.iter().map(|t| pattern_set(&universe, t)).collect();
             specs.push(SpecInfo { decl: i, spec, template_sets });
         }
-        Ctx { ast, universe, specs, dev, depth, cache }
+        Ctx { ast, src, universe, specs, dev, by_name, depth, cache }
+    }
+
+    /// Find the `SpecInfo` of the first declaration named `name`.
+    pub fn spec_by_name(&self, name: &str) -> Option<&SpecInfo> {
+        self.by_name.get(name).map(|&i| &self.specs[i])
     }
 
     /// The cached automaton of `spec`'s trace set over its own
@@ -91,8 +105,21 @@ impl<'a> Ctx<'a> {
 /// resolution, tolerant of unknown names: those return `None` and were
 /// already reported by the names pass).
 fn pattern_set(u: &Arc<Universe>, t: &TemplateAst) -> Option<EventSet> {
+    pattern_set_scoped(u, t, &BTreeMap::new())
+}
+
+/// Like [`pattern_set`], with binder variables in scope: an endpoint
+/// naming a `[ R . x in C ]` variable denotes its class (the exact
+/// over-approximation the elaborator uses for `x`'s range).
+pub(crate) fn pattern_set_scoped(
+    u: &Arc<Universe>,
+    t: &TemplateAst,
+    scope: &BTreeMap<String, pospec_trace::ClassId>,
+) -> Option<EventSet> {
     let endpoint = |name: &str| {
-        if let Some(o) = u.object_by_name(name) {
+        if let Some(c) = scope.get(name) {
+            Some(ObjSpec::Class(*c))
+        } else if let Some(o) = u.object_by_name(name) {
             Some(ObjSpec::Id(o))
         } else {
             u.class_by_name(name).map(ObjSpec::Class)

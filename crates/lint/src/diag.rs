@@ -2,7 +2,7 @@
 //! the human/JSON renderers.
 
 use pospec_json::{ObjBuilder, Value};
-use pospec_lang::Span;
+use pospec_lang::{Span, TextEdit};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
@@ -50,6 +50,9 @@ pub enum Code {
     P107,
     /// Free variable in a trace template (likely a typo).
     P108,
+    /// Wait-for-graph deadlock candidate: no first event of the
+    /// composition is enabled by every participant sharing it.
+    P110,
     /// Improper refinement in the context of a composition (Def. 14).
     P120,
 }
@@ -75,6 +78,7 @@ pub const ALL_CODES: &[Code] = &[
     Code::P106,
     Code::P107,
     Code::P108,
+    Code::P110,
     Code::P120,
 ];
 
@@ -101,6 +105,7 @@ impl Code {
             Code::P106 => "P106",
             Code::P107 => "P107",
             Code::P108 => "P108",
+            Code::P110 => "P110",
             Code::P120 => "P120",
         }
     }
@@ -219,6 +224,66 @@ impl LintConfig {
     }
 }
 
+/// How confident the fix engine is in a suggested rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applicability {
+    /// Provably behaviour-preserving: applying the edits keeps the
+    /// document parseable and elaborable, and every specification not
+    /// named in the diagnostic keeps its exact semantics (alphabets,
+    /// trace sets, refinement verdicts).  `--fix` applies these.
+    MachineApplicable,
+    /// A plausible rewrite that may change semantics (e.g. widening an
+    /// alphabet can break Def.-1 admissibility).  Offered as an LSP
+    /// code action but never applied by `--fix`.
+    MaybeIncorrect,
+}
+
+impl Applicability {
+    /// The stable textual form used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Applicability::MachineApplicable => "machine-applicable",
+            Applicability::MaybeIncorrect => "maybe-incorrect",
+        }
+    }
+}
+
+/// A suggested rewrite attached to a diagnostic: a batch of byte-offset
+/// edits on the original source plus a confidence level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// Short imperative description, e.g. "remove unused declaration".
+    pub title: String,
+    /// Confidence level; only [`Applicability::MachineApplicable`]
+    /// fixes are applied by `pospec lint --fix`.
+    pub applicability: Applicability,
+    /// The edits, non-overlapping among themselves, addressed against
+    /// the source the diagnostic was produced from.
+    pub edits: Vec<TextEdit>,
+}
+
+impl Fix {
+    /// A machine-applicable fix.  Edits are normalized on construction
+    /// (sorted, duplicate-free, overlapping deletions merged) so every
+    /// consumer can apply them as-is.
+    pub fn machine(title: impl Into<String>, edits: Vec<TextEdit>) -> Fix {
+        Fix {
+            title: title.into(),
+            applicability: Applicability::MachineApplicable,
+            edits: pospec_lang::coalesce_deletions(edits),
+        }
+    }
+
+    /// A maybe-incorrect suggestion, normalized like [`Fix::machine`].
+    pub fn suggestion(title: impl Into<String>, edits: Vec<TextEdit>) -> Fix {
+        Fix {
+            title: title.into(),
+            applicability: Applicability::MaybeIncorrect,
+            edits: pospec_lang::coalesce_deletions(edits),
+        }
+    }
+}
+
 /// A secondary message attached to a diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Note {
@@ -242,6 +307,9 @@ pub struct Diagnostic {
     pub span: Option<Span>,
     /// Secondary notes.
     pub notes: Vec<Note>,
+    /// A suggested rewrite, when a provably safe (or at least
+    /// plausible) one exists.
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -254,6 +322,7 @@ impl Diagnostic {
             message: message.into(),
             span: None,
             notes: Vec::new(),
+            fix: None,
         }
     }
 
@@ -272,6 +341,12 @@ impl Diagnostic {
     /// Attach a note pointing at a source position.
     pub fn note_at(mut self, span: Span, message: impl Into<String>) -> Diagnostic {
         self.notes.push(Note { span: Some(span), message: message.into() });
+        self
+    }
+
+    /// Attach a suggested rewrite.
+    pub fn with_fix(mut self, fix: Fix) -> Diagnostic {
+        self.fix = Some(fix);
         self
     }
 }
@@ -402,12 +477,35 @@ impl LintReport {
                             .build()
                     })
                     .collect();
+                let fix = d
+                    .fix
+                    .as_ref()
+                    .map(|f| {
+                        let edits: Vec<Value> = f
+                            .edits
+                            .iter()
+                            .map(|e| {
+                                ObjBuilder::new()
+                                    .field("start", e.start as u64)
+                                    .field("end", e.end as u64)
+                                    .field("replacement", e.replacement.as_str())
+                                    .build()
+                            })
+                            .collect();
+                        ObjBuilder::new()
+                            .field("title", f.title.as_str())
+                            .field("applicability", f.applicability.as_str())
+                            .field("edits", Value::Arr(edits))
+                            .build()
+                    })
+                    .unwrap_or(Value::Null);
                 ObjBuilder::new()
                     .field("code", d.code.as_str())
                     .field("severity", d.severity.as_str())
                     .field("message", d.message.as_str())
                     .field("span", d.span.map(span_json).unwrap_or(Value::Null))
                     .field("notes", Value::Arr(notes))
+                    .field("fix", fix)
                     .build()
             })
             .collect();
@@ -488,6 +586,29 @@ mod tests {
         assert_eq!(d.get("severity").and_then(|v| v.as_str()), Some("warning"));
         let span = d.get("span").unwrap();
         assert_eq!(span.get("offset").and_then(|v| v.as_u64()), Some(10));
+    }
+
+    #[test]
+    fn fixes_ride_along_in_json() {
+        let mut sink = DiagSink::new(LintConfig::new());
+        sink.push(
+            Diagnostic::new(Code::P102, "unused declaration")
+                .with_fix(Fix::machine("remove declaration", vec![TextEdit::delete(4, 13)])),
+        );
+        let j = sink.finish("a.pos").to_json();
+        let d = &j.get("diagnostics").and_then(|v| v.as_arr()).unwrap()[0];
+        let fix = d.get("fix").expect("fix present");
+        assert_eq!(fix.get("applicability").and_then(|v| v.as_str()), Some("machine-applicable"));
+        let e = &fix.get("edits").and_then(|v| v.as_arr()).unwrap()[0];
+        assert_eq!(e.get("start").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(e.get("end").and_then(|v| v.as_u64()), Some(13));
+        assert_eq!(e.get("replacement").and_then(|v| v.as_str()), Some(""));
+        // Diagnostics without a fix carry an explicit null.
+        let mut sink = DiagSink::new(LintConfig::new());
+        sink.push(Diagnostic::new(Code::P105, "deadlock"));
+        let j = sink.finish("b.pos").to_json();
+        let d = &j.get("diagnostics").and_then(|v| v.as_arr()).unwrap()[0];
+        assert!(matches!(d.get("fix"), Some(Value::Null)));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Edit construction shared by the fix-attaching passes.
+//!
+//! The passes decide *when* a rewrite is safe (each guard is documented
+//! at its attachment site); this module only turns that decision into
+//! tidy [`TextEdit`]s: statement deletions that also swallow the
+//! trailing `;` and any whitespace the statement leaves behind, and the
+//! rendering of alphabet granules back into template source for the
+//! widen-alphabet suggestion.
+
+use pospec_alphabet::{ArgGranule, EventGranule, EventSet, MethodGranule, ObjGranule, Universe};
+use pospec_lang::parser::ReAst;
+use pospec_lang::{Span, TextEdit};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deletion of the statement covered by `span`, extended over the
+/// trailing `;` (when the span stops short of it) and over the
+/// whitespace the removal would orphan: a statement alone on its line
+/// disappears with the whole line.
+pub(crate) fn deletion_edit(src: &str, span: Span) -> TextEdit {
+    let bytes = src.as_bytes();
+    let start = (span.offset as usize).min(src.len());
+    let mut end = (start + span.len as usize).min(src.len());
+    // Swallow the statement's `;` when the span excludes it.
+    let mut probe = end;
+    while probe < bytes.len() && (bytes[probe] == b' ' || bytes[probe] == b'\t') {
+        probe += 1;
+    }
+    if probe < bytes.len() && bytes[probe] == b';' {
+        end = probe + 1;
+    }
+    let line_start = src[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let prefix_blank = src[line_start..start].trim().is_empty();
+    let mut after = end;
+    while after < bytes.len() && (bytes[after] == b' ' || bytes[after] == b'\t') {
+        after += 1;
+    }
+    let rest_blank = after >= bytes.len() || bytes[after] == b'\n';
+    if prefix_blank && rest_blank {
+        // The statement owns its line: delete the line.
+        let line_end = if after < bytes.len() { after + 1 } else { after };
+        return TextEdit::delete(line_start, line_end);
+    }
+    if rest_blank {
+        // Text precedes on the line: pull the deletion back over the
+        // separating whitespace so no trailing blanks remain.
+        let mut s = start;
+        while s > line_start && (bytes[s - 1] == b' ' || bytes[s - 1] == b'\t') {
+            s -= 1;
+        }
+        return TextEdit::delete(s, after);
+    }
+    // Text follows on the line: swallow the separating whitespace after
+    // the statement instead.
+    TextEdit::delete(start, after)
+}
+
+/// Render `g` back into alphabet-template source (`<caller, callee,
+/// M(arg)>`), or `None` when the granule has no template denotation
+/// (anonymous-environment or undeclared-method blocks).
+///
+/// Class-rest blocks render as the *class name*, which denotes the rest
+/// **plus every declared member** — a superset of `g`.  The
+/// widen-alphabet call site tolerates that: any extra granule the
+/// template drags in belongs to the abstract spec's alphabet too (its
+/// patterns expand classes the same way), so the widened alphabet is
+/// exactly `α(c) ∪ α(a)`-bounded.
+pub(crate) fn granule_template_source(u: &Universe, g: &EventGranule) -> Option<String> {
+    let endpoint = |o: &ObjGranule| match o {
+        ObjGranule::Named(id) => Some(u.object_name(*id).to_string()),
+        ObjGranule::ClassRest(c) => Some(u.class_name(*c).to_string()),
+        ObjGranule::Anon => None,
+    };
+    let caller = endpoint(&g.caller)?;
+    let callee = endpoint(&g.callee)?;
+    let method = match &g.method {
+        MethodGranule::Named(m) => u.method_name(*m).to_string(),
+        MethodGranule::Other => return None,
+    };
+    let arg = match &g.arg {
+        ArgGranule::None => String::new(),
+        ArgGranule::NamedData(d) => format!("({})", u.data_name(*d)),
+        ArgGranule::DataRest(_) => "(_)".to_string(),
+        ArgGranule::AnyArg => return None,
+    };
+    Some(format!("<{caller}, {callee}, {method}{arg}>"))
+}
+
+/// The event sets of every template literal of `re`, with binder
+/// variables resolved to their classes — `None` when any literal fails
+/// to resolve (unknown names were already reported; the caller then
+/// declines to attach a fix rather than guess).
+pub(crate) fn regex_literal_sets(u: &Arc<Universe>, re: &ReAst) -> Option<Vec<EventSet>> {
+    fn walk(
+        u: &Arc<Universe>,
+        re: &ReAst,
+        scope: &mut BTreeMap<String, pospec_trace::ClassId>,
+        out: &mut Vec<EventSet>,
+    ) -> Option<()> {
+        match re {
+            ReAst::Eps => Some(()),
+            ReAst::Lit(t) => {
+                out.push(crate::context::pattern_set_scoped(u, t, scope)?);
+                Some(())
+            }
+            ReAst::Seq(ps) | ReAst::Alt(ps) => {
+                for p in ps {
+                    walk(u, p, scope, out)?;
+                }
+                Some(())
+            }
+            ReAst::Star(r) | ReAst::Plus(r) | ReAst::Opt(r) | ReAst::Group(r) => {
+                walk(u, r, scope, out)
+            }
+            ReAst::Bind { body, var, class, .. } => {
+                let c = u.class_by_name(class)?;
+                let shadowed = scope.insert(var.clone(), c);
+                let r = walk(u, body, scope, out);
+                match shadowed {
+                    Some(old) => {
+                        scope.insert(var.clone(), old);
+                    }
+                    None => {
+                        scope.remove(var);
+                    }
+                }
+                r
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(u, re, &mut BTreeMap::new(), &mut out)?;
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pospec_lang::apply_edits;
+
+    fn span_of(src: &str, needle: &str) -> Span {
+        let off = src.find(needle).expect("needle") as u32;
+        Span { line: 1, col: off + 1, offset: off, len: needle.len() as u32 }
+    }
+
+    #[test]
+    fn deleting_a_whole_line_statement_removes_the_line() {
+        let src = "universe {\n  object o;\n  object dead;\n}\n";
+        let e = deletion_edit(src, span_of(src, "object dead;"));
+        assert_eq!(apply_edits(src, &[e]).unwrap(), "universe {\n  object o;\n}\n");
+    }
+
+    #[test]
+    fn deleting_mid_line_swallows_following_whitespace() {
+        let src = "alphabet { <a, b, M>; <c, d, M>; }\n";
+        let e = deletion_edit(src, span_of(src, "<a, b, M>"));
+        assert_eq!(apply_edits(src, &[e]).unwrap(), "alphabet { <c, d, M>; }\n");
+    }
+
+    #[test]
+    fn deleting_the_last_statement_on_a_line_trims_backwards() {
+        let src = "  <a, b, M>; <c, d, M>;\n";
+        let e = deletion_edit(src, span_of(src, "<c, d, M>"));
+        assert_eq!(apply_edits(src, &[e]).unwrap(), "  <a, b, M>;\n");
+    }
+
+    #[test]
+    fn span_already_covering_the_semicolon_is_not_extended_past_it() {
+        let src = "universe { object dead; object o; }\n";
+        let e = deletion_edit(src, span_of(src, "object dead;"));
+        assert_eq!(apply_edits(src, &[e]).unwrap(), "universe { object o; }\n");
+    }
+}

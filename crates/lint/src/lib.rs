@@ -3,7 +3,7 @@
 //!
 //! The checker (`pospec-check`) answers "does this refinement hold?";
 //! the linter answers "is this document *sensible*?" before any
-//! obligation is discharged.  Five passes share one diagnostic sink:
+//! obligation is discharged.  Six passes share one diagnostic sink:
 //!
 //! 1. **names** — unknown/duplicate identifiers, self-communication
 //!    (`P003`–`P008`, `P108`);
@@ -14,24 +14,33 @@
 //! 4. **reachability** — ε-only specs, dead patterns, deadlock-prone
 //!    compositions (`P104`, `P105`, `P107`);
 //! 5. **vacuity** — refinement obligations witnessed only by the empty
-//!    trace (`P106`).
+//!    trace (`P106`);
+//! 6. **wait-for graph** — compositions with no enabled initial event,
+//!    decided on the granule algebra without automata (`P110`).
 //!
 //! Every diagnostic carries a stable code, a severity, a primary span
 //! and optional notes; [`LintReport`] renders them for humans (caret
 //! lines) or as JSON (shared verbatim by the CLI and the server).
+//! Where a provably safe rewrite exists, the diagnostic also carries a
+//! [`Fix`] — byte-offset [`TextEdit`]s applied by `pospec lint --fix`
+//! and served as LSP code actions.
 
 mod alphabet;
 mod automaton;
 mod compose_pre;
 mod context;
 mod diag;
+mod fix;
 mod names;
 mod reach;
 mod vacuity;
+mod waitfor;
 
 pub use diag::{
-    Code, DiagSink, Diagnostic, Level, LintConfig, LintReport, Note, Severity, ALL_CODES,
+    Applicability, Code, DiagSink, Diagnostic, Fix, Level, LintConfig, LintReport, Note, Severity,
+    ALL_CODES,
 };
+pub use pospec_lang::{apply_edits, coalesce_deletions, EditError, TextEdit};
 
 use context::Ctx;
 use pospec_core::DfaCache;
@@ -108,12 +117,95 @@ fn lint_inner(
     };
 
     let dirty = names::run(&ast, &universe, &mut sink);
-    let mut ctx = Ctx::build(&ast, universe, &dirty, config.depth, cache, session, &mut sink);
+    let mut ctx = Ctx::build(&ast, src, universe, &dirty, config.depth, cache, session, &mut sink);
     compose_pre::run(&mut ctx, &mut sink);
     alphabet::run(&ctx, &mut sink);
     reach::run(&ctx, &mut sink);
     vacuity::run(&ctx, &mut sink);
+    waitfor::run(&ctx, &mut sink);
     sink.finish(file)
+}
+
+/// What [`time_deadlock_passes`] measured on one document.
+#[derive(Debug, Clone)]
+pub struct DeadlockTimings {
+    /// Number of `compose` statements that actually composed.
+    pub compositions: usize,
+    /// Compositions the O(edges) wait-for-graph pass flagged (`P110`).
+    pub waitfor_flagged: Vec<String>,
+    /// Compositions the product-DFA pass flagged (`P105`), immediate
+    /// (Ex. 5) and quiescent (Ex. 4) alike.
+    pub product_flagged: Vec<String>,
+    /// Compositions the product-DFA pass flagged as deadlocking
+    /// *immediately* (`T = {ε}`) — the exact shape `P110` decides.
+    pub product_immediate: Vec<String>,
+    /// Wall-clock nanoseconds of the wait-for-graph pass.
+    pub waitfor_nanos: u128,
+    /// Wall-clock nanoseconds of the product-DFA pass (automaton
+    /// construction included; a fresh cache is used so nothing is warm).
+    pub product_nanos: u128,
+}
+
+impl DeadlockTimings {
+    /// Soundness of the static pass on this document: everything the
+    /// wait-for graph flags, the product DFA flags as an immediate
+    /// deadlock — and vice versa.
+    pub fn agree(&self) -> bool {
+        let mut a = self.waitfor_flagged.clone();
+        let mut b = self.product_immediate.clone();
+        a.sort();
+        b.sort();
+        a == b
+    }
+}
+
+/// Run *only* the two deadlock analyses over `src` and time them, for
+/// the paper-report comparison (wait-for graph vs product DFA at
+/// N=10/100/1000).  Elaboration and the other passes run untimed
+/// beforehand; the product pass gets a fresh automaton cache so its
+/// cost includes DFA construction, exactly what a cold lint pays.
+/// Returns `None` when the document does not parse or its universe does
+/// not elaborate.
+pub fn time_deadlock_passes(src: &str, depth: usize) -> Option<DeadlockTimings> {
+    let mut config = LintConfig::default();
+    config.depth = depth;
+    let ast = parse(src).ok()?;
+    let universe = elaborate_universe(&ast).ok()?;
+    let cache = DfaCache::new();
+    let mut scratch = DiagSink::new(config.clone());
+    let dirty = names::run(&ast, &universe, &mut scratch);
+    let mut ctx = Ctx::build(&ast, src, universe, &dirty, config.depth, &cache, None, &mut scratch);
+    compose_pre::run(&mut ctx, &mut scratch);
+    let compositions = ctx
+        .ast
+        .development
+        .iter()
+        .filter(|s| {
+            matches!(s, pospec_lang::parser::DevStmt::Compose { name, .. }
+                if ctx.dev.contains_key(name))
+        })
+        .count();
+
+    let t0 = std::time::Instant::now();
+    let waitfor_flagged: Vec<String> =
+        waitfor::candidates(&ctx).into_iter().map(|c| c.name).collect();
+    let waitfor_nanos = t0.elapsed().as_nanos();
+
+    let t1 = std::time::Instant::now();
+    let product = reach::product_deadlocks(&ctx);
+    let product_nanos = t1.elapsed().as_nanos();
+    let product_immediate =
+        product.iter().filter(|d| d.witness.is_none()).map(|d| d.name.clone()).collect();
+    let product_flagged = product.into_iter().map(|d| d.name).collect();
+
+    Some(DeadlockTimings {
+        compositions,
+        waitfor_flagged,
+        product_flagged,
+        product_immediate,
+        waitfor_nanos,
+        product_nanos,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,243 @@
+//! Pass 6 — wait-for-graph deadlock candidates, without automata.
+//!
+//! `P105` decides deadlock exactly but pays for the product DFA of the
+//! composition — the expensive path on thousand-spec documents.  This
+//! pass flags the paper's Ex.-5 shape (`T = {ε}` before hiding) from
+//! the granule algebra alone, in time linear in the number of alphabet
+//! granules:
+//!
+//! For prefix-closed trace sets, the composition `S₁ ⊗ … ⊗ Sₙ` admits a
+//! non-empty joint trace **iff** some event `e` is *enabled*: `e ∈
+//! F(Sᵢ)` for every participant `i` with `e ∈ α(Sᵢ)`, where `F(S)` is
+//! the set of events `S`'s traces can perform first.  (Proof: the first
+//! event of any joint trace projects to a first event of every
+//! participant whose alphabet contains it; conversely an enabled `e` is
+//! itself a joint trace of length one.)  When no event is enabled,
+//! every participant is waiting for some other participant's first
+//! event — a cycle in the static wait-for graph — and the composition
+//! deadlocks immediately.
+//!
+//! `F` is computed by a standard FIRST-set recursion over the trace
+//! regex; `traces any` and any unresolvable template fall back to the
+//! whole alphabet (the participant then blocks nothing), so the pass
+//! never reports a false positive: every `P110` is also flagged by
+//! `P105`.  The converse fails — quiescence *after* progress (Ex. 4)
+//! needs the automaton — which is why both passes stay.
+
+use crate::context::{pattern_set_scoped, Ctx};
+use crate::diag::{Code, DiagSink, Diagnostic};
+use pospec_alphabet::{EventSet, Universe};
+use pospec_lang::parser::{DevStmt, ReAst, TracesAst};
+use pospec_lang::Span;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+pub(crate) fn run(ctx: &Ctx<'_>, sink: &mut DiagSink) {
+    for c in candidates(ctx) {
+        let mut d = Diagnostic::new(
+            Code::P110,
+            format!(
+                "composition `{}` has no enabled initial event: every participant waits for a first event some other participant refuses (wait-for cycle, Ex. 5)",
+                c.name
+            ),
+        )
+        .at(c.span);
+        for (leaf, first) in c.firsts.iter().take(3) {
+            d = d.note(format!(
+                "`{leaf}` can only start with: {}",
+                crate::compose_pre::sample_events(first, &ctx.universe, 3)
+            ));
+        }
+        sink.push(d);
+    }
+}
+
+/// One flagged composition.
+pub(crate) struct Candidate {
+    pub name: String,
+    pub span: Span,
+    /// Per-leaf FIRST sets, for the diagnostic notes.
+    pub firsts: Vec<(String, EventSet)>,
+}
+
+/// The wait-for analysis proper, shared by [`run`] and the timing API:
+/// every declared composition whose static communication graph admits
+/// no enabled initial event.
+pub(crate) fn candidates(ctx: &Ctx<'_>) -> Vec<Candidate> {
+    let u = &ctx.universe;
+    // Flatten compose trees to leaf spec names.
+    let mut operands: BTreeMap<&str, (&str, &str)> = BTreeMap::new();
+    for stmt in &ctx.ast.development {
+        if let DevStmt::Compose { name, left, right, .. } = stmt {
+            operands.entry(name.as_str()).or_insert((left.as_str(), right.as_str()));
+        }
+    }
+    let mut out = Vec::new();
+    // FIRST sets memoized per spec declaration: a leaf shared by many
+    // compositions (every generated star/ring network) computes its
+    // recursion once.
+    let mut first_memo: BTreeMap<usize, EventSet> = BTreeMap::new();
+    'stmts: for stmt in &ctx.ast.development {
+        let DevStmt::Compose { name, span, .. } = stmt else { continue };
+        // Only compositions that actually composed (Def. 10 holds and
+        // every operand elaborated): failures were reported upstream.
+        if !ctx.dev.contains_key(name.as_str()) {
+            continue;
+        }
+        let mut leaves: Vec<&str> = Vec::new();
+        let mut stack = vec![name.as_str()];
+        // Expansion budget: a well-formed compose DAG over k statements
+        // has at most k internal nodes per root; the budget only trips
+        // on (ill-formed) cyclic chains, which were flagged upstream —
+        // bail on those rather than loop.
+        let mut budget = 64 + 2 * operands.len();
+        while let Some(n) = stack.pop() {
+            if budget == 0 {
+                continue 'stmts;
+            }
+            budget -= 1;
+            // A spec declaration of the same name shadows nothing here:
+            // `compose` results overwrite `ctx.dev`, so treat a name as
+            // a leaf only when no compose statement defines it.
+            match operands.get(n) {
+                Some((l, r)) if n != *l && n != *r => {
+                    stack.push(l);
+                    stack.push(r);
+                }
+                _ => leaves.push(n),
+            }
+        }
+        leaves.reverse();
+        let mut alphabets: Vec<(&str, EventSet)> = Vec::new();
+        let mut firsts: Vec<(String, EventSet)> = Vec::new();
+        for leaf in leaves {
+            let Some(info) = ctx.spec_by_name(leaf) else {
+                continue 'stmts; // a leaf is itself composed or broken
+            };
+            let Some(spec) = info.spec.as_ref() else {
+                continue 'stmts;
+            };
+            let sd = &ctx.ast.specs[info.decl];
+            let alpha = spec.alphabet().clone();
+            let first = match first_memo.get(&info.decl) {
+                Some(f) => f.clone(),
+                None => {
+                    let f = match &sd.traces {
+                        TracesAst::Any => alpha.clone(),
+                        TracesAst::Prs(re) => match first_set(u, re) {
+                            // Unresolvable or empty-language regexes
+                            // fall back to α: the leaf then never
+                            // blocks (conservative).
+                            Some(f) if !f.language_empty => f.first,
+                            _ => alpha.clone(),
+                        },
+                    };
+                    first_memo.insert(info.decl, f.clone());
+                    f
+                }
+            };
+            alphabets.push((leaf, alpha));
+            firsts.push((leaf.to_string(), first));
+        }
+        // e is enabled iff e ∈ ⋃α(i) and e ∉ ⋃(α(i) ∖ F(i)).
+        let mut joint = EventSet::empty(u);
+        let mut blocked = EventSet::empty(u);
+        for ((_, alpha), (_, first)) in alphabets.iter().zip(&firsts) {
+            joint = joint.union(alpha);
+            blocked = blocked.union(&alpha.difference(first));
+        }
+        if joint.difference(&blocked).is_empty() {
+            out.push(Candidate { name: name.clone(), span: *span, firsts });
+        }
+    }
+    out
+}
+
+/// The FIRST-set recursion's result for one regex.
+struct First {
+    /// Can the language do nothing (contain ε)?
+    nullable: bool,
+    /// Is the language empty?  (A sequence through an empty factor
+    /// denotes ∅; its FIRST set is meaningless, so callers bail out.)
+    language_empty: bool,
+    /// Events some word of the language starts with.
+    first: EventSet,
+}
+
+/// Compute the FIRST set of `re`, or `None` when a template fails to
+/// resolve (the names pass already reported it).
+fn first_set(u: &Arc<Universe>, re: &ReAst) -> Option<First> {
+    fn go(
+        u: &Arc<Universe>,
+        re: &ReAst,
+        scope: &mut BTreeMap<String, pospec_trace::ClassId>,
+    ) -> Option<First> {
+        Some(match re {
+            ReAst::Eps => {
+                First { nullable: true, language_empty: false, first: EventSet::empty(u) }
+            }
+            ReAst::Lit(t) => {
+                let set = pattern_set_scoped(u, t, scope)?;
+                First { nullable: false, language_empty: set.is_empty(), first: set }
+            }
+            ReAst::Seq(ps) => {
+                let mut first = EventSet::empty(u);
+                let mut nullable = true;
+                let mut language_empty = false;
+                for p in ps {
+                    let f = go(u, p, scope)?;
+                    language_empty |= f.language_empty;
+                    if nullable {
+                        first = first.union(&f.first);
+                    }
+                    nullable &= f.nullable;
+                }
+                if language_empty {
+                    First { nullable: false, language_empty: true, first: EventSet::empty(u) }
+                } else {
+                    First { nullable, language_empty: false, first }
+                }
+            }
+            ReAst::Alt(ps) => {
+                let mut first = EventSet::empty(u);
+                let mut nullable = false;
+                let mut language_empty = true;
+                for p in ps {
+                    let f = go(u, p, scope)?;
+                    if !f.language_empty {
+                        language_empty = false;
+                        first = first.union(&f.first);
+                        nullable |= f.nullable;
+                    }
+                }
+                First { nullable, language_empty, first }
+            }
+            ReAst::Star(r) | ReAst::Opt(r) => {
+                let f = go(u, r, scope)?;
+                // R* and R? contain ε even when R denotes ∅.
+                First {
+                    nullable: true,
+                    language_empty: false,
+                    first: if f.language_empty { EventSet::empty(u) } else { f.first },
+                }
+            }
+            ReAst::Plus(r) => go(u, r, scope)?,
+            ReAst::Group(r) => go(u, r, scope)?,
+            ReAst::Bind { body, var, class, .. } => {
+                let c = u.class_by_name(class)?;
+                let shadowed = scope.insert(var.clone(), c);
+                let f = go(u, body, scope);
+                match shadowed {
+                    Some(old) => {
+                        scope.insert(var.clone(), old);
+                    }
+                    None => {
+                        scope.remove(var);
+                    }
+                }
+                f?
+            }
+        })
+    }
+    go(u, re, &mut BTreeMap::new())
+}

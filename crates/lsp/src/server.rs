@@ -123,6 +123,7 @@ impl LspServer {
             ("textDocument/didClose", _) => self.did_close(params),
             ("textDocument/hover", Some(id)) => vec![self.hover(id, params)],
             ("textDocument/definition", Some(id)) => vec![self.definition(id, params)],
+            ("textDocument/codeAction", Some(id)) => vec![self.code_action(id, params)],
             ("pospec/stats", Some(id)) => vec![rpc::response(id, self.stats())],
             (_, Some(id)) => {
                 vec![rpc::error_response(
@@ -349,6 +350,82 @@ impl LspServer {
         None
     }
 
+    /// `textDocument/codeAction`: every lint fix whose diagnostic
+    /// intersects the requested range, served as a `quickfix` workspace
+    /// edit.  The fix's byte-offset edits are converted to UTF-16
+    /// ranges against the *current* document text — the re-lint here
+    /// runs on that same text (unchanged specs are reused from the
+    /// session), so the offsets are always in sync.
+    fn code_action(&mut self, id: &Value, params: Option<&Value>) -> Value {
+        let Some(params) = params else { return rpc::response(id, Value::Arr(Vec::new())) };
+        let Some(uri) =
+            params.get("textDocument").and_then(|t| t.get("uri")).and_then(Value::as_str)
+        else {
+            return rpc::response(id, Value::Arr(Vec::new()));
+        };
+        let uri = uri.to_string();
+        let Some(doc) = self.docs.get(&uri) else {
+            return rpc::response(id, Value::Arr(Vec::new()));
+        };
+        let text = doc.text.clone();
+        let (start, end) = match params.get("range") {
+            Some(r) => {
+                let s = r.get("start").and_then(|p| convert::position_to_offset(&text, p));
+                let e = r.get("end").and_then(|p| convert::position_to_offset(&text, p));
+                match (s, e) {
+                    (Some(s), Some(e)) => (s, e.max(s)),
+                    _ => return rpc::response(id, Value::Arr(Vec::new())),
+                }
+            }
+            // No range: serve every available fix.
+            None => (0, text.len()),
+        };
+        let mut config = LintConfig::default();
+        config.depth = self.depth;
+        let report = self.registry.with_session(&uri, |session| {
+            pospec_lint::lint_document_session(&uri, &text, &config, &self.cache, session)
+        });
+        let mut actions = Vec::new();
+        for d in &report.diagnostics {
+            let Some(fix) = &d.fix else { continue };
+            let Some(span) = &d.span else { continue };
+            let (ds, de) = (span.offset as usize, (span.offset + span.len) as usize);
+            // Touching counts as intersecting: a cursor (empty range)
+            // at either edge of the squiggle still offers the fix.
+            if ds > end || de < start {
+                continue;
+            }
+            let edits: Vec<Value> = fix
+                .edits
+                .iter()
+                .map(|e| {
+                    ObjBuilder::new()
+                        .field("range", convert::offset_range(&text, e.start, e.end))
+                        .field("newText", e.replacement.as_str())
+                        .build()
+                })
+                .collect();
+            let mut b = ObjBuilder::new()
+                .field("title", fix.title.as_str())
+                .field("kind", "quickfix")
+                .field("diagnostics", Value::Arr(vec![convert::diagnostic_to_lsp(&text, &uri, d)]))
+                .field(
+                    "edit",
+                    ObjBuilder::new()
+                        .field(
+                            "changes",
+                            ObjBuilder::new().field(uri.as_str(), Value::Arr(edits)).build(),
+                        )
+                        .build(),
+                );
+            if fix.applicability == pospec_lint::Applicability::MachineApplicable {
+                b = b.field("isPreferred", true);
+            }
+            actions.push(b.build());
+        }
+        rpc::response(id, Value::Arr(actions))
+    }
+
     fn definition(&self, id: &Value, params: Option<&Value>) -> Value {
         let Some((uri, text, offset)) = self.resolve_position(params) else {
             return rpc::response(id, Value::Null);
@@ -408,6 +485,7 @@ fn capabilities() -> Value {
                 )
                 .field("hoverProvider", true)
                 .field("definitionProvider", true)
+                .field("codeActionProvider", true)
                 .field("positionEncoding", "utf-16")
                 .build(),
         )

@@ -404,6 +404,90 @@ fn did_close_clears_diagnostics() {
     assert!(diagnostics(pubs[1]).is_empty(), "closing clears the problems pane");
 }
 
+#[test]
+fn code_action_serves_machine_fix_that_lints_clean() {
+    // A third copy of `<o, b, OP>` in `B`'s alphabet is shadowed by the
+    // patterns before it (P101) and carries a machine-applicable
+    // deletion fix.
+    let doc = DOC.replace(
+        "spec B { objects { o } alphabet { <Env, o, OP>; <o, b, OP>; }",
+        "spec B { objects { o } alphabet { <Env, o, OP>; <o, b, OP>; <o, b, OP>; }",
+    );
+    assert_ne!(doc, DOC, "edit must apply");
+    let (el, ec) = offset_to_utf16(&doc, doc.len());
+    let params = ObjBuilder::new()
+        .field("textDocument", ObjBuilder::new().field("uri", URI).build())
+        .field(
+            "range",
+            ObjBuilder::new().field("start", position(0, 0)).field("end", position(el, ec)).build(),
+        )
+        .field("context", ObjBuilder::new().field("diagnostics", Value::Arr(Vec::new())).build())
+        .build();
+    let script = [
+        request(1, "initialize", Value::Obj(Vec::new())),
+        did_open(URI, &doc),
+        request(2, "textDocument/codeAction", params),
+        request(3, "shutdown", Value::Null),
+        notification("exit", Value::Null),
+    ];
+    let (code, out) = run_session(&script);
+    assert_eq!(code, 0);
+
+    let caps = response_to(&out, 1).get("result").expect("result");
+    assert_eq!(
+        caps.get("capabilities").and_then(|c| c.get("codeActionProvider")).and_then(Value::as_bool),
+        Some(true),
+        "codeActionProvider must be advertised"
+    );
+
+    let actions = response_to(&out, 2).get("result").and_then(Value::as_arr).expect("actions");
+    assert_eq!(actions.len(), 1, "exactly the shadowed-pattern fix: {actions:?}");
+    let action = &actions[0];
+    assert_eq!(action.get("title").and_then(Value::as_str), Some("remove the shadowed pattern"));
+    assert_eq!(action.get("kind").and_then(Value::as_str), Some("quickfix"));
+    assert_eq!(action.get("isPreferred").and_then(Value::as_bool), Some(true));
+    let attached = action.get("diagnostics").and_then(Value::as_arr).expect("diagnostics");
+    assert_eq!(attached.len(), 1);
+    assert_eq!(attached[0].get("code").and_then(Value::as_str), Some("P101"));
+
+    // Apply the workspace edit exactly as an editor would — UTF-16
+    // ranges against the open text — and the document must lint clean.
+    let edits = action
+        .get("edit")
+        .and_then(|e| e.get("changes"))
+        .and_then(|c| c.get(URI))
+        .and_then(Value::as_arr)
+        .expect("edits for the document");
+    let mut spans: Vec<(usize, usize, String)> = edits
+        .iter()
+        .map(|e| {
+            let r = e.get("range").expect("range");
+            let s = pospec_lang::pos::utf16_to_offset(
+                &doc,
+                path(r, &["start", "line"]) as u32,
+                path(r, &["start", "character"]) as u32,
+            )
+            .expect("start maps back to bytes");
+            let en = pospec_lang::pos::utf16_to_offset(
+                &doc,
+                path(r, &["end", "line"]) as u32,
+                path(r, &["end", "character"]) as u32,
+            )
+            .expect("end maps back to bytes");
+            (s, en, e.get("newText").and_then(Value::as_str).expect("newText").to_string())
+        })
+        .collect();
+    spans.sort_by_key(|(s, _, _)| std::cmp::Reverse(*s));
+    let mut fixed = doc.clone();
+    for (s, e, t) in spans {
+        fixed.replace_range(s..e, &t);
+    }
+    let mut config = pospec_lint::LintConfig::default();
+    config.depth = DEPTH;
+    let report = pospec_lint::lint_document(URI, &fixed, &config);
+    assert!(report.diagnostics.is_empty(), "applying the code action lints clean: {report:?}");
+}
+
 /// Measurement harness for the EXPERIMENTS.md incremental-vs-full
 /// re-lint table.  Run manually:
 ///

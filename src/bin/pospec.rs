@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pospec check <file.pos>                      validate every spec (Def. 1)
-//! pospec lint <path>… [--json] [--depth N] [--deny warnings|CODE]
+//! pospec lint <path>… [--fix] [--json] [--depth N] [--deny warnings|CODE]
 //!             [--warn CODE] [--allow CODE]     static analysis (codes P0xx/P1xx)
 //! pospec list <file.pos>                       list specs with alphabets
 //! pospec refine <file.pos> <concrete> <abstract> [--depth N]
@@ -38,7 +38,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  pospec check <file.pos>\n  \
-         pospec lint <file.pos|dir>... [--json] [--depth N] [--deny warnings|CODE] \
+         pospec lint <file.pos|dir>... [--fix] [--json] [--depth N] [--deny warnings|CODE] \
 [--warn CODE] [--allow CODE]\n  pospec list <file.pos>\n  \
          pospec refine <file.pos> <concrete> <abstract> [--depth N]\n  \
          pospec compose <file.pos> <a> <b> [--deadlock] [--depth N]\n  \
@@ -315,9 +315,11 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     }
 
     let json_mode = args.iter().any(|a| a == "--json");
+    let fix_mode = args.iter().any(|a| a == "--fix");
     let mut reports = Vec::new();
     let mut errors = 0;
     let mut warnings = 0;
+    let mut fixed = 0;
     for file in &files {
         let src = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -326,21 +328,37 @@ fn lint_cmd(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let report = pospec_lint::lint_document(file, &src, &config);
+        let (report, out_src, applied) = if fix_mode {
+            apply_machine_fixes(file, &src, &config)
+        } else {
+            (pospec_lint::lint_document(file, &src, &config), src.clone(), 0)
+        };
+        if fix_mode && out_src != src {
+            if let Err(e) = std::fs::write(file, &out_src) {
+                eprintln!("error: cannot write `{file}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
         errors += report.errors();
         warnings += report.warnings();
+        fixed += applied;
         if !json_mode {
-            print!("{}", report.render_human(&src));
+            print!("{}", report.render_human(&out_src));
+            if applied > 0 {
+                println!("{file}: applied {applied} fix(es)");
+            }
         }
         reports.push(report);
     }
     if json_mode {
-        let json = pospec_json::ObjBuilder::new()
+        let mut b = pospec_json::ObjBuilder::new()
             .field("files", pospec_json::Value::Arr(reports.iter().map(|r| r.to_json()).collect()))
             .field("errors", errors as u64)
-            .field("warnings", warnings as u64)
-            .build();
-        println!("{}", json.to_compact());
+            .field("warnings", warnings as u64);
+        if fix_mode {
+            b = b.field("fixed", fixed as u64);
+        }
+        println!("{}", b.build().to_compact());
     } else {
         println!("{} file(s) linted: {} error(s), {} warning(s)", files.len(), errors, warnings);
     }
@@ -349,6 +367,57 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// The `--fix` driver for one file: repeatedly lint, batch every
+/// machine-applicable fix (overlapping deletions coalesce), apply, and
+/// re-lint, until a fixpoint or the round bound.  Applied rounds are
+/// kept only when the result still parses and is no worse (no new
+/// error-severity diagnostics) — a failed round leaves the previous
+/// text in place, so `--fix` can never corrupt a document.  Returns the
+/// final report, the final text, and the number of fixes applied.
+fn apply_machine_fixes(
+    file: &str,
+    src: &str,
+    config: &pospec_lint::LintConfig,
+) -> (pospec_lint::LintReport, String, usize) {
+    use pospec_lint::{Applicability, Code};
+
+    // Every machine fix removes at least one statement, so the fixpoint
+    // is reached long before this bound on any real document; the bound
+    // only guards against a (buggy) oscillating fix.
+    const MAX_ROUNDS: usize = 8;
+    let mut cur = src.to_string();
+    let mut applied = 0usize;
+    let mut report = pospec_lint::lint_document(file, &cur, config);
+    for _ in 0..MAX_ROUNDS {
+        let machine: Vec<&pospec_lint::Fix> = report
+            .diagnostics
+            .iter()
+            .filter_map(|d| d.fix.as_ref())
+            .filter(|f| f.applicability == Applicability::MachineApplicable)
+            .collect();
+        if machine.is_empty() {
+            break;
+        }
+        let count = machine.len();
+        let edits = pospec_lint::coalesce_deletions(
+            machine.iter().flat_map(|f| f.edits.iter().cloned()).collect(),
+        );
+        let Ok(next) = pospec_lint::apply_edits(&cur, &edits) else { break };
+        let next_report = pospec_lint::lint_document(file, &next, config);
+        let broken = next_report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d.code, Code::P001 | Code::P002 | Code::P009));
+        if broken || next_report.errors() > report.errors() {
+            break;
+        }
+        cur = next;
+        applied += count;
+        report = next_report;
+    }
+    (report, cur, applied)
 }
 
 /// Run every spec in `doc` under a fault-injected, monitored simulation.

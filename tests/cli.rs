@@ -488,3 +488,53 @@ fn lsp_serves_a_framed_session_over_stdio() {
     assert!(text.contains("\"positionEncoding\":\"utf-16\""), "{text}");
     assert!(text.contains("\"diagnostics\":[]"), "clean doc publishes empty: {text}");
 }
+
+#[test]
+fn lint_dir_expansion_is_sorted_deterministically() {
+    let dir = std::env::temp_dir().join(format!("pospec-lint-sort-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let body = "universe { class Env; object o; method OP; witnesses Env 1; }\n\
+                spec S { objects { o } alphabet { <Env, o, OP>; } traces any; }\n";
+    // Created in shuffled order: the report must still come out sorted.
+    for name in ["b.pos", "c.pos", "a.pos"] {
+        std::fs::write(dir.join(name), body).expect("write fixture");
+    }
+    let out = run(&["lint", &dir.to_string_lossy(), "--json"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let text = stdout(&out);
+    let pos = |n: &str| text.find(n).unwrap_or_else(|| panic!("{n} missing from report:\n{text}"));
+    let (a, b, c) = (pos("a.pos"), pos("b.pos"), pos("c.pos"));
+    assert!(a < b && b < c, "directory expansion must be sorted: a@{a} b@{b} c@{c}\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_fix_converges_and_preserves_untouched_verdicts() {
+    let dir = std::env::temp_dir().join(format!("pospec-lint-fix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let target = dir.join("dead_weight.pos");
+    std::fs::copy(specs("lint_fixtures/dead_weight.pos"), &target).expect("copy fixture");
+    let target = target.to_string_lossy().into_owned();
+
+    // The untouched refinement's verdict before any fix is applied.
+    let before = run(&["refine", &target, "Stable", "StableBase"]);
+    assert!(before.status.success(), "{}", stdout(&before));
+
+    let fix = run(&["lint", &target, "--fix"]);
+    assert!(fix.status.success(), "{}", stdout(&fix));
+    assert!(stdout(&fix).contains("applied"), "fixes must be reported: {}", stdout(&fix));
+
+    // The fixed document lints clean, and a second --fix is a no-op.
+    let again = run(&["lint", &target, "--fix", "--json"]);
+    assert!(again.status.success());
+    let text = stdout(&again);
+    assert!(text.contains("\"clean\":true"), "fixed file must lint clean: {text}");
+    assert!(text.contains("\"fixed\":0"), "--fix must be idempotent: {text}");
+
+    // The pair the fixes never touched keeps its verdict.
+    let after = run(&["refine", &target, "Stable", "StableBase"]);
+    assert_eq!(before.status.code(), after.status.code());
+    assert_eq!(stdout(&before), stdout(&after));
+    assert!(stdout(&after).contains("holds"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,150 @@
+//! The `--fix` contract, property-tested: on randomized documents
+//! carrying any combination of the machine-fixable flaws (P101
+//! shadowed pattern, P102 unused declarations, P103 dead expansion,
+//! P104 dead pattern), pooling every machine-applicable fix and
+//! re-linting
+//!
+//! * converges within the driver's round bound,
+//! * produces a document that reparses after every round,
+//! * is idempotent (the fixpoint offers no further machine fixes), and
+//! * ends lint-clean, because every planted flaw is machine-fixable.
+//!
+//! This drives the same public API (`lint_document` + `coalesce_deletions`
+//! + `apply_edits`) the CLI driver uses.
+
+use pospec_lint::{lint_document, Applicability, Code, LintConfig, TextEdit};
+use proptest::prelude::*;
+
+const MAX_ROUNDS: usize = 8;
+
+/// A document whose flaws are chosen by the flags; every flaw carries a
+/// machine-applicable fix.
+fn build_doc(unused_methods: u8, shadow: bool, dead_pattern: bool, dead_expansion: bool) -> String {
+    let mut doc = String::from(
+        "universe {\n  class Clients;\n  object c : Clients;\n  object srv;\n  method REQ;\n  method ACK;\n",
+    );
+    for k in 0..unused_methods {
+        doc.push_str(&format!("  method U{k};\n"));
+    }
+    doc.push_str("  witnesses Clients 1;\n}\n");
+    // `Keep` pins REQ, ACK, c and srv as used whatever gets removed.
+    doc.push_str(
+        "spec Keep {\n  objects { srv }\n  alphabet { <Clients, srv, REQ>; <c, srv, ACK>; }\n  traces any;\n}\n",
+    );
+    if shadow {
+        doc.push_str(
+            "spec Sh {\n  objects { srv }\n  alphabet {\n    <Clients, srv, REQ>;\n    <c, srv, REQ>;\n  }\n  traces any;\n}\n",
+        );
+    }
+    if dead_pattern {
+        doc.push_str(
+            "spec Dp {\n  objects { srv }\n  alphabet {\n    <Clients, srv, REQ>;\n    <c, srv, ACK>;\n  }\n  traces prs ( <Clients, srv, REQ> )*;\n}\n",
+        );
+    }
+    if dead_expansion {
+        doc.push_str(
+            "spec Abs {\n  objects { srv }\n  alphabet { <Clients, srv, REQ>; }\n  traces any;\n}\n\
+             spec Conc {\n  objects { srv }\n  alphabet {\n    <Clients, srv, REQ>;\n    <c, srv, ACK>;\n  }\n  traces prs ( <Clients, srv, REQ> )*;\n}\n\
+             development {\n  refine Conc of Abs;\n}\n",
+        );
+    }
+    doc
+}
+
+/// Apply every machine-applicable fix round by round, exactly as the
+/// `--fix` driver does, asserting the per-round invariants.  Returns
+/// the fixpoint text and the number of rounds taken.
+fn fix_to_fixpoint(src: &str) -> (String, usize) {
+    let config = LintConfig::default();
+    let mut cur = src.to_string();
+    let mut rounds = 0;
+    loop {
+        let report = lint_document("t", &cur, &config);
+        let edits: Vec<TextEdit> = report
+            .diagnostics
+            .iter()
+            .filter_map(|d| d.fix.as_ref())
+            .filter(|f| f.applicability == Applicability::MachineApplicable)
+            .flat_map(|f| f.edits.iter().cloned())
+            .collect();
+        if edits.is_empty() {
+            return (cur, rounds);
+        }
+        rounds += 1;
+        assert!(rounds <= MAX_ROUNDS, "no fixpoint within {MAX_ROUNDS} rounds:\n{cur}");
+        let batch = pospec_lint::coalesce_deletions(edits);
+        cur = pospec_lint::apply_edits(&cur, &batch)
+            .unwrap_or_else(|e| panic!("pooled machine fixes must apply: {e}\n{cur}"));
+        assert!(
+            pospec_lang::parse_document(&cur).is_ok(),
+            "fixed text must reparse after round {rounds}:\n{cur}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn machine_fixes_converge_reparse_and_end_clean(
+        unused_methods in 0u8..4,
+        shadow in any::<bool>(),
+        dead_pattern in any::<bool>(),
+        dead_expansion in any::<bool>(),
+    ) {
+        let doc = build_doc(unused_methods, shadow, dead_pattern, dead_expansion);
+        prop_assert!(pospec_lang::parse_document(&doc).is_ok(), "generator emits valid docs");
+
+        let (fixed, rounds) = fix_to_fixpoint(&doc);
+
+        // Idempotence: a second driver run performs zero rounds.
+        let (fixed_again, extra) = fix_to_fixpoint(&fixed);
+        prop_assert_eq!(extra, 0, "fixpoint must be stable");
+        prop_assert_eq!(&fixed_again, &fixed);
+
+        // Every planted flaw is machine-fixable, so the fixpoint is
+        // lint-clean; a flawless input takes zero rounds.
+        let report = lint_document("t", &fixed, &LintConfig::default());
+        prop_assert!(report.is_clean(), "fixpoint must lint clean: {:?}\n{}", report.diagnostics, fixed);
+        let flaws = unused_methods as usize
+            + usize::from(shadow)
+            + usize::from(dead_pattern)
+            + usize::from(dead_expansion);
+        if flaws == 0 {
+            prop_assert_eq!(rounds, 0, "clean input needs no rounds");
+            prop_assert_eq!(&fixed, &doc);
+        } else {
+            prop_assert!(rounds >= 1);
+        }
+    }
+}
+
+#[test]
+fn fixture_with_every_fixable_flaw_converges_to_clean() {
+    let src = std::fs::read_to_string("specs/lint_fixtures/dead_weight.pos").expect("fixture");
+    let report = lint_document("dead_weight.pos", &src, &LintConfig::default());
+    let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![Code::P102, Code::P101, Code::P104, Code::P103], "{codes:?}");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.fix.as_ref().map(|f| f.applicability)
+                == Some(Applicability::MachineApplicable)),
+        "every dead_weight diagnostic is machine-fixable: {:?}",
+        report.diagnostics
+    );
+    let (fixed, rounds) = fix_to_fixpoint(&src);
+    assert!((1..=MAX_ROUNDS).contains(&rounds));
+    assert!(lint_document("t", &fixed, &LintConfig::default()).is_clean());
+    // The pair the fixes never touch survives verbatim.
+    assert!(fixed.contains("refine Stable of StableBase;"), "{fixed}");
+}
+
+#[test]
+fn unfixable_fixture_is_left_alone() {
+    let src = std::fs::read_to_string("specs/lint_fixtures/non_composable.pos").expect("fixture");
+    let (fixed, rounds) = fix_to_fixpoint(&src);
+    assert_eq!(rounds, 0, "P020 carries no machine fix");
+    assert_eq!(fixed, src);
+}
